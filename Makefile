@@ -1,0 +1,44 @@
+# Convenience targets; everything is plain `go` underneath.
+GO ?= go
+
+.PHONY: all build test vet fmt bench race fuzz figures experiments soak report clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+race:
+	$(GO) test -race ./internal/online/ ./cmd/soak/
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+fuzz:
+	$(GO) test ./internal/core/ -fuzz=FuzzTheorem3 -fuzztime=30s
+	$(GO) test ./internal/core/ -fuzz=FuzzTheorem2 -fuzztime=30s
+	$(GO) test ./internal/rat/ -fuzz=FuzzParse -fuzztime=15s
+
+figures:
+	$(GO) run ./cmd/figures all
+
+experiments:
+	$(GO) run ./cmd/experiments -trials 30 -out artifacts all
+
+soak:
+	$(GO) run ./cmd/soak -trials 2000
+
+report:
+	$(GO) run ./cmd/report -o report.html
+
+clean:
+	rm -rf artifacts report.html

@@ -1,0 +1,36 @@
+package pfair
+
+import (
+	"desyncpfair/internal/admission"
+	"desyncpfair/internal/drift"
+)
+
+// Admission decisions: analytical schedulability tests for each scheduler
+// family (see internal/admission).
+type AdmissionDecision = admission.Decision
+
+// Guarantee classifies what an admission decision certifies.
+type Guarantee = admission.Guarantee
+
+// Guarantee levels.
+const (
+	HardRealTime = admission.HardRealTime
+	SoftRealTime = admission.SoftRealTime
+	NoGuarantee  = admission.NoGuarantee
+)
+
+// Admit runs every analytical admission test (Pfair SFQ/DVQ, EPDF,
+// partitioned EDF, partitioned RM) on the weight set.
+func Admit(ws []Weight, m int) []AdmissionDecision { return admission.All(ws, m) }
+
+// AdmitPfairDVQ is the paper's planning rule: Σwt ≤ M buys a soft
+// guarantee of at most one quantum of tardiness under PD²-DVQ (Theorem 3).
+func AdmitPfairDVQ(ws []Weight, m int) AdmissionDecision { return admission.PfairDVQ(ws, m) }
+
+// DriftOptions configures the unsynchronized-clock SFQ simulator of
+// internal/drift — the failure mode that motivates the DVQ model.
+type DriftOptions = drift.Options
+
+// RunDriftedSFQ simulates SFQ with per-processor clock drift and phase
+// offsets (no global resynchronization).
+func RunDriftedSFQ(sys *System, opts DriftOptions) (*Schedule, error) { return drift.Run(sys, opts) }

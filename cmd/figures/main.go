@@ -1,0 +1,58 @@
+// Command figures regenerates the paper's figures as ASCII diagrams with
+// the properties each caption claims verified programmatically.
+//
+// Usage: figures [fig1|fig2|fig3|fig4|fig6|all]   (default all)
+//
+// Fig. 5 is the proof diagram of Lemma 4 (covered by the Lemma 4 checker in
+// internal/core) and Fig. 7 illustrates proof cases of Lemma 6 (covered by
+// the compliance machinery); neither is a schedule, so neither is rendered.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"desyncpfair/internal/exp"
+)
+
+func main() {
+	which := "all"
+	if len(os.Args) > 1 {
+		which = os.Args[1]
+	}
+	if err := run(which); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(which string) error {
+	type figure struct {
+		name string
+		fn   func() (string, error)
+	}
+	figs := []figure{
+		{"fig1", func() (string, error) { return exp.Fig1(), nil }},
+		{"fig2", exp.Fig2},
+		{"fig3", func() (string, error) { out, _, err := exp.Fig3(); return out, err }},
+		{"fig4", exp.Fig4},
+		{"fig6", exp.Fig6},
+	}
+	ran := false
+	for _, f := range figs {
+		if which != "all" && which != f.name {
+			continue
+		}
+		ran = true
+		out, err := f.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", f.name, err)
+		}
+		fmt.Println("=================================================================")
+		fmt.Println(out)
+	}
+	if !ran {
+		return fmt.Errorf("unknown figure %q (want fig1|fig2|fig3|fig4|fig6|all)", which)
+	}
+	return nil
+}

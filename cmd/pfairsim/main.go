@@ -1,0 +1,232 @@
+// Command pfairsim simulates a task system under any of the schedulers in
+// this repository and reports tardiness, misses and utilization.
+//
+// Usage:
+//
+//	pfairsim -m 2 -weights 1/6,1/6,1/6,1/2,1/2,1/2 -model dvq \
+//	         -policy PD2 -horizon 12 -yield uniform:8 -render -csv out.csv
+//
+// Models: sfq (classical Pfair), staggered (Holman–Anderson offsets),
+// dvq (the paper's desynchronized variable-quantum model), pdb (PD^B).
+// Yields: full | uniform:DEN | bimodal:PFULL:DEN | adversarial:NUM/DEN.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	pfair "desyncpfair"
+	"desyncpfair/internal/gen"
+	"desyncpfair/internal/trace"
+)
+
+func main() {
+	var (
+		m        = flag.Int("m", 2, "number of processors")
+		weights  = flag.String("weights", "1/6,1/6,1/6,1/2,1/2,1/2", "comma-separated task weights e/p")
+		random   = flag.Int("random", 0, "generate N random tasks at full utilization instead of -weights")
+		tasks    = flag.String("tasks", "", "load the task system from a JSON file (overrides -weights/-random/-horizon)")
+		mdl      = flag.String("model", "dvq", "scheduling model: sfq|staggered|dvq|pdb|drift")
+		eps      = flag.String("drift", "1/100", "per-processor clock drift ε for -model drift")
+		policy   = flag.String("policy", "PD2", "priority policy: EPDF|PF|PD|PD2")
+		horizon  = flag.Int64("horizon", 12, "release subtasks with r < horizon")
+		yield    = flag.String("yield", "full", "yield model: full|uniform:DEN|bimodal:PFULL:DEN|adversarial:NUM/DEN")
+		seed     = flag.Int64("seed", 1, "seed for randomized yield models")
+		render   = flag.Bool("render", false, "print the schedule")
+		csvPath  = flag.String("csv", "", "write the schedule as CSV to this file")
+		htmlPath = flag.String("html", "", "write the schedule as an HTML Gantt chart to this file")
+	)
+	flag.Parse()
+	if err := run(*m, *weights, *random, *tasks, *mdl, *policy, *horizon, *yield, *eps, *seed, *render, *csvPath, *htmlPath); err != nil {
+		fmt.Fprintln(os.Stderr, "pfairsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(m int, weightSpec string, random int, tasksPath, mdl, policyName string, horizon int64, yieldSpec, epsSpec string, seed int64, render bool, csvPath, htmlPath string) error {
+	var ws []pfair.Weight
+	var err error
+	var sys *pfair.System
+	if tasksPath != "" {
+		data, err := os.ReadFile(tasksPath)
+		if err != nil {
+			return err
+		}
+		sys = pfair.NewSystem()
+		if err := json.Unmarshal(data, sys); err != nil {
+			return fmt.Errorf("parsing %s: %w", tasksPath, err)
+		}
+	} else if random > 0 {
+		rng := rand.New(rand.NewSource(seed))
+		q := int64(12)
+		if int64(random) > int64(m)*q {
+			return fmt.Errorf("-random %d exceeds M·12 = %d tasks at full utilization", random, m*12)
+		}
+		ws = gen.GridWeights(rng, random, q, int64(m)*q, gen.MixedWeights)
+	} else {
+		ws, err = parseWeights(weightSpec)
+		if err != nil {
+			return err
+		}
+	}
+	pol := pfair.PolicyByName(policyName)
+	if pol == nil {
+		return fmt.Errorf("unknown policy %q", policyName)
+	}
+	y, err := parseYield(yieldSpec, seed)
+	if err != nil {
+		return err
+	}
+	if sys == nil {
+		sys = pfair.Periodic(ws, horizon)
+	}
+	fmt.Printf("tasks: %d, total utilization %s, processors %d, model %s, policy %s\n",
+		len(sys.Tasks), sys.TotalUtilization(), m, mdl, pol.Name())
+	if !sys.Feasible(m) {
+		fmt.Printf("warning: utilization exceeds M — no tardiness bound applies\n")
+	}
+
+	var s *pfair.Schedule
+	switch mdl {
+	case "sfq":
+		s, err = pfair.RunSFQ(sys, pfair.SFQOptions{M: m, Policy: pol, Yield: y})
+	case "staggered":
+		s, err = pfair.RunSFQ(sys, pfair.SFQOptions{M: m, Policy: pol, Yield: y, Staggered: true})
+	case "dvq":
+		s, err = pfair.RunDVQ(sys, pfair.DVQOptions{M: m, Policy: pol, Yield: y})
+	case "pdb":
+		var res *pfair.PDBResult
+		res, err = pfair.RunPDB(sys, pfair.PDBOptions{M: m, Yield: y})
+		if res != nil {
+			s = res.Schedule
+		}
+	case "drift":
+		var e pfair.Rat
+		e, err = pfair.ParseRat(epsSpec)
+		if err != nil {
+			return err
+		}
+		epsilon := make([]pfair.Rat, m)
+		for k := range epsilon {
+			epsilon[k] = e
+		}
+		s, err = pfair.RunDriftedSFQ(sys, pfair.DriftOptions{M: m, Policy: pol, Yield: y, Epsilon: epsilon})
+	default:
+		return fmt.Errorf("unknown model %q", mdl)
+	}
+	if err != nil {
+		return err
+	}
+
+	sum := pfair.Summarize(s)
+	fmt.Printf("subtasks scheduled : %d\n", sum.Subtasks)
+	fmt.Printf("deadline misses    : %d (%.1f%%)\n", sum.Misses, 100*sum.MissRate())
+	fmt.Printf("max tardiness      : %s quanta\n", sum.MaxTardiness)
+	fmt.Printf("mean response      : %.3f quanta\n", sum.MeanResponse)
+	fmt.Printf("makespan           : %s\n", sum.Makespan)
+	fmt.Printf("busy fraction      : %.3f\n", sum.BusyFraction)
+	if mdl == "sfq" || mdl == "staggered" {
+		fmt.Printf("stranded residue   : %s quanta\n", pfair.QuantumResidue(s))
+	}
+
+	if render {
+		if mdl == "dvq" || mdl == "staggered" || mdl == "drift" {
+			fmt.Print(pfair.RenderTimeline(s))
+		} else {
+			fmt.Print(pfair.RenderSlots(s))
+		}
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteCSV(f, s); err != nil {
+			return err
+		}
+		fmt.Printf("schedule written to %s\n", csvPath)
+	}
+	if htmlPath != "" {
+		f, err := os.Create(htmlPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		title := fmt.Sprintf("%s under %s (M=%d)", pol.Name(), mdl, m)
+		if err := trace.WriteHTML(f, s, title); err != nil {
+			return err
+		}
+		fmt.Printf("chart written to %s\n", htmlPath)
+	}
+	return nil
+}
+
+func parseWeights(spec string) ([]pfair.Weight, error) {
+	var ws []pfair.Weight
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		nd := strings.Split(part, "/")
+		if len(nd) != 2 {
+			return nil, fmt.Errorf("weight %q is not of the form e/p", part)
+		}
+		e, err1 := strconv.ParseInt(nd[0], 10, 64)
+		p, err2 := strconv.ParseInt(nd[1], 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("weight %q is not numeric", part)
+		}
+		w := pfair.W(e, p)
+		if err := w.Validate(); err != nil {
+			return nil, err
+		}
+		ws = append(ws, w)
+	}
+	return ws, nil
+}
+
+func parseYield(spec string, seed int64) (pfair.YieldFn, error) {
+	parts := strings.Split(spec, ":")
+	switch parts[0] {
+	case "full":
+		return pfair.FullCost, nil
+	case "uniform":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("uniform yield needs uniform:DEN")
+		}
+		den, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return pfair.UniformYield(seed, den), nil
+	case "bimodal":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bimodal yield needs bimodal:PFULL:DEN")
+		}
+		pFull, err1 := strconv.Atoi(parts[1])
+		den, err2 := strconv.ParseInt(parts[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad bimodal spec %q", spec)
+		}
+		return pfair.BimodalYield(seed, pFull, den), nil
+	case "adversarial":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("adversarial yield needs adversarial:NUM/DEN")
+		}
+		nd := strings.Split(parts[1], "/")
+		if len(nd) != 2 {
+			return nil, fmt.Errorf("bad δ %q", parts[1])
+		}
+		n, err1 := strconv.ParseInt(nd[0], 10, 64)
+		d, err2 := strconv.ParseInt(nd[1], 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad δ %q", parts[1])
+		}
+		return pfair.AdversarialYield(pfair.NewRat(n, d), nil), nil
+	}
+	return nil, fmt.Errorf("unknown yield model %q", spec)
+}

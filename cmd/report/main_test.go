@@ -1,0 +1,32 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReportEndToEnd(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.html")
+	if err := run(3, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(data)
+	for _, want := range []string{
+		"<!DOCTYPE html>", "reproduction report",
+		"Fig. 1", "Fig. 2", "Fig. 3", "Fig. 4", "Fig. 6",
+		"E1", "E15", "class=\"block", "tardy",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if err := run(3, 1, "/nonexistent-dir/x.html"); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"testing"
+
+	"desyncpfair/internal/rat"
+)
+
+func TestSoakSmall(t *testing.T) {
+	agg := soak(20, 4, 7)
+	if agg.violations != 0 {
+		t.Fatalf("bound violations: %d", agg.violations)
+	}
+	if agg.histDVQ.Total == 0 || agg.histPDB.Total == 0 {
+		t.Fatal("no subtasks recorded")
+	}
+	if rat.One.Less(agg.maxDVQ) || rat.One.Less(agg.maxPDB) {
+		t.Fatalf("max tardiness DVQ=%s PDB=%s", agg.maxDVQ, agg.maxPDB)
+	}
+	if agg.histDVQ.Total != agg.subtasks {
+		t.Errorf("histogram total %d != subtasks %d", agg.histDVQ.Total, agg.subtasks)
+	}
+}

@@ -1,0 +1,114 @@
+// Deploy: the full pipeline from real task parameters to a running,
+// closed-loop Pfair system.
+//
+//  1. quantize microsecond-scale task parameters onto the quantum grid,
+//     picking the largest feasible quantum under per-quantum overhead;
+//  2. run the analytical admission tests;
+//  3. host the workload closed-loop: Work callbacks execute each quantum,
+//     their measured durations become actual costs, and the DVQ rule
+//     reclaims every early completion;
+//  4. verify Theorem 3 on what actually ran and replay the schedule as
+//     timed events.
+//
+// Run with: go run ./examples/deploy
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	pfair "desyncpfair"
+)
+
+func main() {
+	// 1. A control workload in microseconds.
+	rts := []pfair.RealTask{
+		{Name: "lidar", C: 2700, T: 10000},
+		{Name: "vision", C: 2700, T: 10000},
+		{Name: "fusion", C: 900, T: 5000},
+		{Name: "plan", C: 850, T: 20000},
+	}
+	const m = 1
+	const overheadUS = 20
+	q, err := pfair.BestQuantum(rts, m, overheadUS, []int64{125, 250, 500, 1000, 2000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ws, err := pfair.QuantizeWeights(rts, q, overheadUS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("quantum: %d µs; quantized weights:", q)
+	for i, w := range ws {
+		fmt.Printf(" %s=%s", rts[i].Name, w)
+	}
+	fmt.Println()
+
+	// 2. Admission: who takes this workload, with what guarantee?
+	for _, d := range pfair.Admit(ws, m) {
+		fmt.Printf("  %-8s admitted=%-5v guarantee=%s\n", d.Scheduler, d.Admitted, d.Guarantee)
+	}
+
+	// 3. Closed-loop host on a fake clock (deterministic demo; use
+	//    pfair.WallClock() in production). Work functions report the time
+	//    they really needed — here randomized below the WCET, exactly the
+	//    pessimism the DVQ model reclaims.
+	clk := &pfair.FakeClock{}
+	quantum := time.Duration(q) * time.Microsecond
+	h, err := pfair.NewHost(pfair.HostConfig{M: m, Quantum: quantum, Clock: clk})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	tasks := make([]*pfair.Task, len(rts))
+	for i, w := range ws {
+		tasks[i], err = h.Register(rts[i].Name, w, func(budget time.Duration) time.Duration {
+			// Use 40–100% of the budget.
+			return budget * time.Duration(40+rng.Intn(61)) / 100
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Drive 3 hyperperiods of job arrivals.
+	horizon := 3 * ws[3].P // plan has the longest period
+	for slot := int64(0); slot < horizon; slot++ {
+		for i, w := range ws {
+			if slot%w.P == 0 {
+				if err := h.Submit(tasks[i]); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		if err := h.RunFor(quantum); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := h.Drain(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Verify and replay.
+	s := h.Schedule()
+	if err := s.ValidateDVQ(); err != nil {
+		log.Fatal(err)
+	}
+	sum := pfair.Summarize(s)
+	fmt.Printf("ran %d quanta over %s schedule units; misses=%d max-tardiness=%s\n",
+		sum.Subtasks, sum.Makespan, sum.Misses, sum.MaxTardiness)
+	if pfair.IntRat(1).Less(sum.MaxTardiness) {
+		log.Fatal("Theorem 3 violated?!")
+	}
+	events, err := pfair.Replay(s, pfair.ReplayOptions{
+		Quantum: quantum,
+		Clock:   &pfair.FakeClock{},
+		OnEvent: func(pfair.ReplayEvent) {},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replayed %d timed events; with a %v quantum no job is ever more than %v late\n",
+		events, quantum, quantum)
+}

@@ -1,0 +1,65 @@
+// Videoserver: the paper's motivating scenario for the DVQ model.
+//
+// A media server decodes several streams on a multiprocessor. Each stream
+// is a periodic task whose worst-case execution time is provisioned
+// pessimistically, so most frames finish well before their quantum ends.
+// Under the classical SFQ model that slack is stranded — the processor
+// idles to the slot boundary. Under the DVQ model it is reclaimed, at the
+// price of deadline misses bounded by one quantum — exactly the soft
+// real-time deal a media server wants.
+//
+// Run with: go run ./examples/videoserver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pfair "desyncpfair"
+)
+
+func main() {
+	// Eight streams on four processors. Rates differ per codec/resolution:
+	// heavy 4K decodes (weight 3/4), mainstream HD (1/2), previews (1/4).
+	weights := []pfair.Weight{
+		pfair.W(3, 4), pfair.W(3, 4), // two 4K streams
+		pfair.W(1, 2), pfair.W(1, 2), pfair.W(1, 2), pfair.W(1, 2), // four HD streams
+		pfair.W(1, 4), pfair.W(1, 4), // two previews
+	}
+	const m = 4
+	horizon := int64(40)
+	sys := pfair.Periodic(weights, horizon)
+	fmt.Printf("streams: %d, utilization %s on M=%d processors\n\n",
+		len(weights), sys.TotalUtilization(), m)
+
+	// 70% of frames are "easy" and use their whole budget only 30% of the
+	// time — the pessimistic-WCET effect the paper describes.
+	yield := pfair.BimodalYield(2026, 30, 16)
+
+	sfq, err := pfair.RunSFQ(sys, pfair.SFQOptions{M: m, Yield: yield})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dvq, err := pfair.RunDVQ(sys, pfair.DVQOptions{M: m, Yield: yield})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s1, s2 := pfair.Summarize(sfq), pfair.Summarize(dvq)
+	fmt.Printf("%-22s %12s %12s\n", "", "SFQ (classic)", "DVQ (paper)")
+	fmt.Printf("%-22s %12d %12d\n", "frames (subtasks)", s1.Subtasks, s2.Subtasks)
+	fmt.Printf("%-22s %12s %12s\n", "stranded time", pfair.QuantumResidue(sfq).String(), "0 (reclaimed)")
+	fmt.Printf("%-22s %12s %12s\n", "makespan", s1.Makespan, s2.Makespan)
+	fmt.Printf("%-22s %12.2f %12.2f\n", "mean frame response", s1.MeanResponse, s2.MeanResponse)
+	fmt.Printf("%-22s %12d %12d\n", "deadline misses", s1.Misses, s2.Misses)
+	fmt.Printf("%-22s %12s %12s\n", "max tardiness", s1.MaxTardiness.String(), s2.MaxTardiness.String())
+
+	fmt.Println()
+	if pfair.IntRat(1).Less(s2.MaxTardiness) {
+		log.Fatal("Theorem 3 violated?!")
+	}
+	fmt.Println("Theorem 3 caps any DVQ miss below one quantum: with a 1 ms quantum,")
+	fmt.Println("no frame is ever more than a millisecond late, while reclaiming the")
+	fmt.Printf("stranded slack cuts the mean frame response to %.0f%% of SFQ's.\n",
+		100*s2.MeanResponse/s1.MeanResponse)
+}

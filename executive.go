@@ -1,0 +1,25 @@
+package pfair
+
+import (
+	"desyncpfair/internal/online"
+	"desyncpfair/internal/prio"
+)
+
+// Executive is the online (incremental) PD²-DVQ scheduler: register tasks,
+// submit jobs as they arrive, and advance virtual time. As long as total
+// registered utilization stays at most M, Theorem 3's one-quantum tardiness
+// bound applies to every dispatched subtask. See internal/online for the
+// full semantics.
+type Executive = online.Executive
+
+// Dispatch reports one executive scheduling decision.
+type Dispatch = online.Dispatch
+
+// NewExecutive creates an online executive on m processors. A nil policy
+// selects PD².
+func NewExecutive(m int, policy Policy) *Executive {
+	if policy == nil {
+		policy = prio.PD2{}
+	}
+	return online.New(m, policy)
+}

@@ -1,0 +1,3 @@
+module desyncpfair
+
+go 1.22

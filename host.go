@@ -1,0 +1,22 @@
+package pfair
+
+import (
+	"desyncpfair/internal/host"
+)
+
+// Host types: the closed loop between the online executive and real
+// durations — registered Work functions execute each quantum and the time
+// they report consuming becomes the subtask's actual cost.
+type (
+	// Host drives an online executive against a clock with Work callbacks.
+	Host = host.Host
+	// HostConfig configures a Host.
+	HostConfig = host.Config
+	// Work simulates or performs one quantum of work, returning the
+	// duration actually used (clamped into (0, budget]).
+	Work = host.Work
+)
+
+// NewHost creates a closed-loop host. A nil Clock selects the wall clock;
+// use a FakeClock for deterministic simulation.
+func NewHost(cfg HostConfig) (*Host, error) { return host.New(cfg) }

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"fmt"
+
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/rat"
+	"desyncpfair/internal/sched"
+)
+
+// The fluid (ideal processor-sharing) schedule underlying Pfairness, in
+// its per-subtask IS/GIS form (Srinivasan & Anderson): a task of weight w
+// executes at rate w, so its i-th quantum of work — subtask T_i — is
+// delivered during [(i−1)/w + θ, i/w + θ). FluidAllocation integrates that
+// rate over one slot; summing over a task's released subtasks gives the
+// ideal allocation that lag compares against. For synchronous periodic
+// systems this reduces exactly to wt·t (the quantity IdealLag uses), but
+// unlike IdealLag it remains meaningful for IS windows and GIS omissions.
+
+// FluidAllocation returns the ideal allocation subtask sub receives in
+// slot u: wt(T) × |[max(fluidStart, u), min(fluidEnd, u+1))|, where the
+// fluid interval of T_i is [θ + (i−1)/w, θ + i/w).
+func FluidAllocation(sub *model.Subtask, u int64) rat.Rat {
+	w := sub.Task.W.Rat()
+	theta := rat.FromInt(sub.Theta)
+	start := theta.Add(rat.FromInt(sub.Index - 1).Div(w))
+	end := theta.Add(rat.FromInt(sub.Index).Div(w))
+	lo := rat.Max(start, rat.FromInt(u))
+	hi := rat.Min(end, rat.FromInt(u+1))
+	if !lo.Less(hi) {
+		return rat.Zero
+	}
+	return hi.Sub(lo).Mul(w)
+}
+
+// FluidUpTo returns the total ideal allocation of task's released subtasks
+// over [0, t).
+func FluidUpTo(sys *model.System, task *model.Task, t int64) rat.Rat {
+	total := rat.Zero
+	for _, sub := range sys.Subtasks(task) {
+		for u := int64(0); u < t; u++ {
+			total = total.Add(FluidAllocation(sub, u))
+		}
+	}
+	return total
+}
+
+// ISLag returns the IS/GIS lag of task at integral time t in s: the fluid
+// allocation of its released subtasks over [0, t) minus the quanta it
+// actually received in slots before t.
+func ISLag(s *sched.Schedule, task *model.Task, t int64) rat.Rat {
+	allocated := int64(0)
+	for _, sub := range s.Sys.Subtasks(task) {
+		if a := s.Of(sub); a != nil && a.Slot() < t {
+			allocated++
+		}
+	}
+	return FluidUpTo(s.Sys, task, t).Sub(rat.FromInt(allocated))
+}
+
+// CheckISPfairness verifies the generalized Pfairness condition
+// −1 < lag(T, t) < 1 at every integral time for every task, using the
+// per-subtask fluid schedule. It applies to schedules whose subtasks all
+// run inside their PF-windows [r, d) — early-released subtasks (e < r,
+// ER-fair) legitimately drive lag below −1 and are out of scope here.
+func CheckISPfairness(s *sched.Schedule) error {
+	one := rat.One
+	horizon := s.Makespan().Ceil()
+	for _, task := range s.Sys.Tasks {
+		for t := int64(0); t <= horizon; t++ {
+			l := ISLag(s, task, t)
+			if !l.Less(one) || !l.Neg().Less(one) {
+				return fmt.Errorf("analysis: IS lag(%s, %d) = %s outside (−1, 1)", task, t, l)
+			}
+		}
+	}
+	return nil
+}

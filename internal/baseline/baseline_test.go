@@ -1,0 +1,166 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"desyncpfair/internal/gen"
+	"desyncpfair/internal/model"
+)
+
+func TestGlobalEDFScedulesLowUtilization(t *testing.T) {
+	// Utilization 1 on 2 processors: global EDF has no trouble.
+	ws := []model.Weight{model.W(1, 2), model.W(1, 4), model.W(1, 4)}
+	r := GlobalEDF(ws, 2, 8)
+	if r.Misses != 0 {
+		t.Errorf("misses = %d, want 0", r.Misses)
+	}
+	if r.Jobs != 4+2+2 {
+		t.Errorf("jobs = %d, want 8", r.Jobs)
+	}
+}
+
+// The Dhall effect: M light tasks with slightly earlier deadlines starve a
+// heavy task under global EDF even though total utilization ≤ M.
+func TestGlobalEDFDhallEffect(t *testing.T) {
+	for _, m := range []int{2, 3, 4} {
+		ws := make([]model.Weight, 0, m+1)
+		for i := 0; i < m; i++ {
+			ws = append(ws, model.W(1, 9))
+		}
+		ws = append(ws, model.W(10, 10)) // weight-1 task
+		// Total utilization m/9 + 1 ≤ m for m ≥ 2.
+		r := GlobalEDF(ws, m, 10)
+		if r.Misses == 0 {
+			t.Errorf("M=%d: expected Dhall-effect misses under global EDF", m)
+		}
+	}
+}
+
+func TestGlobalEDFTardinessTracked(t *testing.T) {
+	ws := []model.Weight{model.W(1, 9), model.W(1, 9), model.W(10, 10)}
+	r := GlobalEDF(ws, 2, 10)
+	if r.MaxTardiness < 1 {
+		t.Errorf("max tardiness = %d, want ≥ 1", r.MaxTardiness)
+	}
+}
+
+func TestPartitionFFDPacksWhenPossible(t *testing.T) {
+	ws := []model.Weight{model.W(1, 2), model.W(1, 2), model.W(1, 2), model.W(1, 2)}
+	bins, err := PartitionFFD(ws, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins[0]) != 2 || len(bins[1]) != 2 {
+		t.Errorf("bins = %v, want 2+2", bins)
+	}
+}
+
+// M+1 tasks of weight just over 1/2 cannot be partitioned onto M
+// processors even though total utilization ≈ (M+1)/2 ≤ M: the classical
+// ~50% utilization cap of partitioned schemes (paper's Sec. 1).
+func TestPartitionFFDUtilizationCap(t *testing.T) {
+	for _, m := range []int{2, 3, 4} {
+		ws := make([]model.Weight, m+1)
+		for i := range ws {
+			ws[i] = model.W(6, 11) // 6/11 > 1/2
+		}
+		if _, err := PartitionFFD(ws, m); err == nil {
+			t.Errorf("M=%d: %d tasks of weight 6/11 should not partition", m, m+1)
+		}
+	}
+}
+
+func TestPartitionedEDFZeroMissesWhenPartitioned(t *testing.T) {
+	ws := []model.Weight{model.W(1, 2), model.W(1, 3), model.W(1, 2), model.W(1, 3)}
+	r, err := PartitionedEDF(ws, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Misses != 0 {
+		t.Errorf("misses = %d, want 0", r.Misses)
+	}
+	if r.Jobs == 0 {
+		t.Error("no jobs simulated")
+	}
+}
+
+func TestPartitionedEDFErrorWhenUnpartitionable(t *testing.T) {
+	ws := []model.Weight{model.W(6, 11), model.W(6, 11), model.W(6, 11)}
+	if _, err := PartitionedEDF(ws, 2, 22); err == nil {
+		t.Error("expected partition failure")
+	}
+}
+
+// DFS at full utilization behaves like EPDF: on two processors it meets all
+// pseudo-deadlines; its misses stay bounded elsewhere.
+func TestDFSOnTwoProcessors(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 20; trial++ {
+		q := int64(6 + rng.Intn(6))
+		n := 3 + rng.Intn(4)
+		if int64(n) > 2*q {
+			continue
+		}
+		ws := gen.GridWeights(rng, n, q, 2*q, gen.MixedWeights)
+		r := DFS(ws, 2, 2*q, false)
+		if r.Misses != 0 {
+			t.Errorf("trial %d: DFS misses = %d on M=2 (EPDF is optimal there)", trial, r.Misses)
+		}
+	}
+}
+
+// The auxiliary scheduler only activates when the system has slack.
+func TestDFSAuxiliaryScheduler(t *testing.T) {
+	// Utilization 1 on 2 processors: one processor is always idle for the
+	// primary scheduler; the auxiliary one hands it to ineligible tasks.
+	// Weights 2/4 (not 1/2) so jobs span two quanta and run-ahead within an
+	// arrived job is possible.
+	ws := []model.Weight{model.W(2, 4), model.W(2, 4)}
+	strict := DFS(ws, 2, 12, false)
+	wc := DFS(ws, 2, 12, true)
+	if strict.AuxQuanta != 0 {
+		t.Errorf("non-work-conserving DFS granted %d aux quanta", strict.AuxQuanta)
+	}
+	if wc.AuxQuanta == 0 {
+		t.Error("work-conserving DFS granted no aux quanta despite slack")
+	}
+	if wc.Misses != 0 {
+		t.Errorf("work-conserving DFS misses = %d, want 0", wc.Misses)
+	}
+}
+
+// At full utilization there is no slack, so work conservation changes
+// nothing and all deadlines are met on M = 2.
+func TestDFSFullUtilizationNoAux(t *testing.T) {
+	ws := []model.Weight{model.W(1, 2), model.W(1, 2), model.W(1, 2), model.W(1, 2)}
+	r := DFS(ws, 2, 12, true)
+	if r.AuxQuanta != 0 {
+		t.Errorf("aux quanta = %d at full utilization", r.AuxQuanta)
+	}
+	if r.Misses != 0 {
+		t.Errorf("misses = %d", r.Misses)
+	}
+}
+
+func TestDFSSubtaskAccounting(t *testing.T) {
+	ws := []model.Weight{model.W(3, 4)}
+	r := DFS(ws, 1, 8, false)
+	if r.Subtasks != 6 { // two jobs of cost 3
+		t.Errorf("subtasks = %d, want 6", r.Subtasks)
+	}
+	if r.Misses != 0 {
+		t.Errorf("misses = %d", r.Misses)
+	}
+}
+
+func TestEDFMissRate(t *testing.T) {
+	r := EDFResult{Jobs: 10, Misses: 3}
+	if got := r.MissRate(); got != 0.3 {
+		t.Errorf("miss rate = %f", got)
+	}
+	var zero EDFResult
+	if zero.MissRate() != 0 {
+		t.Error("zero jobs miss rate should be 0")
+	}
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/prio"
+	"desyncpfair/internal/rat"
+	"desyncpfair/internal/sched"
+)
+
+// This file implements the blocking analysis of Sec. 3.1: detecting the two
+// kinds of priority inversion a DVQ schedule can exhibit, and verifying the
+// structural guarantee (Property PB / Lemma 1) that predecessor blocking
+// can only occur when matching higher-priority subtasks with eligibility
+// exactly t are scheduled at t.
+
+// BlockingKind distinguishes the paper's two priority-inversion types.
+type BlockingKind int
+
+const (
+	// EligibilityBlocked: a subtask was ready at the first slot t of its
+	// IS-window (e = t) but every processor was running a quantum started
+	// just before t, at least one of them on a lower-priority subtask.
+	EligibilityBlocked BlockingKind = iota
+	// PredecessorBlocked: a subtask released earlier (e < t) became ready
+	// exactly at t (its predecessor completed at t) and lost its processor
+	// to a lower-priority subtask.
+	PredecessorBlocked
+)
+
+func (k BlockingKind) String() string {
+	if k == EligibilityBlocked {
+		return "eligibility"
+	}
+	return "predecessor"
+}
+
+// BlockingEvent records one priority inversion observed in a DVQ schedule:
+// at integral time T, subtask Sub (ready, unscheduled) waited while the
+// strictly lower-priority subtask By was executing.
+type BlockingEvent struct {
+	T    int64
+	Kind BlockingKind
+	Sub  *model.Subtask
+	By   *model.Subtask
+}
+
+func (e BlockingEvent) String() string {
+	return fmt.Sprintf("t=%d: %s %s-blocked by %s", e.T, e.Sub, e.Kind, e.By)
+}
+
+// readyBy reports whether sub is ready at or before time x in dq: eligible
+// and its predecessor (if any) has completed by x.
+func readyBy(dq *sched.Schedule, sub *model.Subtask, x rat.Rat) bool {
+	if x.Less(rat.FromInt(sub.Elig)) {
+		return false
+	}
+	if pred := dq.Sys.Predecessor(sub); pred != nil {
+		pa := dq.Of(pred)
+		if pa == nil || x.Less(pa.Finish()) {
+			return false
+		}
+	}
+	return true
+}
+
+// executingAt returns the assignments executing at integral time t in the
+// paper's sense: scheduled in the interval (t−1, t].
+func executingAt(dq *sched.Schedule, t int64) []*sched.Assignment {
+	var out []*sched.Assignment
+	lo, hi := rat.FromInt(t-1), rat.FromInt(t)
+	for _, a := range dq.Assignments() {
+		if lo.Less(a.Start) && a.Start.LessEq(hi) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// FindBlocking scans a DVQ schedule and returns every priority inversion at
+// integral times, classified per the paper. The policy is the one the
+// schedule was produced with (PD² in the paper).
+func FindBlocking(dq *sched.Schedule, pol prio.Policy) []BlockingEvent {
+	var events []BlockingEvent
+	horizon := dq.Makespan().Ceil()
+	for t := int64(0); t <= horizon; t++ {
+		running := executingAt(dq, t)
+		for _, sub := range dq.Sys.All() {
+			a := dq.Of(sub)
+			if a == nil || !rat.FromInt(t).Less(a.Start) {
+				continue // scheduled at or before t
+			}
+			if !readyBy(dq, sub, rat.FromInt(t)) {
+				continue
+			}
+			// sub is ready at t yet unscheduled: find a strictly
+			// lower-priority subtask executing at t.
+			for _, r := range running {
+				if r.Sub == sub || !prio.Prec(pol, sub, r.Sub) {
+					continue
+				}
+				kind := EligibilityBlocked
+				if sub.Elig < t {
+					kind = PredecessorBlocked
+				}
+				events = append(events, BlockingEvent{T: t, Kind: kind, Sub: sub, By: r.Sub})
+				break // one witness per (t, sub) suffices
+			}
+		}
+	}
+	return events
+}
+
+// CheckPropertyPB verifies Lemma 1 on a DVQ schedule: for every integral
+// time t and every subtask T_i executing at t, let 𝒰 be the set of
+// subtasks with e ≤ t−1 that are ready at or before t, have strictly
+// higher PD² priority than T_i, and are scheduled after t. Then
+//
+//	(a) every U ∈ 𝒰 has a predecessor completing exactly at t, and
+//	(b) there is a set 𝒱 of at least |𝒰| subtasks with e(V) = t that are
+//	    scheduled exactly at t, each with PD² priority ≥ every U ∈ 𝒰.
+func CheckPropertyPB(dq *sched.Schedule, pol prio.Policy) error {
+	horizon := dq.Makespan().Ceil()
+	tRat := func(t int64) rat.Rat { return rat.FromInt(t) }
+	for t := int64(1); t <= horizon; t++ {
+		running := executingAt(dq, t)
+		for _, ti := range running {
+			// Build 𝒰 for this T_i.
+			var U []*model.Subtask
+			for _, sub := range dq.Sys.All() {
+				a := dq.Of(sub)
+				if a == nil || !tRat(t).Less(a.Start) {
+					continue // (16) requires S(U_j) > t
+				}
+				if sub.Elig > t-1 {
+					continue // (13): e(U_j) ≤ t−1
+				}
+				if !readyBy(dq, sub, tRat(t)) {
+					continue // (13): ready at or before t
+				}
+				if !prio.Prec(pol, sub, ti.Sub) {
+					continue // (14): U_j ≺ T_i
+				}
+				U = append(U, sub)
+			}
+			if len(U) == 0 {
+				continue
+			}
+			// (a): each U_j's predecessor completes exactly at t.
+			for _, u := range U {
+				pred := dq.Sys.Predecessor(u)
+				if pred == nil {
+					return fmt.Errorf("core: PropertyPB(a) violated at t=%d: %s blocked (by %s) has no predecessor", t, u, ti.Sub)
+				}
+				if !dq.Of(pred).Finish().Equal(tRat(t)) {
+					return fmt.Errorf("core: PropertyPB(a) violated at t=%d: predecessor of %s completes at %s, not t",
+						t, u, dq.Of(pred).Finish())
+				}
+			}
+			// (b): find 𝒱.
+			var V []*model.Subtask
+			for _, a := range dq.Assignments() {
+				if !a.Start.Equal(tRat(t)) || a.Sub.Elig != t {
+					continue
+				}
+				ok := true
+				for _, u := range U {
+					if pol.Cmp(a.Sub, u) > 0 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					V = append(V, a.Sub)
+				}
+			}
+			if len(V) < len(U) {
+				return fmt.Errorf("core: PropertyPB(b) violated at t=%d: |𝒰|=%d but only %d witnesses scheduled at t",
+					t, len(U), len(V))
+			}
+		}
+	}
+	return nil
+}
+
+// BlockingStats summarizes the inversions in a schedule.
+type BlockingStats struct {
+	Eligibility int
+	Predecessor int
+}
+
+// CountBlocking tallies FindBlocking events by kind.
+func CountBlocking(dq *sched.Schedule, pol prio.Policy) BlockingStats {
+	var st BlockingStats
+	for _, e := range FindBlocking(dq, pol) {
+		if e.Kind == EligibilityBlocked {
+			st.Eligibility++
+		} else {
+			st.Predecessor++
+		}
+	}
+	return st
+}
+
+// CheckLemma2 verifies Lemma 2 — the PD^B counterpart of Property PB — on
+// a PD^B run: for every slot t, every scheduled subtask T_i and every set
+// 𝒰 of subtasks with e ≤ t−1 that are ready at t, have strictly higher
+// PD² priority than T_i, and are scheduled after t, there is a set 𝒱 of
+// at least |𝒰| subtasks with eligibility exactly t that are scheduled at
+// t, each of PD² priority ≥ every member of 𝒰, with T_i selected before
+// every member of 𝒱 in the slot's decision order.
+func CheckLemma2(res *PDBResult, pol prio.Policy) error {
+	s := res.Schedule
+	for _, slot := range res.Slots {
+		t := slot.T
+		// Ready-but-later-scheduled subtasks with e ≤ t−1: members of the
+		// slot's PB ∪ DB that were not picked.
+		var later []*model.Subtask
+		for _, u := range append(append([]*model.Subtask{}, slot.PB...), slot.DB...) {
+			if a := s.Of(u); a != nil && a.Slot() > t {
+				later = append(later, u)
+			}
+		}
+		if len(later) == 0 {
+			continue
+		}
+		for pos, ti := range slot.Picks {
+			// 𝒰 for this T_i.
+			var U []*model.Subtask
+			for _, u := range later {
+				if prio.Prec(pol, u, ti) {
+					U = append(U, u)
+				}
+			}
+			if len(U) == 0 {
+				continue
+			}
+			// 𝒱: picks with e = t, selected after T_i, ≼ every U member.
+			V := 0
+			for vpos, v := range slot.Picks {
+				if vpos <= pos || v.Elig != t {
+					continue
+				}
+				ok := true
+				for _, u := range U {
+					if pol.Cmp(v, u) > 0 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					V++
+				}
+			}
+			if V < len(U) {
+				return fmt.Errorf("core: Lemma 2 violated at t=%d: %s scheduled over |𝒰|=%d higher-priority subtasks with only %d witnesses",
+					t, ti, len(U), V)
+			}
+		}
+	}
+	return nil
+}

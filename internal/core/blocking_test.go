@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"desyncpfair/internal/gen"
+	"desyncpfair/internal/prio"
+	"desyncpfair/internal/rat"
+	"desyncpfair/internal/sched"
+)
+
+// Fig. 2(b) exhibits eligibility blocking: at time 2, D_2 and E_2 (and F_2)
+// are ready with deadline 4 but both processors run B_1 and C_1 (deadline
+// 6), whose quanta began at 2−δ.
+func TestFig2bEligibilityBlockingDetected(t *testing.T) {
+	sys := fig2System(6)
+	delta := rat.New(1, 4)
+	dq, err := RunDVQ(sys, DVQOptions{M: 2, Yield: fig2Yield(sys, delta)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := FindBlocking(dq, prio.PD2{})
+	found := map[string]bool{}
+	for _, e := range events {
+		if e.Kind == EligibilityBlocked && e.T == 2 {
+			found[e.Sub.String()] = true
+			if e.By.Task.Name != "B" && e.By.Task.Name != "C" {
+				t.Errorf("blocked by %s, want B_1 or C_1", e.By)
+			}
+		}
+	}
+	for _, w := range []string{"D_2", "E_2", "F_2"} {
+		if !found[w] {
+			t.Errorf("eligibility blocking of %s at t=2 not detected (events: %v)", w, events)
+		}
+	}
+}
+
+// With full quanta the DVQ schedule equals the SFQ PD² schedule, which has
+// no priority inversions at all.
+func TestNoBlockingWithFullQuanta(t *testing.T) {
+	sys := fig2System(12)
+	dq, err := RunDVQ(sys, DVQOptions{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events := FindBlocking(dq, prio.PD2{}); len(events) != 0 {
+		t.Errorf("unexpected blocking events in synchronous schedule: %v", events)
+	}
+	if err := CheckPropertyPB(dq, prio.PD2{}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Lemma 1 / Property PB at scale: every predecessor-blocking situation in a
+// PD²-DVQ schedule carries its witness sets.
+func TestPropertyPBAtScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	sawPredecessorBlocking := false
+	for trial := 0; trial < 60; trial++ {
+		m := 2 + rng.Intn(3)
+		q := int64(6 + rng.Intn(8))
+		n := m + 1 + rng.Intn(2*m)
+		if int64(n) > int64(m)*q {
+			continue
+		}
+		ws := gen.GridWeights(rng, n, q, int64(m)*q, gen.WeightClass(rng.Intn(3)))
+		sys := gen.System(rng, ws, gen.SystemOptions{
+			Horizon:    3 * q,
+			JitterProb: rng.Intn(25),
+			MaxJitter:  2,
+		})
+		var y sched.YieldFn
+		if trial%2 == 0 {
+			y = gen.UniformYield(int64(trial), 8)
+		} else {
+			y = gen.AdversarialYield(rat.New(1, 16), nil)
+		}
+		dq, err := RunDVQ(sys, DVQOptions{M: m, Yield: y})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := CheckPropertyPB(dq, prio.PD2{}); err != nil {
+			t.Fatalf("trial %d (M=%d): %v", trial, m, err)
+		}
+		if CountBlocking(dq, prio.PD2{}).Predecessor > 0 {
+			sawPredecessorBlocking = true
+		}
+	}
+	if !sawPredecessorBlocking {
+		t.Log("note: no predecessor blocking arose in this sample (eligibility blocking dominates)")
+	}
+}
+
+func TestCountBlocking(t *testing.T) {
+	sys := fig2System(6)
+	dq, err := RunDVQ(sys, DVQOptions{M: 2, Yield: fig2Yield(sys, rat.New(1, 4))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := CountBlocking(dq, prio.PD2{})
+	if st.Eligibility < 3 {
+		t.Errorf("eligibility blocking count = %d, want ≥ 3 (D_2, E_2, F_2 at t=2)", st.Eligibility)
+	}
+}
+
+func TestBlockingEventString(t *testing.T) {
+	sys := fig2System(6)
+	sub := sys.All()[0]
+	e := BlockingEvent{T: 2, Kind: EligibilityBlocked, Sub: sub, By: sub}
+	if e.String() == "" {
+		t.Error("empty event string")
+	}
+	if EligibilityBlocked.String() != "eligibility" || PredecessorBlocked.String() != "predecessor" {
+		t.Error("kind strings wrong")
+	}
+}
+
+// Lemma 2 must hold on every PD^B run, under both resolutions.
+func TestLemma2OnFig6System(t *testing.T) {
+	res, err := RunPDB(fig2System(6), PDBOptions{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckLemma2(res, prio.PD2{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLemma2AtScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 40; trial++ {
+		m := 2 + rng.Intn(3)
+		q := int64(6 + rng.Intn(8))
+		n := m + 1 + rng.Intn(2*m)
+		if int64(n) > int64(m)*q {
+			continue
+		}
+		ws := gen.GridWeights(rng, n, q, int64(m)*q, gen.WeightClass(rng.Intn(3)))
+		sys := gen.System(rng, ws, gen.SystemOptions{
+			Horizon:    3 * q,
+			JitterProb: rng.Intn(30),
+			MaxJitter:  2,
+			OmitProb:   rng.Intn(15),
+		})
+		opts := PDBOptions{M: m}
+		if trial%2 == 1 {
+			opts.Resolution = Randomized{Rng: rand.New(rand.NewSource(int64(trial)))}
+		}
+		res, err := RunPDB(sys, opts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := CheckLemma2(res, prio.PD2{}); err != nil {
+			t.Fatalf("trial %d (M=%d): %v", trial, m, err)
+		}
+	}
+}

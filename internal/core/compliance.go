@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/prio"
+	"desyncpfair/internal/rat"
+	"desyncpfair/internal/sched"
+)
+
+// This file implements the k-compliance machinery of Sec. 3.3, the proof
+// vehicle for Theorem 2 (PD^B ensures tardiness ≤ one quantum).
+//
+// Given a PD^B schedule S_B for τ^B, define the rank of each subtask as its
+// position in the order S_B schedules them (slot by slot, then by decision
+// order within the slot). τ^k ("k-compliant to τ^B") right-shifts every
+// subtask's release and deadline by one slot and restores the *original*
+// eligibility time for the k lowest-ranked subtasks (the rest stay shifted
+// by one). A schedule is k-compliant to S_B when the k lowest-ranked
+// subtasks sit in exactly their S_B slots, everything else is scheduled by
+// PD², and no subtask misses its (shifted) deadline.
+//
+// Lemma 6 says a valid k-compliant schedule exists for every k; at k = n
+// the whole of S_B is pinned, and validity against the shifted deadlines is
+// precisely "tardiness at most one quantum" for S_B. RunCompliant builds
+// the k-compliant schedule directly (pinned prefix + PD² fill), making the
+// induction executable.
+
+// ComplianceResult is the outcome of constructing a k-compliant schedule.
+type ComplianceResult struct {
+	K        int
+	System   *model.System // τ^k
+	Schedule *sched.Schedule
+	// Image maps each subtask of τ^B to its counterpart in τ^k.
+	Image map[*model.Subtask]*model.Subtask
+}
+
+// RunCompliant constructs τ^k and its k-compliant schedule from a PD^B run.
+// The returned schedule has been structurally checked; use
+// Schedule.ValidatePfair to assert full validity (the Lemma 6 claim).
+func RunCompliant(sysB *model.System, pdb *PDBResult, k int) (*ComplianceResult, error) {
+	sb := pdb.Schedule
+	ranks := sb.Ranks()
+	n := len(ranks)
+	if k < 0 || k > n {
+		return nil, fmt.Errorf("core: k = %d outside [0,%d]", k, n)
+	}
+	rankOf := make(map[*model.Subtask]int, n)
+	for i, sub := range ranks {
+		rankOf[sub] = i + 1 // ranks are 1-based in the paper
+	}
+
+	// Build τ^k with the image map.
+	sysK := model.NewSystem()
+	image := make(map[*model.Subtask]*model.Subtask, n)
+	for _, task := range sysB.Tasks {
+		tk := sysK.AddTask(task.Name+"'", task.W)
+		for _, sub := range sysB.Subtasks(task) {
+			elig := sub.Elig + 1
+			if rankOf[sub] <= k {
+				elig = sub.Elig
+			}
+			image[sub] = sysK.AddSubtask(tk, sub.Index, sub.Theta+1, elig)
+		}
+	}
+	if err := sysK.Validate(); err != nil {
+		return nil, fmt.Errorf("core: τ^%d invalid: %w", k, err)
+	}
+
+	// Pin the k lowest-ranked images to their S_B slots.
+	pinned := make(map[*model.Subtask]int64) // image → slot
+	for _, sub := range ranks[:k] {
+		pinned[image[sub]] = sb.Of(sub).Slot()
+	}
+
+	s := sched.New(sysK, sb.M, fmt.Sprintf("PD2/%d-compliant", k), "SFQ")
+	nTasks := len(sysK.Tasks)
+	cursor := make([]int, nTasks)
+	lastSlot := make([]int64, nTasks)
+	for i := range lastSlot {
+		lastSlot[i] = -1
+	}
+	remaining := sysK.NumSubtasks()
+	pd2 := prio.PD2{}
+	horizon := sysK.Horizon() + int64(remaining) + 2
+	decision := 0
+
+	for t := int64(0); remaining > 0; t++ {
+		if t > horizon {
+			return nil, fmt.Errorf("core: %d-compliant construction ran past horizon with %d pending", k, remaining)
+		}
+		used := 0
+		schedule := func(sub *model.Subtask) {
+			decision++
+			s.Add(sched.Assignment{
+				Sub: sub, Proc: used, Start: rat.FromInt(t), Cost: rat.One, Decision: decision,
+			})
+			used++
+			cursor[sub.Task.ID]++
+			lastSlot[sub.Task.ID] = t
+			remaining--
+		}
+		// Place pins due this slot. Pins are heads by construction (ranks
+		// within a task increase with sequence position).
+		for _, task := range sysK.Tasks {
+			seq := sysK.Subtasks(task)
+			c := cursor[task.ID]
+			if c >= len(seq) {
+				continue
+			}
+			head := seq[c]
+			slot, isPinned := pinned[head]
+			if !isPinned {
+				continue
+			}
+			if slot < t {
+				return nil, fmt.Errorf("core: pin for %s at slot %d missed (now %d)", head, slot, t)
+			}
+			if slot == t {
+				if head.Elig > t {
+					return nil, fmt.Errorf("core: pinned %s not eligible in slot %d", head, t)
+				}
+				if c > 0 && lastSlot[task.ID] >= t {
+					return nil, fmt.Errorf("core: pinned %s collides with predecessor in slot %d", head, t)
+				}
+				schedule(head)
+			}
+		}
+		if used > sb.M {
+			return nil, fmt.Errorf("core: %d pins in slot %d exceed M=%d", used, t, sb.M)
+		}
+		// Fill the remaining capacity with unpinned ready heads by PD².
+		var ready []*model.Subtask
+		for _, task := range sysK.Tasks {
+			seq := sysK.Subtasks(task)
+			c := cursor[task.ID]
+			if c >= len(seq) {
+				continue
+			}
+			head := seq[c]
+			if _, isPinned := pinned[head]; isPinned {
+				continue
+			}
+			if head.Elig > t {
+				continue
+			}
+			if c > 0 && lastSlot[task.ID] >= t {
+				continue
+			}
+			ready = append(ready, head)
+		}
+		sortPD2(ready, pd2)
+		for _, sub := range ready {
+			if used >= sb.M {
+				break
+			}
+			schedule(sub)
+		}
+	}
+	return &ComplianceResult{K: k, System: sysK, Schedule: s, Image: image}, nil
+}
+
+// CheckLemma6 runs the whole induction: for every k in [0, n] it constructs
+// the k-compliant schedule and validates it (every subtask inside its
+// shifted IS-window). The k = n case is exactly Theorem 2 for this S_B.
+func CheckLemma6(sysB *model.System, pdb *PDBResult) error {
+	n := sysB.NumSubtasks()
+	for k := 0; k <= n; k++ {
+		res, err := RunCompliant(sysB, pdb, k)
+		if err != nil {
+			return fmt.Errorf("k=%d: %w", k, err)
+		}
+		if err := res.Schedule.ValidatePfair(); err != nil {
+			return fmt.Errorf("k=%d: schedule invalid: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// CheckClaim5 verifies, for every induction step k, the trichotomy that the
+// appendix's Claim 5 extracts for the slot t = S_B(T_i) of the rank-(k+1)
+// subtask T_i in the k-compliant schedule S_k:
+//
+//	(C1) there is a hole (an idle processor) in slot t of S_k, or
+//	(C2/C3) some subtask U'_j is scheduled at t in S_k whose preimage U_j
+//	        is not scheduled at t in S_B and T'_i ≼ U'_j under PD²,
+//
+// unless T'_i is already scheduled at t in S_k (no move needed). This is
+// the executable content of the Lemma 6 induction step: it guarantees the
+// (k+1)-compliant schedule can be formed by inserting T'_i into slot t.
+func CheckClaim5(sysB *model.System, pdb *PDBResult) error {
+	ranks := pdb.Schedule.Ranks()
+	pd2 := prio.PD2{}
+	for k := 0; k < len(ranks); k++ {
+		res, err := RunCompliant(sysB, pdb, k)
+		if err != nil {
+			return fmt.Errorf("k=%d: %w", k, err)
+		}
+		ti := ranks[k] // the rank-(k+1) subtask of τ^B
+		t := pdb.Schedule.Of(ti).Slot()
+		tiImg := res.Image[ti]
+		if a := res.Schedule.Of(tiImg); a != nil && a.Slot() == t {
+			continue // already in place
+		}
+		// (C1): hole in slot t of S_k?
+		if len(res.Schedule.InSlot(t)) < res.Schedule.M {
+			continue
+		}
+		// (C2/C3): a displaceable U'_j of equal-or-lower PD² priority whose
+		// preimage is elsewhere in S_B.
+		found := false
+		for _, a := range res.Schedule.InSlot(t) {
+			var pre *model.Subtask
+			for bSub, img := range res.Image {
+				if img == a.Sub {
+					pre = bSub
+					break
+				}
+			}
+			if pre == nil {
+				return fmt.Errorf("k=%d: image %s has no preimage", k, a.Sub)
+			}
+			if pdb.Schedule.Of(pre).Slot() == t {
+				continue // its preimage occupies t in S_B too: not displaceable
+			}
+			if pd2.Cmp(tiImg, a.Sub) <= 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("k=%d: no hole and no displaceable subtask in slot %d for %s", k, t, ti)
+		}
+	}
+	return nil
+}

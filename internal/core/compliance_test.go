@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"desyncpfair/internal/gen"
+)
+
+// Fig. 6: the full induction on the 3×(1/6) + 3×(1/2) system. k = 0 is the
+// plain PD² schedule of the right-shifted system (Fig. 6(b)); k = 4 is the
+// 4-compliant system of Fig. 6(c); k = n pins all of S_B and certifies
+// Theorem 2 for it.
+func TestFig6ComplianceInduction(t *testing.T) {
+	sys := fig2System(6)
+	res, err := RunPDB(sys, PDBOptions{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckLemma6(sys, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComplianceK0IsPlainPD2(t *testing.T) {
+	sys := fig2System(6)
+	pdb, err := RunPDB(sys, PDBOptions{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCompliant(sys, pdb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every image is right-shifted by one slot, including eligibility.
+	for _, sub := range sys.All() {
+		img := res.Image[sub]
+		if img.Theta != sub.Theta+1 || img.Elig != sub.Elig+1 {
+			t.Errorf("image of %s has θ=%d e=%d, want θ=%d e=%d", sub, img.Theta, img.Elig, sub.Theta+1, sub.Elig+1)
+		}
+		if img.Deadline() != sub.Deadline()+1 || img.Release() != sub.Release()+1 {
+			t.Errorf("image window of %s not shifted by one", sub)
+		}
+	}
+	if err := res.Schedule.ValidatePfair(); err != nil {
+		t.Errorf("0-compliant (plain PD²) schedule invalid: %v", err)
+	}
+}
+
+func TestComplianceKNPinsAllOfSB(t *testing.T) {
+	sys := fig2System(6)
+	pdb, err := RunPDB(sys, PDBOptions{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := sys.NumSubtasks()
+	res, err := RunCompliant(sys, pdb, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range sys.All() {
+		img := res.Image[sub]
+		if img.Elig != sub.Elig {
+			t.Errorf("image of %s should have original eligibility at k=n", sub)
+		}
+		want := pdb.Schedule.Of(sub).Slot()
+		if got := res.Schedule.Of(img).Slot(); got != want {
+			t.Errorf("image of %s in slot %d, want pinned slot %d", sub, got, want)
+		}
+	}
+	if err := res.Schedule.ValidatePfair(); err != nil {
+		t.Errorf("n-compliant schedule invalid (would contradict Theorem 2): %v", err)
+	}
+}
+
+func TestComplianceRejectsBadK(t *testing.T) {
+	sys := fig2System(6)
+	pdb, err := RunPDB(sys, PDBOptions{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunCompliant(sys, pdb, -1); err == nil {
+		t.Error("k = -1 accepted")
+	}
+	if _, err := RunCompliant(sys, pdb, sys.NumSubtasks()+1); err == nil {
+		t.Error("k > n accepted")
+	}
+}
+
+// Lemma 6 at scale: the full induction over random feasible GIS systems.
+func TestLemma6AtScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 25; trial++ {
+		m := 2 + rng.Intn(2)
+		q := int64(6 + rng.Intn(4))
+		n := m + 1 + rng.Intn(m+1)
+		if int64(n) > int64(m)*q {
+			continue
+		}
+		ws := gen.GridWeights(rng, n, q, int64(m)*q, gen.MixedWeights)
+		sys := gen.System(rng, ws, gen.SystemOptions{
+			Horizon:    2 * q,
+			JitterProb: rng.Intn(20),
+			MaxJitter:  2,
+			OmitProb:   rng.Intn(10),
+		})
+		pdb, err := RunPDB(sys, PDBOptions{M: m})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := CheckLemma6(sys, pdb); err != nil {
+			t.Fatalf("trial %d (M=%d): %v", trial, m, err)
+		}
+	}
+}
+
+// The appendix's Claim 5 trichotomy must hold at every induction step.
+func TestClaim5OnFig6System(t *testing.T) {
+	sys := fig2System(6)
+	pdb, err := RunPDB(sys, PDBOptions{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckClaim5(sys, pdb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClaim5AtScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 10; trial++ {
+		m := 2 + rng.Intn(2)
+		q := int64(6 + rng.Intn(4))
+		n := m + 1 + rng.Intn(m)
+		if int64(n) > int64(m)*q {
+			continue
+		}
+		ws := gen.GridWeights(rng, n, q, int64(m)*q, gen.MixedWeights)
+		sys := gen.System(rng, ws, gen.SystemOptions{Horizon: 2 * q, JitterProb: 15, MaxJitter: 2})
+		pdb, err := RunPDB(sys, PDBOptions{M: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckClaim5(sys, pdb); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

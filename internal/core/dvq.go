@@ -1,0 +1,159 @@
+// Package core implements the contribution of Devi & Anderson (IPPS 2005):
+//
+//   - the DVQ model — desynchronized, variable-size quanta — as an
+//     event-driven, work-conserving scheduler over exact rational time
+//     (this file);
+//   - algorithm PD^B, the SFQ-model algorithm that mimics the priority
+//     inversions possible under PD²-DVQ (pdb.go);
+//   - the S_DQ → S_B schedule transform of Sec. 3.2, with executable
+//     checkers for Lemmas 3–5 (transform.go);
+//   - blocking analysis: detection of eligibility- and predecessor-blocked
+//     subtasks and of the Property-PB witness sets (blocking.go);
+//   - the k-compliance machinery of Sec. 3.3 / Lemma 6 (compliance.go).
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/prio"
+	"desyncpfair/internal/rat"
+	"desyncpfair/internal/sched"
+)
+
+// DVQOptions configures a DVQ-model run.
+type DVQOptions struct {
+	M      int           // number of processors (≥ 1)
+	Policy prio.Policy   // nil defaults to PD² (the paper's PD²-DVQ)
+	Yield  sched.YieldFn // nil defaults to full quanta
+	// Horizon caps simulated time; 0 derives a safe bound.
+	Horizon int64
+}
+
+func (o *DVQOptions) fill(sys *model.System) error {
+	if o.M < 1 {
+		return fmt.Errorf("core: M = %d", o.M)
+	}
+	if o.Policy == nil {
+		o.Policy = prio.PD2{}
+	}
+	if o.Yield == nil {
+		o.Yield = sched.FullCost
+	}
+	if o.Horizon == 0 {
+		o.Horizon = sys.Horizon() + int64(sys.NumSubtasks()) + 2
+	}
+	return nil
+}
+
+// RunDVQ simulates sys under the DVQ model: whenever a processor becomes
+// available (at any rational time), a new quantum begins immediately and is
+// allocated to the highest-priority ready subtask; if a subtask yields an
+// interval δ before the end of its quantum, that time is reclaimed rather
+// than wasted. Decisions at equal times are made in processor-index order.
+//
+// With opts.Policy == PD² this is the paper's PD²-DVQ. The returned
+// schedule satisfies Schedule.ValidateDVQ for any valid task system.
+func RunDVQ(sys *model.System, opts DVQOptions) (*sched.Schedule, error) {
+	if err := opts.fill(sys); err != nil {
+		return nil, err
+	}
+	s := sched.New(sys, opts.M, opts.Policy.Name(), "DVQ")
+
+	n := len(sys.Tasks)
+	cursor := make([]int, n)
+	lastFinish := make([]rat.Rat, n)
+	freeAt := make([]rat.Rat, opts.M)
+	remaining := sys.NumSubtasks()
+
+	// Seed the event queue with every distinct eligibility time; quantum
+	// completions are pushed as they are created. Any moment at which a
+	// scheduling decision could newly succeed is one of these.
+	events := &ratHeap{}
+	heap.Init(events)
+	seen := map[rat.Rat]bool{}
+	push := func(t rat.Rat) {
+		if !seen[t] {
+			seen[t] = true
+			heap.Push(events, t)
+		}
+	}
+	push(rat.Zero)
+	for _, sub := range sys.All() {
+		push(rat.FromInt(sub.Elig))
+	}
+
+	bestReady := func(now rat.Rat) *model.Subtask {
+		var best *model.Subtask
+		for _, task := range sys.Tasks {
+			seq := sys.Subtasks(task)
+			c := cursor[task.ID]
+			if c >= len(seq) {
+				continue
+			}
+			head := seq[c]
+			if now.Less(rat.FromInt(head.Elig)) {
+				continue
+			}
+			if c > 0 && now.Less(lastFinish[task.ID]) {
+				continue
+			}
+			if best == nil || prio.Order(opts.Policy, head, best) {
+				best = head
+			}
+		}
+		return best
+	}
+
+	decision := 0
+	horizon := rat.FromInt(opts.Horizon)
+	for remaining > 0 {
+		if events.Len() == 0 {
+			return s, fmt.Errorf("core: event queue drained with %d subtasks pending", remaining)
+		}
+		now := heap.Pop(events).(rat.Rat)
+		delete(seen, now)
+		if horizon.Less(now) {
+			return s, fmt.Errorf("core: horizon %s exhausted with %d subtasks pending", horizon, remaining)
+		}
+		for p := 0; p < opts.M; p++ {
+			if now.Less(freeAt[p]) {
+				continue // still executing its current quantum
+			}
+			sub := bestReady(now)
+			if sub == nil {
+				continue
+			}
+			decision++
+			a := s.Add(sched.Assignment{
+				Sub:      sub,
+				Proc:     p,
+				Start:    now,
+				Cost:     opts.Yield(sub),
+				Decision: decision,
+			})
+			cursor[sub.Task.ID]++
+			lastFinish[sub.Task.ID] = a.Finish()
+			freeAt[p] = a.Finish()
+			push(a.Finish())
+			remaining--
+		}
+	}
+	return s, nil
+}
+
+// ratHeap is a min-heap of rational times.
+type ratHeap []rat.Rat
+
+func (h ratHeap) Len() int            { return len(h) }
+func (h ratHeap) Less(i, j int) bool  { return h[i].Less(h[j]) }
+func (h ratHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *ratHeap) Push(x interface{}) { *h = append(*h, x.(rat.Rat)) }
+func (h *ratHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"desyncpfair/internal/gen"
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/prio"
+	"desyncpfair/internal/rat"
+	"desyncpfair/internal/sched"
+	"desyncpfair/internal/sfq"
+)
+
+// fig2System is the running example of Fig. 2: A, B, C of weight 1/6 and
+// D, E, F of weight 1/2, total utilization two, on two processors.
+func fig2System(horizon int64) *model.System {
+	return model.Periodic([]model.Weight{
+		model.W(1, 6), model.W(1, 6), model.W(1, 6),
+		model.W(1, 2), model.W(1, 2), model.W(1, 2),
+	}, horizon)
+}
+
+// fig2Yield makes A_1 and F_1 yield δ early, as in Fig. 2(b).
+func fig2Yield(sys *model.System, delta rat.Rat) sched.YieldFn {
+	c := rat.One.Sub(delta)
+	return func(s *model.Subtask) rat.Rat {
+		if (s.Task.Name == "A" || s.Task.Name == "F") && s.Index == 1 {
+			return c
+		}
+		return rat.One
+	}
+}
+
+// TestFig2bDVQTrace replays Fig. 2(b) exactly: the work-conserving DVQ
+// scheduler starts B_1 and C_1 at 2−δ, which blocks D_2 and E_2 at time 2
+// (eligibility blocking) and ultimately makes F_2 miss its deadline at 4,
+// completing at 5−δ.
+func TestFig2bDVQTrace(t *testing.T) {
+	sys := fig2System(6)
+	delta := rat.New(1, 4)
+	s, err := RunDVQ(sys, DVQOptions{M: 2, Yield: fig2Yield(sys, delta)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ValidateDVQ(); err != nil {
+		t.Fatal(err)
+	}
+	byName := func(name string, idx int64) *model.Subtask {
+		for _, sub := range sys.All() {
+			if sub.Task.Name == name && sub.Index == idx {
+				return sub
+			}
+		}
+		t.Fatalf("no subtask %s_%d", name, idx)
+		return nil
+	}
+	twoMinusDelta := rat.FromInt(2).Sub(delta)
+	wantStarts := []struct {
+		name  string
+		idx   int64
+		start rat.Rat
+	}{
+		{"D", 1, rat.Zero},
+		{"E", 1, rat.Zero},
+		{"F", 1, rat.One},
+		{"A", 1, rat.One},
+		{"B", 1, twoMinusDelta},
+		{"C", 1, twoMinusDelta},
+		{"D", 2, rat.FromInt(3).Sub(delta)},
+		{"E", 2, rat.FromInt(3).Sub(delta)},
+		{"F", 2, rat.FromInt(4).Sub(delta)},
+		{"D", 3, rat.FromInt(4)},
+		{"E", 3, rat.FromInt(5).Sub(delta)},
+		{"F", 3, rat.FromInt(5)},
+	}
+	for _, w := range wantStarts {
+		a := s.Of(byName(w.name, w.idx))
+		if a == nil {
+			t.Fatalf("%s_%d unscheduled", w.name, w.idx)
+		}
+		if !a.Start.Equal(w.start) {
+			t.Errorf("S(%s_%d) = %s, want %s", w.name, w.idx, a.Start, w.start)
+		}
+	}
+	// F_2 (deadline 4) completes at 5−δ: tardiness 1−δ.
+	f2 := byName("F", 2)
+	if got, want := s.Tardiness(f2), rat.One.Sub(delta); !got.Equal(want) {
+		t.Errorf("tardiness(F_2) = %s, want %s", got, want)
+	}
+	if got := s.MaxTardiness(); !got.Equal(rat.One.Sub(delta)) {
+		t.Errorf("max tardiness = %s, want %s", got, rat.One.Sub(delta))
+	}
+}
+
+// With full quanta the DVQ model degenerates to the SFQ model: every
+// decision happens on a slot boundary and PD² meets all deadlines.
+func TestDVQWithFullQuantaEqualsSFQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		m := 2 + rng.Intn(3)
+		q := int64(6 + rng.Intn(8))
+		n := m + 1 + rng.Intn(2*m)
+		if int64(n) > int64(m)*q {
+			continue
+		}
+		ws := gen.GridWeights(rng, n, q, int64(m)*q, gen.MixedWeights)
+		sys := gen.System(rng, ws, gen.SystemOptions{Horizon: 3 * q})
+		dvq, err := RunDVQ(sys, DVQOptions{M: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range dvq.Assignments() {
+			if !a.Start.IsInt() {
+				t.Fatalf("trial %d: full-quanta DVQ start %s not integral", trial, a.Start)
+			}
+		}
+		if err := dvq.ValidatePfair(); err != nil {
+			t.Fatalf("trial %d: full-quanta PD²-DVQ missed a deadline: %v", trial, err)
+		}
+		want, err := sfq.Run(sys, sfq.Options{M: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sub := range sys.All() {
+			if !dvq.Of(sub).Start.Equal(want.Of(sub).Start) {
+				t.Fatalf("trial %d: %s scheduled at %s under DVQ but %s under SFQ",
+					trial, sub, dvq.Of(sub).Start, want.Of(sub).Start)
+			}
+		}
+	}
+}
+
+// Theorem 3 at scale: PD²-DVQ tardiness is at most one quantum for every
+// feasible GIS task system, under arbitrary yield behaviour.
+func TestTheorem3TardinessAtMostOneQuantum(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	one := rat.One
+	for trial := 0; trial < 80; trial++ {
+		m := 2 + rng.Intn(3)
+		q := int64(6 + rng.Intn(8))
+		n := m + 1 + rng.Intn(2*m)
+		if int64(n) > int64(m)*q {
+			continue
+		}
+		ws := gen.GridWeights(rng, n, q, int64(m)*q, gen.WeightClass(rng.Intn(3)))
+		sys := gen.System(rng, ws, gen.SystemOptions{
+			Horizon:    3 * q,
+			JitterProb: rng.Intn(30),
+			MaxJitter:  2,
+			OmitProb:   rng.Intn(20),
+		})
+		var yield sched.YieldFn
+		switch trial % 3 {
+		case 0:
+			yield = gen.UniformYield(int64(trial), 8)
+		case 1:
+			yield = gen.BimodalYield(int64(trial), 60, 8)
+		default:
+			yield = gen.AdversarialYield(rat.New(1, 16), nil)
+		}
+		s, err := RunDVQ(sys, DVQOptions{M: m, Yield: yield})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := s.ValidateDVQ(); err != nil {
+			t.Fatalf("trial %d: invalid DVQ schedule: %v", trial, err)
+		}
+		if got := s.MaxTardiness(); one.Less(got) {
+			t.Fatalf("trial %d (M=%d): tardiness %s exceeds one quantum", trial, m, got)
+		}
+	}
+}
+
+// The DVQ scheduler is work-conserving: no processor idles at any moment
+// when a ready, unscheduled subtask exists. We verify on the Fig. 2 system
+// by checking that every assignment's start is either its eligibility, its
+// predecessor's finish, or the moment a processor became free.
+func TestDVQWorkConserving(t *testing.T) {
+	sys := fig2System(6)
+	delta := rat.New(1, 8)
+	s, err := RunDVQ(sys, DVQOptions{M: 2, Yield: fig2Yield(sys, delta)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range s.Assignments() {
+		start := a.Start
+		// Lower bound on feasible start: max(eligibility, predecessor finish).
+		lb := rat.FromInt(a.Sub.Elig)
+		if pred := sys.Predecessor(a.Sub); pred != nil {
+			lb = rat.Max(lb, s.Of(pred).Finish())
+		}
+		if start.Equal(lb) {
+			continue // started the moment it became ready
+		}
+		// Otherwise the subtask waited for a processor: at start⁻ both
+		// processors must have been executing quanta that end at start.
+		busyUntil := 0
+		for _, b := range s.Assignments() {
+			if b == a {
+				continue
+			}
+			if b.Start.Less(start) && !b.Finish().Less(start) {
+				busyUntil++
+			}
+		}
+		if busyUntil < s.M {
+			t.Errorf("%s started at %s though ready at %s with a processor free", a.Sub, start, lb)
+		}
+	}
+}
+
+func TestDVQDeterministic(t *testing.T) {
+	sys := fig2System(12)
+	y := gen.UniformYield(7, 8)
+	s1, err1 := RunDVQ(sys, DVQOptions{M: 2, Yield: y})
+	s2, err2 := RunDVQ(sys, DVQOptions{M: 2, Yield: y})
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for _, sub := range sys.All() {
+		a1, a2 := s1.Of(sub), s2.Of(sub)
+		if !a1.Start.Equal(a2.Start) || a1.Proc != a2.Proc {
+			t.Fatalf("nondeterministic schedule for %s", sub)
+		}
+	}
+}
+
+func TestDVQRejectsBadOptions(t *testing.T) {
+	if _, err := RunDVQ(fig2System(6), DVQOptions{M: 0}); err == nil {
+		t.Error("M = 0 accepted")
+	}
+}
+
+func TestDVQHorizonExhaustion(t *testing.T) {
+	sys := model.Periodic([]model.Weight{model.W(1, 1), model.W(1, 1), model.W(1, 1)}, 10)
+	if _, err := RunDVQ(sys, DVQOptions{M: 2, Horizon: 12}); err == nil {
+		t.Error("expected horizon exhaustion on infeasible system")
+	}
+}
+
+// EPDF under DVQ also stays within one quantum of its SFQ tardiness on two
+// processors (where EPDF is optimal): tardiness ≤ 1.
+func TestEPDFDVQOnTwoProcessors(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		q := int64(6 + rng.Intn(6))
+		n := 3 + rng.Intn(4)
+		if int64(n) > 2*q {
+			continue
+		}
+		ws := gen.GridWeights(rng, n, q, 2*q, gen.MixedWeights)
+		sys := gen.System(rng, ws, gen.SystemOptions{Horizon: 3 * q})
+		s, err := RunDVQ(sys, DVQOptions{M: 2, Policy: prio.EPDF{}, Yield: gen.UniformYield(int64(trial), 8)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.MaxTardiness(); rat.One.Less(got) {
+			t.Fatalf("trial %d: EPDF-DVQ tardiness %s > 1 on M=2", trial, got)
+		}
+	}
+}
+
+// Long-period, near-weight-1 tasks with fine yield grids stress the exact
+// rational arithmetic (large denominators, many events) without overflow.
+func TestDVQLongPeriodsStress(t *testing.T) {
+	sys := model.Periodic([]model.Weight{
+		model.W(999, 1000), model.W(499, 500), model.W(1, 1000), model.W(1, 500),
+	}, 1000)
+	if !sys.Feasible(2) {
+		t.Fatalf("utilization %s > 2", sys.TotalUtilization())
+	}
+	s, err := RunDVQ(sys, DVQOptions{M: 2, Yield: gen.UniformYield(3, 128)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ValidateDVQ(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MaxTardiness(); rat.One.Less(got) {
+		t.Fatalf("tardiness %s > 1", got)
+	}
+	if s.Len() < 1990 {
+		t.Fatalf("only %d subtasks scheduled", s.Len())
+	}
+}
+
+// The two PD^B resolutions may diverge yet both must satisfy Theorem 2;
+// at least one diverging system exists in a small sample (otherwise the
+// Resolution abstraction would be dead weight).
+func TestResolutionsDivergeButBothHold(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	diverged := false
+	for trial := 0; trial < 25 && !diverged; trial++ {
+		m := 2 + rng.Intn(2)
+		q := int64(6 + rng.Intn(6))
+		n := m + 1 + rng.Intn(2*m)
+		if int64(n) > int64(m)*q {
+			continue
+		}
+		ws := gen.GridWeights(rng, n, q, int64(m)*q, gen.MixedWeights)
+		sys := gen.System(rng, ws, gen.SystemOptions{Horizon: 3 * q, JitterProb: 25, MaxJitter: 2})
+		a, err := RunPDB(sys, PDBOptions{M: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunPDB(sys, PDBOptions{M: m, Resolution: Randomized{Rng: rand.New(rand.NewSource(int64(trial)))}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sched.Equal(a.Schedule, b.Schedule) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("MaxBlocking and Randomized never diverged across 25 systems")
+	}
+}

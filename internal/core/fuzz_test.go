@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"desyncpfair/internal/gen"
+	"desyncpfair/internal/rat"
+	"desyncpfair/internal/sched"
+)
+
+// fuzzSystem derives a feasible full-utilization GIS system and yield model
+// from raw fuzz bytes.
+func fuzzSystem(seed int64, mRaw, qRaw, dyn uint8) (int, *gen.SystemOptions, []func() sched.YieldFn, *rand.Rand) {
+	rng := rand.New(rand.NewSource(seed))
+	m := 2 + int(mRaw%3)
+	q := int64(6 + qRaw%8)
+	opts := &gen.SystemOptions{Horizon: 3 * q}
+	if dyn&1 != 0 {
+		opts.JitterProb = 25
+		opts.MaxJitter = 2
+	}
+	if dyn&2 != 0 {
+		opts.OmitProb = 15
+	}
+	yields := []func() sched.YieldFn{
+		func() sched.YieldFn { return sched.FullCost },
+		func() sched.YieldFn { return gen.UniformYield(seed, 8) },
+		func() sched.YieldFn { return gen.BimodalYield(seed, 50, 8) },
+		func() sched.YieldFn { return gen.AdversarialYield(rat.New(1, 16), nil) },
+	}
+	return m, opts, yields, rng
+}
+
+// FuzzTheorem3 throws arbitrary feasible GIS systems and yield behaviours
+// at PD²-DVQ and asserts the paper's headline bound. Runs its seed corpus
+// under plain `go test`; expand with `go test -fuzz=FuzzTheorem3`.
+func FuzzTheorem3(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(0), uint8(0), uint8(0))
+	f.Add(int64(7), uint8(1), uint8(3), uint8(3), uint8(1))
+	f.Add(int64(42), uint8(2), uint8(7), uint8(1), uint8(2))
+	f.Add(int64(-9), uint8(0), uint8(5), uint8(2), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, mRaw, qRaw, dyn, ysel uint8) {
+		m, opts, yields, rng := fuzzSystem(seed, mRaw, qRaw, dyn)
+		q := opts.Horizon / 3
+		n := m + 1 + int(seed&3)
+		if int64(n) > int64(m)*q {
+			t.Skip()
+		}
+		ws := gen.GridWeights(rng, n, q, int64(m)*q, gen.WeightClass(int(dyn)%3))
+		sys := gen.System(rng, ws, *opts)
+		if err := sys.Validate(); err != nil {
+			t.Fatalf("generator produced invalid system: %v", err)
+		}
+		y := yields[int(ysel)%len(yields)]()
+		s, err := RunDVQ(sys, DVQOptions{M: m, Yield: y})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ValidateDVQ(); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.MaxTardiness(); rat.One.Less(got) {
+			t.Fatalf("Theorem 3 violated: tardiness %s on M=%d", got, m)
+		}
+		if err := CheckWorkConserving(s); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzTheorem2 does the same for PD^B under both resolutions.
+func FuzzTheorem2(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(0), uint8(0), false)
+	f.Add(int64(13), uint8(1), uint8(4), uint8(2), true)
+	f.Add(int64(99), uint8(2), uint8(6), uint8(3), false)
+	f.Fuzz(func(t *testing.T, seed int64, mRaw, qRaw, dyn uint8, randomize bool) {
+		m, opts, _, rng := fuzzSystem(seed, mRaw, qRaw, dyn)
+		q := opts.Horizon / 3
+		n := m + 1 + int(seed&3)
+		if int64(n) > int64(m)*q {
+			t.Skip()
+		}
+		ws := gen.GridWeights(rng, n, q, int64(m)*q, gen.WeightClass(int(dyn)%3))
+		sys := gen.System(rng, ws, *opts)
+		popts := PDBOptions{M: m}
+		if randomize {
+			popts.Resolution = Randomized{Rng: rand.New(rand.NewSource(seed))}
+		}
+		res, err := RunPDB(sys, popts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Schedule.ValidateSFQ(); err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Schedule.MaxTardiness(); rat.One.Less(got) {
+			t.Fatalf("Theorem 2 violated: tardiness %s", got)
+		}
+	})
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/prio"
+	"desyncpfair/internal/rat"
+	"desyncpfair/internal/sched"
+)
+
+// PD^B (Sec. 3.1 of the paper) is an SFQ-model algorithm that mimics, at
+// slot boundaries, the two priority inversions a subtask can suffer under
+// PD²-DVQ:
+//
+//   - eligibility blocking — a subtask whose IS-window begins at t can find
+//     every processor taken because quanta began just before t;
+//   - predecessor blocking — a subtask released earlier but held up by its
+//     predecessor until t can lose its processor to a lower-priority
+//     subtask, provided (Property PB) an equal-or-higher-priority subtask
+//     with eligibility exactly t is scheduled at t.
+//
+// At each slot t, the ready subtasks are partitioned into
+//
+//	EB(t) = { T_i ready : e(T_i) = t }                            (eq. 9)
+//	PB(t) = { T_i ready : e(T_i) < t ∧ predecessor ran in t−1 }   (eq. 10)
+//	DB(t) = remaining ready subtasks                              (eq. 11)
+//
+// and M scheduling decisions are made in sequence. With p = |PB(t)| fixed
+// before the first decision, Table 1 of the paper constrains decision r:
+// in the first M−p decisions, DB subtasks may (and, to mimic blocking, do)
+// precede everything, EB subtasks may be overtaken by DB ones regardless of
+// PD² priority, and PB subtasks are excluded unless nothing else remains;
+// the final p decisions are strictly by PD².
+//
+// Table 1 defines a family of behaviours ("may be scheduled prior to …");
+// a Resolution picks one. The schedule PD^B produces is valid in the SFQ
+// sense and, by Theorem 2, never misses a deadline by more than one
+// quantum.
+
+// Resolution selects a subtask for one PD^B scheduling decision among the
+// legal candidates allowed by Table 1.
+type Resolution interface {
+	Name() string
+	// PickFree selects for a decision r ≤ M−p. db and eb are the remaining
+	// DB(t,r) and EB(t,r) sets in PD² order (highest priority first); pb is
+	// non-empty only when both db and eb are empty (the forced case).
+	PickFree(db, eb, pb []*model.Subtask) *model.Subtask
+	// PickStrict selects for a decision r > M−p from the PD²-maximal
+	// candidates (all of equal PD² priority).
+	PickStrict(maximal []*model.Subtask) *model.Subtask
+}
+
+// MaxBlocking is the default resolution: it schedules, in the free phase,
+// all of DB(t) (in PD² order) before any EB subtask — the legal behaviour
+// that maximizes both blocking types and therefore stresses the Theorem 2
+// bound hardest. Strict-phase ties go to the deterministic engine order.
+type MaxBlocking struct{}
+
+func (MaxBlocking) Name() string { return "max-blocking" }
+
+func (MaxBlocking) PickFree(db, eb, pb []*model.Subtask) *model.Subtask {
+	if len(db) > 0 {
+		return db[0]
+	}
+	if len(eb) > 0 {
+		return eb[0]
+	}
+	return pb[0]
+}
+
+func (MaxBlocking) PickStrict(maximal []*model.Subtask) *model.Subtask { return maximal[0] }
+
+// Randomized samples other legal Table-1 behaviours; used by property tests
+// to check Theorem 2 over the whole PD^B family, not just MaxBlocking.
+type Randomized struct{ Rng *rand.Rand }
+
+func (Randomized) Name() string { return "randomized" }
+
+func (r Randomized) PickFree(db, eb, pb []*model.Subtask) *model.Subtask {
+	// Legal free-phase picks: the PD²-maximal DB subtask (and its ties), or
+	// any EB subtask that is maximal within EB and not strictly preceded by
+	// a remaining DB subtask. Collect and choose uniformly.
+	var cands []*model.Subtask
+	pd2 := prio.PD2{}
+	if len(db) > 0 {
+		cands = append(cands, equivClass(db, pd2)...)
+	}
+	if len(eb) > 0 {
+		for _, s := range equivClass(eb, pd2) {
+			if len(db) == 0 || pd2.Cmp(s, db[0]) <= 0 {
+				cands = append(cands, s)
+			}
+		}
+	}
+	if len(cands) == 0 {
+		cands = equivClass(pb, pd2)
+	}
+	return cands[r.Rng.Intn(len(cands))]
+}
+
+func (r Randomized) PickStrict(maximal []*model.Subtask) *model.Subtask {
+	return maximal[r.Rng.Intn(len(maximal))]
+}
+
+// equivClass returns the leading subtasks of the PD²-sorted slice xs that
+// are of equal PD² priority with xs[0].
+func equivClass(xs []*model.Subtask, p prio.Policy) []*model.Subtask {
+	if len(xs) == 0 {
+		return nil
+	}
+	end := 1
+	for end < len(xs) && p.Cmp(xs[end], xs[0]) == 0 {
+		end++
+	}
+	return xs[:end]
+}
+
+// PDBOptions configures a PD^B run.
+type PDBOptions struct {
+	M          int
+	Yield      sched.YieldFn // affects recorded costs only; PD^B is slot-based
+	Resolution Resolution    // nil defaults to MaxBlocking
+	Horizon    int64         // 0 derives a safe bound
+}
+
+// SlotInfo records the PD^B partition and decisions of one slot, for the
+// blocking analysis and the k-compliance machinery.
+type SlotInfo struct {
+	T          int64
+	EB, PB, DB []*model.Subtask // partition at the start of the slot, PD²-sorted
+	P          int              // p = |PB(T)|
+	Picks      []*model.Subtask // scheduled subtasks in decision order
+}
+
+// PDBResult bundles the schedule with the per-slot decision trace.
+type PDBResult struct {
+	Schedule *sched.Schedule
+	Slots    []SlotInfo
+}
+
+// RunPDB schedules sys under algorithm PD^B in the SFQ model.
+func RunPDB(sys *model.System, opts PDBOptions) (*PDBResult, error) {
+	if opts.M < 1 {
+		return nil, fmt.Errorf("core: M = %d", opts.M)
+	}
+	if opts.Yield == nil {
+		opts.Yield = sched.FullCost
+	}
+	if opts.Resolution == nil {
+		opts.Resolution = MaxBlocking{}
+	}
+	if opts.Horizon == 0 {
+		opts.Horizon = sys.Horizon() + int64(sys.NumSubtasks()) + 2
+	}
+	s := sched.New(sys, opts.M, "PDB/"+opts.Resolution.Name(), "SFQ")
+	res := &PDBResult{Schedule: s}
+
+	n := len(sys.Tasks)
+	cursor := make([]int, n)
+	lastSlot := make([]int64, n)
+	for i := range lastSlot {
+		lastSlot[i] = -2
+	}
+	remaining := sys.NumSubtasks()
+	pd2 := prio.PD2{}
+	decision := 0
+
+	for t := int64(0); remaining > 0; t++ {
+		if t > opts.Horizon {
+			return res, fmt.Errorf("core: horizon %d exhausted with %d subtasks pending", opts.Horizon, remaining)
+		}
+		// Partition the ready heads.
+		var eb, pb, db []*model.Subtask
+		for _, task := range sys.Tasks {
+			seq := sys.Subtasks(task)
+			c := cursor[task.ID]
+			if c >= len(seq) {
+				continue
+			}
+			head := seq[c]
+			if head.Elig > t {
+				continue
+			}
+			if c > 0 && lastSlot[task.ID] >= t {
+				continue // cannot run in the same slot as its predecessor
+			}
+			switch {
+			case head.Elig == t:
+				eb = append(eb, head)
+			case c > 0 && lastSlot[task.ID] == t-1:
+				pb = append(pb, head)
+			default:
+				db = append(db, head)
+			}
+		}
+		sortPD2(eb, pd2)
+		sortPD2(pb, pd2)
+		sortPD2(db, pd2)
+		p := len(pb)
+		info := SlotInfo{
+			T:  t,
+			EB: append([]*model.Subtask(nil), eb...),
+			PB: append([]*model.Subtask(nil), pb...),
+			DB: append([]*model.Subtask(nil), db...),
+			P:  p,
+		}
+
+		for r := 1; r <= opts.M; r++ {
+			if len(eb)+len(pb)+len(db) == 0 {
+				break
+			}
+			var pick *model.Subtask
+			if r <= opts.M-p {
+				pick = opts.Resolution.PickFree(db, eb, pb)
+			} else {
+				all := mergePD2(eb, pb, db, pd2)
+				pick = opts.Resolution.PickStrict(equivClass(all, pd2))
+			}
+			eb = removeSub(eb, pick)
+			pb = removeSub(pb, pick)
+			db = removeSub(db, pick)
+
+			decision++
+			s.Add(sched.Assignment{
+				Sub:      pick,
+				Proc:     r - 1,
+				Start:    rat.FromInt(t),
+				Cost:     opts.Yield(pick),
+				Decision: decision,
+			})
+			cursor[pick.Task.ID]++
+			lastSlot[pick.Task.ID] = t
+			remaining--
+			info.Picks = append(info.Picks, pick)
+		}
+		res.Slots = append(res.Slots, info)
+	}
+	return res, nil
+}
+
+func sortPD2(xs []*model.Subtask, p prio.Policy) {
+	sort.SliceStable(xs, func(i, j int) bool { return prio.Order(p, xs[i], xs[j]) })
+}
+
+// mergePD2 returns the concatenation of the three sets re-sorted by PD²
+// engine order.
+func mergePD2(eb, pb, db []*model.Subtask, p prio.Policy) []*model.Subtask {
+	all := make([]*model.Subtask, 0, len(eb)+len(pb)+len(db))
+	all = append(all, eb...)
+	all = append(all, pb...)
+	all = append(all, db...)
+	sortPD2(all, p)
+	return all
+}
+
+func removeSub(xs []*model.Subtask, s *model.Subtask) []*model.Subtask {
+	for i, v := range xs {
+		if v == s {
+			return append(xs[:i:i], xs[i+1:]...)
+		}
+	}
+	return xs
+}

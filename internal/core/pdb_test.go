@@ -1,0 +1,335 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"desyncpfair/internal/gen"
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/prio"
+	"desyncpfair/internal/rat"
+)
+
+func subByName(t *testing.T, sys *model.System, name string, idx int64) *model.Subtask {
+	t.Helper()
+	for _, sub := range sys.All() {
+		if sub.Task.Name == name && sub.Index == idx {
+			return sub
+		}
+	}
+	t.Fatalf("no subtask %s_%d", name, idx)
+	return nil
+}
+
+// TestFig6aPDBSchedule replays Fig. 6(a) (equivalently Fig. 2(c)): the PD^B
+// schedule of the 3×(1/6) + 3×(1/2) system on two processors. B_1 and C_1
+// occupy slot 2 (mimicking the eligibility blocking of Fig. 2(b)), F_2
+// slips to slot 4 and misses its deadline by exactly one quantum, and F_3
+// is predecessor-blocked into the strict phase of slot 5 but still meets
+// its deadline.
+func TestFig6aPDBSchedule(t *testing.T) {
+	sys := fig2System(6)
+	res, err := RunPDB(sys, PDBOptions{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Schedule
+	if err := s.ValidateSFQ(); err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		name string
+		idx  int64
+		slot int64
+	}{
+		{"D", 1, 0}, {"E", 1, 0},
+		{"F", 1, 1}, {"A", 1, 1},
+		{"B", 1, 2}, {"C", 1, 2},
+		{"D", 2, 3}, {"E", 2, 3},
+		{"F", 2, 4}, {"D", 3, 4},
+		{"E", 3, 5}, {"F", 3, 5},
+	}
+	for _, w := range want {
+		a := s.Of(subByName(t, sys, w.name, w.idx))
+		if a.Slot() != w.slot {
+			t.Errorf("%s_%d in slot %d, want %d", w.name, w.idx, a.Slot(), w.slot)
+		}
+	}
+	f2 := subByName(t, sys, "F", 2)
+	if got := s.Tardiness(f2); !got.Equal(rat.One) {
+		t.Errorf("tardiness(F_2) = %s, want exactly 1", got)
+	}
+	if got := s.MissCount(); got != 1 {
+		t.Errorf("miss count = %d, want 1 (only F_2)", got)
+	}
+}
+
+// The paper's running example of the EB/PB/DB classification: "at time 2,
+// {B_1, C_1, D_2, E_2, F_2} is the set of all subtasks that are ready. Of
+// these, D_2, E_2, and F_2 are in EB(2), and the remaining are in DB(2)."
+func TestPDBPartitionAtSlot2MatchesPaper(t *testing.T) {
+	sys := fig2System(6)
+	res, err := RunPDB(sys, PDBOptions{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slot2 *SlotInfo
+	for i := range res.Slots {
+		if res.Slots[i].T == 2 {
+			slot2 = &res.Slots[i]
+		}
+	}
+	if slot2 == nil {
+		t.Fatal("no slot 2 in trace")
+	}
+	names := func(subs []*model.Subtask) map[string]bool {
+		m := map[string]bool{}
+		for _, s := range subs {
+			m[s.String()] = true
+		}
+		return m
+	}
+	eb := names(slot2.EB)
+	for _, w := range []string{"D_2", "E_2", "F_2"} {
+		if !eb[w] {
+			t.Errorf("EB(2) missing %s (got %v)", w, eb)
+		}
+	}
+	db := names(slot2.DB)
+	for _, w := range []string{"B_1", "C_1"} {
+		if !db[w] {
+			t.Errorf("DB(2) missing %s (got %v)", w, db)
+		}
+	}
+	if len(slot2.PB) != 0 || slot2.P != 0 {
+		t.Errorf("PB(2) should be empty, got %v (p=%d)", slot2.PB, slot2.P)
+	}
+}
+
+// F_3 at slot 5: predecessor F_2 ran in slot 4, eligibility 4 < 5 → PB(5).
+func TestPDBPredecessorBlockedSetAtSlot5(t *testing.T) {
+	sys := fig2System(6)
+	res, err := RunPDB(sys, PDBOptions{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slot5 *SlotInfo
+	for i := range res.Slots {
+		if res.Slots[i].T == 5 {
+			slot5 = &res.Slots[i]
+		}
+	}
+	if slot5 == nil {
+		t.Fatal("no slot 5")
+	}
+	if slot5.P != 1 || len(slot5.PB) != 1 || slot5.PB[0].String() != "F_3" {
+		t.Errorf("PB(5) = %v (p=%d), want {F_3}", slot5.PB, slot5.P)
+	}
+}
+
+// Theorem 2 at scale: PD^B ensures tardiness ≤ 1 for every feasible GIS
+// system, under the blocking-maximizing resolution.
+func TestTheorem2PDBTardinessAtMostOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 80; trial++ {
+		m := 2 + rng.Intn(3)
+		q := int64(6 + rng.Intn(8))
+		n := m + 1 + rng.Intn(2*m)
+		if int64(n) > int64(m)*q {
+			continue
+		}
+		ws := gen.GridWeights(rng, n, q, int64(m)*q, gen.WeightClass(rng.Intn(3)))
+		sys := gen.System(rng, ws, gen.SystemOptions{
+			Horizon:    3 * q,
+			JitterProb: rng.Intn(30),
+			MaxJitter:  2,
+			OmitProb:   rng.Intn(20),
+		})
+		res, err := RunPDB(sys, PDBOptions{M: m})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := res.Schedule.ValidateSFQ(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got := res.Schedule.MaxTardiness(); rat.One.Less(got) {
+			t.Fatalf("trial %d (M=%d): PD^B tardiness %s > 1", trial, m, got)
+		}
+	}
+}
+
+// Theorem 2 must hold for every legal Table-1 resolution, not just
+// MaxBlocking: sample random resolutions.
+func TestTheorem2HoldsForRandomizedResolutions(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 60; trial++ {
+		m := 2 + rng.Intn(2)
+		q := int64(6 + rng.Intn(6))
+		n := m + 1 + rng.Intn(2*m)
+		if int64(n) > int64(m)*q {
+			continue
+		}
+		ws := gen.GridWeights(rng, n, q, int64(m)*q, gen.MixedWeights)
+		sys := gen.System(rng, ws, gen.SystemOptions{Horizon: 3 * q, JitterProb: 20, MaxJitter: 2})
+		res, err := RunPDB(sys, PDBOptions{
+			M:          m,
+			Resolution: Randomized{Rng: rand.New(rand.NewSource(int64(trial)))},
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := res.Schedule.ValidateSFQ(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got := res.Schedule.MaxTardiness(); rat.One.Less(got) {
+			t.Fatalf("trial %d: randomized PD^B tardiness %s > 1", trial, got)
+		}
+	}
+}
+
+// Within each slot, the picks made in the strict phase (r > M−p) must be
+// PD²-maximal among what remained: no remaining subtask may strictly
+// precede a strict-phase pick at the moment it was picked.
+func TestPDBStrictPhaseRespectsPD2(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	pd2 := prio.PD2{}
+	for trial := 0; trial < 20; trial++ {
+		m := 2 + rng.Intn(2)
+		q := int64(6 + rng.Intn(6))
+		n := m + 1 + rng.Intn(2*m)
+		if int64(n) > int64(m)*q {
+			continue
+		}
+		ws := gen.GridWeights(rng, n, q, int64(m)*q, gen.MixedWeights)
+		sys := gen.System(rng, ws, gen.SystemOptions{Horizon: 3 * q, JitterProb: 25, MaxJitter: 2})
+		res, err := RunPDB(sys, PDBOptions{M: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, slot := range res.Slots {
+			remaining := map[*model.Subtask]bool{}
+			for _, s := range slot.EB {
+				remaining[s] = true
+			}
+			for _, s := range slot.PB {
+				remaining[s] = true
+			}
+			for _, s := range slot.DB {
+				remaining[s] = true
+			}
+			for r, pick := range slot.Picks {
+				delete(remaining, pick)
+				if r+1 <= res.Schedule.M-slot.P {
+					continue // free phase: inversions are the point
+				}
+				for other := range remaining {
+					if pd2.Cmp(other, pick) < 0 {
+						t.Fatalf("slot %d decision %d: strict phase picked %s while %s strictly precedes",
+							slot.T, r+1, pick, other)
+					}
+				}
+			}
+		}
+	}
+}
+
+// PD^B with no early eligibilities and no blocking opportunities degrades
+// gracefully: on a system where every subtask's predecessor finished well
+// before and all eligibility times are releases, slots where EB and PB are
+// empty schedule exactly by PD².
+func TestPDBRejectsBadOptions(t *testing.T) {
+	if _, err := RunPDB(fig2System(6), PDBOptions{M: 0}); err == nil {
+		t.Error("M = 0 accepted")
+	}
+}
+
+func TestPDBHorizonExhaustion(t *testing.T) {
+	sys := model.Periodic([]model.Weight{model.W(1, 1), model.W(1, 1), model.W(1, 1)}, 10)
+	if _, err := RunPDB(sys, PDBOptions{M: 2, Horizon: 12}); err == nil {
+		t.Error("expected horizon exhaustion on infeasible system")
+	}
+}
+
+// Claims 1 and 2 of the paper, verified on PD^B traces: when a free-phase
+// decision schedules T_i from DB (or EB) while a strictly higher-priority
+// U_j waits in PB, every subtask remaining in DB (resp. DB ∪ EB) at later
+// decisions also has lower priority than U_j — so the final p decisions
+// can never be forced to prefer a remaining subtask over U_j.
+func TestClaims1And2OnTraces(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	pd2 := prio.PD2{}
+	for trial := 0; trial < 25; trial++ {
+		m := 2 + rng.Intn(3)
+		q := int64(6 + rng.Intn(8))
+		n := m + 1 + rng.Intn(2*m)
+		if int64(n) > int64(m)*q {
+			continue
+		}
+		ws := gen.GridWeights(rng, n, q, int64(m)*q, gen.WeightClass(rng.Intn(3)))
+		sys := gen.System(rng, ws, gen.SystemOptions{Horizon: 3 * q, JitterProb: 25, MaxJitter: 2})
+		res, err := RunPDB(sys, PDBOptions{M: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, slot := range res.Slots {
+			inPB := map[*model.Subtask]bool{}
+			for _, u := range slot.PB {
+				inPB[u] = true
+			}
+			inEB := map[*model.Subtask]bool{}
+			for _, s := range slot.EB {
+				inEB[s] = true
+			}
+			free := res.Schedule.M - slot.P
+			for r, pick := range slot.Picks {
+				if r+1 > free || inPB[pick] {
+					continue // strict phase, or the forced-PB corner
+				}
+				// U_j: highest-priority PB member strictly preceding pick.
+				for _, u := range slot.PB {
+					if pd2.Cmp(u, pick) >= 0 {
+						continue
+					}
+					// Claim: every LATER pick from DB (Claim 1) or DB ∪ EB
+					// (Claim 2, when pick ∈ EB) has priority below u.
+					// (The check below is Claim 2's stronger form — it covers
+					// later picks from both DB and EB — which subsumes Claim 1.)
+					for _, later := range slot.Picks[r+1:] {
+						if inPB[later] {
+							continue
+						}
+						if pd2.Cmp(u, later) > 0 {
+							t.Fatalf("t=%d: %s (PB) ≺ free-phase pick %s, yet later pick %s strictly precedes %s",
+								slot.T, u, pick, later, u)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Theorem 3 as a testing/quick property over the core engine: any seed
+// maps to a feasible GIS system + yield model, and the bound must hold.
+func TestQuickTheorem3(t *testing.T) {
+	f := func(seed int64, mRaw, dyn uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + int(mRaw%3)
+		q := int64(6 + rng.Intn(6))
+		n := m + 1 + rng.Intn(m)
+		if int64(n) > int64(m)*q {
+			return true
+		}
+		ws := gen.GridWeights(rng, n, q, int64(m)*q, gen.WeightClass(int(dyn)%3))
+		sys := gen.System(rng, ws, gen.SystemOptions{Horizon: 2 * q, JitterProb: int(dyn) % 30, MaxJitter: 2})
+		s, err := RunDVQ(sys, DVQOptions{M: m, Yield: gen.UniformYield(seed, 8)})
+		if err != nil {
+			return false
+		}
+		return !rat.One.Less(s.MaxTardiness()) && s.ValidateDVQ() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"desyncpfair/internal/gen"
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/rat"
+	"desyncpfair/internal/sched"
+)
+
+func TestClassify(t *testing.T) {
+	sub := &model.Subtask{Task: &model.Task{W: model.W(1, 2)}, Index: 1}
+	cases := []struct {
+		start, cost rat.Rat
+		want        Class
+	}{
+		{rat.FromInt(3), rat.One, ClassAligned},
+		{rat.FromInt(3), rat.New(1, 2), ClassAligned},
+		{rat.New(7, 2), rat.One, ClassOlapped},         // [3.5, 4.5) crosses 4
+		{rat.New(7, 2), rat.New(1, 4), ClassFree},      // [3.5, 3.75) inside slot 3
+		{rat.New(7, 2), rat.New(1, 2), ClassFree},      // completes exactly at 4
+		{rat.New(13, 4), rat.New(9, 10), ClassOlapped}, // [3.25, 4.15) crosses 4
+	}
+	for _, c := range cases {
+		a := &sched.Assignment{Sub: sub, Start: c.start, Cost: c.cost}
+		if got := Classify(a); got != c.want {
+			t.Errorf("Classify(start=%s cost=%s) = %s, want %s", c.start, c.cost, got, c.want)
+		}
+	}
+}
+
+// Build S_B from the Fig. 2(b) DVQ schedule and check its shape: in the
+// limit construction, B_1 and C_1 (Olapped, started at 2−δ) postpone to
+// slot 2 — exactly the Fig. 2(c) schedule.
+func TestFig2TransformMatchesFig2c(t *testing.T) {
+	sys := fig2System(6)
+	delta := rat.New(1, 4)
+	dq, err := RunDVQ(sys, DVQOptions{M: 2, Yield: fig2Yield(sys, delta)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := BuildSB(dq)
+	if err := tr.CheckLemma3(); err != nil {
+		t.Error(err)
+	}
+	if err := tr.CheckLemma4(); err != nil {
+		t.Error(err)
+	}
+	if err := tr.CheckSBStructure(); err != nil {
+		t.Error(err)
+	}
+	// A_1 and F_1 start at integral 1 → Aligned. B_1, C_1 start at 2−δ and
+	// run a full quantum → Olapped, postponed to slot 2. D_2/E_2 start at
+	// 3−δ crossing 3 → Olapped, postponed to slot 3. F_2 starts 4−δ
+	// crossing 4 → postponed to slot 4. E_3 at 5−δ → slot 5.
+	wantSlots := map[string]int64{
+		"D_1": 0, "E_1": 0,
+		"A_1": 1, "F_1": 1,
+		"B_1": 2, "C_1": 2,
+		"D_2": 3, "E_2": 3,
+		"F_2": 4, "D_3": 4,
+		"E_3": 5, "F_3": 5,
+	}
+	for _, sub := range sys.All() {
+		b, charged := tr.B[sub]
+		if !charged {
+			t.Errorf("%s not charged; in the full-quantum-after-yield trace every subtask crosses or starts a boundary", sub)
+			continue
+		}
+		if got := b.Start.Int(); got != wantSlots[sub.String()] {
+			t.Errorf("S_B(%s) = slot %d, want %d", sub, got, wantSlots[sub.String()])
+		}
+	}
+	// F_2's S_B tardiness: completes at 4 + 1 = 5 vs deadline 4 → 1.
+	f2 := subByName(t, sys, "F", 2)
+	if got := tr.TardinessB(f2); !got.Equal(rat.One) {
+		t.Errorf("S_B tardiness of F_2 = %s, want 1", got)
+	}
+}
+
+func TestTransformClassCounts(t *testing.T) {
+	sys := fig2System(6)
+	dq, err := RunDVQ(sys, DVQOptions{M: 2, Yield: gen.UniformYield(3, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := BuildSB(dq)
+	aligned, olapped, free := tr.CountByClass()
+	if aligned+olapped+free != sys.NumSubtasks() {
+		t.Errorf("class counts %d+%d+%d != %d", aligned, olapped, free, sys.NumSubtasks())
+	}
+	if aligned == 0 {
+		t.Error("expected at least the slot-0 subtasks to be Aligned")
+	}
+}
+
+// Lemmas 3, 4 and the structural part of Lemma 5 at scale, across yield
+// models and system shapes.
+func TestTransformLemmasAtScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 60; trial++ {
+		m := 2 + rng.Intn(3)
+		q := int64(6 + rng.Intn(8))
+		n := m + 1 + rng.Intn(2*m)
+		if int64(n) > int64(m)*q {
+			continue
+		}
+		ws := gen.GridWeights(rng, n, q, int64(m)*q, gen.WeightClass(rng.Intn(3)))
+		sys := gen.System(rng, ws, gen.SystemOptions{
+			Horizon:    3 * q,
+			JitterProb: rng.Intn(25),
+			MaxJitter:  2,
+			OmitProb:   rng.Intn(15),
+		})
+		var y sched.YieldFn
+		switch trial % 3 {
+		case 0:
+			y = gen.UniformYield(int64(trial), 8)
+		case 1:
+			y = gen.BimodalYield(int64(trial), 50, 8)
+		default:
+			y = gen.AdversarialYield(rat.New(1, 8), nil)
+		}
+		dq, err := RunDVQ(sys, DVQOptions{M: m, Yield: y})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		tr := BuildSB(dq)
+		if err := tr.CheckLemma3(); err != nil {
+			t.Fatalf("trial %d: Lemma 3: %v", trial, err)
+		}
+		if err := tr.CheckLemma4(); err != nil {
+			t.Fatalf("trial %d: Lemma 4: %v", trial, err)
+		}
+		if err := tr.CheckSBStructure(); err != nil {
+			t.Fatalf("trial %d: Lemma 5 (structure): %v", trial, err)
+		}
+		// Theorem 1 consequence: S_DQ tardiness ≤ ⌈max S_B tardiness⌉, and
+		// both stay within one quantum (Theorems 2+3).
+		if got := tr.MaxTardinessB(); rat.One.Less(got) {
+			t.Fatalf("trial %d: S_B tardiness %s > 1", trial, got)
+		}
+	}
+}
+
+func TestTardinessBPanicsOnFree(t *testing.T) {
+	sys := fig2System(6)
+	dq, err := RunDVQ(sys, DVQOptions{M: 2, Yield: gen.UniformYield(5, 16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := BuildSB(dq)
+	var free *model.Subtask
+	for sub, cl := range tr.Class {
+		if cl == ClassFree {
+			free = sub
+			break
+		}
+	}
+	if free == nil {
+		t.Skip("no Free subtask in this trace")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TardinessB on Free subtask did not panic")
+		}
+	}()
+	tr.TardinessB(free)
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"desyncpfair/internal/rat"
+	"desyncpfair/internal/sched"
+)
+
+// CheckWorkConserving verifies the defining property of the DVQ model: at
+// no moment does a processor idle while a ready, unscheduled subtask
+// exists. Each assignment must start either the moment its subtask became
+// ready (eligibility or predecessor completion, whichever is later) or
+// after a waiting interval throughout which every processor was executing.
+//
+// The SFQ model deliberately fails this check whenever a subtask yields
+// early (the quantum residue is idled away), which is exactly the
+// inefficiency the paper's model removes — see experiment E7.
+func CheckWorkConserving(s *sched.Schedule) error {
+	type interval struct{ lo, hi rat.Rat }
+	// Merge each processor's busy intervals (touching intervals join).
+	merged := make([][]interval, s.M)
+	for p := 0; p < s.M; p++ {
+		var ivs []interval
+		for _, a := range s.Assignments() {
+			if a.Proc == p {
+				ivs = append(ivs, interval{a.Start, a.Finish()})
+			}
+		}
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo.Less(ivs[j].lo) })
+		for _, iv := range ivs {
+			if n := len(merged[p]); n > 0 && !merged[p][n-1].hi.Less(iv.lo) {
+				merged[p][n-1].hi = rat.Max(merged[p][n-1].hi, iv.hi)
+			} else {
+				merged[p] = append(merged[p], iv)
+			}
+		}
+	}
+	// covers reports whether processor p executes throughout [lo, hi].
+	covers := func(p int, lo, hi rat.Rat) bool {
+		for _, iv := range merged[p] {
+			if !lo.Less(iv.lo) && !iv.hi.Less(hi) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, a := range s.Assignments() {
+		ready := rat.FromInt(a.Sub.Elig)
+		if pred := s.Sys.Predecessor(a.Sub); pred != nil {
+			pa := s.Of(pred)
+			if pa == nil {
+				return fmt.Errorf("core: %s scheduled without predecessor", a.Sub)
+			}
+			ready = rat.Max(ready, pa.Finish())
+		}
+		if a.Start.Equal(ready) {
+			continue
+		}
+		if a.Start.Less(ready) {
+			return fmt.Errorf("core: %s starts at %s before ready time %s", a.Sub, a.Start, ready)
+		}
+		for p := 0; p < s.M; p++ {
+			if !covers(p, ready, a.Start) {
+				return fmt.Errorf("core: %s ready at %s but started %s while processor %d idled in between",
+					a.Sub, ready, a.Start, p)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package drift
+
+import (
+	"testing"
+
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/rat"
+	"desyncpfair/internal/sfq"
+)
+
+func fig2System(h int64) *model.System {
+	return model.Periodic([]model.Weight{
+		model.W(1, 6), model.W(1, 6), model.W(1, 6),
+		model.W(1, 2), model.W(1, 2), model.W(1, 2),
+	}, h)
+}
+
+// With zero drift and zero phase the engine is exactly the SFQ engine.
+func TestZeroDriftEqualsSFQ(t *testing.T) {
+	sys := fig2System(12)
+	d, err := Run(sys, Options{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sfq.Run(sys, sfq.Options{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range sys.All() {
+		if !d.Of(sub).Start.Equal(ref.Of(sub).Start) {
+			t.Fatalf("%s at %s under drift-0, %s under SFQ", sub, d.Of(sub).Start, ref.Of(sub).Start)
+		}
+	}
+	if got := d.MaxTardiness(); got.Sign() != 0 {
+		t.Errorf("zero-drift tardiness %s", got)
+	}
+}
+
+// Pure phase offsets (no rate drift) reproduce the staggered model's
+// behaviour class: bounded tardiness, no capacity loss.
+func TestPhaseOnlyBoundedTardiness(t *testing.T) {
+	sys := fig2System(12)
+	d, err := Run(sys, Options{
+		M:     2,
+		Phase: []rat.Rat{rat.Zero, rat.New(1, 2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ValidateDVQ(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.MaxTardiness(); rat.One.Less(got) {
+		t.Errorf("phase-only tardiness %s > 1", got)
+	}
+}
+
+// Rate drift loses capacity: at full utilization, tardiness grows with the
+// horizon — the failure the paper's synchronization requirement prevents.
+func TestDriftTardinessGrowsWithHorizon(t *testing.T) {
+	eps := []rat.Rat{rat.New(1, 20), rat.New(1, 20)}
+	tardAt := func(h int64) rat.Rat {
+		sys := fig2System(h)
+		d, err := Run(sys, Options{M: 2, Epsilon: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.MaxTardiness()
+	}
+	short, long := tardAt(12), tardAt(48)
+	if !short.Less(long) {
+		t.Errorf("drift tardiness did not grow: %s at h=12, %s at h=48", short, long)
+	}
+	if !rat.One.Less(long) {
+		t.Errorf("drifted full-utilization tardiness %s should exceed one quantum by h=48", long)
+	}
+}
+
+func TestDriftValidatesOptions(t *testing.T) {
+	sys := fig2System(6)
+	if _, err := Run(sys, Options{M: 0}); err == nil {
+		t.Error("M=0 accepted")
+	}
+	if _, err := Run(sys, Options{M: 2, Epsilon: []rat.Rat{rat.New(-1, 10)}}); err == nil {
+		t.Error("negative drift accepted")
+	}
+	if _, err := Run(sys, Options{M: 2, Phase: []rat.Rat{rat.FromInt(2)}}); err == nil {
+		t.Error("phase ≥ 1 accepted")
+	}
+}
+
+func TestDriftBoundaryCap(t *testing.T) {
+	sys := fig2System(12)
+	_, err := Run(sys, Options{M: 1, MaxBoundaries: 3}) // M=1 is overloaded
+	if err == nil {
+		t.Error("expected boundary cap error on overloaded run")
+	}
+}
+
+func TestDriftScheduleStructurallyValid(t *testing.T) {
+	sys := fig2System(12)
+	d, err := Run(sys, Options{
+		M:       2,
+		Epsilon: []rat.Rat{rat.New(1, 100), rat.New(3, 100)},
+		Phase:   []rat.Rat{rat.Zero, rat.New(1, 4)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ValidateDVQ(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+package exp
+
+import (
+	"math/rand"
+
+	"desyncpfair/internal/baseline"
+	"desyncpfair/internal/gen"
+	"desyncpfair/internal/prio"
+	"desyncpfair/internal/rat"
+	"desyncpfair/internal/sched"
+	"desyncpfair/internal/sfq"
+)
+
+// E13 and E14: two experiments beyond the paper's own artifacts that
+// DESIGN.md §3 commits to — the early-release comparison the paper invokes
+// against DFS's auxiliary scheduler, and the ablation showing PD²'s
+// tie-break rules are each load-bearing for the optimality that Theorem 3's
+// proof leans on.
+
+// --- E13: early releasing vs DFS's auxiliary scheduler --------------------
+
+// ERPoint is one slack level of E13.
+type ERPoint struct {
+	UtilPct    int // total utilization as % of M
+	Trials     int
+	PlainSlack float64 // mean (deadline − completion) under plain PD²
+	ERSlack    float64 // … under early-release PD² (eligibility 2 slots early)
+	DFSAux     int     // aux quanta granted by work-conserving DFS
+	ERMisses   int     // must stay 0: ER-fair PD² remains optimal
+}
+
+// E13EarlyRelease quantifies the paper's remark that "the early-release
+// model provides a less-expensive and simpler alternative to using an
+// auxiliary scheduler" (Sec. 1): on systems with slack, early releasing
+// lets PD² pull work forward — growing each subtask's completion margin —
+// without any second scheduler, while DFS achieves its reclamation through
+// auxiliary dispatching.
+func E13EarlyRelease(seed int64, trials, m int) ([]ERPoint, error) {
+	var out []ERPoint
+	q := int64(12)
+	for _, pct := range []int{60, 75, 90} {
+		rng := rand.New(rand.NewSource(seed + int64(pct)))
+		pt := ERPoint{UtilPct: pct}
+		for trial := 0; trial < trials; trial++ {
+			sum := int64(m) * q * int64(pct) / 100
+			n := m + rng.Intn(m)
+			for int64(n) > sum {
+				n--
+			}
+			ws := gen.GridWeights(rng, n, q, sum, gen.MixedWeights)
+
+			plain := gen.System(rng, ws, gen.SystemOptions{Horizon: 3 * q})
+			er := gen.System(rng, ws, gen.SystemOptions{Horizon: 3 * q, EarlyRelease: 2})
+
+			ps, err := sfq.Run(plain, sfq.Options{M: m})
+			if err != nil {
+				return nil, err
+			}
+			es, err := sfq.Run(er, sfq.Options{M: m})
+			if err != nil {
+				return nil, err
+			}
+			pt.Trials++
+			pt.PlainSlack += meanSlack(ps)
+			pt.ERSlack += meanSlack(es)
+			pt.ERMisses += es.MissCount()
+			pt.DFSAux += baseline.DFS(ws, m, 3*q, true).AuxQuanta
+		}
+		pt.PlainSlack /= float64(pt.Trials)
+		pt.ERSlack /= float64(pt.Trials)
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// meanSlack is the mean of (deadline − completion) over all subtasks:
+// larger means work runs further ahead of its deadlines.
+func meanSlack(s *sched.Schedule) float64 {
+	total, n := 0.0, 0
+	for _, a := range s.Assignments() {
+		total += rat.FromInt(a.Sub.Deadline()).Sub(a.Finish()).Float64()
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// --- E14: tie-break ablation ----------------------------------------------
+
+// AblationPoint is one policy row of E14.
+type AblationPoint struct {
+	Policy       string
+	Trials       int
+	MissTrials   int // trials with ≥ 1 deadline miss under SFQ
+	Misses       int
+	MaxTardiness rat.Rat
+}
+
+// E14TieBreakAblation removes PD²'s tie-break rules one at a time and
+// schedules heavy random systems under SFQ at M ∈ {3,4,5}. Full PD² must
+// never miss; each ablation has known counterexamples (two are pinned
+// below so the effect is reproducible at small trial counts).
+func E14TieBreakAblation(seed int64, trials int) ([]AblationPoint, error) {
+	pols := []prio.Policy{prio.PD2{}, prio.PD2NoGroup{}, prio.PD2NoBBit{}}
+	// Deterministic counterexample system generators (found by search; see
+	// prio's ablation tests): seeds into the same generator family.
+	pinned := []int64{696, 8}
+	var out []AblationPoint
+	for _, pol := range pols {
+		pt := AblationPoint{Policy: pol.Name(), MaxTardiness: rat.Zero}
+		runOne := func(sysSeed int64) error {
+			rng := rand.New(rand.NewSource(sysSeed))
+			m := 3 + rng.Intn(3)
+			q := int64(6 + rng.Intn(10))
+			n := m + 1 + rng.Intn(2*m)
+			if int64(n) > int64(m)*q {
+				return nil
+			}
+			ws := gen.GridWeights(rng, n, q, int64(m)*q, gen.HeavyWeights)
+			sys := gen.System(rng, ws, gen.SystemOptions{Horizon: 3 * q})
+			s, err := sfq.Run(sys, sfq.Options{M: m, Policy: pol})
+			if err != nil {
+				return err
+			}
+			pt.Trials++
+			if s.MissCount() > 0 {
+				pt.MissTrials++
+				pt.Misses += s.MissCount()
+				pt.MaxTardiness = rat.Max(pt.MaxTardiness, s.MaxTardiness())
+			}
+			return nil
+		}
+		for _, ps := range pinned {
+			if err := runOne(ps); err != nil {
+				return nil, err
+			}
+		}
+		for trial := 0; trial < trials; trial++ {
+			if err := runOne(seed + int64(trial)); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

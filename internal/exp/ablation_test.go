@@ -1,0 +1,203 @@
+package exp
+
+import (
+	"testing"
+
+	"desyncpfair/internal/rat"
+)
+
+func TestE13EarlyReleaseIncreasesSlack(t *testing.T) {
+	pts, err := E13EarlyRelease(12, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		// Early releasing must never cause misses (ER-fair PD² is optimal)
+		// and must not reduce the completion margin.
+		if p.ERMisses != 0 {
+			t.Errorf("util %d%%: ER-PD² missed %d deadlines", p.UtilPct, p.ERMisses)
+		}
+		if p.ERSlack < p.PlainSlack {
+			t.Errorf("util %d%%: ER slack %.3f below plain %.3f", p.UtilPct, p.ERSlack, p.PlainSlack)
+		}
+	}
+	// On systems with slack the DFS auxiliary scheduler must be active —
+	// that is the mechanism ER replaces.
+	if pts[0].DFSAux == 0 {
+		t.Error("DFS granted no aux quanta at 60% utilization")
+	}
+}
+
+func TestE14AblationShowsTieBreaksAreLoadBearing(t *testing.T) {
+	pts, err := E14TieBreakAblation(100, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]AblationPoint{}
+	for _, p := range pts {
+		byName[p.Policy] = p
+	}
+	if p := byName["PD2"]; p.Misses != 0 {
+		t.Errorf("full PD² missed %d deadlines", p.Misses)
+	}
+	if p := byName["PD2-noD"]; p.Misses == 0 {
+		t.Error("dropping the group deadline should cost deadlines (pinned counterexample)")
+	}
+	if p := byName["PD2-nob"]; p.Misses == 0 {
+		t.Error("dropping the b-bit should cost deadlines (pinned counterexample)")
+	}
+}
+
+func TestE15ClockDrift(t *testing.T) {
+	pts, err := E15ClockDrift(15, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if !p.DVQBoundHolds {
+			t.Errorf("ε=1/%d: DVQ bound violated", p.EpsDen)
+		}
+		if p.EpsDen == 0 {
+			if p.TardLong.Sign() != 0 {
+				t.Errorf("zero drift long-horizon tardiness %s", p.TardLong)
+			}
+			continue
+		}
+		// Drift makes tardiness grow with the horizon.
+		if !p.TardShort.Less(p.TardLong) {
+			t.Errorf("ε=1/%d: tardiness did not grow (%s → %s)", p.EpsDen, p.TardShort, p.TardLong)
+		}
+	}
+	// Larger drift ⇒ larger long-horizon tardiness (monotone across the sweep).
+	if !pts[1].TardLong.Less(pts[3].TardLong) {
+		t.Errorf("tardiness not increasing in drift: 1/200→%s, 1/20→%s", pts[1].TardLong, pts[3].TardLong)
+	}
+}
+
+func TestE16QuantumSize(t *testing.T) {
+	pts, err := E16QuantumSize(1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	sawFeasible, sawInfeasible := false, false
+	for _, p := range pts {
+		if p.Feasible {
+			sawFeasible = true
+			if p.Misses != 0 {
+				t.Errorf("Q=%d declared feasible but missed %d deadlines", p.Q, p.Misses)
+			}
+		} else {
+			sawInfeasible = true
+		}
+	}
+	if !sawFeasible {
+		t.Error("no feasible quantum size in the sweep")
+	}
+	if !sawInfeasible {
+		t.Error("sweep should include an infeasible (coarse) quantum size")
+	}
+}
+
+func TestE17Overload(t *testing.T) {
+	pts, err := E17Overload(18, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPct := map[int]OverloadPoint{}
+	for _, p := range pts {
+		byPct[p.UtilPct] = p
+	}
+	// At exactly M: the bound holds at any horizon.
+	if p := byPct[100]; rat.One.Less(p.TardLong) {
+		t.Errorf("util 100%%: tardiness %s > 1", p.TardLong)
+	}
+	// Past M: tardiness grows with the horizon and exceeds one quantum.
+	for _, pct := range []int{105, 115} {
+		p := byPct[pct]
+		if !p.TardShort.Less(p.TardLong) {
+			t.Errorf("util %d%%: tardiness did not grow (%s → %s)", pct, p.TardShort, p.TardLong)
+		}
+		if !rat.One.Less(p.TardLong) {
+			t.Errorf("util %d%%: overload tardiness %s should exceed 1", pct, p.TardLong)
+		}
+	}
+}
+
+func TestE18PolicyMatrix(t *testing.T) {
+	pts, err := E18PolicyMatrix(19, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("policies = %d", len(pts))
+	}
+	for _, p := range pts {
+		// On M=2 every listed policy is optimal under SFQ, so under DVQ all
+		// stay within one quantum.
+		if rat.One.Less(p.MaxTardiness) {
+			t.Errorf("%s: tardiness %s > 1 on M=2", p.Policy, p.MaxTardiness)
+		}
+		if p.Subtasks == 0 || p.MeanResponse <= 0 {
+			t.Errorf("%s: empty stats", p.Policy)
+		}
+	}
+}
+
+func TestE19TightnessScalesWithM(t *testing.T) {
+	delta := rat.New(1, 8)
+	pts, err := E19TightnessByM(delta, []int{2, 4, 6, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		// The one-quantum bound holds at every size; the construction is
+		// exactly worst-case only at M ∈ {2, 4} (see the E19 doc comment).
+		if p.MaxTardiness.Sign() <= 0 || rat.One.Less(p.MaxTardiness) {
+			t.Errorf("M=%d: max tardiness %s outside (0, 1]", p.M, p.MaxTardiness)
+		}
+		if p.M == 2 && !p.EqualsOneMinusDelta {
+			t.Errorf("M=2: max tardiness %s, want exactly %s", p.MaxTardiness, rat.One.Sub(delta))
+		}
+		if p.M >= 4 && p.EqualsOneMinusDelta {
+			t.Logf("note: replication reached 1−δ at M=%d (stronger than previously observed)", p.M)
+		}
+	}
+	// Odd machine sizes are skipped by construction.
+	odd, err := E19TightnessByM(delta, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(odd) != 0 {
+		t.Error("odd M should be skipped")
+	}
+}
+
+func TestE20Dynamics(t *testing.T) {
+	pts, err := E20Dynamics(21, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if rat.One.Less(p.MaxTardiness) {
+			t.Errorf("jitter %d%% omit %d%%: tardiness %s > 1", p.JitterPct, p.OmitPct, p.MaxTardiness)
+		}
+		if p.Subtasks == 0 {
+			t.Errorf("empty cell at jitter %d omit %d", p.JitterPct, p.OmitPct)
+		}
+	}
+}

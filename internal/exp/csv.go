@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+)
+
+// WriteCSV renders a slice of flat result structs (the E-suite row types)
+// as CSV: one column per exported field, with nested structs flattened as
+// Outer.Inner and fmt.Stringer values (e.g. rat.Rat) rendered via String.
+// It lets cmd/experiments emit machine-readable artifacts without a
+// hand-written encoder per experiment.
+func WriteCSV(w io.Writer, rows interface{}) error {
+	v := reflect.ValueOf(rows)
+	if v.Kind() != reflect.Slice {
+		return fmt.Errorf("exp: WriteCSV wants a slice, got %T", rows)
+	}
+	if v.Len() == 0 {
+		return fmt.Errorf("exp: WriteCSV got an empty slice")
+	}
+	first := v.Index(0)
+	if first.Kind() != reflect.Struct {
+		return fmt.Errorf("exp: WriteCSV wants a slice of structs, got %s", first.Kind())
+	}
+	var header []string
+	collectHeader(first.Type(), "", &header)
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for i := 0; i < v.Len(); i++ {
+		var cells []string
+		collectCells(v.Index(i), &cells)
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var stringerType = reflect.TypeOf((*fmt.Stringer)(nil)).Elem()
+
+func collectHeader(t reflect.Type, prefix string, out *[]string) {
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		name := prefix + f.Name
+		if f.Type.Kind() == reflect.Struct && !f.Type.Implements(stringerType) {
+			collectHeader(f.Type, name+".", out)
+			continue
+		}
+		*out = append(*out, name)
+	}
+}
+
+func collectCells(v reflect.Value, out *[]string) {
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		fv := v.Field(i)
+		if fv.Kind() == reflect.Struct && !fv.Type().Implements(stringerType) {
+			collectCells(fv, out)
+			continue
+		}
+		*out = append(*out, cell(fv))
+	}
+}
+
+func cell(v reflect.Value) string {
+	if v.Type().Implements(stringerType) {
+		s := v.Interface().(fmt.Stringer).String()
+		if strings.ContainsAny(s, ",\"\n") {
+			s = `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	s := fmt.Sprintf("%v", v.Interface())
+	if strings.ContainsAny(s, ",\"\n") {
+		s = `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

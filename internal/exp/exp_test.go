@@ -1,0 +1,402 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"desyncpfair/internal/core"
+	"desyncpfair/internal/prio"
+	"desyncpfair/internal/rat"
+)
+
+func TestFig1Renders(t *testing.T) {
+	out := Fig1()
+	for _, want := range []string{"Fig. 1(a)", "Fig. 1(b)", "Fig. 1(c)", "T_1", "T_3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig1 output missing %q", want)
+		}
+	}
+	// Fig 1(c) omits T_2: its section must not contain a T_2 window row
+	// (the caption text mentions "T_2 absent", so check row starts only).
+	cIdx := strings.Index(out, "Fig. 1(c)")
+	for _, line := range strings.Split(out[cIdx:], "\n") {
+		if strings.HasPrefix(line, "T_2") {
+			t.Error("GIS variant should not render a T_2 row")
+		}
+	}
+}
+
+func TestFig1SystemPanicsOnBadVariant(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Fig1System('z')
+}
+
+func TestFig2EndToEnd(t *testing.T) {
+	out, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig. 2(a)", "Fig. 2(b)", "Fig. 2(c)", "max tardiness: 3/4", "B_1@[7/4,"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig2 output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// The engineered Fig. 3 scenario must show U_2 predecessor-blocked at t=2
+// by X_1, with Property PB verified.
+func TestFig3PredecessorBlocking(t *testing.T) {
+	out, events, err := Fig3()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	found := false
+	for _, e := range events {
+		if e.Kind == core.PredecessorBlocked && e.T == 2 &&
+			e.Sub.String() == "U_2" && e.By.String() == "X_1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("U_2 not predecessor-blocked by X_1 at t=2; events: %v\n%s", events, out)
+	}
+	if !strings.Contains(out, "Property PB verified") {
+		t.Error("Property PB verification missing from output")
+	}
+}
+
+func TestFig3SystemFeasible(t *testing.T) {
+	sys := Fig3System(5)
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Feasible(3) {
+		t.Fatalf("Fig. 3 system utilization %s exceeds 3", sys.TotalUtilization())
+	}
+}
+
+func TestFig4Classification(t *testing.T) {
+	out, err := Fig4()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"Aligned", "Olapped", "Free", "Lemma 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig4 output missing %q", want)
+		}
+	}
+}
+
+func TestFig6AllInsets(t *testing.T) {
+	out, err := Fig6()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"Fig. 6(a)", "0-compliant", "4-compliant", "Theorem 2 certified", "ranks: 1:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig6 output missing %q", want)
+		}
+	}
+}
+
+func TestE1TightnessIsExactlyOneMinusDelta(t *testing.T) {
+	pts, err := E1Tightness(DefaultDeltas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 10 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		want := rat.One.Sub(p.Delta)
+		if !p.MaxTardiness.Equal(want) {
+			t.Errorf("δ=%s: tardiness %s, want %s", p.Delta, p.MaxTardiness, want)
+		}
+	}
+	// Monotone approach to 1, never reaching it.
+	for i := 1; i < len(pts); i++ {
+		if !pts[i-1].MaxTardiness.Less(pts[i].MaxTardiness) {
+			t.Error("tardiness not increasing as δ decreases")
+		}
+	}
+	if !pts[len(pts)-1].MaxTardiness.Less(rat.One) {
+		t.Error("tardiness reached 1")
+	}
+}
+
+func TestE2BoundHolds(t *testing.T) {
+	pts, err := E2DVQTardiness(1, 6, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 8 { // 2 Ms × 4 yield models
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if !p.BoundHolds {
+			t.Errorf("M=%d yield=%s: Theorem 3 bound violated (max %s)", p.M, p.YieldModel, p.MaxTardiness)
+		}
+		if p.YieldModel == "full" && p.Misses != 0 {
+			t.Errorf("full quanta should have zero misses, got %d", p.Misses)
+		}
+	}
+}
+
+func TestE3OptimalPoliciesNeverMiss(t *testing.T) {
+	pts, err := E3SFQOptimality(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.Policy != "EPDF" && p.Misses != 0 {
+			t.Errorf("%s missed %d deadlines under SFQ", p.Policy, p.Misses)
+		}
+	}
+}
+
+func TestE4PDBBoundHolds(t *testing.T) {
+	pts, err := E4PDBTardiness(3, 6, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if !p.BoundHolds {
+			t.Errorf("M=%d yield=%s: Theorem 2 bound violated", p.M, p.YieldModel)
+		}
+	}
+}
+
+func TestE5TransformLemmas(t *testing.T) {
+	pt, err := E5Transform(4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.AllLemmasHold {
+		t.Error("transform lemmas violated")
+	}
+	if pt.Aligned == 0 {
+		t.Error("no Aligned subtasks across 12 trials")
+	}
+	if rat.One.Less(pt.MaxSBTardiness) {
+		t.Errorf("S_B tardiness %s > 1", pt.MaxSBTardiness)
+	}
+}
+
+func TestE6PropertyPBHoldsWithPredecessorEvents(t *testing.T) {
+	pt, err := E6PropertyPB(5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.PropertyHolds {
+		t.Error("Property PB violated")
+	}
+	if pt.PredecessorEvents == 0 {
+		t.Error("engineered Fig. 3 scenario should contribute predecessor events")
+	}
+	if pt.EligibilityEvents == 0 {
+		t.Error("expected eligibility blocking in random trials")
+	}
+}
+
+func TestE7ReclamationShape(t *testing.T) {
+	pts, err := E7Reclamation(6, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// With all-full quanta (pFull=100) there is no residue and no gain.
+	if pts[0].ResidueFrac != 0 {
+		t.Errorf("full-quanta residue = %f", pts[0].ResidueFrac)
+	}
+	// With early yields the SFQ model strands time and DVQ finishes sooner.
+	last := pts[len(pts)-1]
+	if last.ResidueFrac <= 0 {
+		t.Error("no residue at pFull=20")
+	}
+	if last.MakespanGain <= 1 {
+		t.Errorf("makespan gain = %f, want > 1", last.MakespanGain)
+	}
+	// DVQ tardiness stays within a quantum even while reclaiming.
+	for _, p := range pts {
+		if rat.One.Less(p.DVQ.MaxTardiness) {
+			t.Errorf("pFull=%d: DVQ tardiness %s > 1", p.FullProb, p.DVQ.MaxTardiness)
+		}
+	}
+}
+
+func TestE8EPDFWithinOneQuantum(t *testing.T) {
+	pts, err := E8EPDF(7, 6, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if !p.DeltaAtMost1 {
+			t.Errorf("M=%d: EPDF DVQ−SFQ tardiness gap exceeded one quantum", p.M)
+		}
+	}
+}
+
+func TestE9StaggeredBurst(t *testing.T) {
+	pts, err := E9Staggered(8, 4, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.AlignedBurst != p.M {
+			t.Errorf("M=%d: aligned burst = %d, want M", p.M, p.AlignedBurst)
+		}
+		if p.StaggeredBurst != 1 {
+			t.Errorf("M=%d: staggered burst = %d, want 1", p.M, p.StaggeredBurst)
+		}
+		if rat.One.Less(p.MaxTardiness) {
+			t.Errorf("M=%d: staggered tardiness %s > 1", p.M, p.MaxTardiness)
+		}
+	}
+}
+
+func TestE10UtilizationBound(t *testing.T) {
+	pts, err := E10UtilizationBound(9, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.PfairMissTrials != 0 {
+			t.Errorf("util %d%%: PD² missed deadlines", p.UtilPct)
+		}
+	}
+	// At 100% of M with heavy tasks, partitioning must fail sometimes and
+	// global EDF must miss sometimes; at 55% both mostly succeed.
+	last := pts[len(pts)-1]
+	if last.PartitionOK == last.Trials {
+		t.Error("partitioning never failed at 100% utilization with heavy tasks")
+	}
+	first := pts[0]
+	if first.PartitionOK == 0 {
+		t.Error("partitioning always failed even at 55% utilization")
+	}
+}
+
+func TestE11ComplianceValid(t *testing.T) {
+	pt, err := E11Compliance(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.AllValid {
+		t.Error("Lemma 6 induction failed")
+	}
+	if rat.One.Less(pt.MaxPDBTard) {
+		t.Errorf("PD^B tardiness %s > 1", pt.MaxPDBTard)
+	}
+}
+
+func TestE12FractionalCosts(t *testing.T) {
+	pt, err := E12FractionalCosts(11, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.BoundHolds {
+		t.Errorf("fractional-cost tardiness exceeded one quantum: %s", pt.MaxTardiness)
+	}
+	if pt.SFQResidue <= 0 {
+		t.Error("SFQ should strand the fractional tails")
+	}
+}
+
+func TestTableAndBool(t *testing.T) {
+	out := Table("h1  h2", []string{"a  b", "c  d"})
+	if !strings.Contains(out, "h1") || !strings.Contains(out, "c  d") || !strings.Contains(out, "---") {
+		t.Errorf("table malformed:\n%s", out)
+	}
+	if Bool(true) != "yes" || Bool(false) != "NO" {
+		t.Error("Bool labels wrong")
+	}
+}
+
+// The Fig. 3 counterfactuals: inset (b) — no early yield, no predecessor
+// blocking; inset (c) — the predecessor also yields early, turning the
+// inversion into eligibility blocking.
+func TestFig3Variants(t *testing.T) {
+	b, err := Fig3VariantB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range core.FindBlocking(b, prio.PD2{}) {
+		if e.Kind == core.PredecessorBlocked {
+			t.Errorf("variant (b) still has predecessor blocking: %v", e)
+		}
+	}
+
+	c, err := Fig3VariantC(rat.New(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := core.FindBlocking(c, prio.PD2{})
+	sawElig := false
+	for _, e := range events {
+		if e.Kind == core.PredecessorBlocked {
+			t.Errorf("variant (c) should not have predecessor blocking: %v", e)
+		}
+		if e.Kind == core.EligibilityBlocked && e.T == 2 {
+			sawElig = true
+		}
+	}
+	if !sawElig {
+		t.Errorf("variant (c) should show eligibility blocking at t=2; events: %v", events)
+	}
+	if err := core.CheckPropertyPB(c, prio.PD2{}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteCSVOverExperimentRows(t *testing.T) {
+	pts, err := E1Tightness(DefaultDeltas()[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteCSV(&b, pts); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "Delta,MaxTardiness" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 4 || lines[1] != "1/2,1/2" {
+		t.Errorf("rows = %v", lines)
+	}
+
+	// Nested-struct flattening: E7's rows embed analysis.Summary twice.
+	e7, err := E7Reclamation(3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := WriteCSV(&b, e7); err != nil {
+		t.Fatal(err)
+	}
+	head := strings.Split(strings.TrimSpace(b.String()), "\n")[0]
+	for _, want := range []string{"FullProb", "SFQ.MaxTardiness", "DVQ.MeanResponse"} {
+		if !strings.Contains(head, want) {
+			t.Errorf("flattened header missing %q: %s", want, head)
+		}
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCSV(&b, 42); err == nil {
+		t.Error("non-slice accepted")
+	}
+	if err := WriteCSV(&b, []TightnessPoint{}); err == nil {
+		t.Error("empty slice accepted")
+	}
+	if err := WriteCSV(&b, []int{1}); err == nil {
+		t.Error("slice of non-structs accepted")
+	}
+}

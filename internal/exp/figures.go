@@ -1,0 +1,292 @@
+// Package exp is the experiment harness: one entry point per figure and
+// experiment in DESIGN.md §3, each returning typed results that
+// cmd/figures, cmd/experiments and the root bench suite share. The paper
+// has no measurement tables — its artifacts are worked example figures and
+// theorems — so the "experiments" regenerate each figure's schedule and
+// validate each theorem statistically (see EXPERIMENTS.md for outcomes).
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"desyncpfair/internal/core"
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/prio"
+	"desyncpfair/internal/rat"
+	"desyncpfair/internal/sched"
+	"desyncpfair/internal/sfq"
+	"desyncpfair/internal/trace"
+)
+
+// Fig1System returns the task of Fig. 1 in the requested variant:
+// a weight-3/4 task, periodic (a); with T_3 one unit late (b); with T_2
+// absent and T_3 one unit late (c).
+func Fig1System(variant byte) *model.System {
+	sys := model.NewSystem()
+	tk := sys.AddTask("T", model.W(3, 4))
+	switch variant {
+	case 'a':
+		for i := int64(1); i <= 6; i++ {
+			s := model.Subtask{Task: tk, Index: i}
+			sys.AddSubtask(tk, i, 0, s.Release())
+		}
+	case 'b':
+		sys.AddSubtask(tk, 1, 0, 0)
+		sys.AddSubtask(tk, 2, 0, 1)
+		sys.AddSubtask(tk, 3, 1, 3)
+	case 'c':
+		sys.AddSubtask(tk, 1, 0, 0)
+		sys.AddSubtask(tk, 3, 1, 3)
+	default:
+		panic("exp: Fig1System variant must be 'a', 'b' or 'c'")
+	}
+	return sys
+}
+
+// Fig1 renders the three window diagrams of Fig. 1.
+func Fig1() string {
+	var b strings.Builder
+	for _, v := range []struct {
+		tag  byte
+		desc string
+	}{
+		{'a', "periodic task, weight 3/4 (two jobs shown)"},
+		{'b', "IS task: T_3 eligible one time unit late"},
+		{'c', "GIS task: T_2 absent, T_3 one time unit late"},
+	} {
+		sys := Fig1System(v.tag)
+		fmt.Fprintf(&b, "Fig. 1(%c) — %s\n", v.tag, v.desc)
+		b.WriteString(trace.RenderWindows(sys, sys.Tasks[0]))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Fig2System is the running example of Figs. 2 and 6: tasks A, B, C of
+// weight 1/6 and D, E, F of weight 1/2 (total utilization two).
+func Fig2System() *model.System {
+	return model.Periodic([]model.Weight{
+		model.W(1, 6), model.W(1, 6), model.W(1, 6),
+		model.W(1, 2), model.W(1, 2), model.W(1, 2),
+	}, 6)
+}
+
+// Fig2Yield reproduces Fig. 2(b)'s behaviour: A_1 and F_1 yield δ before
+// the end of their quanta; everything else runs fully.
+func Fig2Yield(delta rat.Rat) sched.YieldFn {
+	c := rat.One.Sub(delta)
+	return func(s *model.Subtask) rat.Rat {
+		if (s.Task.Name == "A" || s.Task.Name == "F") && s.Index == 1 {
+			return c
+		}
+		return rat.One
+	}
+}
+
+// Fig2 regenerates all three insets of Fig. 2 (δ = 1/4 for legibility) and
+// reports F_2's DVQ tardiness, the paper's miss example.
+func Fig2() (string, error) {
+	delta := rat.New(1, 4)
+	var b strings.Builder
+
+	sfqSched, err := sfq.Run(Fig2System(), sfq.Options{M: 2})
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "Fig. 2(a) — PD² under the SFQ model (all deadlines met):\n%s\n", trace.RenderSlots(sfqSched))
+
+	dvq, err := core.RunDVQ(Fig2System(), core.DVQOptions{M: 2, Yield: Fig2Yield(delta)})
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "Fig. 2(b) — PD² under the DVQ model, A_1 and F_1 yield at 2−δ (δ=%s):\n%s", delta, trace.RenderTimeline(dvq))
+	fmt.Fprintf(&b, "max tardiness: %s (F_2, deadline 4, completes 5−δ)\n\n", dvq.MaxTardiness())
+
+	pdb, err := core.RunPDB(Fig2System(), core.PDBOptions{M: 2})
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "Fig. 2(c) — PD^B in the SFQ model (DVQ allocations postponed to boundaries):\n%s", trace.RenderSlots(pdb.Schedule))
+	fmt.Fprintf(&b, "max tardiness: %s\n", pdb.Schedule.MaxTardiness())
+	fmt.Fprintf(&b, "\nPD^B decision trace (EB/PB/DB partitions per slot):\n%s", trace.RenderPDBTrace(pdb.Slots))
+	return b.String(), nil
+}
+
+// Fig3System reconstructs the predecessor-blocking scenario of Fig. 3 (the
+// paper does not give its task parameters — see DESIGN.md §5). Five tasks
+// on three processors: V (weight 1), W (3/4, with W_2 released one slot
+// late), W′ (3/5), U (3/5) and X (1/30); total utilization 2 + 59/60.
+// With V_2 yielding δ early, X_1 grabs the freed processor mid-slot and U_2
+// — ready exactly at time 2 because U_1 executes up to 2 — is
+// predecessor-blocked by X_1 while V_3 and W_2 (eligibility exactly 2,
+// priority ≥ U_2) take the two processors that free on the boundary.
+func Fig3System(horizon int64) *model.System {
+	sys := model.NewSystem()
+	v := sys.AddTask("V", model.W(1, 1))
+	w := sys.AddTask("W", model.W(3, 4))
+	wp := sys.AddTask("W'", model.W(3, 5))
+	u := sys.AddTask("U", model.W(3, 5))
+	x := sys.AddTask("X", model.W(1, 30))
+	addUpTo := func(t *model.Task, theta func(i int64) int64) {
+		for i := int64(1); ; i++ {
+			th := theta(i)
+			s := model.Subtask{Task: t, Index: i, Theta: th}
+			if s.Release() >= horizon {
+				break
+			}
+			sys.AddSubtask(t, i, th, s.Release())
+		}
+	}
+	zero := func(int64) int64 { return 0 }
+	addUpTo(v, zero)
+	addUpTo(w, func(i int64) int64 { // W_2 onward released one slot late
+		if i >= 2 {
+			return 1
+		}
+		return 0
+	})
+	addUpTo(wp, zero)
+	addUpTo(u, zero)
+	addUpTo(x, zero)
+	return sys
+}
+
+// Fig3Yield makes V_2 yield δ early; everything else runs fully.
+func Fig3Yield(delta rat.Rat) sched.YieldFn {
+	c := rat.One.Sub(delta)
+	return func(s *model.Subtask) rat.Rat {
+		if s.Task.Name == "V" && s.Index == 2 {
+			return c
+		}
+		return rat.One
+	}
+}
+
+// Fig3 runs the reconstruction, renders the DVQ timeline, lists the
+// blocking events, and verifies Property PB on the schedule.
+func Fig3() (string, []core.BlockingEvent, error) {
+	delta := rat.New(1, 4)
+	sys := Fig3System(5)
+	dq, err := core.RunDVQ(sys, core.DVQOptions{M: 3, Yield: Fig3Yield(delta)})
+	if err != nil {
+		return "", nil, err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 3 (reconstruction) — predecessor blocking under PD²-DVQ (δ=%s):\n%s", delta, trace.RenderTimeline(dq))
+	events := core.FindBlocking(dq, prio.PD2{})
+	for _, e := range events {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	if err := core.CheckPropertyPB(dq, prio.PD2{}); err != nil {
+		return b.String(), events, fmt.Errorf("Property PB violated: %w", err)
+	}
+	b.WriteString("  Property PB verified: every blocked set has its witness set 𝒱.\n")
+	return b.String(), events, nil
+}
+
+// Fig4 demonstrates the Aligned/Olapped/Free classification and the S_B
+// construction on a single-processor DVQ fragment, as in Fig. 4.
+func Fig4() (string, error) {
+	// A one-processor system with mixed yields produces all three classes.
+	sys := model.Periodic([]model.Weight{model.W(1, 2), model.W(1, 4), model.W(1, 4)}, 8)
+	y := func(s *model.Subtask) rat.Rat {
+		switch (s.Task.ID + int(s.Index)) % 3 {
+		case 0:
+			return rat.One
+		case 1:
+			return rat.New(3, 4)
+		default:
+			return rat.New(1, 2)
+		}
+	}
+	dq, err := core.RunDVQ(sys, core.DVQOptions{M: 1, Yield: y})
+	if err != nil {
+		return "", err
+	}
+	tr := core.BuildSB(dq)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 4(a) — single-processor DVQ schedule with classification:\n%s", trace.RenderTimeline(dq))
+	for _, a := range dq.Assignments() {
+		fmt.Fprintf(&b, "  %-6s [%s,%s)  %s\n", a.Sub.String(), a.Start, a.Finish(), tr.Class[a.Sub])
+	}
+	b.WriteString("\nFig. 4(b) — S_B for the Charged subtasks (Olapped postponed to boundaries):\n")
+	for _, a := range dq.Assignments() {
+		if bAsg, ok := tr.B[a.Sub]; ok {
+			fmt.Fprintf(&b, "  %-6s slot %d (was %s)\n", a.Sub.String(), bAsg.Start.Int(), a.Start)
+		}
+	}
+	if err := tr.CheckLemma3(); err != nil {
+		return b.String(), err
+	}
+	if err := tr.CheckSBStructure(); err != nil {
+		return b.String(), err
+	}
+	b.WriteString("Lemma 3 and the S_B structure verified.\n")
+	return b.String(), nil
+}
+
+// Fig6 regenerates the three insets of Fig. 6: the PD^B schedule with its
+// rank order, the 0-compliant right-shifted PD² schedule, and the
+// 4-compliant system.
+func Fig6() (string, error) {
+	sys := Fig2System()
+	pdb, err := core.RunPDB(sys, core.PDBOptions{M: 2})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 6(a) — PD^B schedule S_B (F_2 misses by one quantum):\n%s", trace.RenderSlots(pdb.Schedule))
+	b.WriteString("ranks: ")
+	for i, sub := range pdb.Schedule.Ranks() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d:%s", i+1, sub)
+	}
+	b.WriteString("\n\n")
+
+	for _, k := range []int{0, 4, sys.NumSubtasks()} {
+		res, err := core.RunCompliant(sys, pdb, k)
+		if err != nil {
+			return b.String(), err
+		}
+		label := fmt.Sprintf("%d-compliant", k)
+		switch k {
+		case 0:
+			label += " (Fig. 6(b): plain PD² on the right-shifted system)"
+		case 4:
+			label += " (Fig. 6(c))"
+		default:
+			label += " (k = n: all of S_B pinned — Theorem 2 certified)"
+		}
+		fmt.Fprintf(&b, "Fig. 6 — %s:\n%s", label, trace.RenderSlots(res.Schedule))
+		if err := res.Schedule.ValidatePfair(); err != nil {
+			return b.String(), fmt.Errorf("k=%d schedule invalid: %w", k, err)
+		}
+		b.WriteString("valid: every subtask inside its shifted IS-window.\n\n")
+	}
+	return b.String(), nil
+}
+
+// Fig3VariantB is the counterfactual of Fig. 3(b): the early yield that
+// frees a processor mid-slot does not happen, and the predecessor blocking
+// disappears. (All subtasks run full quanta.)
+func Fig3VariantB() (*sched.Schedule, error) {
+	return core.RunDVQ(Fig3System(5), core.DVQOptions{M: 3})
+}
+
+// Fig3VariantC is the counterfactual of Fig. 3(c): the blocked subtask's
+// own predecessor also yields early, so the subtask starts mid-slot and the
+// inversion turns into *eligibility* blocking of the subtask released
+// exactly at the boundary — exactly the paper's inset (c) phenomenon.
+func Fig3VariantC(delta rat.Rat) (*sched.Schedule, error) {
+	c := rat.One.Sub(delta)
+	y := func(s *model.Subtask) rat.Rat {
+		if (s.Task.Name == "V" && s.Index == 2) || (s.Task.Name == "U" && s.Index == 1) {
+			return c
+		}
+		return rat.One
+	}
+	return core.RunDVQ(Fig3System(5), core.DVQOptions{M: 3, Yield: y})
+}

@@ -1,0 +1,183 @@
+package exp
+
+import (
+	"math/rand"
+
+	"desyncpfair/internal/analysis"
+	"desyncpfair/internal/core"
+	"desyncpfair/internal/gen"
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/prio"
+	"desyncpfair/internal/rat"
+)
+
+// E18: policy comparison matrix under the DVQ model. The paper proves the
+// bound for PD² and remarks it extends to prior algorithms; this table
+// puts EPDF, PF, PD and PD² side by side on identical workloads and
+// yields.
+
+// PolicyPoint is one policy row of E18.
+type PolicyPoint struct {
+	Policy       string
+	Trials       int
+	Subtasks     int
+	Misses       int
+	MaxTardiness rat.Rat
+	MeanResponse float64
+}
+
+// E18PolicyMatrix runs every policy over the same random feasible systems
+// under DVQ with uniform yields.
+func E18PolicyMatrix(seed int64, trials, m int) ([]PolicyPoint, error) {
+	pols := prio.All()
+	pts := make([]PolicyPoint, len(pols))
+	for i, p := range pols {
+		pts[i] = PolicyPoint{Policy: p.Name(), MaxTardiness: rat.Zero}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < trials; trial++ {
+		sys := randomSystem(rng, m, true)
+		y := gen.UniformYield(seed+int64(trial), 8)
+		for i, p := range pols {
+			s, err := core.RunDVQ(sys, core.DVQOptions{M: m, Policy: p, Yield: y})
+			if err != nil {
+				return nil, err
+			}
+			sum := analysis.Summarize(s)
+			pts[i].Trials++
+			pts[i].Subtasks += sum.Subtasks
+			pts[i].Misses += sum.Misses
+			pts[i].MaxTardiness = rat.Max(pts[i].MaxTardiness, sum.MaxTardiness)
+			pts[i].MeanResponse += sum.MeanResponse
+		}
+	}
+	for i := range pts {
+		if pts[i].Trials > 0 {
+			pts[i].MeanResponse /= float64(pts[i].Trials)
+		}
+	}
+	return pts, nil
+}
+
+// E19: does the paper's M = 2 tightness construction scale by replication?
+// Running M/2 independent copies of the Fig. 2 task set on M processors
+// does NOT simply replicate the worst case: the global scheduler mixes the
+// copies and partially absorbs the blocking. Measured: tardiness is
+// exactly 1−δ at M = 2 but dampens (to 3/4 at δ = 1/8) for every larger
+// even M — worst-case constructions are per-M, not compositional, even
+// though the one-quantum *bound* holds uniformly.
+
+// TightnessByMPoint is one machine size of E19.
+type TightnessByMPoint struct {
+	M                   int
+	MaxTardiness        rat.Rat
+	EqualsOneMinusDelta bool
+}
+
+// E19TightnessByM builds M/2 copies of the Fig. 2 task set, applies the
+// adversarial yield to each copy's A_1 and F_1, and measures tardiness
+// under PD²-DVQ.
+func E19TightnessByM(delta rat.Rat, ms []int) ([]TightnessByMPoint, error) {
+	want := rat.One.Sub(delta)
+	var out []TightnessByMPoint
+	for _, m := range ms {
+		if m%2 != 0 {
+			continue
+		}
+		sys := model.NewSystem()
+		pairs := m / 2
+		victims := map[string]bool{}
+		for p := 0; p < pairs; p++ {
+			for _, w := range []struct {
+				base string
+				wt   model.Weight
+			}{
+				{"A", model.W(1, 6)}, {"B", model.W(1, 6)}, {"C", model.W(1, 6)},
+				{"D", model.W(1, 2)}, {"E", model.W(1, 2)}, {"F", model.W(1, 2)},
+			} {
+				name := w.base
+				if pairs > 1 {
+					name = w.base + string(rune('0'+p))
+				}
+				sys.AddPeriodic(name, w.wt, 6)
+				if w.base == "A" || w.base == "F" {
+					victims[name] = true
+				}
+			}
+		}
+		c := rat.One.Sub(delta)
+		y := func(s *model.Subtask) rat.Rat {
+			if victims[s.Task.Name] && s.Index == 1 {
+				return c
+			}
+			return rat.One
+		}
+		s, err := core.RunDVQ(sys, core.DVQOptions{M: m, Yield: y})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TightnessByMPoint{
+			M:                   m,
+			MaxTardiness:        s.MaxTardiness(),
+			EqualsOneMinusDelta: s.MaxTardiness().Equal(want),
+		})
+	}
+	return out, nil
+}
+
+// E20: sensitivity of the bound to IS/GIS dynamics. Theorem 3 covers
+// every feasible GIS system; the sweep turns up release jitter and
+// subtask omission rates to confirm the guarantee is insensitive to the
+// dynamics (while misses and blocking vary).
+
+// DynamicsPoint is one (jitter, omission) cell of E20.
+type DynamicsPoint struct {
+	JitterPct    int
+	OmitPct      int
+	Trials       int
+	Subtasks     int
+	Misses       int
+	MaxTardiness rat.Rat
+	Blocking     int // eligibility + predecessor events observed
+}
+
+// E20Dynamics sweeps IS jitter and GIS omission probabilities under
+// PD²-DVQ with adversarial yields.
+func E20Dynamics(seed int64, trials, m int) ([]DynamicsPoint, error) {
+	var out []DynamicsPoint
+	for _, jit := range []int{0, 20, 40} {
+		for _, omit := range []int{0, 20} {
+			rng := rand.New(rand.NewSource(seed + int64(100*jit+omit)))
+			pt := DynamicsPoint{JitterPct: jit, OmitPct: omit, MaxTardiness: rat.Zero}
+			for trial := 0; trial < trials; trial++ {
+				q := int64(6 + rng.Intn(6))
+				n := m + 1 + rng.Intn(m)
+				for int64(n) > int64(m)*q {
+					n--
+				}
+				ws := gen.GridWeights(rng, n, q, int64(m)*q, gen.MixedWeights)
+				sys := gen.System(rng, ws, gen.SystemOptions{
+					Horizon:    3 * q,
+					JitterProb: jit,
+					MaxJitter:  2,
+					OmitProb:   omit,
+				})
+				s, err := core.RunDVQ(sys, core.DVQOptions{
+					M:     m,
+					Yield: gen.AdversarialYield(rat.New(1, 16), nil),
+				})
+				if err != nil {
+					return nil, err
+				}
+				st := core.CountBlocking(s, prio.PD2{})
+				pt.Trials++
+				pt.Subtasks += s.Len()
+				pt.Misses += s.MissCount()
+				pt.MaxTardiness = rat.Max(pt.MaxTardiness, s.MaxTardiness())
+				pt.Blocking += st.Eligibility + st.Predecessor
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,132 @@
+// Package host closes the loop between the online executive and real
+// durations: tasks are registered with a Work function, one schedule
+// quantum corresponds to a configured clock duration, and the time each
+// Work call reports consuming becomes the subtask's actual execution cost
+// — which is exactly what the DVQ model reclaims when a quantum ends
+// early. With the fake clock the host is a deterministic simulation; with
+// the wall clock it paces dispatches in real time.
+package host
+
+import (
+	"fmt"
+	"time"
+
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/online"
+	"desyncpfair/internal/prio"
+	"desyncpfair/internal/rat"
+	"desyncpfair/internal/replay"
+	"desyncpfair/internal/sched"
+)
+
+// Work executes (or simulates) one quantum of a task's job and returns how
+// much of the budget it actually used. Returns ≤ 0 or > budget are clamped
+// into (0, budget].
+type Work func(budget time.Duration) time.Duration
+
+// Config configures a Host.
+type Config struct {
+	M       int
+	Quantum time.Duration // real duration of one schedule time unit
+	Policy  prio.Policy   // nil selects PD²
+	Clock   replay.Clock  // nil selects the wall clock
+}
+
+// Host drives an online executive against a clock.
+type Host struct {
+	cfg   Config
+	ex    *online.Executive
+	work  map[int]Work
+	start time.Time
+}
+
+// New creates a host. The quantum must be positive.
+func New(cfg Config) (*Host, error) {
+	if cfg.M < 1 {
+		return nil, fmt.Errorf("host: M = %d", cfg.M)
+	}
+	if cfg.Quantum <= 0 {
+		return nil, fmt.Errorf("host: quantum %v", cfg.Quantum)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = replay.WallClock{}
+	}
+	h := &Host{
+		cfg:  cfg,
+		ex:   online.New(cfg.M, cfg.Policy),
+		work: map[int]Work{},
+	}
+	h.start = cfg.Clock.Now()
+	return h, nil
+}
+
+// Register adds a task (admission-controlled by the executive) with its
+// work function.
+func (h *Host) Register(name string, w model.Weight, fn Work) (*model.Task, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("host: task %s has no work function", name)
+	}
+	t, err := h.ex.Register(name, w)
+	if err != nil {
+		return nil, err
+	}
+	h.work[t.ID] = fn
+	return t, nil
+}
+
+// Submit releases one job of t at the clock's current virtual time.
+func (h *Host) Submit(t *model.Task) error {
+	return h.ex.SubmitJob(t, h.virtualNow())
+}
+
+// virtualNow converts elapsed clock time to schedule time.
+func (h *Host) virtualNow() rat.Rat {
+	elapsed := h.cfg.Clock.Now().Sub(h.start)
+	return rat.New(int64(elapsed), int64(h.cfg.Quantum))
+}
+
+// yield runs the dispatched subtask's work function and converts the used
+// duration to an exact cost in (0, 1].
+func (h *Host) yield(sub *model.Subtask) rat.Rat {
+	used := h.work[sub.Task.ID](h.cfg.Quantum)
+	if used <= 0 {
+		used = 1 // at least a nanosecond: costs must be positive
+	}
+	if used > h.cfg.Quantum {
+		used = h.cfg.Quantum
+	}
+	return rat.New(int64(used), int64(h.cfg.Quantum))
+}
+
+// RunFor advances the host by d of clock time, pacing quantum by quantum:
+// it sleeps the clock to each upcoming schedule boundary and lets the
+// executive dispatch everything due, feeding measured costs back in.
+func (h *Host) RunFor(d time.Duration) error {
+	deadline := h.cfg.Clock.Now().Add(d)
+	for {
+		now := h.cfg.Clock.Now()
+		if !now.Before(deadline) {
+			return h.ex.Run(h.virtualNow(), h.yield, nil)
+		}
+		// Next quantum boundary after now (in clock time).
+		elapsed := now.Sub(h.start)
+		next := h.start.Add((elapsed/h.cfg.Quantum + 1) * h.cfg.Quantum)
+		if next.After(deadline) {
+			next = deadline
+		}
+		h.cfg.Clock.Sleep(next.Sub(now))
+		if err := h.ex.Run(h.virtualNow(), h.yield, nil); err != nil {
+			return err
+		}
+	}
+}
+
+// Drain dispatches everything still pending (without pacing) and returns
+// the completed schedule time.
+func (h *Host) Drain() (rat.Rat, error) { return h.ex.Drain(h.yield) }
+
+// Schedule exposes the executive's schedule for analysis.
+func (h *Host) Schedule() *sched.Schedule { return h.ex.Schedule() }
+
+// Executive exposes the underlying executive (e.g. for SubmitJobEarly).
+func (h *Host) Executive() *online.Executive { return h.ex }

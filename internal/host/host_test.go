@@ -1,0 +1,197 @@
+package host
+
+import (
+	"testing"
+	"time"
+
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/rat"
+	"desyncpfair/internal/replay"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{M: 0, Quantum: time.Millisecond}); err == nil {
+		t.Error("M=0 accepted")
+	}
+	if _, err := New(Config{M: 1, Quantum: 0}); err == nil {
+		t.Error("zero quantum accepted")
+	}
+}
+
+func TestRegisterRequiresWorkAndAdmission(t *testing.T) {
+	h, err := New(Config{M: 1, Quantum: time.Millisecond, Clock: &replay.FakeClock{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Register("x", model.W(1, 2), nil); err == nil {
+		t.Error("nil work accepted")
+	}
+	busy := func(budget time.Duration) time.Duration { return budget }
+	if _, err := h.Register("a", model.W(1, 1), busy); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Register("b", model.W(1, 2), busy); err == nil {
+		t.Error("overload admitted")
+	}
+}
+
+// A closed-loop run on the fake clock: work that uses half its budget
+// produces cost-1/2 quanta, the executive reclaims the residue (DVQ), and
+// measured budgets arrive as exactly one quantum.
+func TestClosedLoopMeasuredCosts(t *testing.T) {
+	clk := &replay.FakeClock{T: time.Unix(0, 0)}
+	h, err := New(Config{M: 1, Quantum: time.Millisecond, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var budgets []time.Duration
+	halfWork := func(budget time.Duration) time.Duration {
+		budgets = append(budgets, budget)
+		return budget / 2
+	}
+	// Two tasks, both eligible at 0, one processor: when A_1 yields at
+	// 1/2, the DVQ rule hands the residue to B_1 immediately.
+	a, err := h.Register("A", model.W(1, 2), halfWork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Register("B", model.W(1, 2), halfWork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Submit(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Submit(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RunFor(4 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	s := h.Schedule()
+	if s.Len() != 2 {
+		t.Fatalf("dispatched %d subtasks, want 2", s.Len())
+	}
+	for _, bd := range budgets {
+		if bd != time.Millisecond {
+			t.Errorf("budget = %v, want 1ms", bd)
+		}
+	}
+	for _, asg := range s.Assignments() {
+		if !asg.Cost.Equal(rat.New(1, 2)) {
+			t.Errorf("%s cost = %s, want 1/2", asg.Sub, asg.Cost)
+		}
+	}
+	// DVQ reclamation: B_1 starts the moment A_1's half-quantum ends.
+	second := s.Assignments()[1]
+	if !second.Start.Equal(rat.New(1, 2)) {
+		t.Errorf("B_1 started at %s, want 1/2 (residue reclaimed)", second.Start)
+	}
+	if err := s.ValidateDVQ(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// RunFor paces the fake clock quantum by quantum up to the deadline.
+func TestRunForPacesClock(t *testing.T) {
+	clk := &replay.FakeClock{T: time.Unix(0, 0)}
+	h, err := New(Config{M: 1, Quantum: time.Millisecond, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RunFor(5 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := clk.Now().Sub(time.Unix(0, 0)); got != 5*time.Millisecond {
+		t.Errorf("clock advanced %v, want 5ms", got)
+	}
+}
+
+// Cost clamping: work reporting zero or overlong usage stays in (0, 1].
+func TestCostClamping(t *testing.T) {
+	clk := &replay.FakeClock{T: time.Unix(0, 0)}
+	h, err := New(Config{M: 2, Quantum: time.Millisecond, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := func(time.Duration) time.Duration { return 0 }
+	over := func(budget time.Duration) time.Duration { return 5 * budget }
+	a, err := h.Register("A", model.W(1, 2), zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Register("B", model.W(1, 2), over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Submit(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Submit(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for _, asg := range h.Schedule().Assignments() {
+		if asg.Cost.Sign() <= 0 || rat.One.Less(asg.Cost) {
+			t.Errorf("%s cost %s outside (0,1]", asg.Sub, asg.Cost)
+		}
+	}
+}
+
+// Theorem 3 end to end through the host: sporadic submissions, noisy work,
+// tardiness stays within a quantum.
+func TestHostBoundHolds(t *testing.T) {
+	clk := &replay.FakeClock{T: time.Unix(0, 0)}
+	h, err := New(Config{M: 2, Quantum: time.Millisecond, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []struct {
+		name string
+		w    model.Weight
+		frac int64 // used = budget·frac/8
+	}{
+		{"a", model.W(1, 2), 8}, {"b", model.W(1, 2), 5},
+		{"c", model.W(1, 3), 3}, {"d", model.W(2, 3), 7},
+	}
+	tasks := make([]*model.Task, len(kinds))
+	for i, k := range kinds {
+		frac := k.frac
+		tasks[i], err = h.Register(k.name, k.w, func(budget time.Duration) time.Duration {
+			return budget / 8 * time.Duration(frac)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < 8; round++ {
+		for i, k := range kinds {
+			if int64(round)%k.w.P == 0 {
+				if err := h.Submit(tasks[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := h.RunFor(time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := h.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	s := h.Schedule()
+	if err := s.ValidateDVQ(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MaxTardiness(); rat.One.Less(got) {
+		t.Fatalf("host tardiness %s > 1", got)
+	}
+	if h.Executive() == nil {
+		t.Fatal("executive accessor broken")
+	}
+}

@@ -1,0 +1,88 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON interchange for task systems. The format is explicit about the GIS
+// structure so systems round-trip exactly:
+//
+//	{
+//	  "tasks": [
+//	    {"name": "A", "e": 1, "p": 2,
+//	     "subtasks": [{"i": 1, "theta": 0, "elig": 0}, …]},
+//	    {"name": "B", "e": 3, "p": 4, "periodicUntil": 12}
+//	  ]
+//	}
+//
+// A task carries either an explicit subtask list (IS/GIS) or
+// "periodicUntil" (synchronous periodic: all subtasks with release <
+// horizon are generated on load). Decoding validates the result.
+
+type jsonSubtask struct {
+	Index int64 `json:"i"`
+	Theta int64 `json:"theta,omitempty"`
+	Elig  int64 `json:"elig"`
+}
+
+type jsonTask struct {
+	Name          string        `json:"name"`
+	E             int64         `json:"e"`
+	P             int64         `json:"p"`
+	Subtasks      []jsonSubtask `json:"subtasks,omitempty"`
+	PeriodicUntil int64         `json:"periodicUntil,omitempty"`
+}
+
+type jsonSystem struct {
+	Tasks []jsonTask `json:"tasks"`
+}
+
+// MarshalJSON encodes the system with explicit subtask lists.
+func (sys *System) MarshalJSON() ([]byte, error) {
+	out := jsonSystem{Tasks: make([]jsonTask, 0, len(sys.Tasks))}
+	for _, t := range sys.Tasks {
+		jt := jsonTask{Name: t.Name, E: t.W.E, P: t.W.P}
+		for _, s := range sys.Subtasks(t) {
+			jt.Subtasks = append(jt.Subtasks, jsonSubtask{Index: s.Index, Theta: s.Theta, Elig: s.Elig})
+		}
+		out.Tasks = append(out.Tasks, jt)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes either representation and validates the system.
+func (sys *System) UnmarshalJSON(data []byte) error {
+	var in jsonSystem
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*sys = *NewSystem()
+	for _, jt := range in.Tasks {
+		w := W(jt.E, jt.P)
+		if err := w.Validate(); err != nil {
+			return err
+		}
+		if len(jt.Subtasks) > 0 && jt.PeriodicUntil > 0 {
+			return fmt.Errorf("model: task %q has both subtasks and periodicUntil", jt.Name)
+		}
+		if len(jt.Subtasks) == 0 && jt.PeriodicUntil == 0 {
+			return fmt.Errorf("model: task %q has neither subtasks nor periodicUntil", jt.Name)
+		}
+		t := sys.AddTask(jt.Name, w)
+		if jt.PeriodicUntil > 0 {
+			for i := int64(1); ; i++ {
+				s := Subtask{Task: t, Index: i}
+				if s.Release() >= jt.PeriodicUntil {
+					break
+				}
+				sys.AddSubtask(t, i, 0, s.Release())
+			}
+			continue
+		}
+		for _, js := range jt.Subtasks {
+			sys.AddSubtask(t, js.Index, js.Theta, js.Elig)
+		}
+	}
+	return sys.Validate()
+}

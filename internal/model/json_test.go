@@ -1,0 +1,76 @@
+package model
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	sys := NewSystem()
+	tk := sys.AddTask("A", W(3, 4))
+	sys.AddSubtask(tk, 1, 0, 0)
+	sys.AddSubtask(tk, 3, 1, 3) // GIS omission + IS shift
+	sys.AddPeriodic("B", W(1, 2), 8)
+
+	data, err := json.Marshal(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back System
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Tasks) != 2 {
+		t.Fatalf("tasks = %d", len(back.Tasks))
+	}
+	if back.NumSubtasks() != sys.NumSubtasks() {
+		t.Fatalf("subtasks %d vs %d", back.NumSubtasks(), sys.NumSubtasks())
+	}
+	for ti, task := range sys.Tasks {
+		bt := back.Tasks[ti]
+		if bt.Name != task.Name || bt.W != task.W {
+			t.Errorf("task %d differs: %v vs %v", ti, bt, task)
+		}
+		bs, os := back.Subtasks(bt), sys.Subtasks(task)
+		for k := range os {
+			if bs[k].Index != os[k].Index || bs[k].Theta != os[k].Theta || bs[k].Elig != os[k].Elig {
+				t.Errorf("subtask %d of %s differs", k, task)
+			}
+		}
+	}
+}
+
+func TestJSONPeriodicShorthand(t *testing.T) {
+	data := []byte(`{"tasks":[{"name":"T","e":3,"p":4,"periodicUntil":8}]}`)
+	var sys System
+	if err := json.Unmarshal(data, &sys); err != nil {
+		t.Fatal(err)
+	}
+	want := Periodic([]Weight{W(3, 4)}, 8)
+	if sys.NumSubtasks() != want.NumSubtasks() {
+		t.Fatalf("subtasks %d, want %d", sys.NumSubtasks(), want.NumSubtasks())
+	}
+	for k, s := range sys.Subtasks(sys.Tasks[0]) {
+		w := want.Subtasks(want.Tasks[0])[k]
+		if s.Index != w.Index || s.Elig != w.Elig {
+			t.Errorf("subtask %d differs", k)
+		}
+	}
+}
+
+func TestJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{"tasks":[{"name":"T","e":3,"p":2,"periodicUntil":8}]}`,                              // weight > 1
+		`{"tasks":[{"name":"T","e":1,"p":2}]}`,                                                // neither form
+		`{"tasks":[{"name":"T","e":1,"p":2,"periodicUntil":4,"subtasks":[{"i":1}]}]}`,         // both forms
+		`{"tasks":[{"name":"T","e":1,"p":2,"subtasks":[{"i":1,"elig":5}]}]}`,                  // e > r
+		`{"tasks":[{"name":"T","e":1,"p":2,"subtasks":[{"i":2,"elig":0},{"i":1,"elig":0}]}]}`, // index order
+		`not json`,
+	}
+	for _, c := range cases {
+		var sys System
+		if err := json.Unmarshal([]byte(c), &sys); err == nil {
+			t.Errorf("accepted invalid input %q", c)
+		}
+	}
+}

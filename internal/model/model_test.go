@@ -1,0 +1,486 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+
+	"desyncpfair/internal/rat"
+)
+
+// fig1a is the canonical example of Fig. 1(a): the first job of a periodic
+// task of weight 3/4 consists of subtasks T_1..T_3 with windows [0,2),
+// [1,3), [2,4).
+func TestFig1aWindows(t *testing.T) {
+	sys := NewSystem()
+	tk := sys.AddTask("T", W(3, 4))
+	want := []struct {
+		i, r, d int64
+		b       int
+	}{
+		{1, 0, 2, 1},
+		{2, 1, 3, 1},
+		{3, 2, 4, 0},
+		// second job repeats the pattern shifted by the period
+		{4, 4, 6, 1},
+		{5, 5, 7, 1},
+		{6, 6, 8, 0},
+	}
+	for _, w := range want {
+		s := Subtask{Task: tk, Index: w.i}
+		if s.Release() != w.r || s.Deadline() != w.d {
+			t.Errorf("T_%d window = [%d,%d), want [%d,%d)", w.i, s.Release(), s.Deadline(), w.r, w.d)
+		}
+		if s.BBit() != w.b {
+			t.Errorf("b(T_%d) = %d, want %d", w.i, s.BBit(), w.b)
+		}
+	}
+}
+
+// Fig. 1(b): the IS variant where T_3 becomes eligible one time unit late,
+// i.e. its window is right-shifted by one: [3,5).
+func TestFig1bISShift(t *testing.T) {
+	sys := NewSystem()
+	tk := sys.AddTask("T", W(3, 4))
+	sys.AddSubtask(tk, 1, 0, 0)
+	sys.AddSubtask(tk, 2, 0, 1)
+	s3 := sys.AddSubtask(tk, 3, 1, 3)
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s3.Release() != 3 || s3.Deadline() != 5 {
+		t.Errorf("IS-shifted T_3 window = [%d,%d), want [3,5)", s3.Release(), s3.Deadline())
+	}
+}
+
+// Fig. 1(c): the GIS variant where T_2 is absent and T_3 is one unit late.
+func TestFig1cGISOmission(t *testing.T) {
+	sys := NewSystem()
+	tk := sys.AddTask("T", W(3, 4))
+	s1 := sys.AddSubtask(tk, 1, 0, 0)
+	s3 := sys.AddSubtask(tk, 3, 1, 3)
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Successor(s1); got != s3 {
+		t.Errorf("successor of T_1 = %v, want T_3", got)
+	}
+	if got := sys.Predecessor(s3); got != s1 {
+		t.Errorf("predecessor of T_3 = %v, want T_1", got)
+	}
+	if sys.Predecessor(s1) != nil {
+		t.Error("T_1 should have no predecessor")
+	}
+	if sys.Successor(s3) != nil {
+		t.Error("T_3 should have no successor")
+	}
+}
+
+func TestWeightValidate(t *testing.T) {
+	for _, w := range []Weight{{0, 1}, {1, 0}, {-1, 2}, {3, 2}} {
+		if err := w.Validate(); err == nil {
+			t.Errorf("Weight %v should be invalid", w)
+		}
+	}
+	for _, w := range []Weight{{1, 1}, {1, 2}, {999, 1000}} {
+		if err := w.Validate(); err != nil {
+			t.Errorf("Weight %v should be valid: %v", w, err)
+		}
+	}
+}
+
+func TestIsHeavy(t *testing.T) {
+	cases := []struct {
+		w     Weight
+		heavy bool
+	}{
+		{W(1, 2), true},
+		{W(1, 1), true},
+		{W(3, 4), true},
+		{W(1, 3), false},
+		{W(49, 100), false},
+		{W(50, 100), true},
+	}
+	for _, c := range cases {
+		if got := c.w.IsHeavy(); got != c.heavy {
+			t.Errorf("IsHeavy(%v) = %v, want %v", c.w, got, c.heavy)
+		}
+	}
+}
+
+func TestGroupDeadlineClosedFormExamples(t *testing.T) {
+	cases := []struct {
+		w    Weight
+		i, d int64
+	}{
+		{W(3, 4), 1, 4}, // cascade [0,2),[1,3),[2,4) ends at 4
+		{W(3, 4), 2, 4},
+		{W(3, 4), 3, 4},
+		{W(3, 4), 4, 8},
+		{W(5, 7), 1, 4},
+		{W(7, 9), 1, 5}, // ends one slot before the length-3 window [3,6)
+		{W(4, 7), 1, 3},
+		{W(1, 2), 1, 0}, // b-bit always 0: D unused, defined 0 here? no — wt 1/2 is heavy
+	}
+	for _, c := range cases[:len(cases)-1] {
+		s := Subtask{Task: &Task{W: c.w}, Index: c.i}
+		if got := s.GroupDeadline(); got != c.d {
+			t.Errorf("D(%v, i=%d) = %d, want %d", c.w, c.i, got, c.d)
+		}
+	}
+	// wt = 1/2 is heavy but its cascade ends immediately at its own deadline
+	// (all b-bits are 0): D(T_i) = d(T_i).
+	s := Subtask{Task: &Task{W: W(1, 2)}, Index: 1}
+	if got := s.GroupDeadline(); got != 2 {
+		t.Errorf("D(1/2, i=1) = %d, want 2", got)
+	}
+}
+
+func TestGroupDeadlineLightAndFullWeight(t *testing.T) {
+	light := Subtask{Task: &Task{W: W(1, 3)}, Index: 1}
+	if got := light.GroupDeadline(); got != 0 {
+		t.Errorf("light task D = %d, want 0", got)
+	}
+	full := Subtask{Task: &Task{W: W(1, 1)}, Index: 5}
+	if got := full.GroupDeadline(); got != 0 {
+		t.Errorf("weight-1 task D = %d, want 0", got)
+	}
+	if full.BBit() != 0 {
+		t.Error("weight-1 task should have b = 0")
+	}
+}
+
+// The closed form must agree with the windows-based scan definition for all
+// heavy weights and indices.
+func TestPropGroupDeadlineClosedFormMatchesScan(t *testing.T) {
+	f := func(e, p uint8, iRaw uint16) bool {
+		E, P := int64(e%50)+1, int64(p%50)+1
+		if E > P {
+			E, P = P, E
+		}
+		if 2*E < P || E == P {
+			return true // not heavy, or weight 1: D = 0 by definition
+		}
+		i := int64(iRaw%200) + 1
+		s := Subtask{Task: &Task{W: Weight{E, P}}, Index: i, Theta: int64(iRaw % 7)}
+		return s.GroupDeadline() == s.GroupDeadlineByScan()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Window invariants for arbitrary weights, indices, offsets:
+// r < d, windows of consecutive indices are ordered, window length ∈
+// {⌈1/w⌉−? …}: at least ⌊1/w⌋ and at most ⌈1/w⌉+1... we assert the tight
+// classical bounds: |w(T_i)| ∈ {⌈p/e⌉, ⌈p/e⌉+1} when e ∤ ip boundaries vary;
+// we check the weaker exact facts that are load-bearing for the schedulers.
+func TestPropWindowInvariants(t *testing.T) {
+	f := func(e, p uint8, iRaw uint16, th uint8) bool {
+		E, P := int64(e%30)+1, int64(p%30)+1
+		if E > P {
+			E, P = P, E
+		}
+		i := int64(iRaw%500) + 1
+		tk := &Task{W: Weight{E, P}}
+		s := Subtask{Task: tk, Index: i, Theta: int64(th % 11)}
+		next := Subtask{Task: tk, Index: i + 1, Theta: s.Theta}
+		if s.Release() >= s.Deadline() {
+			return false // windows are non-empty
+		}
+		if next.Release() < s.Release() || next.Deadline() < s.Deadline() {
+			return false // releases and deadlines are non-decreasing in i
+		}
+		// b = 1 iff the next window (same offset) starts before this deadline.
+		overlap := next.Release() < s.Deadline()
+		if (s.BBit() == 1) != overlap {
+			return false
+		}
+		// Group deadline, when defined, is ≥ the deadline.
+		if D := s.GroupDeadline(); D != 0 && D < s.Deadline() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Over any span of L consecutive slots a periodic task has at most ⌈L·w⌉+1
+// subtask windows intersecting it — sanity of the lag arithmetic used later.
+func TestPropReleaseDensity(t *testing.T) {
+	f := func(e, p uint8, jRaw uint16) bool {
+		E, P := int64(e%20)+1, int64(p%20)+1
+		if E > P {
+			E, P = P, E
+		}
+		j := int64(jRaw%8) + 1
+		tk := &Task{W: Weight{E, P}}
+		// Exactly E subtasks have deadlines within each period.
+		count := int64(0)
+		for i := int64(1); i <= 10*E; i++ {
+			s := Subtask{Task: tk, Index: i}
+			if s.Deadline() <= j*P && s.Deadline() > (j-1)*P {
+				count++
+			}
+		}
+		return count == E
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	mk := func() (*System, *Task) {
+		sys := NewSystem()
+		return sys, sys.AddTask("T", W(1, 2))
+	}
+
+	sys, tk := mk()
+	sys.AddSubtask(tk, 2, 0, 2)
+	sys.AddSubtask(tk, 1, 0, 0) // index decreases
+	if sys.Validate() == nil {
+		t.Error("decreasing index not caught")
+	}
+
+	sys, tk = mk()
+	sys.AddSubtask(tk, 1, 3, 3)
+	sys.AddSubtask(tk, 2, 1, 3) // offset decreases: violates eq. (5)
+	if sys.Validate() == nil {
+		t.Error("decreasing offset not caught")
+	}
+
+	sys, tk = mk()
+	sys.AddSubtask(tk, 1, 0, 1) // e > r: violates eq. (6)
+	if sys.Validate() == nil {
+		t.Error("e > r not caught")
+	}
+
+	sys, tk = mk()
+	sys.AddSubtask(tk, 1, 0, 0)
+	sys.AddSubtask(tk, 2, 0, -1) // e decreases (and is below predecessor's)
+	if sys.Validate() == nil {
+		t.Error("decreasing eligibility not caught")
+	}
+
+	sys, tk = mk()
+	sys.AddSubtask(tk, 1, 0, 0)
+	sys.AddSubtask(tk, 3, 2, 4) // legal GIS omission: θ non-decreasing
+	if err := sys.Validate(); err != nil {
+		t.Errorf("legal GIS omission rejected: %v", err)
+	}
+}
+
+func TestPeriodicConstruction(t *testing.T) {
+	sys := Periodic([]Weight{W(1, 2), W(3, 4)}, 8)
+	if got := len(sys.Tasks); got != 2 {
+		t.Fatalf("task count = %d", got)
+	}
+	// wt 1/2 over horizon 8: subtasks with r < 8 are i=1..4 (r = 0,2,4,6).
+	if got := len(sys.Subtasks(sys.Tasks[0])); got != 4 {
+		t.Errorf("wt 1/2 subtask count = %d, want 4", got)
+	}
+	// wt 3/4 over horizon 8: r(i) = 0,1,2,4,5,6 for i=1..6; r(7)=8 excluded.
+	if got := len(sys.Subtasks(sys.Tasks[1])); got != 6 {
+		t.Errorf("wt 3/4 subtask count = %d, want 6", got)
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sys.TotalUtilization(), rat.New(5, 4); !got.Equal(want) {
+		t.Errorf("total utilization = %s, want %s", got, want)
+	}
+	if !sys.Feasible(2) || sys.Feasible(1) {
+		t.Error("feasibility misjudged")
+	}
+}
+
+func TestHyperperiodAndHorizon(t *testing.T) {
+	sys := Periodic([]Weight{W(1, 6), W(1, 2), W(3, 4)}, 12)
+	if got := sys.Hyperperiod(); got != 12 {
+		t.Errorf("hyperperiod = %d, want 12", got)
+	}
+	if got := sys.Horizon(); got != 12 {
+		t.Errorf("horizon = %d, want 12", got)
+	}
+}
+
+func TestNumSubtasksAndAll(t *testing.T) {
+	sys := Periodic([]Weight{W(1, 6), W(1, 2)}, 6)
+	if got := sys.NumSubtasks(); got != 4 {
+		t.Errorf("NumSubtasks = %d, want 4", got)
+	}
+	if got := len(sys.All()); got != 4 {
+		t.Errorf("len(All) = %d, want 4", got)
+	}
+}
+
+func TestTaskNames(t *testing.T) {
+	sys := NewSystem()
+	a := sys.AddTask("A", W(1, 2))
+	if a.String() != "A" {
+		t.Errorf("named task String = %q", a.String())
+	}
+	anon := sys.AddTask("", W(1, 2))
+	if anon.String() != "T1" {
+		t.Errorf("anonymous task String = %q", anon.String())
+	}
+	s := Subtask{Task: a, Index: 3}
+	if s.String() != "A_3" {
+		t.Errorf("subtask String = %q", s.String())
+	}
+	if s.Label() != "A_3[4,6)" {
+		t.Errorf("subtask Label = %q", s.Label())
+	}
+}
+
+func TestSortSubtasks(t *testing.T) {
+	sys := Periodic([]Weight{W(1, 2), W(1, 2)}, 4)
+	subs := sys.All()
+	// reverse
+	for i, j := 0, len(subs)-1; i < j; i, j = i+1, j-1 {
+		subs[i], subs[j] = subs[j], subs[i]
+	}
+	SortSubtasks(subs)
+	for k := 1; k < len(subs); k++ {
+		a, b := subs[k-1], subs[k]
+		if a.Task.ID > b.Task.ID || (a.Task.ID == b.Task.ID && a.Seq >= b.Seq) {
+			t.Fatalf("not sorted at %d: %v %v", k, a, b)
+		}
+	}
+}
+
+func TestJobIndexAndDeadline(t *testing.T) {
+	tk := &Task{W: W(3, 4)}
+	cases := []struct {
+		i, job, jobD int64
+	}{
+		{1, 1, 4}, {2, 1, 4}, {3, 1, 4},
+		{4, 2, 8}, {6, 2, 8}, {7, 3, 12},
+	}
+	for _, c := range cases {
+		s := Subtask{Task: tk, Index: c.i}
+		if s.JobIndex() != c.job {
+			t.Errorf("JobIndex(T_%d) = %d, want %d", c.i, s.JobIndex(), c.job)
+		}
+		if s.JobDeadline() != c.jobD {
+			t.Errorf("JobDeadline(T_%d) = %d, want %d", c.i, s.JobDeadline(), c.jobD)
+		}
+	}
+	// The last subtask of each job has pseudo-deadline equal to the job
+	// deadline (θ constant across the job).
+	last := Subtask{Task: tk, Index: 3, Theta: 2}
+	if last.Deadline() != last.JobDeadline() {
+		t.Errorf("pseudo-deadline %d != job deadline %d", last.Deadline(), last.JobDeadline())
+	}
+}
+
+func TestAddSporadic(t *testing.T) {
+	sys := NewSystem()
+	// Period 4, releases at 0, 5 (one late), 9.
+	tk, err := sys.AddSporadic("S", W(2, 4), []int64{0, 5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	seq := sys.Subtasks(tk)
+	if len(seq) != 6 {
+		t.Fatalf("subtasks = %d, want 6", len(seq))
+	}
+	// Job 2 released at 5 (1 late): its subtasks' windows shift by 1.
+	if seq[2].Release() != 5 {
+		t.Errorf("S_3 release = %d, want 5", seq[2].Release())
+	}
+	if seq[3].JobDeadline() != 9 {
+		t.Errorf("job 2 deadline = %d, want 9", seq[3].JobDeadline())
+	}
+	// Job 3 released at 9 (θ = 1, not reset): window pattern continues.
+	if seq[4].Release() != 9 {
+		t.Errorf("S_5 release = %d, want 9", seq[4].Release())
+	}
+
+	// Violating the sporadic separation is rejected.
+	if _, err := sys.AddSporadic("bad", W(1, 4), []int64{0, 3}); err == nil {
+		t.Error("sub-period separation accepted")
+	}
+	if _, err := sys.AddSporadic("neg", W(1, 4), []int64{-1}); err == nil {
+		t.Error("negative release accepted")
+	}
+	if _, err := sys.AddSporadic("badw", W(0, 4), nil); err == nil {
+		t.Error("invalid weight accepted")
+	}
+}
+
+func TestSporadicScheduledOptimally(t *testing.T) {
+	// A sporadic system at utilization ≤ M is feasible; PD² must meet all
+	// pseudo-deadlines. (Exercised through the sfq engine in that package;
+	// here we check the structural invariants used by the engines.)
+	sys := NewSystem()
+	if _, err := sys.AddSporadic("S1", W(1, 2), []int64{0, 2, 5, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.AddSporadic("S2", W(2, 3), []int64{1, 4, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range sys.All() {
+		if sub.Elig != sub.Release() {
+			t.Errorf("%s eligibility %d != release %d", sub, sub.Elig, sub.Release())
+		}
+	}
+}
+
+// Hand-computed window tables for representative weights over the first
+// period(s) — the paper-anchored ground truth the schedulers stand on.
+func TestWindowTablesHandVerified(t *testing.T) {
+	type row struct {
+		i, r, d int64
+		b       int
+		D       int64 // 0 where unused
+	}
+	cases := []struct {
+		w    Weight
+		rows []row
+	}{
+		{W(1, 6), []row{ // the A/B/C tasks of Fig. 2
+			{1, 0, 6, 0, 0}, {2, 6, 12, 0, 0},
+		}},
+		{W(1, 2), []row{ // the D/E/F tasks of Fig. 2 (heavy, b always 0)
+			{1, 0, 2, 0, 2}, {2, 2, 4, 0, 4}, {3, 4, 6, 0, 6},
+		}},
+		{W(2, 3), []row{
+			{1, 0, 2, 1, 3}, {2, 1, 3, 0, 3}, {3, 3, 5, 1, 6}, {4, 4, 6, 0, 6},
+		}},
+		{W(5, 7), []row{
+			{1, 0, 2, 1, 4}, {2, 1, 3, 1, 4}, {3, 2, 5, 1, 7},
+			{4, 4, 6, 1, 7}, {5, 5, 7, 0, 7},
+		}},
+		{W(7, 9), []row{
+			{1, 0, 2, 1, 5}, {2, 1, 3, 1, 5}, {3, 2, 4, 1, 5},
+			{4, 3, 6, 1, 9}, {5, 5, 7, 1, 9}, {6, 6, 8, 1, 9}, {7, 7, 9, 0, 9},
+		}},
+		{W(3, 7), []row{ // light: D = 0 everywhere
+			{1, 0, 3, 1, 0}, {2, 2, 5, 1, 0}, {3, 4, 7, 0, 0},
+		}},
+	}
+	for _, c := range cases {
+		tk := &Task{W: c.w}
+		for _, r := range c.rows {
+			s := Subtask{Task: tk, Index: r.i}
+			if s.Release() != r.r || s.Deadline() != r.d {
+				t.Errorf("%v T_%d window [%d,%d), want [%d,%d)", c.w, r.i, s.Release(), s.Deadline(), r.r, r.d)
+			}
+			if s.BBit() != r.b {
+				t.Errorf("%v b(T_%d) = %d, want %d", c.w, r.i, s.BBit(), r.b)
+			}
+			if got := s.GroupDeadline(); got != r.D {
+				t.Errorf("%v D(T_%d) = %d, want %d", c.w, r.i, got, r.D)
+			}
+		}
+	}
+}

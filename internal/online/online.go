@@ -1,0 +1,294 @@
+// Package online provides a real-time executive on top of the DVQ-model
+// scheduler: tasks are registered with weights, jobs arrive dynamically
+// (sporadic/IS behaviour), subtask windows are derived lazily, and
+// scheduling decisions are made incrementally as virtual time advances.
+//
+// The offline engines in internal/core and internal/sfq need the whole
+// released-subtask sequence up front; a system that admits work at runtime
+// cannot use them directly. The executive closes that gap while keeping
+// the paper's guarantee: as long as total registered utilization stays
+// ≤ M, every job's subtasks miss their Pfair pseudo-deadlines by at most
+// one quantum (Theorem 3), because the generated release pattern is a
+// legal IS task system and the dispatch rule is exactly PD²-DVQ.
+//
+// Typical use:
+//
+//	ex := online.New(2, nil)                  // two processors, PD²
+//	web := ex.Register("web", model.W(1, 2))
+//	ex.SubmitJob(web, rat.Zero)               // job arrives at time 0
+//	ex.Run(rat.FromInt(10), nil)              // advance virtual time
+//	ex.SubmitJob(web, rat.FromInt(10))        // next job arrives late — fine
+//	ex.Run(rat.FromInt(50), nil)
+//	fmt.Println(ex.Schedule().MaxTardiness())
+package online
+
+import (
+	"container/heap"
+	"fmt"
+
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/prio"
+	"desyncpfair/internal/rat"
+	"desyncpfair/internal/sched"
+)
+
+// Executive is an incremental PD²-DVQ scheduler for dynamically arriving
+// jobs. It is not safe for concurrent use; drive it from one goroutine.
+type Executive struct {
+	m      int
+	policy prio.Policy
+
+	sys      *model.System
+	schedule *sched.Schedule
+
+	now      rat.Rat
+	freeAt   []rat.Rat
+	cursor   []int     // per task: next undispatched subtask in its sequence
+	lastFin  []rat.Rat // per task: completion of the last dispatched subtask
+	nextIdx  []int64   // per task: next subtask index to generate (1-based)
+	pending  int       // released, undispatched subtasks
+	decision int
+
+	events eventHeap
+	seen   map[rat.Rat]bool
+}
+
+// Dispatch reports one scheduling decision to the Run callback.
+type Dispatch struct {
+	Sub    *model.Subtask
+	Proc   int
+	Start  rat.Rat
+	Finish rat.Rat
+}
+
+// New creates an executive for m processors. A nil policy selects PD².
+func New(m int, policy prio.Policy) *Executive {
+	if m < 1 {
+		panic("online: m must be ≥ 1")
+	}
+	if policy == nil {
+		policy = prio.PD2{}
+	}
+	sys := model.NewSystem()
+	e := &Executive{
+		m:        m,
+		policy:   policy,
+		sys:      sys,
+		schedule: sched.New(sys, m, policy.Name(), "DVQ-online"),
+		freeAt:   make([]rat.Rat, m),
+		seen:     map[rat.Rat]bool{},
+	}
+	heap.Init(&e.events)
+	return e
+}
+
+// Register adds a task with the given weight. Registration is admission
+// control: it fails if the new total utilization would exceed M, since the
+// tardiness bound (and any schedulability statement) would be lost.
+func (e *Executive) Register(name string, w model.Weight) (*model.Task, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if newTotal := e.sys.TotalUtilization().Add(w.Rat()); rat.FromInt(int64(e.m)).Less(newTotal) {
+		return nil, fmt.Errorf("online: registering %s (weight %s) would raise utilization to %s > M=%d",
+			name, w, newTotal, e.m)
+	}
+	t := e.sys.AddTask(name, w)
+	e.cursor = append(e.cursor, 0)
+	e.lastFin = append(e.lastFin, rat.Zero)
+	e.nextIdx = append(e.nextIdx, 1)
+	return t, nil
+}
+
+// Now returns the executive's current virtual time.
+func (e *Executive) Now() rat.Rat { return e.now }
+
+// Schedule returns the schedule of everything dispatched so far.
+func (e *Executive) Schedule() *sched.Schedule { return e.schedule }
+
+// System returns the task system built up by job submissions.
+func (e *Executive) System() *model.System { return e.sys }
+
+// Pending returns the number of released but undispatched subtasks.
+func (e *Executive) Pending() int { return e.pending }
+
+// SubmitJob releases one job of t (W.E subtasks) no earlier than `at`. The
+// subtasks get the smallest IS offsets consistent with eq. (5) and the
+// arrival time, so a stream of SubmitJob calls at period boundaries yields
+// exactly the periodic window pattern, and late calls yield the sporadic/IS
+// right-shifted pattern. `at` must not precede virtual time.
+func (e *Executive) SubmitJob(t *model.Task, at rat.Rat) error {
+	return e.submit(t, at, 0)
+}
+
+// SubmitJobEarly is SubmitJob with early releasing: each subtask's
+// eligibility is set up to `earliness` slots before its pseudo-release
+// (but never before the arrival), per eq. (6). Early releasing lets PD²
+// pull the job forward into slack without a second scheduler (the paper's
+// Sec. 1 remark, experiment E13); optimality is unaffected.
+func (e *Executive) SubmitJobEarly(t *model.Task, at rat.Rat, earliness int64) error {
+	if earliness < 0 {
+		return fmt.Errorf("online: negative earliness %d", earliness)
+	}
+	return e.submit(t, at, earliness)
+}
+
+func (e *Executive) submit(t *model.Task, at rat.Rat, earliness int64) error {
+	if at.Less(e.now) {
+		return fmt.Errorf("online: job of %s submitted at %s, before virtual time %s", t, at, e.now)
+	}
+	arrival := at.Ceil() // windows are integral; a mid-slot arrival rounds up
+	seq := e.sys.Subtasks(t)
+	prevTheta := int64(0)
+	prevElig := int64(0)
+	if len(seq) > 0 {
+		prevTheta = seq[len(seq)-1].Theta
+		prevElig = seq[len(seq)-1].Elig
+	}
+	for k := int64(0); k < t.W.E; k++ {
+		i := e.nextIdx[t.ID]
+		base := rat.FloorDiv((i-1)*t.W.P, t.W.E) // release with θ = 0
+		theta := arrival - base
+		if theta < prevTheta {
+			theta = prevTheta // eq. (5): offsets never decrease
+		}
+		s := e.sys.AddSubtask(t, i, theta, 0)
+		elig := s.Release() - earliness
+		if elig < arrival {
+			elig = arrival
+		}
+		if elig < prevElig {
+			elig = prevElig
+		}
+		s.Elig = elig
+		prevTheta = theta
+		prevElig = elig
+		e.nextIdx[t.ID] = i + 1
+		e.pending++
+		e.push(rat.FromInt(s.Elig))
+	}
+	return nil
+}
+
+// Run advances virtual time to `until`, dispatching work as processors free
+// and subtasks become ready. The yield function supplies each dispatched
+// subtask's actual cost (nil means full quanta). Each dispatch is reported
+// to onDispatch if non-nil. Events beyond `until` stay queued for the next
+// call.
+func (e *Executive) Run(until rat.Rat, yield sched.YieldFn, onDispatch func(Dispatch)) error {
+	if until.Less(e.now) {
+		return fmt.Errorf("online: cannot run to %s, already at %s", until, e.now)
+	}
+	if yield == nil {
+		yield = sched.FullCost
+	}
+	for e.events.Len() > 0 {
+		next := e.events[0]
+		if until.Less(next) {
+			break
+		}
+		heap.Pop(&e.events)
+		delete(e.seen, next)
+		e.now = next
+		e.dispatchAt(next, yield, onDispatch)
+	}
+	e.now = until
+	return nil
+}
+
+// dispatchAt makes scheduling decisions for every processor free at time t.
+func (e *Executive) dispatchAt(t rat.Rat, yield sched.YieldFn, onDispatch func(Dispatch)) {
+	for p := 0; p < e.m; p++ {
+		if t.Less(e.freeAt[p]) {
+			continue
+		}
+		sub := e.bestReady(t)
+		if sub == nil {
+			return // nothing ready; no later processor can have work either
+		}
+		cost := yield(sub)
+		e.decision++
+		a := e.schedule.Add(sched.Assignment{
+			Sub: sub, Proc: p, Start: t, Cost: cost, Decision: e.decision,
+		})
+		e.cursor[sub.Task.ID]++
+		e.lastFin[sub.Task.ID] = a.Finish()
+		e.freeAt[p] = a.Finish()
+		e.pending--
+		e.push(a.Finish())
+		if onDispatch != nil {
+			onDispatch(Dispatch{Sub: sub, Proc: p, Start: t, Finish: a.Finish()})
+		}
+	}
+}
+
+func (e *Executive) bestReady(t rat.Rat) *model.Subtask {
+	var best *model.Subtask
+	for _, task := range e.sys.Tasks {
+		seq := e.sys.Subtasks(task)
+		c := e.cursor[task.ID]
+		if c >= len(seq) {
+			continue
+		}
+		head := seq[c]
+		if t.Less(rat.FromInt(head.Elig)) {
+			continue
+		}
+		if c > 0 && t.Less(e.lastFin[task.ID]) {
+			continue
+		}
+		if best == nil || prio.Order(e.policy, head, best) {
+			best = head
+		}
+	}
+	return best
+}
+
+// Drain runs until every released subtask has been dispatched and
+// completed, returning the final virtual time. It is the natural way to
+// finish a simulation after the last SubmitJob.
+func (e *Executive) Drain(yield sched.YieldFn) (rat.Rat, error) {
+	guard := 0
+	for e.pending > 0 {
+		if e.events.Len() == 0 {
+			return e.now, fmt.Errorf("online: %d subtasks pending with no events", e.pending)
+		}
+		next := e.events[0]
+		if err := e.Run(next, yield, nil); err != nil {
+			return e.now, err
+		}
+		guard++
+		if guard > 4*e.schedule.Len()+4*e.pending+64 {
+			return e.now, fmt.Errorf("online: drain did not converge")
+		}
+	}
+	// Advance past the last completion so the schedule's makespan is final.
+	end := e.schedule.Makespan()
+	if e.now.Less(end) {
+		if err := e.Run(end, yield, nil); err != nil {
+			return e.now, err
+		}
+	}
+	return e.now, nil
+}
+
+func (e *Executive) push(t rat.Rat) {
+	if !e.seen[t] {
+		e.seen[t] = true
+		heap.Push(&e.events, t)
+	}
+}
+
+type eventHeap []rat.Rat
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].Less(h[j]) }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(rat.Rat)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

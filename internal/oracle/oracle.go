@@ -1,0 +1,127 @@
+// Package oracle provides an exhaustive-search feasibility checker for
+// tiny task systems: an implementation-independent ground truth against
+// which the polynomial-time schedulers are cross-validated. Exists answers
+// "is there ANY valid Pfair schedule?" by trying every slot-by-slot
+// allocation, so agreement with PD² on feasible instances (and with the
+// counting argument on infeasible ones) tests the whole stack — window
+// formulas, engine, validity checker — without sharing code paths with it.
+//
+// The search is exponential; keep instances to roughly a dozen subtasks.
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"desyncpfair/internal/model"
+)
+
+// MaxSubtasks caps the instance size Exists accepts, as a guard against
+// accidentally feeding it a full workload.
+const MaxSubtasks = 16
+
+// Exists reports whether a valid schedule exists for sys on m processors:
+// every released subtask scheduled in an integral slot within its
+// IS-window [e, d), at most m subtasks per slot, subtasks of a task in
+// released order and never in the same slot.
+func Exists(sys *model.System, m int) (bool, error) {
+	n := sys.NumSubtasks()
+	if n > MaxSubtasks {
+		return false, fmt.Errorf("oracle: %d subtasks exceeds the cap of %d", n, MaxSubtasks)
+	}
+	if m < 1 {
+		return false, fmt.Errorf("oracle: m = %d", m)
+	}
+	s := &searcher{sys: sys, m: m, horizon: sys.Horizon(), memo: map[string]bool{}}
+	s.cursors = make([]int, len(sys.Tasks))
+	return s.slot(0), nil
+}
+
+type searcher struct {
+	sys     *model.System
+	m       int
+	horizon int64
+	cursors []int
+	memo    map[string]bool
+}
+
+func (s *searcher) key(t int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d:", t)
+	for _, c := range s.cursors {
+		fmt.Fprintf(&b, "%d,", c)
+	}
+	return b.String()
+}
+
+// slot tries every subset of ready heads for slot t and recurses.
+func (s *searcher) slot(t int64) bool {
+	done := true
+	for ti, task := range s.sys.Tasks {
+		if s.cursors[ti] < len(s.sys.Subtasks(task)) {
+			done = false
+			break
+		}
+	}
+	if done {
+		return true
+	}
+	if t > s.horizon {
+		return false
+	}
+	k := s.key(t)
+	if v, ok := s.memo[k]; ok {
+		return v
+	}
+
+	// Gather ready heads and check for already-hopeless subtasks.
+	type cand struct {
+		taskID int
+		sub    *model.Subtask
+	}
+	var ready []cand
+	for ti, task := range s.sys.Tasks {
+		seq := s.sys.Subtasks(task)
+		c := s.cursors[ti]
+		if c >= len(seq) {
+			continue
+		}
+		head := seq[c]
+		if head.Deadline() <= t {
+			s.memo[k] = false // its window has closed: this branch is dead
+			return false
+		}
+		if head.Elig <= t {
+			ready = append(ready, cand{ti, head})
+		}
+	}
+
+	// Enumerate all subsets of ready with size ≤ m. Scheduling more never
+	// forecloses options, but subsets are enumerated exhaustively anyway so
+	// the oracle's correctness does not rest on that exchange argument.
+	ok := false
+	var choose func(i, used int)
+	choose = func(i, used int) {
+		if ok {
+			return
+		}
+		if i == len(ready) || used == s.m {
+			if s.slot(t + 1) {
+				ok = true
+			}
+			return
+		}
+		// Take ready[i].
+		s.cursors[ready[i].taskID]++
+		choose(i+1, used+1)
+		s.cursors[ready[i].taskID]--
+		if ok {
+			return
+		}
+		// Skip ready[i].
+		choose(i+1, used)
+	}
+	choose(0, 0)
+	s.memo[k] = ok
+	return ok
+}

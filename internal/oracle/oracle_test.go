@@ -1,0 +1,242 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"desyncpfair/internal/gen"
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/sfq"
+)
+
+func TestExistsOnTinyFeasibleSystems(t *testing.T) {
+	// Cross-validation: random tiny full-utilization systems are feasible
+	// (Σwt ≤ M), so the oracle must find a schedule, and PD² must produce
+	// one too — two independent answers to the same question.
+	rng := rand.New(rand.NewSource(99))
+	checked := 0
+	for trial := 0; trial < 60 && checked < 25; trial++ {
+		m := 1 + rng.Intn(2)
+		q := int64(3 + rng.Intn(3))
+		n := m + rng.Intn(2)
+		if int64(n) > int64(m)*q {
+			continue
+		}
+		ws := gen.GridWeights(rng, n, q, int64(m)*q, gen.MixedWeights)
+		sys := gen.System(rng, ws, gen.SystemOptions{
+			Horizon:    q + int64(rng.Intn(int(q))),
+			JitterProb: 20,
+			MaxJitter:  1,
+			OmitProb:   10,
+		})
+		if sys.NumSubtasks() == 0 || sys.NumSubtasks() > MaxSubtasks {
+			continue
+		}
+		checked++
+		ok, err := Exists(sys, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("oracle found no schedule for a feasible system (M=%d, %d subtasks)", m, sys.NumSubtasks())
+		}
+		s, err := sfq.Run(sys, sfq.Options{M: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ValidatePfair(); err != nil {
+			t.Fatalf("PD² disagreed with the oracle: %v", err)
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d instances checked", checked)
+	}
+}
+
+func TestExistsRejectsOverloadedSlots(t *testing.T) {
+	// Three weight-1 tasks on two processors: every slot needs three
+	// processors. No valid schedule exists at any horizon.
+	sys := model.Periodic([]model.Weight{model.W(1, 1), model.W(1, 1), model.W(1, 1)}, 2)
+	ok, err := Exists(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("oracle accepted an overloaded system")
+	}
+	// The same three tasks fit on three processors.
+	ok, err = Exists(sys, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("oracle rejected a trivially feasible system")
+	}
+}
+
+func TestExistsTightWindowConflict(t *testing.T) {
+	// Two weight-1 tasks and one weight-1/2 task on two processors: total
+	// utilization 5/2 > 2, and the conflict bites within the first two
+	// slots (five subtask-slots of demand against four of supply in [0,2)).
+	sys := model.Periodic([]model.Weight{model.W(1, 1), model.W(1, 1), model.W(1, 2)}, 2)
+	ok, err := Exists(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("oracle accepted util 5/2 on M=2")
+	}
+}
+
+func TestExistsRespectsGISStructure(t *testing.T) {
+	// A GIS task with an omitted subtask and an IS shift: feasible alone.
+	sys := model.NewSystem()
+	tk := sys.AddTask("T", model.W(3, 4))
+	sys.AddSubtask(tk, 1, 0, 0)
+	sys.AddSubtask(tk, 3, 1, 3)
+	ok, err := Exists(sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("feasible GIS fragment rejected")
+	}
+}
+
+func TestExistsPredecessorOrdering(t *testing.T) {
+	// One task with two subtasks whose windows overlap: both must fit, in
+	// order, never in the same slot. Weight 2/3: T_1 [0,2), T_2 [1,3).
+	sys := model.NewSystem()
+	tk := sys.AddTask("T", model.W(2, 3))
+	sys.AddSubtask(tk, 1, 0, 0)
+	sys.AddSubtask(tk, 2, 0, 1)
+	ok, err := Exists(sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("sequential windows rejected")
+	}
+	// Shrink to an impossible case: force both into slot 0 by eligibility
+	// and deadline — not constructible under valid windows, so instead
+	// check a 2-subtask task against a competitor occupying every slot.
+	sys2 := model.NewSystem()
+	tk2 := sys2.AddTask("T", model.W(2, 3))
+	sys2.AddSubtask(tk2, 1, 0, 0)
+	sys2.AddSubtask(tk2, 2, 0, 1)
+	hog := sys2.AddTask("H", model.W(1, 1))
+	for i := int64(1); i <= 3; i++ {
+		s := model.Subtask{Task: hog, Index: i}
+		sys2.AddSubtask(hog, i, 0, s.Release())
+	}
+	// Utilization 2/3 + 1 = 5/3 > 1: infeasible on one processor.
+	ok, err = Exists(sys2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("oracle accepted util 5/3 on M=1")
+	}
+}
+
+func TestExistsGuards(t *testing.T) {
+	big := model.Periodic([]model.Weight{model.W(9, 10), model.W(9, 10)}, 20)
+	if _, err := Exists(big, 2); err == nil {
+		t.Error("oversized instance accepted")
+	}
+	tiny := model.Periodic([]model.Weight{model.W(1, 2)}, 2)
+	if _, err := Exists(tiny, 0); err == nil {
+		t.Error("m = 0 accepted")
+	}
+}
+
+// The empty system is trivially schedulable.
+func TestExistsEmpty(t *testing.T) {
+	ok, err := Exists(model.NewSystem(), 1)
+	if err != nil || !ok {
+		t.Fatalf("empty system: %v %v", ok, err)
+	}
+}
+
+// Agreement with PD² in the two theoretically guaranteed directions:
+// (i) the oracle finding no schedule forces PD² to miss too (soundness of
+// the oracle's "no"), and (ii) on util ≤ M instances PD² validity forces
+// the oracle's "yes" (PD² optimality holds there). On finite prefixes with
+// util > M, a schedule can exist that greedy PD² does not find — that case
+// is only counted, not asserted.
+func TestOracleAgreesWithPD2(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	agreeTrue, agreeFalse, pd2Suboptimal := 0, 0, 0
+	for trial := 0; trial < 400 && (agreeTrue < 15 || agreeFalse < 15); trial++ {
+		m := 1 + rng.Intn(2)
+		// Random small weights, sometimes exceeding M in total.
+		n := 1 + rng.Intn(4)
+		ws := gen.VariedWeights(rng, n, 4, gen.MixedWeights)
+		sys := gen.System(rng, ws, gen.SystemOptions{Horizon: int64(2 + rng.Intn(4))})
+		if sys.NumSubtasks() == 0 || sys.NumSubtasks() > 10 {
+			continue
+		}
+		ok, err := Exists(sys, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sfq.Run(sys, sfq.Options{M: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pd2Valid := s.ValidatePfair() == nil
+		if !ok && pd2Valid {
+			t.Fatalf("trial %d: PD² produced a valid schedule the oracle says cannot exist", trial)
+		}
+		if ok && !pd2Valid {
+			if sys.Feasible(m) {
+				t.Fatalf("trial %d: feasible system (util %s ≤ %d), oracle yes, but PD² missed",
+					trial, sys.TotalUtilization(), m)
+			}
+			pd2Suboptimal++ // legal: finite over-utilized prefix
+			continue
+		}
+		if ok {
+			agreeTrue++
+		} else {
+			agreeFalse++
+		}
+	}
+	if agreeTrue < 10 || agreeFalse < 10 {
+		t.Fatalf("insufficient coverage: %d feasible, %d infeasible (%d greedy gaps)",
+			agreeTrue, agreeFalse, pd2Suboptimal)
+	}
+}
+
+// FuzzOracleVsPD2 fuzzes the two theoretically guaranteed agreement
+// directions between the exhaustive oracle and PD².
+func FuzzOracleVsPD2(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(2))
+	f.Add(int64(77), uint8(1), uint8(3))
+	f.Add(int64(-5), uint8(0), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, mRaw, nRaw uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + int(mRaw%2)
+		n := 1 + int(nRaw%4)
+		ws := gen.VariedWeights(rng, n, 4, gen.MixedWeights)
+		sys := gen.System(rng, ws, gen.SystemOptions{Horizon: int64(2 + rng.Intn(3))})
+		if sys.NumSubtasks() == 0 || sys.NumSubtasks() > 10 {
+			t.Skip()
+		}
+		ok, err := Exists(sys, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sfq.Run(sys, sfq.Options{M: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pd2Valid := s.ValidatePfair() == nil
+		if !ok && pd2Valid {
+			t.Fatal("PD² produced a schedule the oracle proves impossible")
+		}
+		if ok && !pd2Valid && sys.Feasible(m) {
+			t.Fatal("feasible instance: oracle yes, PD² missed")
+		}
+	})
+}

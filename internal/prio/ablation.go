@@ -1,0 +1,34 @@
+package prio
+
+import "desyncpfair/internal/model"
+
+// Ablation policies: deliberately weakened variants of PD² used by the
+// ablation experiments to show that each of PD²'s two tie-breaking rules is
+// load-bearing for optimality. Neither is part of the paper's algorithm
+// set; both are *expected to miss deadlines* on suitable task systems.
+
+// PD2NoGroup is PD² without the group-deadline tie-break: deadline, then
+// successor bit, then nothing. Anderson & Srinivasan's optimality proof
+// needs the group deadline to order cascades among heavy tasks; dropping it
+// loses optimality on three or more processors.
+type PD2NoGroup struct{}
+
+func (PD2NoGroup) Name() string { return "PD2-noD" }
+
+func (PD2NoGroup) Cmp(a, b *model.Subtask) int {
+	if c := cmp64(a.Deadline(), b.Deadline()); c != 0 {
+		return c
+	}
+	return cmpInt(b.BBit(), a.BBit())
+}
+
+// PD2NoBBit is PD² without the successor-bit tie-break (and hence without
+// the group deadline, which only refines b = 1 ties): plain EPDF. It exists
+// as a named ablation so experiment tables read uniformly.
+type PD2NoBBit struct{}
+
+func (PD2NoBBit) Name() string { return "PD2-nob" }
+
+func (PD2NoBBit) Cmp(a, b *model.Subtask) int {
+	return cmp64(a.Deadline(), b.Deadline())
+}

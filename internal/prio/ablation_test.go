@@ -1,0 +1,43 @@
+package prio
+
+import (
+	"testing"
+
+	"desyncpfair/internal/model"
+)
+
+func TestPD2NoGroupDropsOnlyGroupDeadline(t *testing.T) {
+	// Same deadline, same b-bit, different group deadlines: full PD²
+	// separates them, the ablation does not.
+	longer := sub(model.W(7, 9), 1)  // d=2, b=1, D=5
+	shorter := sub(model.W(3, 4), 1) // d=2, b=1, D=4
+	if pd2.Cmp(longer, shorter) == 0 {
+		t.Fatal("setup: PD2 should separate these")
+	}
+	if (PD2NoGroup{}).Cmp(longer, shorter) != 0 {
+		t.Error("PD2-noD should tie when only group deadlines differ")
+	}
+	// The b-bit is kept.
+	overlap := sub(model.W(3, 4), 1)
+	noOverlap := sub(model.W(1, 2), 1)
+	if !Prec(PD2NoGroup{}, overlap, noOverlap) {
+		t.Error("PD2-noD should keep the b-bit tie-break")
+	}
+}
+
+func TestPD2NoBBitIsEPDF(t *testing.T) {
+	a := sub(model.W(3, 4), 1)
+	b := sub(model.W(1, 2), 1)
+	if (PD2NoBBit{}).Cmp(a, b) != (EPDF{}).Cmp(a, b) {
+		t.Error("PD2-nob must order exactly like EPDF")
+	}
+	if (PD2NoBBit{}).Cmp(a, b) != 0 {
+		t.Error("equal deadlines should tie without the b-bit")
+	}
+}
+
+func TestAblationNames(t *testing.T) {
+	if (PD2NoGroup{}).Name() != "PD2-noD" || (PD2NoBBit{}).Name() != "PD2-nob" {
+		t.Error("ablation names wrong")
+	}
+}

@@ -1,0 +1,142 @@
+package quantize
+
+import (
+	"testing"
+
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/rat"
+	"desyncpfair/internal/sfq"
+)
+
+func TestWeightRounding(t *testing.T) {
+	rt := RealTask{Name: "t", C: 2500, T: 10000} // 0.25 utilization
+	cases := []struct {
+		q, overhead int64
+		want        model.Weight
+	}{
+		{1000, 0, model.W(3, 10)},   // ⌈2.5⌉/⌊10⌋
+		{2500, 0, model.W(1, 4)},    // exact
+		{3000, 0, model.W(1, 3)},    // ⌈0.83⌉/⌊3.33⌋
+		{1000, 100, model.W(3, 10)}, // ⌈2500/900⌉ = 3
+		{1000, 200, model.W(4, 10)}, // ⌈2500/800⌉ = 4
+	}
+	for _, c := range cases {
+		got, err := Weight(rt, c.q, c.overhead)
+		if err != nil {
+			t.Errorf("Q=%d ovh=%d: %v", c.q, c.overhead, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Q=%d ovh=%d: weight %v, want %v", c.q, c.overhead, got, c.want)
+		}
+	}
+}
+
+func TestWeightErrors(t *testing.T) {
+	good := RealTask{Name: "g", C: 100, T: 1000}
+	if _, err := Weight(good, 0, 0); err == nil {
+		t.Error("Q=0 accepted")
+	}
+	if _, err := Weight(good, 100, 100); err == nil {
+		t.Error("overhead = Q accepted")
+	}
+	if _, err := Weight(good, 2000, 0); err == nil {
+		t.Error("quantum longer than period accepted")
+	}
+	if _, err := Weight(RealTask{Name: "b", C: 0, T: 10}, 1, 0); err == nil {
+		t.Error("zero cost accepted")
+	}
+	if _, err := Weight(RealTask{Name: "b", C: 20, T: 10}, 1, 0); err == nil {
+		t.Error("C > T accepted")
+	}
+	// A tight task becomes infeasible at coarse quanta: C=900, T=1000.
+	tight := RealTask{Name: "tight", C: 900, T: 1000}
+	if _, err := Weight(tight, 600, 0); err == nil {
+		t.Error("e > p not detected") // ⌈1.5⌉=2 > ⌊1.67⌋=1
+	}
+}
+
+func TestCurveMonotoneInflation(t *testing.T) {
+	rts := []RealTask{
+		{"video", 3300, 10000},
+		{"audio", 900, 5000},
+		{"ctrl", 1700, 20000},
+	}
+	real := RealUtilization(rts)
+	pts := Curve(rts, 1, 0, []int64{100, 500, 1000, 2500, 5000})
+	for _, pt := range pts {
+		if !pt.Feasible {
+			continue
+		}
+		if pt.Utilization.Less(real) {
+			t.Errorf("Q=%d: quantized utilization %s below real %s", pt.Q, pt.Utilization, real)
+		}
+	}
+	// Finer quanta approach the real utilization.
+	if pts[0].Utilization.Sub(real).Float64() > 0.05 {
+		t.Errorf("Q=100 inflation too large: %s vs %s", pts[0].Utilization, real)
+	}
+	// Coarse quanta inflate more than fine ones here.
+	if !pts[0].Utilization.Less(pts[4].Utilization) {
+		t.Errorf("inflation not growing: Q=100 → %s, Q=5000 → %s", pts[0].Utilization, pts[4].Utilization)
+	}
+}
+
+func TestBestPicksLargestFeasible(t *testing.T) {
+	rts := []RealTask{
+		{"a", 4500, 10000},
+		{"b", 4500, 10000},
+	}
+	// Real utilization 0.9 on M=1. Feasibility is NOT monotone in Q:
+	// Q=1000 gives 5/10 each (total 1.0, fits); Q=2000 gives ⌈2.25⌉=3 over
+	// ⌊5⌋=5 each (total 1.2, overload); Q=5000 gives 1/2 each (total 1.0,
+	// fits again because 5000 divides both parameters well).
+	pts := Curve(rts, 1, 0, []int64{100, 1000, 2000, 5000})
+	if !pts[1].Feasible || pts[2].Feasible || !pts[3].Feasible {
+		t.Errorf("feasibility pattern wrong: %+v", pts)
+	}
+	q, err := Best(rts, 1, 0, []int64{100, 1000, 2000, 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 5000 { // largest feasible
+		t.Errorf("best Q = %d, want 5000", q)
+	}
+	if _, err := Best([]RealTask{{"x", 999, 1000}}, 1, 0, []int64{600, 700}); err == nil {
+		t.Error("no feasible candidate should error")
+	}
+}
+
+// End-to-end: quantize a real workload, schedule it with PD², zero misses.
+func TestQuantizedWorkloadSchedules(t *testing.T) {
+	rts := []RealTask{
+		{"cam0", 3300, 10000},
+		{"cam1", 3300, 10000},
+		{"fusion", 9000, 20000},
+		{"plan", 4000, 40000},
+	}
+	const m = 2
+	q, err := Best(rts, m, 50, []int64{500, 1000, 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := Weights(rts, q, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := model.Periodic(ws, 3*ws[0].P)
+	s, err := sfq.Run(sys, sfq.Options{M: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MissCount() != 0 {
+		t.Errorf("quantized workload missed deadlines at Q=%d", q)
+	}
+}
+
+func TestRealUtilization(t *testing.T) {
+	rts := []RealTask{{"a", 1, 2}, {"b", 1, 4}}
+	if got := RealUtilization(rts); !got.Equal(rat.New(3, 4)) {
+		t.Errorf("real utilization = %s", got)
+	}
+}

@@ -1,0 +1,119 @@
+// Package replay plays a computed schedule against a clock: each
+// assignment's start and completion become timed callbacks, with one
+// quantum mapped to a configurable real duration. It is the bridge from
+// the simulators to a host that actually dispatches work (or drives a
+// visualization): compute a schedule with any engine — or keep an online
+// executive's schedule — and replay it.
+//
+// The clock is an interface so tests (and batch tooling) can drive the
+// replay through a fake clock deterministically; production callers use
+// WallClock.
+package replay
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"desyncpfair/internal/rat"
+	"desyncpfair/internal/sched"
+)
+
+// Clock abstracts time for the replayer.
+type Clock interface {
+	Now() time.Time
+	// Sleep blocks until d has elapsed on this clock.
+	Sleep(d time.Duration)
+}
+
+// WallClock is the real time.Now/time.Sleep clock.
+type WallClock struct{}
+
+func (WallClock) Now() time.Time        { return time.Now() }
+func (WallClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// FakeClock advances only when Sleep is called; for deterministic tests.
+type FakeClock struct {
+	T time.Time
+}
+
+func (f *FakeClock) Now() time.Time        { return f.T }
+func (f *FakeClock) Sleep(d time.Duration) { f.T = f.T.Add(d) }
+
+// EventKind distinguishes replay callbacks.
+type EventKind int
+
+const (
+	// Dispatch fires when a quantum begins.
+	Dispatch EventKind = iota
+	// Complete fires when a quantum ends (after its actual cost).
+	Complete
+)
+
+func (k EventKind) String() string {
+	if k == Dispatch {
+		return "dispatch"
+	}
+	return "complete"
+}
+
+// Event is one timed callback.
+type Event struct {
+	Kind EventKind
+	At   rat.Rat // schedule time (quanta)
+	Asg  *sched.Assignment
+}
+
+// Options configures a replay.
+type Options struct {
+	// Quantum is the real duration of one schedule time unit (required).
+	Quantum time.Duration
+	// Clock defaults to WallClock.
+	Clock Clock
+	// OnEvent receives every dispatch and completion, in time order.
+	OnEvent func(Event)
+}
+
+// Run replays the schedule: it sleeps the clock to each event's time and
+// invokes the callback. It returns the number of events delivered.
+func Run(s *sched.Schedule, opts Options) (int, error) {
+	if opts.Quantum <= 0 {
+		return 0, fmt.Errorf("replay: quantum %v", opts.Quantum)
+	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = WallClock{}
+	}
+	events := make([]Event, 0, 2*s.Len())
+	for _, a := range s.Assignments() {
+		events = append(events, Event{Kind: Dispatch, At: a.Start, Asg: a})
+		events = append(events, Event{Kind: Complete, At: a.Finish(), Asg: a})
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if c := events[i].At.Cmp(events[j].At); c != 0 {
+			return c < 0
+		}
+		// Completions before dispatches at the same instant: a processor
+		// frees before its next quantum begins.
+		return events[i].Kind == Complete && events[j].Kind == Dispatch
+	})
+	start := clock.Now()
+	for _, ev := range events {
+		due := start.Add(toDuration(ev.At, opts.Quantum))
+		if wait := due.Sub(clock.Now()); wait > 0 {
+			clock.Sleep(wait)
+		}
+		if opts.OnEvent != nil {
+			opts.OnEvent(ev)
+		}
+	}
+	return len(events), nil
+}
+
+// toDuration converts a rational schedule time to a real duration at the
+// given quantum length, rounding to the nearest nanosecond.
+func toDuration(t rat.Rat, quantum time.Duration) time.Duration {
+	ns := rat.FromInt(int64(quantum)).Mul(t)
+	// Round: ⌊x + 1/2⌋.
+	return time.Duration(ns.Add(rat.New(1, 2)).Floor())
+}

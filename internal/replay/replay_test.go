@@ -1,0 +1,119 @@
+package replay
+
+import (
+	"testing"
+	"time"
+
+	"desyncpfair/internal/core"
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/rat"
+	"desyncpfair/internal/sched"
+)
+
+func fig2Schedule(t *testing.T) *sched.Schedule {
+	t.Helper()
+	sys := model.Periodic([]model.Weight{
+		model.W(1, 6), model.W(1, 6), model.W(1, 6),
+		model.W(1, 2), model.W(1, 2), model.W(1, 2),
+	}, 6)
+	y := func(s *model.Subtask) rat.Rat {
+		if (s.Task.Name == "A" || s.Task.Name == "F") && s.Index == 1 {
+			return rat.New(3, 4)
+		}
+		return rat.One
+	}
+	s, err := core.RunDVQ(sys, core.DVQOptions{M: 2, Yield: y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestReplayDeliversAllEventsInOrder(t *testing.T) {
+	s := fig2Schedule(t)
+	clk := &FakeClock{T: time.Unix(0, 0)}
+	var events []Event
+	n, err := Run(s, Options{
+		Quantum: time.Millisecond,
+		Clock:   clk,
+		OnEvent: func(e Event) { events = append(events, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2*s.Len() || len(events) != n {
+		t.Fatalf("events = %d, want %d", len(events), 2*s.Len())
+	}
+	// Time-ordered, completions before dispatches at equal instants.
+	for i := 1; i < len(events); i++ {
+		c := events[i-1].At.Cmp(events[i].At)
+		if c > 0 {
+			t.Fatalf("event %d out of order", i)
+		}
+		if c == 0 && events[i-1].Kind == Dispatch && events[i].Kind == Complete &&
+			events[i-1].Asg == events[i].Asg {
+			continue // same assignment with zero-length wait is impossible (cost > 0)
+		}
+	}
+	// The fake clock ends at the makespan.
+	wantEnd := time.Unix(0, 0).Add(time.Duration(s.Makespan().Mul(rat.FromInt(int64(time.Millisecond))).Float64()))
+	if gap := clk.Now().Sub(wantEnd); gap < -time.Microsecond || gap > time.Microsecond {
+		t.Errorf("clock ended at %v, want ≈%v", clk.Now(), wantEnd)
+	}
+}
+
+func TestReplayExactRationalTiming(t *testing.T) {
+	s := fig2Schedule(t)
+	clk := &FakeClock{T: time.Unix(0, 0)}
+	var b1Dispatch time.Time
+	_, err := Run(s, Options{
+		Quantum: time.Millisecond,
+		Clock:   clk,
+		OnEvent: func(e Event) {
+			if e.Kind == Dispatch && e.Asg.Sub.String() == "B_1" {
+				b1Dispatch = clk.Now()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B_1 starts at 7/4 quanta = 1.75 ms.
+	want := time.Unix(0, 0).Add(1750 * time.Microsecond)
+	if !b1Dispatch.Equal(want) {
+		t.Errorf("B_1 dispatched at %v, want %v", b1Dispatch, want)
+	}
+}
+
+func TestReplayRejectsBadQuantum(t *testing.T) {
+	s := fig2Schedule(t)
+	if _, err := Run(s, Options{Quantum: 0}); err == nil {
+		t.Error("zero quantum accepted")
+	}
+}
+
+func TestReplayWallClockSmoke(t *testing.T) {
+	// A tiny schedule against the real clock with a microscopic quantum:
+	// should finish quickly and deliver events.
+	sys := model.Periodic([]model.Weight{model.W(1, 2)}, 2)
+	s, err := core.RunDVQ(sys, core.DVQOptions{M: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Run(s, Options{Quantum: 10 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("events = %d", n)
+	}
+}
+
+func TestToDurationRounding(t *testing.T) {
+	if got := toDuration(rat.New(1, 3), 3*time.Nanosecond); got != time.Nanosecond {
+		t.Errorf("1/3 of 3ns = %v", got)
+	}
+	if got := toDuration(rat.New(1, 2), time.Nanosecond); got != time.Nanosecond {
+		t.Errorf("rounding half up: %v", got)
+	}
+}

@@ -1,0 +1,50 @@
+package sched
+
+import (
+	"fmt"
+
+	"desyncpfair/internal/model"
+)
+
+// Difference describes one subtask scheduled differently by two schedules.
+type Difference struct {
+	Sub  *model.Subtask
+	A, B *Assignment // nil when the subtask is unscheduled on that side
+}
+
+func (d Difference) String() string {
+	describe := func(a *Assignment) string {
+		if a == nil {
+			return "unscheduled"
+		}
+		return fmt.Sprintf("P%d@%s", a.Proc, a.Start)
+	}
+	return fmt.Sprintf("%s: %s vs %s", d.Sub, describe(d.A), describe(d.B))
+}
+
+// Diff compares two schedules of the same task system subtask by subtask,
+// returning every subtask whose start time or processor differs (or that
+// is scheduled on only one side). Both schedules must be over the same
+// *model.System; comparing schedules of structurally equal but distinct
+// systems is the caller's job (compare labels instead).
+func Diff(a, b *Schedule) []Difference {
+	if a.Sys != b.Sys {
+		panic("sched: Diff requires schedules over the same system")
+	}
+	var out []Difference
+	for _, sub := range a.Sys.All() {
+		aa, ba := a.Of(sub), b.Of(sub)
+		switch {
+		case aa == nil && ba == nil:
+		case aa == nil || ba == nil:
+			out = append(out, Difference{Sub: sub, A: aa, B: ba})
+		case !aa.Start.Equal(ba.Start) || aa.Proc != ba.Proc:
+			out = append(out, Difference{Sub: sub, A: aa, B: ba})
+		}
+	}
+	return out
+}
+
+// Equal reports whether the two schedules place every subtask identically
+// (same start, same processor).
+func Equal(a, b *Schedule) bool { return len(Diff(a, b)) == 0 }

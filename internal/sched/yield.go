@@ -1,0 +1,27 @@
+package sched
+
+import (
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/rat"
+)
+
+// YieldFn gives the actual execution cost c(T_i) ∈ (0, 1] of a subtask —
+// the fraction of its quantum it really uses before yielding. Under the SFQ
+// model an early yield strands the residue of the quantum (the processor
+// idles until the slot boundary); under the DVQ model a new quantum begins
+// immediately. Randomized yield models live in internal/gen; this package
+// provides only the degenerate ones.
+type YieldFn func(*model.Subtask) rat.Rat
+
+// FullCost is the yield model in which every subtask uses its entire
+// quantum (c = 1). Under FullCost the DVQ and SFQ models coincide.
+func FullCost(*model.Subtask) rat.Rat { return rat.One }
+
+// ConstCost returns a yield model with the same cost c for every subtask.
+// It panics unless 0 < c ≤ 1.
+func ConstCost(c rat.Rat) YieldFn {
+	if c.Sign() <= 0 || rat.One.Less(c) {
+		panic("sched: ConstCost outside (0,1]")
+	}
+	return func(*model.Subtask) rat.Rat { return c }
+}

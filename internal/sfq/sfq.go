@@ -1,0 +1,256 @@
+// Package sfq implements Pfair scheduling under the SFQ model — the
+// synchronized, fixed-size-quantum model of classical Pfair work that the
+// paper relaxes. Scheduling decisions are made at slot boundaries only; if
+// a subtask yields before the end of its quantum, the residue of the
+// quantum is wasted (the model is non-work-conserving).
+//
+// The package also implements the *staggered* variant of Holman & Anderson
+// (2004): quanta remain uniform in size and synchronized, but the quantum
+// start points on successive processors are offset by 1/M, spreading
+// scheduler invocations (and bus traffic) over the slot.
+package sfq
+
+import (
+	"fmt"
+
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/prio"
+	"desyncpfair/internal/rat"
+	"desyncpfair/internal/sched"
+)
+
+// Options configures an SFQ run.
+type Options struct {
+	M      int         // number of processors (≥ 1)
+	Policy prio.Policy // subtask priority; nil defaults to PD²
+	Yield  sched.YieldFn
+	// Staggered offsets the quantum start on processor k by k/M within
+	// each slot (Holman & Anderson). Selection is still slot-synchronous.
+	Staggered bool
+	// Horizon caps the number of slots simulated; 0 derives a safe bound
+	// (latest deadline + number of subtasks + 1, enough for any
+	// work-conserving slot scheduler to drain).
+	Horizon int64
+}
+
+func (o *Options) fill(sys *model.System) error {
+	if o.M < 1 {
+		return fmt.Errorf("sfq: M = %d", o.M)
+	}
+	if o.Policy == nil {
+		o.Policy = prio.PD2{}
+	}
+	if o.Yield == nil {
+		o.Yield = sched.FullCost
+	}
+	if o.Horizon == 0 {
+		o.Horizon = sys.Horizon() + int64(sys.NumSubtasks()) + 1
+	}
+	return nil
+}
+
+// Run simulates sys on opts.M processors under the SFQ model and returns
+// the complete schedule. An error is returned only if the horizon is
+// exhausted before every subtask is scheduled (which cannot happen with the
+// default horizon) or options are invalid.
+func Run(sys *model.System, opts Options) (*sched.Schedule, error) {
+	if err := opts.fill(sys); err != nil {
+		return nil, err
+	}
+	if opts.Staggered {
+		return runStaggered(sys, opts)
+	}
+	s := sched.New(sys, opts.M, opts.Policy.Name(), "SFQ")
+
+	st := newState(sys, opts.M)
+	decision := 0
+	for t := int64(0); st.remaining > 0; t++ {
+		if t > opts.Horizon {
+			return s, fmt.Errorf("sfq: horizon %d exhausted with %d subtasks pending", opts.Horizon, st.remaining)
+		}
+		ready := st.readyAt(t)
+		sortSubtasks(ready, opts.Policy)
+
+		free := st.freeProcs()
+		for _, sub := range ready {
+			if len(free) == 0 {
+				break
+			}
+			proc := st.pickProc(free, sub)
+			free = remove(free, proc)
+			decision++
+			a := s.Add(sched.Assignment{
+				Sub:      sub,
+				Proc:     proc,
+				Start:    rat.FromInt(t),
+				Cost:     opts.Yield(sub),
+				Decision: decision,
+			})
+			st.commit(sub, a, t)
+		}
+	}
+	return s, nil
+}
+
+// runStaggered simulates the staggered model of Holman & Anderson: quanta
+// remain uniform (size one) and synchronized, but processor k's quanta
+// occupy [t + k/M, t+1 + k/M). Each processor makes its own scheduling
+// decision at its own quantum boundaries, choosing the highest-priority
+// subtask that is eligible and whose predecessor has completed by that
+// moment. If a subtask yields early, the residue of the quantum is still
+// wasted — the model keeps SFQ's fixed-size quanta, only the alignment
+// across processors changes.
+func runStaggered(sys *model.System, opts Options) (*sched.Schedule, error) {
+	s := sched.New(sys, opts.M, opts.Policy.Name(), "SFQ-staggered")
+	st := newState(sys, opts.M)
+	m := int64(opts.M)
+	decision := 0
+	finish := make([]rat.Rat, len(sys.Tasks)) // actual completion of last-scheduled subtask per task
+	for t := int64(0); st.remaining > 0; t++ {
+		if t > opts.Horizon {
+			return s, fmt.Errorf("sfq: horizon %d exhausted with %d subtasks pending", opts.Horizon, st.remaining)
+		}
+		for k := int64(0); k < m; k++ {
+			now := rat.FromInt(t).Add(rat.New(k, m))
+			best := st.bestReadyStaggered(now, finish, opts.Policy)
+			if best == nil {
+				continue
+			}
+			decision++
+			a := s.Add(sched.Assignment{
+				Sub:      best,
+				Proc:     int(k),
+				Start:    now,
+				Cost:     opts.Yield(best),
+				Decision: decision,
+			})
+			st.commit(best, a, t)
+			finish[best.Task.ID] = a.Finish()
+		}
+	}
+	return s, nil
+}
+
+// bestReadyStaggered returns the highest-priority subtask ready at the
+// rational time now: its head status, eligibility, and its predecessor's
+// actual completion (tracked in finish) are all checked against now.
+func (st *state) bestReadyStaggered(now rat.Rat, finish []rat.Rat, pol prio.Policy) *model.Subtask {
+	var best *model.Subtask
+	for _, task := range st.sys.Tasks {
+		seq := st.sys.Subtasks(task)
+		c := st.cursor[task.ID]
+		if c >= len(seq) {
+			continue
+		}
+		head := seq[c]
+		if now.Less(rat.FromInt(head.Elig)) {
+			continue
+		}
+		if c > 0 && now.Less(finish[task.ID]) {
+			continue // predecessor still executing
+		}
+		if best == nil || prio.Order(pol, head, best) {
+			best = head
+		}
+	}
+	return best
+}
+
+// state tracks per-task progress during a slot-based run.
+type state struct {
+	sys       *model.System
+	cursor    []int   // per task: next unscheduled seq index
+	lastSlot  []int64 // per task: slot of most recent assignment (−1 none)
+	lastProc  []int   // per task: processor of most recent assignment (affinity)
+	m         int
+	remaining int
+}
+
+func newState(sys *model.System, m int) *state {
+	n := len(sys.Tasks)
+	st := &state{
+		sys:      sys,
+		cursor:   make([]int, n),
+		lastSlot: make([]int64, n),
+		lastProc: make([]int, n),
+		m:        m,
+	}
+	for i := range st.lastSlot {
+		st.lastSlot[i] = -1
+		st.lastProc[i] = -1
+	}
+	st.remaining = sys.NumSubtasks()
+	return st
+}
+
+// readyAt returns the ready heads at slot t: each task's next unscheduled
+// released subtask, provided it is eligible and its predecessor (if any)
+// was scheduled in an earlier slot. (Only heads can be ready — subtasks of
+// a task execute in released order.)
+func (st *state) readyAt(t int64) []*model.Subtask {
+	var ready []*model.Subtask
+	for _, task := range st.sys.Tasks {
+		seq := st.sys.Subtasks(task)
+		c := st.cursor[task.ID]
+		if c >= len(seq) {
+			continue
+		}
+		head := seq[c]
+		if head.Elig > t {
+			continue
+		}
+		if c > 0 && st.lastSlot[task.ID] >= t {
+			continue // predecessor occupies this slot
+		}
+		ready = append(ready, head)
+	}
+	return ready
+}
+
+func (st *state) freeProcs() []int {
+	free := make([]int, st.m)
+	for i := range free {
+		free[i] = i
+	}
+	return free
+}
+
+// pickProc chooses a processor for sub from the (non-empty) free list,
+// preferring the task's previous processor to minimize notional migrations.
+func (st *state) pickProc(free []int, sub *model.Subtask) int {
+	if prev := st.lastProc[sub.Task.ID]; prev >= 0 {
+		for _, p := range free {
+			if p == prev {
+				return p
+			}
+		}
+	}
+	return free[0]
+}
+
+func (st *state) commit(sub *model.Subtask, a *sched.Assignment, t int64) {
+	id := sub.Task.ID
+	st.cursor[id]++
+	st.lastSlot[id] = t
+	st.lastProc[id] = a.Proc
+	st.remaining--
+}
+
+func sortSubtasks(subs []*model.Subtask, p prio.Policy) {
+	// Insertion sort keeps the common small ready sets cheap and avoids an
+	// allocation; ready sets are one head per task.
+	for i := 1; i < len(subs); i++ {
+		for j := i; j > 0 && prio.Order(p, subs[j], subs[j-1]); j-- {
+			subs[j], subs[j-1] = subs[j-1], subs[j]
+		}
+	}
+}
+
+func remove(xs []int, x int) []int {
+	for i, v := range xs {
+		if v == x {
+			return append(xs[:i], xs[i+1:]...)
+		}
+	}
+	return xs
+}

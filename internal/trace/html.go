@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"sort"
+
+	"desyncpfair/internal/sched"
+)
+
+// GanttCSS is the style sheet shared by WriteHTML and report tooling that
+// embeds HTMLFragment outputs.
+const GanttCSS = `
+body { font: 13px/1.4 system-ui, sans-serif; margin: 1.5em; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+pre { background: #f7f7f7; padding: .8em; border-radius: 4px; overflow-x: auto; }
+.meta { color: #555; margin-bottom: 1em; }
+.lane { position: relative; height: 34px; margin: 4px 0; background: #f3f3f3;
+        border-radius: 4px; }
+.lane .plabel { position: absolute; left: -3.2em; top: 8px; color: #666; }
+.block { position: absolute; top: 3px; height: 28px; border-radius: 3px;
+         border: 1px solid rgba(0,0,0,.25); box-sizing: border-box;
+         font-size: 11px; overflow: hidden; text-align: center;
+         line-height: 26px; white-space: nowrap; }
+.block.tardy { border: 2px solid #c00; }
+.chart { margin-left: 3.5em; margin-bottom: 1em; }
+`
+
+type ganttBlock struct {
+	Label    string
+	Tooltip  string
+	LeftPct  float64
+	WidthPct float64
+	Color    template.CSS
+	Tardy    bool
+}
+
+type ganttLane struct {
+	Proc   int
+	Blocks []ganttBlock
+}
+
+type ganttChart struct {
+	Meta  string
+	Lanes []ganttLane
+}
+
+// HTMLFragment renders the schedule as a Gantt-chart HTML fragment (no
+// document shell); pair it with GanttCSS. WriteHTML wraps it in a full
+// page.
+func HTMLFragment(s *sched.Schedule) (template.HTML, error) {
+	makespan := s.Makespan()
+	span := makespan.Float64()
+	if span <= 0 {
+		span = 1
+	}
+	chart := ganttChart{
+		Meta:  fmt.Sprintf("%s under %s, M=%d, makespan %s", s.Algo, s.Model, s.M, makespan),
+		Lanes: make([]ganttLane, s.M),
+	}
+	for p := range chart.Lanes {
+		chart.Lanes[p].Proc = p
+	}
+	asgs := append([]*sched.Assignment(nil), s.Assignments()...)
+	sort.Slice(asgs, func(i, j int) bool { return asgs[i].Start.Less(asgs[j].Start) })
+	for _, a := range asgs {
+		chart.Lanes[a.Proc].Blocks = append(chart.Lanes[a.Proc].Blocks, ganttBlock{
+			Label: a.Sub.String(),
+			Tooltip: fmt.Sprintf("%s window [%d,%d) runs [%s,%s) tardiness %s",
+				a.Sub, a.Sub.Release(), a.Sub.Deadline(), a.Start, a.Finish(), s.Tardiness(a.Sub)),
+			LeftPct:  100 * a.Start.Float64() / span,
+			WidthPct: 100 * a.Cost.Float64() / span,
+			Color:    taskColor(a.Sub.Task.ID),
+			Tardy:    s.Tardiness(a.Sub).Sign() > 0,
+		})
+	}
+	var buf fragmentBuffer
+	if err := fragmentTmpl.Execute(&buf, chart); err != nil {
+		return "", err
+	}
+	return template.HTML(buf.b), nil
+}
+
+type fragmentBuffer struct{ b []byte }
+
+func (f *fragmentBuffer) Write(p []byte) (int, error) {
+	f.b = append(f.b, p...)
+	return len(p), nil
+}
+
+// WriteHTML renders the schedule as a self-contained HTML page: one lane
+// per processor, one block per quantum, positioned proportionally to exact
+// rational times and coloured per task. Blocks carry tooltips with the
+// subtask's window and tardiness. Useful for inspecting DVQ schedules
+// whose rational start times are hard to read in ASCII.
+func WriteHTML(w io.Writer, s *sched.Schedule, title string) error {
+	frag, err := HTMLFragment(s)
+	if err != nil {
+		return err
+	}
+	return pageTmpl.Execute(w, struct {
+		Title    string
+		CSS      template.CSS
+		Fragment template.HTML
+	}{Title: title, CSS: GanttCSS, Fragment: frag})
+}
+
+// taskColor assigns a stable pastel colour per task ID.
+func taskColor(id int) template.CSS {
+	hue := (id * 137) % 360 // golden-angle spacing
+	return template.CSS(fmt.Sprintf("hsl(%d, 65%%, 70%%)", hue))
+}
+
+var fragmentTmpl = template.Must(template.New("gantt").Parse(`<div class="meta">{{.Meta}}</div>
+<div class="chart">
+{{range .Lanes}}<div class="lane"><span class="plabel">P{{.Proc}}</span>
+{{range .Blocks}}<div class="block{{if .Tardy}} tardy{{end}}" title="{{.Tooltip}}" style="left:{{printf "%.4f" .LeftPct}}%;width:{{printf "%.4f" .WidthPct}}%;background:{{.Color}}">{{.Label}}</div>
+{{end}}</div>
+{{end}}</div>
+`))
+
+var pageTmpl = template.Must(template.New("page").Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{{.Title}}</title>
+<style>{{.CSS}}</style></head><body>
+<h1>{{.Title}}</h1>
+{{.Fragment}}
+</body></html>
+`))

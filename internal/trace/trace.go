@@ -1,0 +1,161 @@
+// Package trace renders schedules and task windows as ASCII diagrams in
+// the style of the paper's figures, and exports schedules as CSV for
+// external tooling.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"desyncpfair/internal/core"
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/sched"
+)
+
+// RenderWindows draws the PF-windows of every released subtask of a task,
+// one row per subtask, newest at the top — the layout of Fig. 1. A window
+// [r, d) is drawn as `[==…=)` over its slots; an eligibility earlier than
+// the release (early releasing) is marked with `<` padding.
+func RenderWindows(sys *model.System, task *model.Task) string {
+	seq := sys.Subtasks(task)
+	if len(seq) == 0 {
+		return fmt.Sprintf("%s: (no subtasks)\n", task)
+	}
+	horizon := int64(0)
+	for _, s := range seq {
+		if d := s.Deadline(); d > horizon {
+			horizon = d
+		}
+	}
+	const cell = 3 // columns per slot
+	var b strings.Builder
+	for i := len(seq) - 1; i >= 0; i-- {
+		s := seq[i]
+		row := make([]byte, horizon*cell)
+		for j := range row {
+			row[j] = ' '
+		}
+		for t := s.Elig; t < s.Release(); t++ {
+			row[t*cell] = '<'
+		}
+		r, d := s.Release(), s.Deadline()
+		for j := r * cell; j < d*cell; j++ {
+			row[j] = '='
+		}
+		row[r*cell] = '['
+		row[d*cell-1] = ')'
+		fmt.Fprintf(&b, "%-6s %s\n", s.String(), string(row))
+	}
+	// Ruler.
+	fmt.Fprintf(&b, "%-6s ", "")
+	for t := int64(0); t <= horizon; t++ {
+		fmt.Fprintf(&b, "%-*d", cell, t)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// RenderSlots draws a slot-based (SFQ-model) schedule as a processor×slot
+// grid, the layout of Figs. 2(a), 2(c) and 6.
+func RenderSlots(s *sched.Schedule) string {
+	horizon := s.Makespan().Ceil()
+	grid := make([][]string, s.M)
+	for p := range grid {
+		grid[p] = make([]string, horizon)
+	}
+	for _, a := range s.Assignments() {
+		grid[a.Proc][a.Slot()] = a.Sub.String()
+	}
+	width := 5
+	for _, row := range grid {
+		for _, c := range row {
+			if len(c)+1 > width {
+				width = len(c) + 1
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s|", "slot")
+	for t := int64(0); t < horizon; t++ {
+		fmt.Fprintf(&b, "%*d", width, t)
+	}
+	b.WriteString("\n")
+	for p, row := range grid {
+		fmt.Fprintf(&b, "P%-3d|", p)
+		for _, c := range row {
+			if c == "" {
+				c = "."
+			}
+			fmt.Fprintf(&b, "%*s", width, c)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderTimeline draws a DVQ-model schedule as per-processor interval
+// lists with exact rational endpoints, the information content of
+// Figs. 2(b), 3 and 4(a).
+func RenderTimeline(s *sched.Schedule) string {
+	byProc := make([][]*sched.Assignment, s.M)
+	for _, a := range s.Assignments() {
+		byProc[a.Proc] = append(byProc[a.Proc], a)
+	}
+	var b strings.Builder
+	for p, list := range byProc {
+		sort.Slice(list, func(i, j int) bool { return list[i].Start.Less(list[j].Start) })
+		fmt.Fprintf(&b, "P%d:", p)
+		for _, a := range list {
+			fmt.Fprintf(&b, " %s@[%s,%s)", a.Sub, a.Start, a.Finish())
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// WriteCSV emits one row per assignment with the schedule's key quantities.
+func WriteCSV(w io.Writer, s *sched.Schedule) error {
+	if _, err := fmt.Fprintln(w, "task,index,proc,start,cost,finish,release,deadline,tardiness"); err != nil {
+		return err
+	}
+	asgs := append([]*sched.Assignment(nil), s.Assignments()...)
+	sort.Slice(asgs, func(i, j int) bool {
+		if c := asgs[i].Start.Cmp(asgs[j].Start); c != 0 {
+			return c < 0
+		}
+		return asgs[i].Proc < asgs[j].Proc
+	})
+	for _, a := range asgs {
+		_, err := fmt.Fprintf(w, "%s,%d,%d,%s,%s,%s,%d,%d,%s\n",
+			a.Sub.Task, a.Sub.Index, a.Proc, a.Start, a.Cost, a.Finish(),
+			a.Sub.Release(), a.Sub.Deadline(), s.Tardiness(a.Sub))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderPDBTrace draws the per-slot PD^B decision record: the EB/PB/DB
+// partition, p, and the picks in decision order — the data of the paper's
+// running examples ("at time 2, D_2, E_2, F_2 are in EB(2) …").
+func RenderPDBTrace(slots []core.SlotInfo) string {
+	var b strings.Builder
+	names := func(subs []*model.Subtask) string {
+		if len(subs) == 0 {
+			return "∅"
+		}
+		parts := make([]string, len(subs))
+		for i, s := range subs {
+			parts[i] = s.String()
+		}
+		return strings.Join(parts, ",")
+	}
+	for _, sl := range slots {
+		fmt.Fprintf(&b, "t=%-3d p=%d  EB={%s}  PB={%s}  DB={%s}  → %s\n",
+			sl.T, sl.P, names(sl.EB), names(sl.PB), names(sl.DB), names(sl.Picks))
+	}
+	return b.String()
+}

@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"desyncpfair/internal/core"
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/rat"
+	"desyncpfair/internal/sched"
+	"desyncpfair/internal/sfq"
+)
+
+func fig1System() *model.System {
+	sys := model.NewSystem()
+	sys.AddPeriodic("T", model.W(3, 4), 4)
+	return sys
+}
+
+func fig2System() *model.System {
+	return model.Periodic([]model.Weight{
+		model.W(1, 6), model.W(1, 6), model.W(1, 6),
+		model.W(1, 2), model.W(1, 2), model.W(1, 2),
+	}, 6)
+}
+
+func TestRenderWindowsFig1a(t *testing.T) {
+	sys := fig1System()
+	out := RenderWindows(sys, sys.Tasks[0])
+	for _, want := range []string{"T_1", "T_2", "T_3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %s in:\n%s", want, out)
+		}
+	}
+	// T_1's window [0,2): opening bracket at column for slot 0.
+	lines := strings.Split(out, "\n")
+	var t1 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "T_1") {
+			t1 = l
+		}
+	}
+	if !strings.Contains(t1, "[") || !strings.Contains(t1, ")") {
+		t.Errorf("T_1 row lacks window brackets: %q", t1)
+	}
+	if strings.Index(t1, "[") > strings.Index(t1, ")") {
+		t.Errorf("T_1 window reversed: %q", t1)
+	}
+}
+
+func TestRenderWindowsEarlyRelease(t *testing.T) {
+	sys := model.NewSystem()
+	tk := sys.AddTask("T", model.W(1, 2))
+	sys.AddSubtask(tk, 1, 0, 0)
+	sys.AddSubtask(tk, 2, 0, 1) // eligible one slot before release 2
+	out := RenderWindows(sys, tk)
+	if !strings.Contains(out, "<") {
+		t.Errorf("early-release marker missing:\n%s", out)
+	}
+}
+
+func TestRenderWindowsEmptyTask(t *testing.T) {
+	sys := model.NewSystem()
+	tk := sys.AddTask("T", model.W(1, 2))
+	if out := RenderWindows(sys, tk); !strings.Contains(out, "no subtasks") {
+		t.Errorf("unexpected: %q", out)
+	}
+}
+
+func TestRenderSlotsFig2a(t *testing.T) {
+	sys := fig2System()
+	s, err := sfq.Run(sys, sfq.Options{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderSlots(s)
+	if !strings.Contains(out, "P0") || !strings.Contains(out, "P1") {
+		t.Errorf("processor rows missing:\n%s", out)
+	}
+	if !strings.Contains(out, "D_1") || !strings.Contains(out, "F_3") {
+		t.Errorf("subtask labels missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // ruler + 2 processors
+		t.Errorf("line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderTimelineShowsRationalTimes(t *testing.T) {
+	sys := fig2System()
+	y := func(s *model.Subtask) rat.Rat {
+		if (s.Task.Name == "A" || s.Task.Name == "F") && s.Index == 1 {
+			return rat.New(3, 4)
+		}
+		return rat.One
+	}
+	dq, err := core.RunDVQ(sys, core.DVQOptions{M: 2, Yield: y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTimeline(dq)
+	if !strings.Contains(out, "7/4") {
+		t.Errorf("rational endpoint 7/4 missing:\n%s", out)
+	}
+	if !strings.Contains(out, "B_1@[7/4,") {
+		t.Errorf("B_1 start at 7/4 missing:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	sys := fig2System()
+	s, err := sfq.Run(sys, sfq.Options{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteCSV(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 1+sys.NumSubtasks() {
+		t.Errorf("csv line count = %d, want %d", len(lines), 1+sys.NumSubtasks())
+	}
+	if !strings.HasPrefix(lines[0], "task,index,proc,start") {
+		t.Errorf("header = %q", lines[0])
+	}
+	// Rows sorted by start: first data row is slot 0.
+	if !strings.Contains(lines[1], ",0,") {
+		t.Errorf("first row not at time 0: %q", lines[1])
+	}
+}
+
+func TestWriteHTML(t *testing.T) {
+	sys := fig2System()
+	y := func(s *model.Subtask) rat.Rat {
+		if (s.Task.Name == "A" || s.Task.Name == "F") && s.Index == 1 {
+			return rat.New(3, 4)
+		}
+		return rat.One
+	}
+	dq, err := core.RunDVQ(sys, core.DVQOptions{M: 2, Yield: y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteHTML(&b, dq, "Fig. 2(b)"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"<!DOCTYPE html>", "Fig. 2(b)", "P0", "class=\"block", "F_2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("html missing %q", want)
+		}
+	}
+	// The tardy subtask F_2 must be flagged.
+	if !strings.Contains(out, "block tardy") {
+		t.Error("tardy block styling missing")
+	}
+	// Tooltips carry the exact rational times.
+	if !strings.Contains(out, "7/4") {
+		t.Error("rational endpoints missing from tooltips")
+	}
+}
+
+func TestWriteHTMLEmptySchedule(t *testing.T) {
+	sys := model.NewSystem()
+	s := schedNew(sys)
+	var b strings.Builder
+	if err := WriteHTML(&b, s, "empty"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "empty") {
+		t.Error("title missing")
+	}
+}
+
+// schedNew builds an empty 1-processor schedule for edge-case tests.
+func schedNew(sys *model.System) *sched.Schedule {
+	return sched.New(sys, 1, "test", "SFQ")
+}
+
+func TestRenderPDBTrace(t *testing.T) {
+	res, err := core.RunPDB(fig2System(), core.PDBOptions{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderPDBTrace(res.Slots)
+	for _, want := range []string{"t=2", "EB={D_2,E_2,F_2}", "DB={B_1,C_1}", "p=1", "PB={F_3}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PDB trace missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+// Package pfair is the public API of this repository: a library for Pfair
+// scheduling of recurrent real-time task systems on multiprocessors, and a
+// full reproduction of
+//
+//	U. Devi and J. Anderson, "Desynchronized Pfair Scheduling on
+//	Multiprocessors", IPPS 2005.
+//
+// The library provides:
+//
+//   - the periodic / sporadic / IS / GIS task models with exact Pfair
+//     windows (releases, deadlines, successor bits, group deadlines);
+//   - the classical priority policies EPDF, PF, PD and PD²;
+//   - an SFQ-model scheduler (synchronized fixed-size quanta, with the
+//     staggered variant of Holman & Anderson);
+//   - the paper's DVQ-model scheduler (desynchronized variable-size
+//     quanta — work-conserving, event-driven over exact rational time);
+//   - algorithm PD^B and the analysis machinery from the paper's proofs
+//     (the S_DQ→S_B transform, blocking detection and Property PB,
+//     k-compliance);
+//   - schedule validity checking, tardiness/lag analysis, workload and
+//     yield generators, ASCII/CSV rendering, and the baselines the paper
+//     compares against (global/partitioned EDF, DFS).
+//
+// Quick start:
+//
+//	sys := pfair.Periodic([]pfair.Weight{pfair.W(1, 2), pfair.W(3, 4)}, 12)
+//	s, err := pfair.RunDVQ(sys, pfair.DVQOptions{M: 2})
+//	fmt.Println(s.MaxTardiness()) // ≤ 1 by Theorem 3
+//
+// The headline result (Theorem 3): under the DVQ model, PD² misses
+// deadlines by at most one quantum for every task system with total
+// utilization at most M — soft real-time guarantees survive
+// desynchronization.
+package pfair
+
+import (
+	"encoding/json"
+	"io"
+
+	"desyncpfair/internal/analysis"
+	"desyncpfair/internal/baseline"
+	"desyncpfair/internal/core"
+	"desyncpfair/internal/gen"
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/prio"
+	"desyncpfair/internal/rat"
+	"desyncpfair/internal/sched"
+	"desyncpfair/internal/sfq"
+	"desyncpfair/internal/trace"
+)
+
+// Core model types.
+type (
+	// Weight is a task utilization E/P with 0 < E ≤ P.
+	Weight = model.Weight
+	// Task is a recurrent task.
+	Task = model.Task
+	// Subtask is one quantum-length unit of work with a Pfair window.
+	Subtask = model.Subtask
+	// System is a GIS task system (periodic and IS systems are special cases).
+	System = model.System
+	// Rat is an exact rational number; all DVQ times are Rats.
+	Rat = rat.Rat
+	// Schedule is a produced schedule with validity and tardiness queries.
+	Schedule = sched.Schedule
+	// Assignment is one scheduling decision within a Schedule.
+	Assignment = sched.Assignment
+	// YieldFn gives each subtask's actual execution cost in (0, 1].
+	YieldFn = sched.YieldFn
+	// Policy is a subtask priority order (EPDF, PF, PD, PD²).
+	Policy = prio.Policy
+	// Summary is the analysis roll-up of a schedule.
+	Summary = analysis.Summary
+)
+
+// Engine option structs.
+type (
+	// SFQOptions configures the synchronized fixed-quantum engine.
+	SFQOptions = sfq.Options
+	// DVQOptions configures the desynchronized variable-quantum engine.
+	DVQOptions = core.DVQOptions
+	// PDBOptions configures algorithm PD^B.
+	PDBOptions = core.PDBOptions
+	// PDBResult is a PD^B schedule plus its per-slot decision trace.
+	PDBResult = core.PDBResult
+	// BlockingEvent is a detected priority inversion in a DVQ schedule.
+	BlockingEvent = core.BlockingEvent
+	// Transform is the S_DQ → S_B construction of the paper's Sec. 3.2.
+	Transform = core.Transform
+	// ComplianceResult is a k-compliant task system and schedule (Sec. 3.3).
+	ComplianceResult = core.ComplianceResult
+)
+
+// W returns the weight e/p.
+func W(e, p int64) Weight { return model.W(e, p) }
+
+// NewRat returns the exact rational n/d.
+func NewRat(n, d int64) Rat { return rat.New(n, d) }
+
+// IntRat returns the exact rational n/1.
+func IntRat(n int64) Rat { return rat.FromInt(n) }
+
+// NewSystem returns an empty task system; add tasks and subtasks for IS/GIS
+// behaviour, or use Periodic for the synchronous periodic case.
+func NewSystem() *System { return model.NewSystem() }
+
+// Periodic builds a synchronous periodic system from weights, releasing all
+// subtasks with release time < horizon.
+func Periodic(weights []Weight, horizon int64) *System { return model.Periodic(weights, horizon) }
+
+// Priority policies.
+func EPDF() Policy { return prio.EPDF{} } // earliest pseudo-deadline first, no tie-breaks
+func PF() Policy   { return prio.PF{} }   // Baruah et al. 1996
+func PD() Policy   { return prio.PD{} }   // Baruah, Gehrke & Plaxton 1995 (as a PD² refinement)
+func PD2() Policy  { return prio.PD2{} }  // Anderson & Srinivasan; optimal and cheapest
+
+// PolicyByName resolves "EPDF", "PF", "PD" or "PD2" (nil if unknown).
+func PolicyByName(name string) Policy { return prio.ByName(name) }
+
+// RunSFQ schedules sys under the SFQ model (the classical Pfair setting).
+func RunSFQ(sys *System, opts SFQOptions) (*Schedule, error) { return sfq.Run(sys, opts) }
+
+// RunDVQ schedules sys under the paper's DVQ model: work-conserving,
+// desynchronized, variable-size quanta. With the default PD² policy this is
+// PD²-DVQ, whose tardiness is at most one quantum (Theorem 3).
+func RunDVQ(sys *System, opts DVQOptions) (*Schedule, error) { return core.RunDVQ(sys, opts) }
+
+// RunPDB schedules sys under algorithm PD^B (SFQ model), the worst-case
+// mimicry of PD²-DVQ used in the paper's analysis.
+func RunPDB(sys *System, opts PDBOptions) (*PDBResult, error) { return core.RunPDB(sys, opts) }
+
+// Yield models.
+
+// FullCost makes every subtask use its whole quantum.
+func FullCost(s *Subtask) Rat { return sched.FullCost(s) }
+
+// ConstCost makes every subtask cost exactly c ∈ (0, 1].
+func ConstCost(c Rat) YieldFn { return sched.ConstCost(c) }
+
+// UniformYield draws per-subtask costs uniformly from {1/den, …, 1},
+// deterministically from seed.
+func UniformYield(seed, den int64) YieldFn { return gen.UniformYield(seed, den) }
+
+// BimodalYield uses the full quantum with probability pFull (percent) and
+// otherwise yields early (cost ≤ 1/2).
+func BimodalYield(seed int64, pFull int, den int64) YieldFn {
+	return gen.BimodalYield(seed, pFull, den)
+}
+
+// AdversarialYield makes selected subtasks yield δ before the quantum end
+// (nil victim selects all) — the paper's tightness construction.
+func AdversarialYield(delta Rat, victim func(*Subtask) bool) YieldFn {
+	return gen.AdversarialYield(delta, victim)
+}
+
+// Analysis.
+
+// Summarize rolls up tardiness, misses, response and utilization measures.
+func Summarize(s *Schedule) Summary { return analysis.Summarize(s) }
+
+// QuantumResidue is the processor time stranded by early yields under SFQ.
+func QuantumResidue(s *Schedule) Rat { return analysis.QuantumResidue(s) }
+
+// CheckPfairness verifies |lag| < 1 throughout (synchronous periodic
+// systems only).
+func CheckPfairness(s *Schedule) error { return analysis.CheckPfairness(s) }
+
+// Paper machinery.
+
+// BuildSB constructs the S_DQ → S_B transform of Sec. 3.2 from a DVQ
+// schedule.
+func BuildSB(dq *Schedule) *Transform { return core.BuildSB(dq) }
+
+// FindBlocking detects eligibility- and predecessor-blocking (Sec. 3.1) in
+// a DVQ schedule produced under pol.
+func FindBlocking(dq *Schedule, pol Policy) []BlockingEvent { return core.FindBlocking(dq, pol) }
+
+// CheckPropertyPB verifies Lemma 1 (Property PB) on a DVQ schedule.
+func CheckPropertyPB(dq *Schedule, pol Policy) error { return core.CheckPropertyPB(dq, pol) }
+
+// RunCompliant builds the k-compliant system and schedule of Sec. 3.3.
+func RunCompliant(sysB *System, pdb *PDBResult, k int) (*ComplianceResult, error) {
+	return core.RunCompliant(sysB, pdb, k)
+}
+
+// Rendering.
+
+// RenderSlots draws a slot-based schedule as a processor×slot grid.
+func RenderSlots(s *Schedule) string { return trace.RenderSlots(s) }
+
+// RenderTimeline draws a DVQ schedule as per-processor rational intervals.
+func RenderTimeline(s *Schedule) string { return trace.RenderTimeline(s) }
+
+// RenderWindows draws a task's subtask windows in the style of the paper's
+// Fig. 1.
+func RenderWindows(sys *System, task *Task) string { return trace.RenderWindows(sys, task) }
+
+// Baselines.
+
+// GlobalEDF runs job-level global EDF on a periodic system.
+func GlobalEDF(weights []Weight, m int, horizon int64) baseline.EDFResult {
+	return baseline.GlobalEDF(weights, m, horizon)
+}
+
+// PartitionedEDF partitions with first-fit-decreasing and runs per-
+// processor EDF; it errors when no partition exists.
+func PartitionedEDF(weights []Weight, m int, horizon int64) (baseline.EDFResult, error) {
+	return baseline.PartitionedEDF(weights, m, horizon)
+}
+
+// DFS runs the reconstruction of Chandra et al.'s Deadline Fair Scheduling.
+func DFS(weights []Weight, m int, horizon int64, workConserving bool) baseline.DFSResult {
+	return baseline.DFS(weights, m, horizon, workConserving)
+}
+
+// ParseRat parses "n", "n/d" or an exact decimal like "0.75".
+func ParseRat(s string) (Rat, error) { return rat.Parse(s) }
+
+// Ablation policies (deliberately weakened PD² variants; they miss
+// deadlines and exist for the E14 tie-break ablation).
+
+// PD2NoGroup is PD² without the group-deadline tie-break.
+func PD2NoGroup() Policy { return prio.PD2NoGroup{} }
+
+// PD2NoBBit is PD² without either tie-break (EPDF under another name).
+func PD2NoBBit() Policy { return prio.PD2NoBBit{} }
+
+// Rate-monotonic baselines.
+
+// GlobalRM runs job-level global rate-monotonic scheduling.
+func GlobalRM(weights []Weight, m int, horizon int64) baseline.EDFResult {
+	return baseline.GlobalRM(weights, m, horizon)
+}
+
+// PartitionedRM partitions under the Liu–Layland bound and runs
+// per-processor RM; it errors when no admissible partition exists.
+func PartitionedRM(weights []Weight, m int, horizon int64) (baseline.EDFResult, error) {
+	return baseline.PartitionedRM(weights, m, horizon)
+}
+
+// LiuLaylandBound returns the classical RM utilization bound n·(2^{1/n}−1).
+func LiuLaylandBound(n int) float64 { return baseline.LiuLaylandBound(n) }
+
+// DhallWeights returns the canonical Dhall-effect task set for m
+// processors: feasible for Pfair, lethal for global RM/EDF.
+func DhallWeights(m int, period int64) []Weight { return baseline.DhallWeights(m, period) }
+
+// AddSporadic adds a sporadic task to sys with explicit job release times
+// (non-decreasing, separated by at least the period).
+func AddSporadic(sys *System, name string, w Weight, releases []int64) (*Task, error) {
+	return sys.AddSporadic(name, w, releases)
+}
+
+// WriteScheduleCSV emits the schedule as CSV rows.
+func WriteScheduleCSV(w io.Writer, s *Schedule) error { return trace.WriteCSV(w, s) }
+
+// WriteScheduleHTML renders the schedule as a self-contained HTML Gantt
+// chart with exact rational positioning and tardiness highlighting.
+func WriteScheduleHTML(w io.Writer, s *Schedule, title string) error {
+	return trace.WriteHTML(w, s, title)
+}
+
+// WriteLagCSV emits every task's lag trajectory as CSV for plotting.
+func WriteLagCSV(w io.Writer, s *Schedule) error { return analysis.WriteLagCSV(w, s) }
+
+// Migrations counts inter-processor migrations in a schedule.
+func Migrations(s *Schedule) int { return analysis.Migrations(s) }
+
+// CheckWorkConserving verifies that no processor idles while ready work
+// exists — the defining property of the DVQ model.
+func CheckWorkConserving(s *Schedule) error { return core.CheckWorkConserving(s) }
+
+// TardinessHistogram buckets subtask tardiness into eighths of a quantum.
+func TardinessHistogram(s *Schedule) analysis.Histogram { return analysis.TardinessHistogram(s) }
+
+// SaveSystem writes the task system as JSON (the format cmd/pfairsim's
+// -tasks flag reads; see internal/model's JSON doc).
+func SaveSystem(w io.Writer, sys *System) error {
+	return json.NewEncoder(w).Encode(sys)
+}
+
+// LoadSystem reads a task system from JSON and validates it.
+func LoadSystem(r io.Reader) (*System, error) {
+	sys := NewSystem()
+	if err := json.NewDecoder(r).Decode(sys); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// DiffSchedules lists the subtasks two schedules of the same system place
+// differently.
+func DiffSchedules(a, b *Schedule) []sched.Difference { return sched.Diff(a, b) }
+
+// SchedulesEqual reports whether two schedules of the same system place
+// every subtask identically.
+func SchedulesEqual(a, b *Schedule) bool { return sched.Equal(a, b) }
+
+// CheckLemma2 verifies the PD^B counterpart of Property PB on a PD^B run.
+func CheckLemma2(res *PDBResult, pol Policy) error { return core.CheckLemma2(res, pol) }
+
+// CheckClaim5 verifies the Lemma 6 induction-step trichotomy for a PD^B run.
+func CheckClaim5(sysB *System, pdb *PDBResult) error { return core.CheckClaim5(sysB, pdb) }
+
+// CheckLemma6 runs the full k-compliance induction for a PD^B run.
+func CheckLemma6(sysB *System, pdb *PDBResult) error { return core.CheckLemma6(sysB, pdb) }
+
+// RenderPDBTrace draws a PD^B run's per-slot EB/PB/DB partitions and picks.
+func RenderPDBTrace(res *PDBResult) string { return trace.RenderPDBTrace(res.Slots) }
+
+// CheckISPfairness verifies the generalized (per-subtask fluid) Pfairness
+// condition −1 < lag < 1 for IS/GIS schedules whose subtasks run inside
+// their PF-windows.
+func CheckISPfairness(s *Schedule) error { return analysis.CheckISPfairness(s) }
+
+// Jobs aggregates per-job completion and tardiness statistics.
+func Jobs(s *Schedule) []analysis.JobStat { return analysis.Jobs(s) }
+
+// MaxJobTardiness returns the largest per-job tardiness in the schedule.
+func MaxJobTardiness(s *Schedule) Rat { return analysis.MaxJobTardiness(s) }

@@ -1,0 +1,359 @@
+package pfair_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	pfair "desyncpfair"
+)
+
+// The README quick-start must work verbatim through the public API.
+func TestQuickStart(t *testing.T) {
+	sys := pfair.Periodic([]pfair.Weight{pfair.W(1, 2), pfair.W(3, 4)}, 12)
+	s, err := pfair.RunDVQ(sys, pfair.DVQOptions{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MaxTardiness(); pfair.IntRat(1).Less(got) {
+		t.Errorf("tardiness %s > 1", got)
+	}
+	if err := s.ValidateDVQ(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoliciesExposed(t *testing.T) {
+	for _, p := range []pfair.Policy{pfair.EPDF(), pfair.PF(), pfair.PD(), pfair.PD2()} {
+		if p == nil || p.Name() == "" {
+			t.Error("nil or unnamed policy")
+		}
+		if pfair.PolicyByName(p.Name()) == nil {
+			t.Errorf("PolicyByName(%s) failed", p.Name())
+		}
+	}
+}
+
+func TestFullPipelineThroughFacade(t *testing.T) {
+	sys := pfair.Periodic([]pfair.Weight{
+		pfair.W(1, 6), pfair.W(1, 6), pfair.W(1, 6),
+		pfair.W(1, 2), pfair.W(1, 2), pfair.W(1, 2),
+	}, 6)
+	y := pfair.AdversarialYield(pfair.NewRat(1, 4), func(s *pfair.Subtask) bool {
+		return (s.Task.Name == "A" || s.Task.Name == "F") && s.Index == 1
+	})
+	dq, err := pfair.RunDVQ(sys, pfair.DVQOptions{M: 2, Yield: y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analysis.
+	sum := pfair.Summarize(dq)
+	if sum.Misses != 1 {
+		t.Errorf("misses = %d, want 1", sum.Misses)
+	}
+	// Transform.
+	tr := pfair.BuildSB(dq)
+	if err := tr.CheckLemma3(); err != nil {
+		t.Error(err)
+	}
+	// Blocking.
+	if err := pfair.CheckPropertyPB(dq, pfair.PD2()); err != nil {
+		t.Error(err)
+	}
+	if len(pfair.FindBlocking(dq, pfair.PD2())) == 0 {
+		t.Error("expected blocking events")
+	}
+	// PD^B + compliance.
+	pdb, err := pfair.RunPDB(sys, pfair.PDBOptions{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := pfair.RunCompliant(sys, pdb, sys.NumSubtasks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cr.Schedule.ValidatePfair(); err != nil {
+		t.Error(err)
+	}
+	// Rendering.
+	if out := pfair.RenderTimeline(dq); !strings.Contains(out, "P0:") {
+		t.Error("timeline render broken")
+	}
+	if out := pfair.RenderSlots(pdb.Schedule); !strings.Contains(out, "slot") {
+		t.Error("slot render broken")
+	}
+	if out := pfair.RenderWindows(sys, sys.Tasks[0]); !strings.Contains(out, "A_1") {
+		t.Error("window render broken")
+	}
+}
+
+func TestBaselinesExposed(t *testing.T) {
+	ws := []pfair.Weight{pfair.W(1, 2), pfair.W(1, 2), pfair.W(1, 2), pfair.W(1, 2)}
+	if r := pfair.GlobalEDF(ws, 2, 8); r.Jobs == 0 {
+		t.Error("GlobalEDF ran no jobs")
+	}
+	if _, err := pfair.PartitionedEDF(ws, 2, 8); err != nil {
+		t.Errorf("PartitionedEDF: %v", err)
+	}
+	if r := pfair.DFS(ws, 2, 8, true); r.Subtasks == 0 {
+		t.Error("DFS ran no subtasks")
+	}
+}
+
+func TestYieldHelpersExposed(t *testing.T) {
+	sys := pfair.Periodic([]pfair.Weight{pfair.W(1, 2)}, 4)
+	sub := sys.All()[0]
+	if !pfair.FullCost(sub).Equal(pfair.IntRat(1)) {
+		t.Error("FullCost broken")
+	}
+	if !pfair.ConstCost(pfair.NewRat(1, 2))(sub).Equal(pfair.NewRat(1, 2)) {
+		t.Error("ConstCost broken")
+	}
+	if c := pfair.UniformYield(1, 8)(sub); c.Sign() <= 0 {
+		t.Error("UniformYield broken")
+	}
+	if c := pfair.BimodalYield(1, 50, 8)(sub); c.Sign() <= 0 {
+		t.Error("BimodalYield broken")
+	}
+}
+
+func TestPfairnessCheckExposed(t *testing.T) {
+	sys := pfair.Periodic([]pfair.Weight{pfair.W(1, 2), pfair.W(1, 2)}, 8)
+	s, err := pfair.RunSFQ(sys, pfair.SFQOptions{M: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pfair.CheckPfairness(s); err != nil {
+		t.Error(err)
+	}
+	if pfair.QuantumResidue(s).Sign() != 0 {
+		t.Error("full-cost residue should be 0")
+	}
+}
+
+func TestExecutiveThroughFacade(t *testing.T) {
+	ex := pfair.NewExecutive(2, nil)
+	task, err := ex.Register("web", pfair.W(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.SubmitJob(task, pfair.IntRat(0)); err != nil {
+		t.Fatal(err)
+	}
+	var dispatches []pfair.Dispatch
+	if err := ex.Run(pfair.IntRat(4), nil, func(d pfair.Dispatch) {
+		dispatches = append(dispatches, d)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(dispatches) != 1 {
+		t.Fatalf("dispatches = %d", len(dispatches))
+	}
+	if got := ex.Schedule().MaxTardiness(); pfair.IntRat(1).Less(got) {
+		t.Errorf("tardiness %s > 1", got)
+	}
+}
+
+func TestRMBaselinesThroughFacade(t *testing.T) {
+	ws := pfair.DhallWeights(2, 10)
+	if r := pfair.GlobalRM(ws, 2, 10); r.Misses == 0 {
+		t.Error("Dhall set should defeat global RM")
+	}
+	if got := pfair.LiuLaylandBound(1); got != 1 {
+		t.Errorf("LL(1) = %f", got)
+	}
+	ok := []pfair.Weight{pfair.W(1, 4), pfair.W(1, 4)}
+	if _, err := pfair.PartitionedRM(ok, 2, 8); err != nil {
+		t.Errorf("PartitionedRM: %v", err)
+	}
+}
+
+func TestAblationPoliciesThroughFacade(t *testing.T) {
+	if pfair.PD2NoGroup().Name() != "PD2-noD" || pfair.PD2NoBBit().Name() != "PD2-nob" {
+		t.Error("ablation policies misnamed")
+	}
+}
+
+func TestParseRat(t *testing.T) {
+	r, err := pfair.ParseRat("3/4")
+	if err != nil || !r.Equal(pfair.NewRat(3, 4)) {
+		t.Errorf("ParseRat: %v %s", err, r)
+	}
+	if _, err := pfair.ParseRat("x"); err == nil {
+		t.Error("bad input accepted")
+	}
+}
+
+func TestQuantizeThroughFacade(t *testing.T) {
+	rts := []pfair.RealTask{{Name: "a", C: 2500, T: 10000}}
+	ws, err := pfair.QuantizeWeights(rts, 1000, 0)
+	if err != nil || ws[0] != pfair.W(3, 10) {
+		t.Errorf("quantize: %v %v", ws, err)
+	}
+	pts := pfair.QuantumCurve(rts, 1, 0, []int64{500, 1000})
+	if len(pts) != 2 || !pts[0].Feasible {
+		t.Errorf("curve: %+v", pts)
+	}
+	if _, err := pfair.BestQuantum(rts, 1, 0, []int64{500, 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDriftThroughFacade(t *testing.T) {
+	sys := pfair.Periodic([]pfair.Weight{pfair.W(1, 2), pfair.W(1, 2)}, 8)
+	s, err := pfair.RunDriftedSFQ(sys, pfair.DriftOptions{
+		M:       1,
+		Epsilon: []pfair.Rat{pfair.NewRat(1, 100)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != sys.NumSubtasks() {
+		t.Error("drifted run incomplete")
+	}
+}
+
+func TestSystemJSONThroughFacade(t *testing.T) {
+	sys := pfair.Periodic([]pfair.Weight{pfair.W(1, 2), pfair.W(3, 4)}, 8)
+	var buf strings.Builder
+	if err := pfair.SaveSystem(&buf, sys); err != nil {
+		t.Fatal(err)
+	}
+	back, err := pfair.LoadSystem(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumSubtasks() != sys.NumSubtasks() {
+		t.Errorf("round trip lost subtasks")
+	}
+	if _, err := pfair.LoadSystem(strings.NewReader("nope")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+func TestScheduleDiffThroughFacade(t *testing.T) {
+	sys := pfair.Periodic([]pfair.Weight{pfair.W(1, 2)}, 4)
+	a, err := pfair.RunSFQ(sys, pfair.SFQOptions{M: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pfair.RunDVQ(sys, pfair.DVQOptions{M: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pfair.SchedulesEqual(a, b) {
+		t.Errorf("full-quanta SFQ and DVQ should agree: %v", pfair.DiffSchedules(a, b))
+	}
+	h := pfair.TardinessHistogram(a)
+	if h.Total != sys.NumSubtasks() {
+		t.Errorf("histogram total %d", h.Total)
+	}
+}
+
+func TestHostThroughFacade(t *testing.T) {
+	clk := &pfair.FakeClock{}
+	h, err := pfair.NewHost(pfair.HostConfig{M: 1, Quantum: time.Millisecond, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := h.Register("T", pfair.W(1, 2), func(budget time.Duration) time.Duration {
+		return budget / 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Submit(task); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Schedule().Len() != 1 {
+		t.Error("work not dispatched")
+	}
+}
+
+// Exercise every remaining facade wrapper on the Fig. 2 system.
+func TestFacadeWrappersComplete(t *testing.T) {
+	sys := pfair.Periodic([]pfair.Weight{
+		pfair.W(1, 6), pfair.W(1, 6), pfair.W(1, 6),
+		pfair.W(1, 2), pfair.W(1, 2), pfair.W(1, 2),
+	}, 6)
+	dq, err := pfair.RunDVQ(sys, pfair.DVQOptions{M: 2, Yield: pfair.UniformYield(3, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pfair.CheckWorkConserving(dq); err != nil {
+		t.Error(err)
+	}
+	if m := pfair.Migrations(dq); m < 0 {
+		t.Error("negative migrations")
+	}
+	var b strings.Builder
+	if err := pfair.WriteScheduleCSV(&b, dq); err != nil {
+		t.Error(err)
+	}
+	b.Reset()
+	if err := pfair.WriteScheduleHTML(&b, dq, "t"); err != nil {
+		t.Error(err)
+	}
+	b.Reset()
+	if err := pfair.WriteLagCSV(&b, dq); err != nil {
+		t.Error(err)
+	}
+
+	sfqS, err := pfair.RunSFQ(sys, pfair.SFQOptions{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pfair.CheckISPfairness(sfqS); err != nil {
+		t.Error(err)
+	}
+	if len(pfair.DiffSchedules(sfqS, sfqS)) != 0 {
+		t.Error("self-diff non-empty")
+	}
+
+	pdb, err := pfair.RunPDB(sys, pfair.PDBOptions{M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pfair.CheckLemma2(pdb, pfair.PD2()); err != nil {
+		t.Error(err)
+	}
+	if err := pfair.CheckClaim5(sys, pdb); err != nil {
+		t.Error(err)
+	}
+	if err := pfair.CheckLemma6(sys, pdb); err != nil {
+		t.Error(err)
+	}
+	if out := pfair.RenderPDBTrace(pdb); !strings.Contains(out, "EB={") {
+		t.Error("PDB trace render broken")
+	}
+
+	if d := pfair.AdmitPfairDVQ([]pfair.Weight{pfair.W(1, 2)}, 1); !d.Admitted || d.Guarantee != pfair.SoftRealTime {
+		t.Errorf("AdmitPfairDVQ: %+v", d)
+	}
+	if pfair.WallClock() == nil {
+		t.Error("WallClock nil")
+	}
+
+	sp := pfair.NewSystem()
+	if _, err := pfair.AddSporadic(sp, "S", pfair.W(1, 2), []int64{0, 3}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJobsThroughFacade(t *testing.T) {
+	sys := pfair.Periodic([]pfair.Weight{pfair.W(1, 2)}, 4)
+	s, err := pfair.RunSFQ(sys, pfair.SFQOptions{M: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := pfair.Jobs(s)
+	if len(jobs) != 2 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	if pfair.MaxJobTardiness(s).Sign() != 0 {
+		t.Error("on-time schedule has job tardiness")
+	}
+}

@@ -1,0 +1,28 @@
+package pfair
+
+import "desyncpfair/internal/quantize"
+
+// RealTask is a task with parameters in real time units (e.g. µs), to be
+// quantized onto the Pfair quantum grid.
+type RealTask = quantize.RealTask
+
+// QuantumPoint is one candidate quantum size in a quantization curve.
+type QuantumPoint = quantize.Point
+
+// QuantizeWeights converts real task parameters to Pfair weights for
+// quantum size q with a per-quantum overhead charge (both in the tasks'
+// time unit): e = ⌈C/(q−overhead)⌉, p = ⌊T/q⌋.
+func QuantizeWeights(rts []RealTask, q, overhead int64) ([]Weight, error) {
+	return quantize.Weights(rts, q, overhead)
+}
+
+// QuantumCurve evaluates candidate quantum sizes: quantized utilization
+// and feasibility on m processors per candidate.
+func QuantumCurve(rts []RealTask, m int, overhead int64, candidates []int64) []QuantumPoint {
+	return quantize.Curve(rts, m, overhead, candidates)
+}
+
+// BestQuantum returns the largest feasible quantum size among candidates.
+func BestQuantum(rts []RealTask, m int, overhead int64, candidates []int64) (int64, error) {
+	return quantize.Best(rts, m, overhead, candidates)
+}

@@ -1,0 +1,32 @@
+package pfair
+
+import (
+	"desyncpfair/internal/replay"
+)
+
+// Replay types: play a computed schedule against a clock, turning
+// assignments into timed dispatch/complete callbacks.
+type (
+	// ReplayOptions configures a replay run.
+	ReplayOptions = replay.Options
+	// ReplayEvent is one timed dispatch or completion callback.
+	ReplayEvent = replay.Event
+	// Clock abstracts time for the replayer (WallClock or a fake).
+	Clock = replay.Clock
+	// FakeClock advances only on Sleep; for deterministic tests/tools.
+	FakeClock = replay.FakeClock
+)
+
+// Replay event kinds.
+const (
+	ReplayDispatch = replay.Dispatch
+	ReplayComplete = replay.Complete
+)
+
+// WallClock returns the real-time clock.
+func WallClock() Clock { return replay.WallClock{} }
+
+// Replay plays the schedule against opts.Clock with one quantum mapped to
+// opts.Quantum of real time, invoking opts.OnEvent for every dispatch and
+// completion in time order. It returns the number of events delivered.
+func Replay(s *Schedule, opts ReplayOptions) (int, error) { return replay.Run(s, opts) }
