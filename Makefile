@@ -18,7 +18,7 @@ fmt:
 	gofmt -l .
 
 race:
-	$(GO) test -race ./internal/online/ ./cmd/soak/
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem .

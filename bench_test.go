@@ -282,6 +282,64 @@ func BenchmarkPDBEngine(b *testing.B) {
 	}
 }
 
+// benchSystemQ is benchSystem with an explicit weight grid q, needed for
+// task counts that exceed the default grid's minimum-weight capacity
+// (GridWeights requires n ≤ m·q).
+func benchSystemQ(m, n int, q, horizon int64) *pfair.System {
+	rng := rand.New(rand.NewSource(99))
+	ws := gen.GridWeights(rng, n, q, int64(m)*q, gen.MixedWeights)
+	return model.Periodic(ws, horizon)
+}
+
+// BenchmarkDVQLarge measures the DVQ engine on large full-utilization
+// systems (≥ 64 tasks); the M=16 row is the headline configuration for the
+// fast-path scheduling core. Run with -benchmem to see per-run allocations.
+func BenchmarkDVQLarge(b *testing.B) {
+	for _, cfg := range []struct {
+		m, n int
+		q    int64
+	}{{4, 64, 20}, {16, 64, 12}, {16, 128, 12}} {
+		sys := benchSystemQ(cfg.m, cfg.n, cfg.q, 60)
+		y := pfair.UniformYield(5, 8)
+		b.Run(fmt.Sprintf("M%d_N%d", cfg.m, cfg.n), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ReportMetric(float64(sys.NumSubtasks()), "subtasks")
+			for i := 0; i < b.N; i++ {
+				s, err := pfair.RunDVQ(sys, pfair.DVQOptions{M: cfg.m, Yield: y})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rat.One.Less(s.MaxTardiness()) {
+					b.Fatal("bound violated")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSFQLarge is the SFQ-engine counterpart of BenchmarkDVQLarge.
+func BenchmarkSFQLarge(b *testing.B) {
+	for _, cfg := range []struct {
+		m, n int
+		q    int64
+	}{{4, 64, 20}, {16, 64, 12}, {16, 128, 12}} {
+		sys := benchSystemQ(cfg.m, cfg.n, cfg.q, 60)
+		b.Run(fmt.Sprintf("M%d_N%d", cfg.m, cfg.n), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ReportMetric(float64(sys.NumSubtasks()), "subtasks")
+			for i := 0; i < b.N; i++ {
+				s, err := pfair.RunSFQ(sys, pfair.SFQOptions{M: cfg.m})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s.MissCount() != 0 {
+					b.Fatal("PD² missed")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkPD2Compare(b *testing.B) {
 	sys := benchSystem(4, 12, 24)
 	subs := sys.All()

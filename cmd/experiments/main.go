@@ -1,7 +1,7 @@
 // Command experiments runs the E1–E19 validation suite of DESIGN.md §3 and
 // prints one table per experiment. EXPERIMENTS.md records a reference run.
 //
-// Usage: experiments [-trials N] [-seed S] [e1 e2 … | all]
+// Usage: experiments [-trials N] [-seed S] [-workers W] [e1 e2 … | all]
 package main
 
 import (
@@ -18,8 +18,10 @@ func main() {
 	trials := flag.Int("trials", 20, "trials per experiment cell")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	outDir := flag.String("out", "", "also write each table to <out>/<id>.txt")
+	workers := flag.Int("workers", 0, "parallel sweep workers (0 = all CPUs, 1 = serial); results are identical at any setting")
 	flag.Parse()
 	emitDir = *outDir
+	exp.Workers = *workers
 	which := map[string]bool{}
 	for _, a := range flag.Args() {
 		which[a] = true

@@ -16,10 +16,10 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
-	"sync"
 
 	"desyncpfair/internal/analysis"
 	"desyncpfair/internal/core"
+	"desyncpfair/internal/exp"
 	"desyncpfair/internal/gen"
 	"desyncpfair/internal/rat"
 	"desyncpfair/internal/sched"
@@ -51,31 +51,24 @@ func main() {
 	fmt.Println("bound ≤ 1 quantum  : held in every trial (Theorems 2 and 3)")
 }
 
+// soak fans the trial seeds out over exp.Sweep's worker pool and merges
+// the per-trial results in seed order, so the aggregate is deterministic
+// for a given (trials, seed) regardless of worker count.
 func soak(trials, workers int, seed int64) result {
-	jobs := make(chan int64)
-	results := make(chan result)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			local := result{maxDVQ: rat.Zero, maxPDB: rat.Zero}
-			for s := range jobs {
-				runOne(s, &local)
-			}
-			results <- local
-		}()
+	seeds := make([]int64, trials)
+	for t := range seeds {
+		seeds[t] = seed + int64(t)
 	}
-	go func() {
-		for t := 0; t < trials; t++ {
-			jobs <- seed + int64(t)
-		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
+	results, err := exp.Sweep(workers, seeds, func(s int64) (result, error) {
+		local := result{maxDVQ: rat.Zero, maxPDB: rat.Zero}
+		runOne(s, &local)
+		return local, nil
+	})
+	if err != nil { // unreachable: runOne panics rather than erroring
+		panic(err)
+	}
 	agg := result{maxDVQ: rat.Zero, maxPDB: rat.Zero}
-	for r := range results {
+	for _, r := range results {
 		agg.histDVQ.Merge(r.histDVQ)
 		agg.histPDB.Merge(r.histPDB)
 		agg.maxDVQ = rat.Max(agg.maxDVQ, r.maxDVQ)

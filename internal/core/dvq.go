@@ -13,7 +13,6 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 
 	"desyncpfair/internal/model"
@@ -55,76 +54,63 @@ func (o *DVQOptions) fill(sys *model.System) error {
 //
 // With opts.Policy == PD² this is the paper's PD²-DVQ. The returned
 // schedule satisfies Schedule.ValidateDVQ for any valid task system.
+//
+// This is the fast-path engine: priorities are compared through cached
+// prio.Keys, the ready set is an indexed heap updated incrementally as task
+// heads arrive and advance, and the event queue is a typed, allocation-free
+// min-heap with lazy duplicate elimination. RunDVQReference retains the
+// seed implementation; TestEngineEquivalence pins the two to identical
+// schedules.
 func RunDVQ(sys *model.System, opts DVQOptions) (*sched.Schedule, error) {
 	if err := opts.fill(sys); err != nil {
 		return nil, err
 	}
 	s := sched.New(sys, opts.M, opts.Policy.Name(), "DVQ")
 
-	n := len(sys.Tasks)
-	cursor := make([]int, n)
-	lastFinish := make([]rat.Rat, n)
+	cmp := prio.NewComparer(opts.Policy, sys)
 	freeAt := make([]rat.Rat, opts.M)
 	remaining := sys.NumSubtasks()
 
-	// Seed the event queue with every distinct eligibility time; quantum
-	// completions are pushed as they are created. Any moment at which a
-	// scheduling decision could newly succeed is one of these.
-	events := &ratHeap{}
-	heap.Init(events)
-	seen := map[rat.Rat]bool{}
-	push := func(t rat.Rat) {
-		if !seen[t] {
-			seen[t] = true
-			heap.Push(events, t)
+	// Seed the event queue with time zero and every eligibility time;
+	// quantum completions are pushed as they are created. Any moment at
+	// which a scheduling decision could newly succeed is one of these.
+	// A task head waits in pending until its activation time — the moment
+	// it becomes ready: its eligibility for the first subtask of a task,
+	// max(eligibility, predecessor completion) afterwards. Both components
+	// are always in the event queue, so heads are drained into the ready
+	// heap exactly when the seed engine's rescan would first see them.
+	events := make(ratHeap, 0, remaining+1)
+	events.push(rat.Zero)
+	pending := make(pendingHeap, 0, len(sys.Tasks))
+	ready := readyHeap{cmp: cmp, subs: make([]*model.Subtask, 0, len(sys.Tasks))}
+	for _, task := range sys.Tasks {
+		for _, sub := range sys.Subtasks(task) {
+			events.push(rat.FromInt(sub.Elig))
 		}
-	}
-	push(rat.Zero)
-	for _, sub := range sys.All() {
-		push(rat.FromInt(sub.Elig))
-	}
-
-	bestReady := func(now rat.Rat) *model.Subtask {
-		var best *model.Subtask
-		for _, task := range sys.Tasks {
-			seq := sys.Subtasks(task)
-			c := cursor[task.ID]
-			if c >= len(seq) {
-				continue
-			}
-			head := seq[c]
-			if now.Less(rat.FromInt(head.Elig)) {
-				continue
-			}
-			if c > 0 && now.Less(lastFinish[task.ID]) {
-				continue
-			}
-			if best == nil || prio.Order(opts.Policy, head, best) {
-				best = head
-			}
+		if seq := sys.Subtasks(task); len(seq) > 0 {
+			pending.push(rat.FromInt(seq[0].Elig), seq[0])
 		}
-		return best
 	}
 
 	decision := 0
 	horizon := rat.FromInt(opts.Horizon)
 	for remaining > 0 {
-		if events.Len() == 0 {
+		if events.len() == 0 {
 			return s, fmt.Errorf("core: event queue drained with %d subtasks pending", remaining)
 		}
-		now := heap.Pop(events).(rat.Rat)
-		delete(seen, now)
+		now := events.pop()
+		events.popEq(now)
 		if horizon.Less(now) {
 			return s, fmt.Errorf("core: horizon %s exhausted with %d subtasks pending", horizon, remaining)
 		}
-		for p := 0; p < opts.M; p++ {
+		for pending.len() > 0 && !now.Less(pending.top()) {
+			ready.push(pending.pop())
+		}
+		for p := 0; p < opts.M && ready.len() > 0; p++ {
 			if now.Less(freeAt[p]) {
 				continue // still executing its current quantum
 			}
-			sub := bestReady(now)
-			if sub == nil {
-				continue
-			}
+			sub := ready.pop()
 			decision++
 			a := s.Add(sched.Assignment{
 				Sub:      sub,
@@ -133,27 +119,16 @@ func RunDVQ(sys *model.System, opts DVQOptions) (*sched.Schedule, error) {
 				Cost:     opts.Yield(sub),
 				Decision: decision,
 			})
-			cursor[sub.Task.ID]++
-			lastFinish[sub.Task.ID] = a.Finish()
-			freeAt[p] = a.Finish()
-			push(a.Finish())
+			fin := a.Finish()
+			if next := sys.Successor(sub); next != nil {
+				// fin > now ≥ any time processed so far, so the successor's
+				// activation (and its event) lies strictly in the future.
+				pending.push(rat.Max(rat.FromInt(next.Elig), fin), next)
+			}
+			freeAt[p] = fin
+			events.push(fin)
 			remaining--
 		}
 	}
 	return s, nil
-}
-
-// ratHeap is a min-heap of rational times.
-type ratHeap []rat.Rat
-
-func (h ratHeap) Len() int            { return len(h) }
-func (h ratHeap) Less(i, j int) bool  { return h[i].Less(h[j]) }
-func (h ratHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *ratHeap) Push(x interface{}) { *h = append(*h, x.(rat.Rat)) }
-func (h *ratHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
 }

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/prio"
+	"desyncpfair/internal/rat"
+)
+
+// readyHeap is a binary min-heap of ready task heads ordered by the
+// engine's deterministic total priority order (prio.Comparer.Order over
+// cached keys). At most one subtask per task — the head of its released
+// sequence — is ever in the heap, so its size is bounded by the task count
+// and pop returns exactly the subtask the seed engine's O(n) rescan of all
+// tasks would have selected.
+type readyHeap struct {
+	cmp  *prio.Comparer
+	subs []*model.Subtask
+}
+
+func (h *readyHeap) len() int { return len(h.subs) }
+
+func (h *readyHeap) push(s *model.Subtask) {
+	xs := append(h.subs, s)
+	i := len(xs) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.cmp.Order(xs[i], xs[p]) {
+			break
+		}
+		xs[i], xs[p] = xs[p], xs[i]
+		i = p
+	}
+	h.subs = xs
+}
+
+// pop removes and returns the highest-priority ready head. It panics on an
+// empty heap.
+func (h *readyHeap) pop() *model.Subtask {
+	xs := h.subs
+	top := xs[0]
+	n := len(xs) - 1
+	xs[0] = xs[n]
+	xs[n] = nil
+	xs = xs[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h.cmp.Order(xs[l], xs[min]) {
+			min = l
+		}
+		if r < n && h.cmp.Order(xs[r], xs[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		xs[i], xs[min] = xs[min], xs[i]
+		i = min
+	}
+	h.subs = xs
+	return top
+}
+
+// pendingHeap holds task heads that are not yet ready, keyed by the time
+// they become so: max(eligibility, predecessor completion). Entries whose
+// time has arrived are drained into the readyHeap at each event. Ties in
+// activation time may pop in any order — the readyHeap re-orders them by
+// priority before any scheduling decision reads them.
+type pendingHeap []pendingEntry
+
+type pendingEntry struct {
+	at  rat.Rat
+	sub *model.Subtask
+}
+
+func (h pendingHeap) len() int { return len(h) }
+
+// top returns the earliest activation time. It panics on an empty heap.
+func (h pendingHeap) top() rat.Rat { return h[0].at }
+
+func (h *pendingHeap) push(at rat.Rat, s *model.Subtask) {
+	xs := append(*h, pendingEntry{at, s})
+	i := len(xs) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !xs[i].at.Less(xs[p].at) {
+			break
+		}
+		xs[i], xs[p] = xs[p], xs[i]
+		i = p
+	}
+	*h = xs
+}
+
+// pop removes and returns the head with the earliest activation time. It
+// panics on an empty heap.
+func (h *pendingHeap) pop() *model.Subtask {
+	xs := *h
+	top := xs[0].sub
+	n := len(xs) - 1
+	xs[0] = xs[n]
+	xs[n] = pendingEntry{}
+	xs = xs[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && xs[l].at.Less(xs[min].at) {
+			min = l
+		}
+		if r < n && xs[r].at.Less(xs[min].at) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		xs[i], xs[min] = xs[min], xs[i]
+		i = min
+	}
+	*h = xs
+	return top
+}

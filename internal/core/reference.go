@@ -1,0 +1,119 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/prio"
+	"desyncpfair/internal/rat"
+	"desyncpfair/internal/sched"
+)
+
+// RunDVQReference is the seed implementation of RunDVQ, retained verbatim
+// as the golden oracle for the fast-path engine: an O(n) rescan of every
+// task per scheduling decision with priorities recomputed via prio.Order on
+// each comparison, a container/heap event queue, and map-based duplicate
+// elimination. It is deliberately naive — its only job is to define the
+// semantics that RunDVQ must reproduce assignment-for-assignment (see
+// TestEngineEquivalence). Do not optimize it.
+func RunDVQReference(sys *model.System, opts DVQOptions) (*sched.Schedule, error) {
+	if err := opts.fill(sys); err != nil {
+		return nil, err
+	}
+	s := sched.New(sys, opts.M, opts.Policy.Name(), "DVQ")
+
+	n := len(sys.Tasks)
+	cursor := make([]int, n)
+	lastFinish := make([]rat.Rat, n)
+	freeAt := make([]rat.Rat, opts.M)
+	remaining := sys.NumSubtasks()
+
+	events := &refRatHeap{}
+	heap.Init(events)
+	seen := map[rat.Rat]bool{}
+	push := func(t rat.Rat) {
+		if !seen[t] {
+			seen[t] = true
+			heap.Push(events, t)
+		}
+	}
+	push(rat.Zero)
+	for _, sub := range sys.All() {
+		push(rat.FromInt(sub.Elig))
+	}
+
+	bestReady := func(now rat.Rat) *model.Subtask {
+		var best *model.Subtask
+		for _, task := range sys.Tasks {
+			seq := sys.Subtasks(task)
+			c := cursor[task.ID]
+			if c >= len(seq) {
+				continue
+			}
+			head := seq[c]
+			if now.Less(rat.FromInt(head.Elig)) {
+				continue
+			}
+			if c > 0 && now.Less(lastFinish[task.ID]) {
+				continue
+			}
+			if best == nil || prio.Order(opts.Policy, head, best) {
+				best = head
+			}
+		}
+		return best
+	}
+
+	decision := 0
+	horizon := rat.FromInt(opts.Horizon)
+	for remaining > 0 {
+		if events.Len() == 0 {
+			return s, fmt.Errorf("core: event queue drained with %d subtasks pending", remaining)
+		}
+		now := heap.Pop(events).(rat.Rat)
+		delete(seen, now)
+		if horizon.Less(now) {
+			return s, fmt.Errorf("core: horizon %s exhausted with %d subtasks pending", horizon, remaining)
+		}
+		for p := 0; p < opts.M; p++ {
+			if now.Less(freeAt[p]) {
+				continue // still executing its current quantum
+			}
+			sub := bestReady(now)
+			if sub == nil {
+				continue
+			}
+			decision++
+			a := s.Add(sched.Assignment{
+				Sub:      sub,
+				Proc:     p,
+				Start:    now,
+				Cost:     opts.Yield(sub),
+				Decision: decision,
+			})
+			cursor[sub.Task.ID]++
+			lastFinish[sub.Task.ID] = a.Finish()
+			freeAt[p] = a.Finish()
+			push(a.Finish())
+			remaining--
+		}
+	}
+	return s, nil
+}
+
+// refRatHeap is the seed engine's boxed min-heap of rational times; it
+// exists only to keep RunDVQReference byte-for-byte naive.
+type refRatHeap []rat.Rat
+
+func (h refRatHeap) Len() int            { return len(h) }
+func (h refRatHeap) Less(i, j int) bool  { return h[i].Less(h[j]) }
+func (h refRatHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refRatHeap) Push(x interface{}) { *h = append(*h, x.(rat.Rat)) }
+func (h *refRatHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,69 @@
+package core
+
+import "desyncpfair/internal/rat"
+
+// ratHeap is a typed binary min-heap of rational times — the DVQ event
+// queue. The seed engine drove a ratHeap through container/heap, which
+// boxes every pushed time into an interface{} (one allocation per event)
+// and dedupped with a map[rat.Rat]bool; the typed methods here allocate
+// nothing beyond amortized slice growth, and duplicates are instead pushed
+// freely and skipped lazily on pop (popEq). It is reused by the DVQ
+// engine's event queue and is available to any future rational-time engine
+// in this package.
+type ratHeap []rat.Rat
+
+func (h ratHeap) len() int { return len(h) }
+
+// top returns the minimum without removing it. It panics on an empty heap.
+func (h ratHeap) top() rat.Rat { return h[0] }
+
+// push inserts t, keeping the heap invariant.
+func (h *ratHeap) push(t rat.Rat) {
+	xs := append(*h, t)
+	i := len(xs) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !xs[i].Less(xs[p]) {
+			break
+		}
+		xs[i], xs[p] = xs[p], xs[i]
+		i = p
+	}
+	*h = xs
+}
+
+// pop removes and returns the minimum. It panics on an empty heap.
+func (h *ratHeap) pop() rat.Rat {
+	xs := *h
+	top := xs[0]
+	n := len(xs) - 1
+	xs[0] = xs[n]
+	xs = xs[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && xs[l].Less(xs[min]) {
+			min = l
+		}
+		if r < n && xs[r].Less(xs[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		xs[i], xs[min] = xs[min], xs[i]
+		i = min
+	}
+	*h = xs
+	return top
+}
+
+// popEq discards every copy of t at the top of the heap — the lazy half of
+// duplicate elimination: push never checks for duplicates, popEq drops them
+// when their time comes.
+func (h *ratHeap) popEq(t rat.Rat) {
+	for h.len() > 0 && h.top().Equal(t) {
+		h.pop()
+	}
+}

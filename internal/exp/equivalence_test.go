@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"desyncpfair/internal/core"
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/prio"
+	"desyncpfair/internal/rat"
+	"desyncpfair/internal/sched"
+	"desyncpfair/internal/sfq"
+)
+
+// TestEngineEquivalence pins the fast-path engines to their retained seed
+// implementations on the DESIGN.md experiment systems: the engineered
+// Fig. 2 and Fig. 3 constructions (with their adversarial yields) and the
+// random-system draws the E-experiments sweep over.
+func TestEngineEquivalence(t *testing.T) {
+	type cfg struct {
+		name string
+		sys  *model.System
+		m    int
+		y    sched.YieldFn
+	}
+	cases := []cfg{
+		{"fig2-δ=1/4", Fig2System(), 2, Fig2Yield(rat.New(1, 4))},
+		{"fig2-δ=1/64", Fig2System(), 2, Fig2Yield(rat.New(1, 64))},
+		{"fig3-δ=1/4", Fig3System(5), 3, Fig3Yield(rat.New(1, 4))},
+	}
+	for trial := 0; trial < 6; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		m := 2 + rng.Intn(3)
+		sys := randomSystem(rng, m, trial%2 == 0)
+		_, y := yieldFor(trial, int64(trial))
+		cases = append(cases, cfg{fmt.Sprintf("random-%d", trial), sys, m, y})
+	}
+	for _, c := range cases {
+		for _, pol := range prio.All() {
+			dvqFast, err := core.RunDVQ(c.sys, core.DVQOptions{M: c.m, Policy: pol, Yield: c.y})
+			if err != nil {
+				t.Fatalf("%s/%s: fast DVQ: %v", c.name, pol.Name(), err)
+			}
+			dvqRef, err := core.RunDVQReference(c.sys, core.DVQOptions{M: c.m, Policy: pol, Yield: c.y})
+			if err != nil {
+				t.Fatalf("%s/%s: reference DVQ: %v", c.name, pol.Name(), err)
+			}
+			if !sched.Equal(dvqFast, dvqRef) {
+				for _, d := range sched.Diff(dvqFast, dvqRef) {
+					t.Errorf("%s/%s: %s", c.name, pol.Name(), d)
+				}
+				t.Fatalf("%s/%s: fast DVQ diverges from reference", c.name, pol.Name())
+			}
+			sfqFast, err := sfq.Run(c.sys, sfq.Options{M: c.m, Policy: pol, Yield: c.y})
+			if err != nil {
+				t.Fatalf("%s/%s: fast SFQ: %v", c.name, pol.Name(), err)
+			}
+			sfqRef, err := sfq.RunReference(c.sys, sfq.Options{M: c.m, Policy: pol, Yield: c.y})
+			if err != nil {
+				t.Fatalf("%s/%s: reference SFQ: %v", c.name, pol.Name(), err)
+			}
+			if !sched.Equal(sfqFast, sfqRef) {
+				for _, d := range sched.Diff(sfqFast, sfqRef) {
+					t.Errorf("%s/%s: %s", c.name, pol.Name(), d)
+				}
+				t.Fatalf("%s/%s: fast SFQ diverges from reference", c.name, pol.Name())
+			}
+		}
+	}
+}

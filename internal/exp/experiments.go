@@ -63,17 +63,16 @@ type TightnessPoint struct {
 
 // E1Tightness sweeps δ → 0 on the Fig. 2 construction: max tardiness is
 // exactly 1−δ, showing the bound of Theorem 3 is tight (approached but
-// never reached).
+// never reached). The δ points are independent simulations and run in
+// parallel (Sweep).
 func E1Tightness(deltas []rat.Rat) ([]TightnessPoint, error) {
-	var out []TightnessPoint
-	for _, d := range deltas {
+	return Sweep(Workers, deltas, func(d rat.Rat) (TightnessPoint, error) {
 		s, err := core.RunDVQ(Fig2System(), core.DVQOptions{M: 2, Yield: Fig2Yield(d)})
 		if err != nil {
-			return nil, err
+			return TightnessPoint{}, err
 		}
-		out = append(out, TightnessPoint{Delta: d, MaxTardiness: s.MaxTardiness()})
-	}
-	return out, nil
+		return TightnessPoint{Delta: d, MaxTardiness: s.MaxTardiness()}, nil
+	})
 }
 
 // DefaultDeltas is the E1 sweep: δ = 1/2, 1/4, …, 1/1024.
@@ -118,32 +117,39 @@ func E4PDBTardiness(seed int64, trials int, ms []int) ([]BoundPoint, error) {
 	})
 }
 
+// boundSweep runs one engine over every (M, yield-model) cell. Each cell
+// seeds its own RNG from (seed, m, kind) alone, so the cells are
+// independent and Sweep runs them in parallel with results identical to
+// the serial loop.
 func boundSweep(seed int64, trials int, ms []int, run func(*model.System, int, sched.YieldFn) (*sched.Schedule, error)) ([]BoundPoint, error) {
-	var out []BoundPoint
+	type cell struct{ m, kind int }
+	var cells []cell
 	for _, m := range ms {
 		for kind := 0; kind < 4; kind++ {
-			rng := rand.New(rand.NewSource(seed + int64(m*4+kind)))
-			name, _ := yieldFor(kind, 0)
-			pt := BoundPoint{M: m, YieldModel: name, BoundHolds: true, MaxTardiness: rat.Zero}
-			for trial := 0; trial < trials; trial++ {
-				sys := randomSystem(rng, m, true)
-				_, y := yieldFor(kind, seed+int64(trial))
-				s, err := run(sys, m, y)
-				if err != nil {
-					return nil, err
-				}
-				pt.Trials++
-				pt.Subtasks += s.Len()
-				pt.Misses += s.MissCount()
-				pt.MaxTardiness = rat.Max(pt.MaxTardiness, s.MaxTardiness())
-				if rat.One.Less(s.MaxTardiness()) {
-					pt.BoundHolds = false
-				}
-			}
-			out = append(out, pt)
+			cells = append(cells, cell{m, kind})
 		}
 	}
-	return out, nil
+	return Sweep(Workers, cells, func(c cell) (BoundPoint, error) {
+		rng := rand.New(rand.NewSource(seed + int64(c.m*4+c.kind)))
+		name, _ := yieldFor(c.kind, 0)
+		pt := BoundPoint{M: c.m, YieldModel: name, BoundHolds: true, MaxTardiness: rat.Zero}
+		for trial := 0; trial < trials; trial++ {
+			sys := randomSystem(rng, c.m, true)
+			_, y := yieldFor(c.kind, seed+int64(trial))
+			s, err := run(sys, c.m, y)
+			if err != nil {
+				return pt, err
+			}
+			pt.Trials++
+			pt.Subtasks += s.Len()
+			pt.Misses += s.MissCount()
+			pt.MaxTardiness = rat.Max(pt.MaxTardiness, s.MaxTardiness())
+			if rat.One.Less(s.MaxTardiness()) {
+				pt.BoundHolds = false
+			}
+		}
+		return pt, nil
+	})
 }
 
 // --- E3: PD² optimality anchor -------------------------------------------
@@ -160,8 +166,9 @@ type OptimalityPoint struct {
 // deadlines under the SFQ model on random feasible systems, and reports
 // EPDF (suboptimal beyond two processors) alongside.
 func E3SFQOptimality(seed int64, trials int) ([]OptimalityPoint, error) {
-	var out []OptimalityPoint
-	for _, pol := range prio.All() {
+	// Every policy replays the same seed-derived system sequence, so the
+	// policy rows are independent cells and sweep in parallel.
+	return Sweep(Workers, prio.All(), func(pol prio.Policy) (OptimalityPoint, error) {
 		rng := rand.New(rand.NewSource(seed))
 		pt := OptimalityPoint{Policy: pol.Name()}
 		for trial := 0; trial < trials; trial++ {
@@ -169,15 +176,14 @@ func E3SFQOptimality(seed int64, trials int) ([]OptimalityPoint, error) {
 			sys := randomSystem(rng, m, true)
 			s, err := sfq.Run(sys, sfq.Options{M: m, Policy: pol})
 			if err != nil {
-				return nil, err
+				return pt, err
 			}
 			pt.Trials++
 			pt.Subtasks += s.Len()
 			pt.Misses += s.MissCount()
 		}
-		out = append(out, pt)
-	}
-	return out, nil
+		return pt, nil
+	})
 }
 
 // --- E5: the S_DQ → S_B transform ----------------------------------------
@@ -279,8 +285,8 @@ type ReclaimPoint struct {
 // quanta strand processor time under SFQ, which the DVQ model reclaims.
 // The sweep varies the fraction of subtasks that use their full quantum.
 func E7Reclamation(seed int64, trials int, m int) ([]ReclaimPoint, error) {
-	var out []ReclaimPoint
-	for _, pFull := range []int{100, 80, 60, 40, 20} {
+	// One cell per mean-cost level, each with its own (seed, pFull) RNG.
+	return Sweep(Workers, []int{100, 80, 60, 40, 20}, func(pFull int) (ReclaimPoint, error) {
 		rng := rand.New(rand.NewSource(seed + int64(pFull)))
 		var pt ReclaimPoint
 		pt.FullProb = pFull
@@ -290,11 +296,11 @@ func E7Reclamation(seed int64, trials int, m int) ([]ReclaimPoint, error) {
 			y := gen.BimodalYield(seed+int64(trial), pFull, 8)
 			ss, err := sfq.Run(sys, sfq.Options{M: m, Yield: y})
 			if err != nil {
-				return nil, err
+				return pt, err
 			}
 			ds, err := core.RunDVQ(sys, core.DVQOptions{M: m, Yield: y})
 			if err != nil {
-				return nil, err
+				return pt, err
 			}
 			sumS, sumD := analysis.Summarize(ss), analysis.Summarize(ds)
 			pt.SFQ.Subtasks += sumS.Subtasks
@@ -318,9 +324,8 @@ func E7Reclamation(seed int64, trials int, m int) ([]ReclaimPoint, error) {
 		}
 		pt.SFQ.MeanResponse = sfqResp / float64(trials)
 		pt.DVQ.MeanResponse = dvqResp / float64(trials)
-		out = append(out, pt)
-	}
-	return out, nil
+		return pt, nil
+	})
 }
 
 // --- E8: suboptimal policies under DVQ -----------------------------------
@@ -337,8 +342,8 @@ type EPDFPoint struct {
 // E8EPDF measures how the DVQ model worsens EPDF — the suboptimal Pfair
 // policy — versus its SFQ behaviour: by at most one quantum.
 func E8EPDF(seed int64, trials int, ms []int) ([]EPDFPoint, error) {
-	var out []EPDFPoint
-	for _, m := range ms {
+	// One cell per processor count, each with its own (seed, m) RNG.
+	return Sweep(Workers, ms, func(m int) (EPDFPoint, error) {
 		rng := rand.New(rand.NewSource(seed + int64(m)))
 		pt := EPDFPoint{M: m, DeltaAtMost1: true, MaxSFQ: rat.Zero, MaxDVQ: rat.Zero}
 		for trial := 0; trial < trials; trial++ {
@@ -346,11 +351,11 @@ func E8EPDF(seed int64, trials int, ms []int) ([]EPDFPoint, error) {
 			_, y := yieldFor(1+trial%3, seed+int64(trial))
 			ss, err := sfq.Run(sys, sfq.Options{M: m, Policy: prio.EPDF{}})
 			if err != nil {
-				return nil, err
+				return pt, err
 			}
 			ds, err := core.RunDVQ(sys, core.DVQOptions{M: m, Policy: prio.EPDF{}, Yield: y})
 			if err != nil {
-				return nil, err
+				return pt, err
 			}
 			pt.Trials++
 			pt.MaxSFQ = rat.Max(pt.MaxSFQ, ss.MaxTardiness())
@@ -359,9 +364,8 @@ func E8EPDF(seed int64, trials int, ms []int) ([]EPDFPoint, error) {
 				pt.DeltaAtMost1 = false
 			}
 		}
-		out = append(out, pt)
-	}
-	return out, nil
+		return pt, nil
+	})
 }
 
 // --- E9: the staggered model ----------------------------------------------
@@ -380,19 +384,19 @@ type StaggerPoint struct {
 // E9Staggered compares aligned and staggered quanta: tardiness stays within
 // one quantum while the per-instant decision burst drops from M to 1.
 func E9Staggered(seed int64, trials int, ms []int) ([]StaggerPoint, error) {
-	var out []StaggerPoint
-	for _, m := range ms {
+	// One cell per processor count, each with its own (seed, m) RNG.
+	return Sweep(Workers, ms, func(m int) (StaggerPoint, error) {
 		rng := rand.New(rand.NewSource(seed + int64(m)))
 		pt := StaggerPoint{M: m, MaxTardiness: rat.Zero}
 		for trial := 0; trial < trials; trial++ {
 			sys := randomSystem(rng, m, false)
 			al, err := sfq.Run(sys, sfq.Options{M: m})
 			if err != nil {
-				return nil, err
+				return pt, err
 			}
 			st, err := sfq.Run(sys, sfq.Options{M: m, Staggered: true})
 			if err != nil {
-				return nil, err
+				return pt, err
 			}
 			pt.Trials++
 			pt.MaxTardiness = rat.Max(pt.MaxTardiness, st.MaxTardiness())
@@ -403,9 +407,8 @@ func E9Staggered(seed int64, trials int, ms []int) ([]StaggerPoint, error) {
 				pt.StaggeredBurst = b
 			}
 		}
-		out = append(out, pt)
-	}
-	return out, nil
+		return pt, nil
+	})
 }
 
 func maxBurst(s *sched.Schedule) int {
@@ -437,9 +440,9 @@ type UtilPoint struct {
 // compares: partitioned EDF (fails to partition beyond ~50% with heavy
 // tasks), global EDF (Dhall-style misses), and PD² (schedules everything).
 func E10UtilizationBound(seed int64, trials, m int) ([]UtilPoint, error) {
-	var out []UtilPoint
 	q := int64(20)
-	for _, pct := range []int{55, 65, 75, 85, 95, 100} {
+	// One cell per utilization level, each with its own (seed, pct) RNG.
+	return Sweep(Workers, []int{55, 65, 75, 85, 95, 100}, func(pct int) (UtilPoint, error) {
 		rng := rand.New(rand.NewSource(seed + int64(pct)))
 		pt := UtilPoint{UtilPct: pct}
 		for trial := 0; trial < trials; trial++ {
@@ -466,15 +469,14 @@ func E10UtilizationBound(seed int64, trials, m int) ([]UtilPoint, error) {
 			sys := model.Periodic(ws, 3*q)
 			s, err := sfq.Run(sys, sfq.Options{M: m})
 			if err != nil {
-				return nil, err
+				return pt, err
 			}
 			if s.MissCount() > 0 {
 				pt.PfairMissTrials++
 			}
 		}
-		out = append(out, pt)
-	}
-	return out, nil
+		return pt, nil
+	})
 }
 
 // --- E11: the k-compliance induction ---------------------------------------

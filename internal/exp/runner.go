@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers is the default parallelism of the experiment sweeps: the worker
+// count Sweep falls back to when its caller passes workers ≤ 0. Zero (the
+// package default) means runtime.NumCPU(). The exported experiment
+// functions all sweep with this default, so a cmd layer tunes parallelism
+// by setting Workers once — no experiment signature changes. Results are
+// identical at every setting because each sweep cell owns an independent,
+// deterministically seeded RNG and Sweep returns results in item order.
+var Workers int
+
+// Sweep runs fn over every item on a fixed-size worker pool and returns
+// the results in item order, regardless of completion order. workers ≤ 0
+// selects the package default (Workers, then runtime.NumCPU()). A failing
+// item does not cancel the others — every item runs — and Sweep returns
+// the error of the lowest-indexed failure, which is the error a serial
+// loop over items would have hit first.
+func Sweep[T, R any](workers int, items []T, fn func(T) (R, error)) ([]R, error) {
+	if workers <= 0 {
+		workers = Workers
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	out := make([]R, len(items))
+	errs := make([]error, len(items))
+	if workers <= 1 {
+		// One worker: run inline and skip the goroutine machinery, so the
+		// serial path is exactly a plain loop (useful under -race and in
+		// determinism tests).
+		for i := range items {
+			out[i], errs[i] = fn(items[i])
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					out[i], errs[i] = fn(items[i])
+				}
+			}()
+		}
+		for i := range items {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

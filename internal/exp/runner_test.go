@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSweepOrderAndCompleteness checks that results come back in item
+// order at every worker count, including counts above len(items).
+func TestSweepOrderAndCompleteness(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 3, 7, 100, 1000} {
+		got, err := Sweep(workers, items, func(x int) (int, error) { return x * x, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(items) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(items))
+		}
+		for i, r := range got {
+			if r != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, r, i*i)
+			}
+		}
+	}
+}
+
+// TestSweepEmpty checks the degenerate inputs.
+func TestSweepEmpty(t *testing.T) {
+	got, err := Sweep(4, nil, func(x int) (int, error) { return x, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Sweep(nil) = %v, %v; want empty, nil", got, err)
+	}
+}
+
+// TestSweepFirstError checks that Sweep runs every item, and that with
+// several failures it reports the lowest-indexed one — the error a serial
+// loop would have returned.
+func TestSweepFirstError(t *testing.T) {
+	var ran atomic.Int64
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	_, err := Sweep(4, items, func(x int) (int, error) {
+		ran.Add(1)
+		if x%3 == 2 { // items 2 and 5 fail
+			return 0, fmt.Errorf("item %d failed", x)
+		}
+		return x, nil
+	})
+	if err == nil || err.Error() != "item 2 failed" {
+		t.Fatalf("err = %v, want the lowest-indexed failure (item 2)", err)
+	}
+	if ran.Load() != int64(len(items)) {
+		t.Fatalf("ran %d items, want all %d", ran.Load(), len(items))
+	}
+}
+
+// TestSweepDefaultWorkers checks the fallback chain: explicit argument,
+// then the Workers package variable, then NumCPU (implicitly exercised by
+// every other test that passes 0 with Workers unset).
+func TestSweepDefaultWorkers(t *testing.T) {
+	old := Workers
+	defer func() { Workers = old }()
+	Workers = 1
+	got, err := Sweep(0, []int{1, 2, 3}, func(x int) (int, error) { return -x, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{-1, -2, -3}) {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := Sweep(0, []int{1}, func(x int) (int, error) { return 0, errors.New("boom") }); err == nil {
+		t.Fatal("error not propagated on the serial path")
+	}
+}
+
+// TestSweepSerialParallelEquivalence pins the tentpole guarantee: the
+// experiment functions return bit-identical results at any worker count,
+// because every sweep cell owns an independent deterministic RNG.
+func TestSweepSerialParallelEquivalence(t *testing.T) {
+	run := func() (interface{}, interface{}, interface{}) {
+		e2, err := E2DVQTardiness(7, 2, []int{2, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e3, err := E3SFQOptimality(7, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e8, err := E8EPDF(7, 2, []int{2, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e2, e3, e8
+	}
+	old := Workers
+	defer func() { Workers = old }()
+	Workers = 1
+	s2, s3, s8 := run()
+	Workers = 4
+	p2, p3, p8 := run()
+	if !reflect.DeepEqual(s2, p2) {
+		t.Errorf("E2 serial/parallel mismatch:\n  serial   %+v\n  parallel %+v", s2, p2)
+	}
+	if !reflect.DeepEqual(s3, p3) {
+		t.Errorf("E3 serial/parallel mismatch:\n  serial   %+v\n  parallel %+v", s3, p3)
+	}
+	if !reflect.DeepEqual(s8, p8) {
+		t.Errorf("E8 serial/parallel mismatch:\n  serial   %+v\n  parallel %+v", s8, p8)
+	}
+}

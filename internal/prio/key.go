@@ -1,0 +1,212 @@
+package prio
+
+import "desyncpfair/internal/model"
+
+// Key is the precomputed, immutable priority data of one subtask. Every
+// quantity a policy's Cmp consults — pseudo-deadline, successor bit, group
+// deadline, weight — costs integer divisions to derive from the subtask,
+// and the seed engines re-derived them on every comparison. A Key is
+// computed once per subtask per run and compared with plain integer
+// arithmetic afterwards.
+//
+// Keys are only meaningful for subtasks owned by a model.System (their GID
+// and Seq are set by AddSubtask); the hypothetical successor subtasks that
+// PF's chain walk constructs never get keys — that walk is the one exact
+// fallback (see KeyCmp).
+type Key struct {
+	Deadline int64 // d(T_i), eq. (4)
+	GroupD   int64 // D(T_i), the PD² group deadline (0 for light tasks)
+	WE, WP   int64 // task weight e/p, for PD's larger-weight tie-break
+	TaskID   int32 // engine tie-break: task ID …
+	Seq      int32 // … then sequence position
+	B        uint8 // successor bit b(T_i)
+	Heavy    bool  // wt ≥ 1/2, for PD's heavy-before-light tie-break
+}
+
+// KeyOf computes the priority key of s.
+func KeyOf(s *model.Subtask) Key {
+	return Key{
+		Deadline: s.Deadline(),
+		GroupD:   s.GroupDeadline(),
+		WE:       s.Task.W.E,
+		WP:       s.Task.W.P,
+		TaskID:   int32(s.Task.ID),
+		Seq:      int32(s.Seq),
+		B:        uint8(s.BBit()),
+		Heavy:    s.Task.W.IsHeavy(),
+	}
+}
+
+// keyKind is a policy's key-comparison strategy, resolved once per
+// Comparer so the hot path switches on an integer instead of an interface
+// type.
+type keyKind uint8
+
+const (
+	kindFallback keyKind = iota // no key fast path: always exact Cmp
+	kindEPDF
+	kindPD2
+	kindPD
+	kindPF // fast prefix; exact chain walk for b = 1 ties
+)
+
+func keyKindOf(p Policy) keyKind {
+	switch p.(type) {
+	case EPDF:
+		return kindEPDF
+	case PD2:
+		return kindPD2
+	case PD:
+		return kindPD
+	case PF:
+		return kindPF
+	}
+	return kindFallback
+}
+
+// KeyCmp compares two subtasks under p using only their precomputed keys.
+// The boolean reports whether the comparison is decided: false means the
+// caller must fall back to the exact p.Cmp — PF ties among b = 1 subtasks
+// (the successor-chain walk), and any policy without a key fast path (the
+// ablation policies).
+func KeyCmp(p Policy, a, b Key) (int, bool) {
+	return keyCmp(keyKindOf(p), &a, &b)
+}
+
+func keyCmp(k keyKind, a, b *Key) (int, bool) {
+	switch k {
+	case kindEPDF:
+		return cmp64(a.Deadline, b.Deadline), true
+	case kindPD2:
+		return pd2KeyCmp(a, b), true
+	case kindPD:
+		if c := pd2KeyCmp(a, b); c != 0 {
+			return c, true
+		}
+		if a.Heavy != b.Heavy {
+			if a.Heavy {
+				return -1, true
+			}
+			return 1, true
+		}
+		// Larger weight first: a.W > b.W ⇔ aE·bP > bE·aP.
+		return -cmp64(a.WE*b.WP, b.WE*a.WP), true
+	case kindPF:
+		if c := cmp64(a.Deadline, b.Deadline); c != 0 {
+			return c, true
+		}
+		if a.B != b.B {
+			return keyBBitCmp(a.B, b.B), true
+		}
+		if a.B == 0 { // both bits 0: the tie stands
+			return 0, true
+		}
+		return 0, false // both bits 1: only the chain walk decides
+	}
+	return 0, false
+}
+
+// pd2KeyCmp is PD2.Cmp over keys: deadline, then successor bit (1 wins),
+// then — among b = 1 subtasks — later group deadline wins.
+func pd2KeyCmp(a, b *Key) int {
+	if c := cmp64(a.Deadline, b.Deadline); c != 0 {
+		return c
+	}
+	if a.B != b.B {
+		return keyBBitCmp(a.B, b.B)
+	}
+	if a.B == 1 {
+		return cmp64(b.GroupD, a.GroupD)
+	}
+	return 0
+}
+
+func keyBBitCmp(a, b uint8) int {
+	if a == 1 {
+		return -1
+	}
+	return 1
+}
+
+// Comparer evaluates one policy's priority order over one task system with
+// per-subtask keys computed once up front, and memoizes the exact-Cmp
+// fallback so repeated comparisons of the same pair (as a heap makes) never
+// re-walk PF's successor chain. Engines create one Comparer per run; a
+// Comparer is NOT safe for concurrent use (the memo mutates).
+type Comparer struct {
+	pol   Policy
+	kind  keyKind
+	keys  []Key
+	nsubs uint64
+	memo  map[uint64]int8 // exact-fallback results, keyed by GID pair
+}
+
+// NewComparer precomputes the keys of every released subtask of sys.
+func NewComparer(p Policy, sys *model.System) *Comparer {
+	keys := make([]Key, sys.NumSubtasks())
+	for _, t := range sys.Tasks {
+		for _, s := range sys.Subtasks(t) {
+			keys[s.GID] = KeyOf(s)
+		}
+	}
+	return &Comparer{pol: p, kind: keyKindOf(p), keys: keys, nsubs: uint64(len(keys))}
+}
+
+// Policy returns the policy the comparer evaluates.
+func (c *Comparer) Policy() Policy { return c.pol }
+
+// Key returns the cached key of s.
+func (c *Comparer) Key(s *model.Subtask) Key { return c.keys[s.GID] }
+
+// Cmp is the policy's partial order (Policy.Cmp) with cached keys.
+func (c *Comparer) Cmp(a, b *model.Subtask) int {
+	if r, ok := keyCmp(c.kind, &c.keys[a.GID], &c.keys[b.GID]); ok {
+		return r
+	}
+	return c.exact(a, b)
+}
+
+func (c *Comparer) exact(a, b *model.Subtask) int {
+	k := uint64(a.GID)*c.nsubs + uint64(b.GID)
+	if r, ok := c.memo[k]; ok {
+		return int(r)
+	}
+	r := c.pol.Cmp(a, b)
+	if c.memo == nil {
+		c.memo = make(map[uint64]int8)
+	}
+	c.memo[k] = int8(r)
+	return r
+}
+
+// Total is the engines' deterministic total order as a three-way compare:
+// Cmp with remaining ties broken by task ID, then sequence position. It
+// agrees with Order(c.Policy(), a, b) on every pair.
+func (c *Comparer) Total(a, b *model.Subtask) int {
+	ka, kb := &c.keys[a.GID], &c.keys[b.GID]
+	if r, ok := keyCmp(c.kind, ka, kb); ok && r != 0 {
+		return r
+	} else if !ok {
+		if r := c.exact(a, b); r != 0 {
+			return r
+		}
+	}
+	if ka.TaskID != kb.TaskID {
+		if ka.TaskID < kb.TaskID {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case ka.Seq < kb.Seq:
+		return -1
+	case ka.Seq > kb.Seq:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Order reports whether a should be scheduled before b; it is prio.Order
+// with cached keys.
+func (c *Comparer) Order(a, b *model.Subtask) bool { return c.Total(a, b) < 0 }

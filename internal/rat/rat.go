@@ -147,8 +147,22 @@ func (r Rat) Div(s Rat) Rat {
 
 // Cmp compares r and s, returning −1 if r < s, 0 if r == s, +1 if r > s.
 func (r Rat) Cmp(s Rat) int {
-	// r.n/rd ? s.n/sd  ⇔  r.n*sd ? s.n*rd (denominators positive).
 	rd, sd := r.den(), s.den()
+	if rd == sd {
+		// Values are in lowest terms, so equal denominators reduce the
+		// comparison to the numerators — the common case for simulation
+		// times drawn from one yield grid, and the hot path of the DVQ
+		// event queue.
+		switch {
+		case r.n < s.n:
+			return -1
+		case r.n > s.n:
+			return 1
+		default:
+			return 0
+		}
+	}
+	// r.n/rd ? s.n/sd  ⇔  r.n*sd ? s.n*rd (denominators positive).
 	g := gcd(rd, sd)
 	a := mul64(r.n, sd/g)
 	b := mul64(s.n, rd/g)

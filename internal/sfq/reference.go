@@ -1,0 +1,118 @@
+package sfq
+
+import (
+	"fmt"
+
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/prio"
+	"desyncpfair/internal/rat"
+	"desyncpfair/internal/sched"
+)
+
+// RunReference is the seed implementation of Run (aligned and staggered),
+// retained verbatim as the golden oracle for the fast-path engine: per-slot
+// insertion sort and linear best-ready scans, with every priority component
+// recomputed by prio.Order on each comparison. Its only job is to define
+// the semantics that Run must reproduce assignment-for-assignment (see
+// TestEngineEquivalence). Do not optimize it.
+func RunReference(sys *model.System, opts Options) (*sched.Schedule, error) {
+	if err := opts.fill(sys); err != nil {
+		return nil, err
+	}
+	if opts.Staggered {
+		return runStaggeredReference(sys, opts)
+	}
+	s := sched.New(sys, opts.M, opts.Policy.Name(), "SFQ")
+
+	st := newState(sys, opts.M)
+	decision := 0
+	for t := int64(0); st.remaining > 0; t++ {
+		if t > opts.Horizon {
+			return s, fmt.Errorf("sfq: horizon %d exhausted with %d subtasks pending", opts.Horizon, st.remaining)
+		}
+		ready := st.readyAt(t)
+		sortSubtasksReference(ready, opts.Policy)
+
+		free := st.freeProcs()
+		for _, sub := range ready {
+			if len(free) == 0 {
+				break
+			}
+			proc := st.pickProc(free, sub)
+			free = remove(free, proc)
+			decision++
+			a := s.Add(sched.Assignment{
+				Sub:      sub,
+				Proc:     proc,
+				Start:    rat.FromInt(t),
+				Cost:     opts.Yield(sub),
+				Decision: decision,
+			})
+			st.commit(sub, a, t)
+		}
+	}
+	return s, nil
+}
+
+func runStaggeredReference(sys *model.System, opts Options) (*sched.Schedule, error) {
+	s := sched.New(sys, opts.M, opts.Policy.Name(), "SFQ-staggered")
+	st := newState(sys, opts.M)
+	m := int64(opts.M)
+	decision := 0
+	finish := make([]rat.Rat, len(sys.Tasks))
+	for t := int64(0); st.remaining > 0; t++ {
+		if t > opts.Horizon {
+			return s, fmt.Errorf("sfq: horizon %d exhausted with %d subtasks pending", opts.Horizon, st.remaining)
+		}
+		for k := int64(0); k < m; k++ {
+			now := rat.FromInt(t).Add(rat.New(k, m))
+			best := st.bestReadyStaggeredReference(now, finish, opts.Policy)
+			if best == nil {
+				continue
+			}
+			decision++
+			a := s.Add(sched.Assignment{
+				Sub:      best,
+				Proc:     int(k),
+				Start:    now,
+				Cost:     opts.Yield(best),
+				Decision: decision,
+			})
+			st.commit(best, a, t)
+			finish[best.Task.ID] = a.Finish()
+		}
+	}
+	return s, nil
+}
+
+func (st *state) bestReadyStaggeredReference(now rat.Rat, finish []rat.Rat, pol prio.Policy) *model.Subtask {
+	var best *model.Subtask
+	for _, task := range st.sys.Tasks {
+		seq := st.sys.Subtasks(task)
+		c := st.cursor[task.ID]
+		if c >= len(seq) {
+			continue
+		}
+		head := seq[c]
+		if now.Less(rat.FromInt(head.Elig)) {
+			continue
+		}
+		if c > 0 && now.Less(finish[task.ID]) {
+			continue // predecessor still executing
+		}
+		if best == nil || prio.Order(pol, head, best) {
+			best = head
+		}
+	}
+	return best
+}
+
+func sortSubtasksReference(subs []*model.Subtask, p prio.Policy) {
+	// Insertion sort keeps the common small ready sets cheap and avoids an
+	// allocation; ready sets are one head per task.
+	for i := 1; i < len(subs); i++ {
+		for j := i; j > 0 && prio.Order(p, subs[j], subs[j-1]); j-- {
+			subs[j], subs[j-1] = subs[j-1], subs[j]
+		}
+	}
+}

@@ -12,6 +12,7 @@ package sfq
 
 import (
 	"fmt"
+	"slices"
 
 	"desyncpfair/internal/model"
 	"desyncpfair/internal/prio"
@@ -53,6 +54,12 @@ func (o *Options) fill(sys *model.System) error {
 // the complete schedule. An error is returned only if the horizon is
 // exhausted before every subtask is scheduled (which cannot happen with the
 // default horizon) or options are invalid.
+//
+// This is the fast-path engine: the per-slot ready set is ordered by
+// slices.SortFunc over cached prio.Keys instead of the seed's insertion
+// sort with priorities recomputed on every comparison. RunReference
+// retains the seed implementation; TestEngineEquivalence pins the two to
+// identical schedules.
 func Run(sys *model.System, opts Options) (*sched.Schedule, error) {
 	if err := opts.fill(sys); err != nil {
 		return nil, err
@@ -63,13 +70,16 @@ func Run(sys *model.System, opts Options) (*sched.Schedule, error) {
 	s := sched.New(sys, opts.M, opts.Policy.Name(), "SFQ")
 
 	st := newState(sys, opts.M)
+	cmp := prio.NewComparer(opts.Policy, sys)
 	decision := 0
 	for t := int64(0); st.remaining > 0; t++ {
 		if t > opts.Horizon {
 			return s, fmt.Errorf("sfq: horizon %d exhausted with %d subtasks pending", opts.Horizon, st.remaining)
 		}
 		ready := st.readyAt(t)
-		sortSubtasks(ready, opts.Policy)
+		// cmp.Total is a strict total order on distinct subtasks, so the
+		// result is exactly the seed's stable insertion sort by prio.Order.
+		slices.SortFunc(ready, cmp.Total)
 
 		free := st.freeProcs()
 		for _, sub := range ready {
@@ -103,6 +113,7 @@ func Run(sys *model.System, opts Options) (*sched.Schedule, error) {
 func runStaggered(sys *model.System, opts Options) (*sched.Schedule, error) {
 	s := sched.New(sys, opts.M, opts.Policy.Name(), "SFQ-staggered")
 	st := newState(sys, opts.M)
+	cmp := prio.NewComparer(opts.Policy, sys)
 	m := int64(opts.M)
 	decision := 0
 	finish := make([]rat.Rat, len(sys.Tasks)) // actual completion of last-scheduled subtask per task
@@ -112,7 +123,7 @@ func runStaggered(sys *model.System, opts Options) (*sched.Schedule, error) {
 		}
 		for k := int64(0); k < m; k++ {
 			now := rat.FromInt(t).Add(rat.New(k, m))
-			best := st.bestReadyStaggered(now, finish, opts.Policy)
+			best := st.bestReadyStaggered(now, finish, cmp)
 			if best == nil {
 				continue
 			}
@@ -134,7 +145,7 @@ func runStaggered(sys *model.System, opts Options) (*sched.Schedule, error) {
 // bestReadyStaggered returns the highest-priority subtask ready at the
 // rational time now: its head status, eligibility, and its predecessor's
 // actual completion (tracked in finish) are all checked against now.
-func (st *state) bestReadyStaggered(now rat.Rat, finish []rat.Rat, pol prio.Policy) *model.Subtask {
+func (st *state) bestReadyStaggered(now rat.Rat, finish []rat.Rat, cmp *prio.Comparer) *model.Subtask {
 	var best *model.Subtask
 	for _, task := range st.sys.Tasks {
 		seq := st.sys.Subtasks(task)
@@ -149,7 +160,7 @@ func (st *state) bestReadyStaggered(now rat.Rat, finish []rat.Rat, pol prio.Poli
 		if c > 0 && now.Less(finish[task.ID]) {
 			continue // predecessor still executing
 		}
-		if best == nil || prio.Order(pol, head, best) {
+		if best == nil || cmp.Order(head, best) {
 			best = head
 		}
 	}
@@ -164,6 +175,8 @@ type state struct {
 	lastProc  []int   // per task: processor of most recent assignment (affinity)
 	m         int
 	remaining int
+	ready     []*model.Subtask // reusable readyAt buffer
+	free      []int            // reusable freeProcs buffer
 }
 
 func newState(sys *model.System, m int) *state {
@@ -186,9 +199,10 @@ func newState(sys *model.System, m int) *state {
 // readyAt returns the ready heads at slot t: each task's next unscheduled
 // released subtask, provided it is eligible and its predecessor (if any)
 // was scheduled in an earlier slot. (Only heads can be ready — subtasks of
-// a task execute in released order.)
+// a task execute in released order.) The returned slice aliases a buffer
+// reused across slots.
 func (st *state) readyAt(t int64) []*model.Subtask {
-	var ready []*model.Subtask
+	ready := st.ready[:0]
 	for _, task := range st.sys.Tasks {
 		seq := st.sys.Subtasks(task)
 		c := st.cursor[task.ID]
@@ -204,14 +218,18 @@ func (st *state) readyAt(t int64) []*model.Subtask {
 		}
 		ready = append(ready, head)
 	}
+	st.ready = ready
 	return ready
 }
 
+// freeProcs returns the free-processor list for a fresh slot; it aliases a
+// buffer reused across slots (the caller shrinks it via remove).
 func (st *state) freeProcs() []int {
-	free := make([]int, st.m)
-	for i := range free {
-		free[i] = i
+	free := st.free[:0]
+	for i := 0; i < st.m; i++ {
+		free = append(free, i)
 	}
+	st.free = free
 	return free
 }
 
@@ -234,16 +252,6 @@ func (st *state) commit(sub *model.Subtask, a *sched.Assignment, t int64) {
 	st.lastSlot[id] = t
 	st.lastProc[id] = a.Proc
 	st.remaining--
-}
-
-func sortSubtasks(subs []*model.Subtask, p prio.Policy) {
-	// Insertion sort keeps the common small ready sets cheap and avoids an
-	// allocation; ready sets are one head per task.
-	for i := 1; i < len(subs); i++ {
-		for j := i; j > 0 && prio.Order(p, subs[j], subs[j-1]); j-- {
-			subs[j], subs[j-1] = subs[j-1], subs[j]
-		}
-	}
 }
 
 func remove(xs []int, x int) []int {
