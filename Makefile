@@ -1,9 +1,10 @@
 # Convenience targets; everything is plain `go` underneath.
 GO ?= go
+BENCHTIME ?= 1x
 
-.PHONY: all build test vet fmt bench race fuzz figures experiments soak report clean
+.PHONY: all build test vet fmt lint bench bench-json race race-server fuzz figures experiments soak pfaird pfairload report clean
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
@@ -17,11 +18,29 @@ vet:
 fmt:
 	gofmt -l .
 
+# lint fails (unlike `make fmt`, which only lists) so CI can gate on it.
+lint:
+	test -z "$$(gofmt -l .)"
+	$(GO) vet ./...
+
 race:
 	$(GO) test -race ./...
 
+# The service layer is the concurrency-heavy code; give it a dedicated
+# race gate that stays fast even when the full -race run grows slow.
+race-server:
+	$(GO) test -race ./internal/server/... ./internal/client/... ./internal/online/...
+
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-json archives machine-readable results (root benchmarks incl. the
+# PR 1 DVQ/SFQLarge set, plus the service-layer BenchmarkServerSubmit).
+bench-json:
+	{ $(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) . && \
+	  $(GO) test -run '^$$' -bench=BenchmarkServerSubmit -benchmem -benchtime=1000x ./internal/server/; } \
+	  | $(GO) run ./cmd/benchjson > BENCH_2.json
+	@echo wrote BENCH_2.json
 
 fuzz:
 	$(GO) test ./internal/core/ -fuzz=FuzzTheorem3 -fuzztime=30s
@@ -36,6 +55,12 @@ experiments:
 
 soak:
 	$(GO) run ./cmd/soak -trials 2000
+
+pfaird:
+	$(GO) run ./cmd/pfaird
+
+pfairload:
+	$(GO) run ./cmd/pfairload
 
 report:
 	$(GO) run ./cmd/report -o report.html

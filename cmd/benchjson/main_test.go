@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: desyncpfair
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkDVQLarge-8   	     100	  11234567 ns/op	 2048000 B/op	   12345 allocs/op
+BenchmarkSFQLarge-8   	      50	  22345678 ns/op
+PASS
+ok  	desyncpfair	1.234s
+pkg: desyncpfair/internal/server
+BenchmarkServerSubmit 	    2000	     44228 ns/op	   10635 B/op	     124 allocs/op
+PASS
+ok  	desyncpfair/internal/server	0.098s
+`
+
+func TestParse(t *testing.T) {
+	out, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.GoOS != "linux" || out.GoArch != "amd64" || !strings.Contains(out.CPU, "Xeon") {
+		t.Errorf("header: %+v", out)
+	}
+	if len(out.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(out.Benchmarks))
+	}
+	dvq := out.Benchmarks[0]
+	if dvq.Name != "DVQLarge" || dvq.Procs != 8 || dvq.Pkg != "desyncpfair" {
+		t.Errorf("first benchmark: %+v", dvq)
+	}
+	if dvq.Iterations != 100 || dvq.NsPerOp != 11234567 {
+		t.Errorf("first benchmark numbers: %+v", dvq)
+	}
+	if dvq.Metrics["B/op"] != 2048000 || dvq.Metrics["allocs/op"] != 12345 {
+		t.Errorf("first benchmark metrics: %+v", dvq.Metrics)
+	}
+	if sfq := out.Benchmarks[1]; sfq.Name != "SFQLarge" || sfq.Metrics != nil {
+		t.Errorf("second benchmark: %+v", sfq)
+	}
+	srv := out.Benchmarks[2]
+	if srv.Name != "ServerSubmit" || srv.Pkg != "desyncpfair/internal/server" || srv.Procs != 0 {
+		t.Errorf("third benchmark: %+v", srv)
+	}
+}
+
+func TestParseBenchRejectsNonResultLines(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkFoo", // bare name, no iteration count
+		"BenchmarkFoo	abc	123 ns/op",
+		"Benchmarking the thing took a while",
+	} {
+		if b, ok := parseBench(line); ok {
+			t.Errorf("parseBench(%q) accepted: %+v", line, b)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Command pfaird serves the multi-tenant Pfair scheduling service over
+// HTTP: tenants are isolated PD²-DVQ online executives, tasks are
+// admission-checked against Σwt ≤ M, and dispatch decisions stream to
+// followers as newline-delimited JSON. See internal/server for the API and
+// TUTORIAL.md ("Running pfaird") for a curl walkthrough.
+//
+// Usage:
+//
+//	pfaird -addr :8080
+//
+// On SIGINT/SIGTERM the daemon drains: in-flight dispatch streams flush
+// and terminate, then the listener shuts down gracefully.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"desyncpfair/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	grace := flag.Duration("grace", 10*time.Second, "graceful shutdown timeout")
+	flag.Parse()
+
+	srv := server.New()
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("pfaird listening on %s", *addr)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("pfaird: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("pfaird: shutting down, draining streams (up to %s)", *grace)
+	srv.Shutdown() // end dispatch streams first so Shutdown below can drain
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("pfaird: forced close: %v", err)
+	}
+	log.Printf("pfaird: bye")
+}

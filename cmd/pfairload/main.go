@@ -1,0 +1,255 @@
+// Command pfairload is the load generator for pfaird: it drives N tenants
+// × K tasks with concurrent submit/advance traffic through internal/client
+// and reports throughput and latency percentiles, so the service's
+// capacity is measured rather than asserted. With no -addr it spins up an
+// in-process pfaird on a loopback listener and load-tests that, which is
+// also how the regression test keeps the ≥10k-request path honest.
+//
+// Usage:
+//
+//	pfairload -tenants 4 -tasks 8 -jobs 500 -workers 8
+//	pfairload -addr http://localhost:8080 -tenants 2 -jobs 100
+//
+// Each task has weight 1/K, so every tenant's utilization is exactly 1 and
+// admission always passes on m ≥ 1; the point here is request throughput,
+// not schedulability stress. The run fails (exit 1) if any tenant ends
+// with max tardiness above one quantum — Theorem 3 must survive load.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"desyncpfair/internal/client"
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/rat"
+	"desyncpfair/internal/server"
+)
+
+type config struct {
+	addr         string // target server; "" = in-process loopback server
+	tenants      int
+	tasks        int // per tenant
+	jobs         int // submits per (tenant, task)
+	workers      int
+	m            int // processors per tenant
+	advanceEvery int // advance the tenant's virtual time every this many submits
+	policy       string
+}
+
+// report is one load run's outcome.
+type report struct {
+	Requests     int           // total HTTP requests issued (setup + load + drain)
+	Wall         time.Duration // load-phase wall clock
+	Throughput   float64       // load-phase requests per second
+	P50, P90     time.Duration
+	P99, Max     time.Duration
+	Dispatched   int64  // scheduling decisions across all tenants
+	MaxTardiness string // worst tardiness across tenants (rat string)
+}
+
+func main() {
+	cfg := config{}
+	flag.StringVar(&cfg.addr, "addr", "", "pfaird base URL (empty: start an in-process server)")
+	flag.IntVar(&cfg.tenants, "tenants", 4, "number of tenants")
+	flag.IntVar(&cfg.tasks, "tasks", 8, "tasks per tenant")
+	flag.IntVar(&cfg.jobs, "jobs", 500, "jobs submitted per task")
+	flag.IntVar(&cfg.workers, "workers", 8, "concurrent client workers")
+	flag.IntVar(&cfg.m, "m", 2, "processors per tenant")
+	flag.IntVar(&cfg.advanceEvery, "advance-every", 4, "advance virtual time every N submits")
+	flag.StringVar(&cfg.policy, "policy", "PD2", "priority policy (PD2, PD, PF, EPDF)")
+	flag.Parse()
+
+	rep, err := run(cfg, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pfairload: %v\n", err)
+		os.Exit(1)
+	}
+	maxTar, err := rat.Parse(rep.MaxTardiness)
+	if err == nil && rat.One.Less(maxTar) {
+		fmt.Fprintf(os.Stderr, "pfairload: max tardiness %s exceeds one quantum — Theorem 3 violated under load\n", rep.MaxTardiness)
+		os.Exit(1)
+	}
+}
+
+// run executes the load and writes the human report to out.
+func run(cfg config, out io.Writer) (report, error) {
+	if cfg.tenants < 1 || cfg.tasks < 1 || cfg.jobs < 1 || cfg.m < 1 {
+		return report{}, fmt.Errorf("tenants, tasks, jobs and m must all be ≥ 1")
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	if cfg.advanceEvery < 1 {
+		cfg.advanceEvery = 1
+	}
+
+	base := cfg.addr
+	if base == "" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return report{}, err
+		}
+		srv := server.New()
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		defer srv.Shutdown()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(out, "in-process pfaird on %s\n", base)
+	}
+	c := client.New(base, &http.Client{Timeout: 30 * time.Second})
+	ctx := context.Background()
+
+	// Setup: tenants and tasks (counted in Requests but not in latency).
+	setup := 0
+	for ti := 0; ti < cfg.tenants; ti++ {
+		id := tenantID(ti)
+		if _, err := c.CreateTenant(ctx, id, cfg.m, cfg.policy); err != nil {
+			return report{}, fmt.Errorf("create %s: %w", id, err)
+		}
+		setup++
+		for k := 0; k < cfg.tasks; k++ {
+			if _, err := c.RegisterTask(ctx, id, taskID(k), model.W(1, int64(cfg.tasks))); err != nil {
+				return report{}, fmt.Errorf("register %s/%s: %w", id, taskID(k), err)
+			}
+			setup++
+		}
+	}
+
+	// Load phase: workers own disjoint (tenant, task) pairs, so two workers
+	// never submit for the same task, while tenants still see concurrent
+	// traffic from several workers at once.
+	type pair struct{ tenant, task string }
+	var pairs []pair
+	for ti := 0; ti < cfg.tenants; ti++ {
+		for k := 0; k < cfg.tasks; k++ {
+			pairs = append(pairs, pair{tenantID(ti), taskID(k)})
+		}
+	}
+	perWorker := make([][]pair, cfg.workers)
+	for i, p := range pairs {
+		w := i % cfg.workers
+		perWorker[w] = append(perWorker[w], p)
+	}
+
+	lats := make([][]time.Duration, cfg.workers)
+	errs := make([]error, cfg.workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers; w++ {
+		if len(perWorker[w]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := perWorker[w]
+			lat := make([]time.Duration, 0, cfg.jobs*len(mine)*2)
+			submits := 0
+			for j := 0; j < cfg.jobs; j++ {
+				for _, p := range mine {
+					t0 := time.Now()
+					_, err := c.SubmitJob(ctx, p.tenant, p.task, "")
+					lat = append(lat, time.Since(t0))
+					if err != nil {
+						errs[w] = fmt.Errorf("submit %s/%s: %w", p.tenant, p.task, err)
+						lats[w] = lat
+						return
+					}
+					submits++
+					if submits%cfg.advanceEvery == 0 {
+						t0 = time.Now()
+						_, err := c.AdvanceBy(ctx, p.tenant, "1")
+						lat = append(lat, time.Since(t0))
+						if err != nil {
+							errs[w] = fmt.Errorf("advance %s: %w", p.tenant, err)
+							lats[w] = lat
+							return
+						}
+					}
+				}
+			}
+			lats[w] = lat
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return report{}, err
+		}
+	}
+
+	// Drain every tenant and collect the scheduler-side totals.
+	var dispatched int64
+	maxTar := rat.Zero
+	drains := 0
+	for ti := 0; ti < cfg.tenants; ti++ {
+		id := tenantID(ti)
+		if _, err := c.Drain(ctx, id); err != nil {
+			return report{}, fmt.Errorf("drain %s: %w", id, err)
+		}
+		info, err := c.Tenant(ctx, id)
+		if err != nil {
+			return report{}, err
+		}
+		dispatched += info.Dispatches
+		tar, err := rat.Parse(info.MaxTardiness)
+		if err != nil {
+			return report{}, fmt.Errorf("tenant %s reports unparseable tardiness %q", id, info.MaxTardiness)
+		}
+		maxTar = rat.Max(maxTar, tar)
+		drains += 2
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep := report{
+		Requests:     setup + len(all) + drains,
+		Wall:         wall,
+		Throughput:   float64(len(all)) / wall.Seconds(),
+		P50:          percentile(all, 0.50),
+		P90:          percentile(all, 0.90),
+		P99:          percentile(all, 0.99),
+		Max:          percentile(all, 1.00),
+		Dispatched:   dispatched,
+		MaxTardiness: maxTar.String(),
+	}
+	fmt.Fprintf(out, "tenants            : %d × %d tasks, %d jobs/task, %d workers\n",
+		cfg.tenants, cfg.tasks, cfg.jobs, cfg.workers)
+	fmt.Fprintf(out, "requests           : %d total (%d timed)\n", rep.Requests, len(all))
+	fmt.Fprintf(out, "wall / throughput  : %v / %.0f req/s\n", rep.Wall.Round(time.Millisecond), rep.Throughput)
+	fmt.Fprintf(out, "latency p50/p90/p99: %v / %v / %v (max %v)\n", rep.P50, rep.P90, rep.P99, rep.Max)
+	fmt.Fprintf(out, "dispatches         : %d, max tardiness %s (bound: 1)\n", rep.Dispatched, rep.MaxTardiness)
+	return rep, nil
+}
+
+// percentile returns the q-quantile of sorted latencies (q in (0, 1]).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func tenantID(i int) string { return fmt.Sprintf("load-%d", i) }
+func taskID(k int) string   { return fmt.Sprintf("t%d", k) }

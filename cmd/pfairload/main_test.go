@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The acceptance run: ≥ 10k submit+advance requests against an in-process
+// server, across multiple tenants, with latency percentiles reported.
+// 4 tenants × 4 tasks × 500 jobs = 8000 submits + 2000 advances (one per
+// 4 submits) = 10000 timed requests.
+func TestLoadTenThousandRequests(t *testing.T) {
+	var out strings.Builder
+	rep, err := run(config{
+		tenants:      4,
+		tasks:        4,
+		jobs:         500,
+		workers:      8,
+		m:            2,
+		advanceEvery: 4,
+		policy:       "PD2",
+	}, &out)
+	if err != nil {
+		t.Fatalf("load run failed: %v\n%s", err, out.String())
+	}
+	timed := 4*4*500 + 4*4*500/4
+	if timed < 10000 {
+		t.Fatalf("test is mis-sized: only %d timed requests", timed)
+	}
+	if rep.Requests < timed {
+		t.Errorf("report counts %d requests, want ≥ %d", rep.Requests, timed)
+	}
+	if rep.Throughput <= 0 {
+		t.Errorf("non-positive throughput %f", rep.Throughput)
+	}
+	if rep.P50 <= 0 || rep.P50 > rep.P99 || rep.P99 > rep.Max {
+		t.Errorf("implausible percentiles p50=%v p99=%v max=%v", rep.P50, rep.P99, rep.Max)
+	}
+	// Every submitted job is one subtask (E=1); all must get dispatched.
+	if want := int64(4 * 4 * 500); rep.Dispatched != want {
+		t.Errorf("dispatched %d subtasks, want %d", rep.Dispatched, want)
+	}
+	if rep.MaxTardiness != "0" && !strings.Contains(rep.MaxTardiness, "/") && rep.MaxTardiness != "1" {
+		t.Errorf("suspicious max tardiness %q", rep.MaxTardiness)
+	}
+	for _, want := range []string{"latency p50/p90/p99", "req/s", "max tardiness"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile(nil) = %v", got)
+	}
+	sorted := make([]time.Duration, 100)
+	for i := range sorted {
+		sorted[i] = time.Duration(i+1) * time.Millisecond
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.90, 90 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1.00, 100 * time.Millisecond},
+	} {
+		if got := percentile(sorted, tc.q); got != tc.want {
+			t.Errorf("percentile(q=%g) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"strings"
 	"testing"
 
 	"desyncpfair/internal/rat"
@@ -19,5 +20,35 @@ func TestSoakSmall(t *testing.T) {
 	}
 	if agg.histDVQ.Total != agg.subtasks {
 		t.Errorf("histogram total %d != subtasks %d", agg.histDVQ.Total, agg.subtasks)
+	}
+}
+
+// Regression test for the exit-code contract: a soak that observes a bound
+// violation must exit non-zero (a CI job only sees the exit code), and a
+// clean soak must exit zero. The violating aggregates are fabricated —
+// producing a real one would falsify the paper.
+func TestReportExitCode(t *testing.T) {
+	clean := result{maxDVQ: rat.New(1, 2), maxPDB: rat.One}
+	var out strings.Builder
+	if code := report(&out, 10, clean); code != 0 {
+		t.Errorf("clean soak exits %d, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "held in every trial") {
+		t.Errorf("clean report lacks success line:\n%s", out.String())
+	}
+
+	cases := map[string]result{
+		"counted violation":     {maxDVQ: rat.One, maxPDB: rat.One, violations: 3},
+		"uncounted DVQ maximum": {maxDVQ: rat.New(3, 2), maxPDB: rat.One},
+		"uncounted PDB maximum": {maxDVQ: rat.One, maxPDB: rat.New(5, 4)},
+	}
+	for name, agg := range cases {
+		var buf strings.Builder
+		if code := report(&buf, 10, agg); code != 1 {
+			t.Errorf("%s: exits %d, want 1\n%s", name, code, buf.String())
+		}
+		if !strings.Contains(buf.String(), "BOUND VIOLATIONS") {
+			t.Errorf("%s: report lacks violation line:\n%s", name, buf.String())
+		}
 	}
 }

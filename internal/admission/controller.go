@@ -1,0 +1,100 @@
+package admission
+
+import (
+	"fmt"
+	"sort"
+
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/rat"
+)
+
+// Controller is the stateful counterpart of the analytical tests in this
+// package: it tracks the set of currently admitted weights against a fixed
+// processor count and answers register/unregister requests online, the way
+// a long-running service must. The invariant it maintains is exactly the
+// Pfair feasibility condition Σ wt ≤ M, so everything it admits is
+// schedulable by PD² under SFQ (hard) and under DVQ with at most one
+// quantum of tardiness (Theorem 3).
+//
+// Controller is not safe for concurrent use; callers (internal/server's
+// Tenant) serialize access.
+type Controller struct {
+	m     int
+	util  rat.Rat
+	tasks map[string]model.Weight
+}
+
+// NewController creates a controller for m processors.
+func NewController(m int) *Controller {
+	if m < 1 {
+		panic("admission: m must be ≥ 1")
+	}
+	return &Controller{m: m, util: rat.Zero, tasks: map[string]model.Weight{}}
+}
+
+// M returns the processor count the controller admits against.
+func (c *Controller) M() int { return c.m }
+
+// Utilization returns Σ wt over currently admitted tasks.
+func (c *Controller) Utilization() rat.Rat { return c.util }
+
+// Len returns the number of currently admitted tasks.
+func (c *Controller) Len() int { return len(c.tasks) }
+
+// Weights returns the admitted weight set in name order (for reports and
+// for re-running the analytical tests of this package on the live set).
+func (c *Controller) Weights() []model.Weight {
+	names := make([]string, 0, len(c.tasks))
+	for name := range c.tasks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]model.Weight, len(names))
+	for i, name := range names {
+		out[i] = c.tasks[name]
+	}
+	return out
+}
+
+// Register admits the named task iff the resulting total utilization stays
+// ≤ M (utilization exactly M is admitted — the feasibility condition is an
+// iff). Duplicate names and invalid weights are rejected.
+func (c *Controller) Register(name string, w model.Weight) (Decision, error) {
+	if name == "" {
+		return Decision{}, fmt.Errorf("admission: empty task name")
+	}
+	if _, dup := c.tasks[name]; dup {
+		return Decision{}, fmt.Errorf("admission: task %q already registered", name)
+	}
+	if err := w.Validate(); err != nil {
+		return Decision{}, err
+	}
+	newTotal := c.util.Add(w.Rat())
+	if rat.FromInt(int64(c.m)).Less(newTotal) {
+		return Decision{
+			Scheduler: "PD2/DVQ",
+			Guarantee: NoGuarantee,
+			Reason:    fmt.Sprintf("registering %q (weight %s) would raise Σwt to %s > M = %d", name, w, newTotal, c.m),
+		}, nil
+	}
+	c.tasks[name] = w
+	c.util = newTotal
+	return Decision{
+		Scheduler: "PD2/DVQ",
+		Admitted:  true,
+		Guarantee: SoftRealTime,
+		Reason:    fmt.Sprintf("Σwt = %s ≤ M = %d; DVQ tardiness ≤ 1 quantum (Theorem 3)", newTotal, c.m),
+	}, nil
+}
+
+// Unregister releases the named task's capacity so later Register calls
+// can reuse it.
+func (c *Controller) Unregister(name string) error {
+	w, ok := c.tasks[name]
+	if !ok {
+		return fmt.Errorf("admission: task %q not registered", name)
+	}
+	delete(c.tasks, name)
+	c.util = c.util.Sub(w.Rat())
+	return nil
+}

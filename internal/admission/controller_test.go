@@ -1,0 +1,101 @@
+package admission
+
+import (
+	"testing"
+
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/rat"
+)
+
+// Boundary: total utilization exactly M is feasible (the condition is an
+// iff), one grain over is not. With q = 10, filling M = 2 with 19 tasks of
+// 1/10 plus one more lands exactly on 2; a twentieth-plus-one of weight
+// 1/10 would overflow by 1/q.
+func TestControllerBoundaryExactlyM(t *testing.T) {
+	const q = 10
+	c := NewController(2)
+	for i := 0; i < 2*q; i++ {
+		d, err := c.Register(string(rune('a'+i%26))+string(rune('0'+i/26)), model.W(1, q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Admitted {
+			t.Fatalf("task %d of %d rejected at utilization %s: %s", i+1, 2*q, c.Utilization(), d.Reason)
+		}
+	}
+	if !c.Utilization().Equal(rat.FromInt(2)) {
+		t.Fatalf("utilization %s, want exactly 2", c.Utilization())
+	}
+	if got := c.Len(); got != 2*q {
+		t.Fatalf("Len() = %d, want %d", got, 2*q)
+	}
+
+	// M + 1/q: must reject, and must leave the state untouched.
+	d, err := c.Register("straw", model.W(1, q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Admitted {
+		t.Fatalf("admitted at utilization M + 1/%d", q)
+	}
+	if d.Guarantee != NoGuarantee {
+		t.Errorf("rejection carries guarantee %v", d.Guarantee)
+	}
+	if !c.Utilization().Equal(rat.FromInt(2)) {
+		t.Errorf("rejection changed utilization to %s", c.Utilization())
+	}
+}
+
+func TestControllerReadmissionAfterUnregister(t *testing.T) {
+	c := NewController(1)
+	if d, err := c.Register("a", model.W(1, 2)); err != nil || !d.Admitted {
+		t.Fatalf("register a: %v %+v", err, d)
+	}
+	if d, err := c.Register("b", model.W(1, 2)); err != nil || !d.Admitted {
+		t.Fatalf("register b: %v %+v", err, d)
+	}
+	if d, err := c.Register("c", model.W(1, 3)); err != nil || d.Admitted {
+		t.Fatalf("register c at full utilization: %v %+v", err, d)
+	}
+	if err := c.Unregister("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unregister("a"); err == nil {
+		t.Error("double unregister accepted")
+	}
+	d, err := c.Register("c", model.W(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Admitted {
+		t.Fatalf("re-admission after unregister rejected: %s", d.Reason)
+	}
+	if d.Guarantee != SoftRealTime {
+		t.Errorf("guarantee %v, want SoftRealTime", d.Guarantee)
+	}
+	if !c.Utilization().Equal(rat.One) {
+		t.Errorf("utilization %s, want 1", c.Utilization())
+	}
+}
+
+func TestControllerRejectsBadInput(t *testing.T) {
+	c := NewController(1)
+	if _, err := c.Register("", model.W(1, 2)); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := c.Register("a", model.W(3, 2)); err == nil {
+		t.Error("weight > 1 accepted")
+	}
+	if _, err := c.Register("a", model.W(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register("a", model.W(1, 4)); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if err := c.Unregister("ghost"); err == nil {
+		t.Error("unregister of unknown task accepted")
+	}
+	if got := len(c.Weights()); got != 1 {
+		t.Errorf("Weights() has %d entries, want 1", got)
+	}
+}

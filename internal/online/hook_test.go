@@ -1,0 +1,117 @@
+package online
+
+import (
+	"testing"
+
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/rat"
+)
+
+// The persistent OnDispatch hook must see every decision, whether driven by
+// Run or Drain, and in addition to any per-Run callback.
+func TestOnDispatchHook(t *testing.T) {
+	ex := New(1, nil)
+	task, err := ex.Register("a", model.W(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hooked, perRun []Dispatch
+	ex.SetOnDispatch(func(d Dispatch) { hooked = append(hooked, d) })
+
+	if err := ex.SubmitJob(task, rat.Zero); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Run(rat.FromInt(2), nil, func(d Dispatch) { perRun = append(perRun, d) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.SubmitJob(task, rat.FromInt(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Drain(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(hooked) != 2 {
+		t.Fatalf("hook saw %d dispatches, want 2 (one via Run, one via Drain)", len(hooked))
+	}
+	if len(perRun) != 1 {
+		t.Fatalf("per-Run callback saw %d dispatches, want 1", len(perRun))
+	}
+	if hooked[0] != perRun[0] {
+		t.Errorf("hook and per-Run callback disagree: %+v vs %+v", hooked[0], perRun[0])
+	}
+	for i, d := range hooked {
+		if d.Sub.Task != task || d.Sub.Index != int64(i+1) {
+			t.Errorf("dispatch %d is %s, want %s_%d", i, d.Sub, task, i+1)
+		}
+	}
+
+	ex.SetOnDispatch(nil) // removable
+	if err := ex.SubmitJob(task, ex.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Drain(nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(hooked) != 2 {
+		t.Errorf("hook fired after removal: saw %d dispatches", len(hooked))
+	}
+}
+
+func TestUnregisterReclaimsCapacity(t *testing.T) {
+	ex := New(1, nil)
+	a, err := ex.Register("a", model.W(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ex.Register("b", model.W(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full: 1/2 + 1/2 = 1 = M.
+	if _, err := ex.Register("c", model.W(1, 4)); err == nil {
+		t.Fatal("over-utilization register accepted")
+	}
+
+	if err := ex.SubmitJob(a, rat.Zero); err != nil {
+		t.Fatal(err)
+	}
+	// a has pending work: unregister must refuse.
+	if err := ex.Unregister(a); err == nil {
+		t.Fatal("unregister with pending subtasks accepted")
+	}
+	if _, err := ex.Drain(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Unregister(a); err != nil {
+		t.Fatal(err)
+	}
+	if ex.Active(a) {
+		t.Error("a still active after unregister")
+	}
+	if err := ex.Unregister(a); err == nil {
+		t.Error("double unregister accepted")
+	}
+	if got, want := ex.ActiveUtilization(), rat.New(1, 2); !got.Equal(want) {
+		t.Errorf("active utilization %s, want %s", got, want)
+	}
+
+	// Capacity reclaimed: a same-weight replacement fits again.
+	c, err := ex.Register("c", model.W(1, 2))
+	if err != nil {
+		t.Fatalf("re-admission after unregister rejected: %v", err)
+	}
+	if err := ex.SubmitJob(c, ex.Now()); err != nil {
+		t.Fatal(err)
+	}
+	// But the unregistered task may no longer submit.
+	if err := ex.SubmitJob(a, ex.Now()); err == nil {
+		t.Error("job for unregistered task accepted")
+	}
+	if _, err := ex.Drain(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.SubmitJob(b, ex.Now()); err != nil {
+		t.Errorf("untouched task b rejected: %v", err)
+	}
+}

@@ -20,6 +20,17 @@
 //	ex.SubmitJob(web, rat.FromInt(10))        // next job arrives late — fine
 //	ex.Run(rat.FromInt(50), nil)
 //	fmt.Println(ex.Schedule().MaxTardiness())
+//
+// # Concurrency contract
+//
+// An Executive is single-goroutine: every method — Register, Unregister,
+// SubmitJob, Run, Drain, and the accessors — must be called from one
+// goroutine (or under one external lock). The OnDispatch hook set with
+// SetOnDispatch is invoked synchronously on that same goroutine, while the
+// executive's internal state is mid-update; the hook must not call back
+// into the Executive. Callers that need concurrent access should wrap the
+// Executive the way internal/server.Tenant does, with a single mutex
+// around every call.
 package online
 
 import (
@@ -40,6 +51,10 @@ type Executive struct {
 
 	sys      *model.System
 	schedule *sched.Schedule
+
+	active     []bool  // per task: still registered (accepting jobs, counted in utilization)
+	activeUtil rat.Rat // Σ wt over active tasks
+	onDispatch func(Dispatch)
 
 	now      rat.Rat
 	freeAt   []rat.Rat
@@ -71,25 +86,27 @@ func New(m int, policy prio.Policy) *Executive {
 	}
 	sys := model.NewSystem()
 	e := &Executive{
-		m:        m,
-		policy:   policy,
-		sys:      sys,
-		schedule: sched.New(sys, m, policy.Name(), "DVQ-online"),
-		freeAt:   make([]rat.Rat, m),
-		seen:     map[rat.Rat]bool{},
+		m:          m,
+		policy:     policy,
+		sys:        sys,
+		schedule:   sched.New(sys, m, policy.Name(), "DVQ-online"),
+		activeUtil: rat.Zero,
+		freeAt:     make([]rat.Rat, m),
+		seen:       map[rat.Rat]bool{},
 	}
 	heap.Init(&e.events)
 	return e
 }
 
 // Register adds a task with the given weight. Registration is admission
-// control: it fails if the new total utilization would exceed M, since the
-// tardiness bound (and any schedulability statement) would be lost.
+// control: it fails if the new total utilization of *active* tasks would
+// exceed M, since the tardiness bound (and any schedulability statement)
+// would be lost. Tasks removed with Unregister no longer count.
 func (e *Executive) Register(name string, w model.Weight) (*model.Task, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
-	if newTotal := e.sys.TotalUtilization().Add(w.Rat()); rat.FromInt(int64(e.m)).Less(newTotal) {
+	if newTotal := e.activeUtil.Add(w.Rat()); rat.FromInt(int64(e.m)).Less(newTotal) {
 		return nil, fmt.Errorf("online: registering %s (weight %s) would raise utilization to %s > M=%d",
 			name, w, newTotal, e.m)
 	}
@@ -97,8 +114,50 @@ func (e *Executive) Register(name string, w model.Weight) (*model.Task, error) {
 	e.cursor = append(e.cursor, 0)
 	e.lastFin = append(e.lastFin, rat.Zero)
 	e.nextIdx = append(e.nextIdx, 1)
+	e.active = append(e.active, true)
+	e.activeUtil = e.activeUtil.Add(w.Rat())
 	return t, nil
 }
+
+// Unregister removes t from the active set: its weight stops counting
+// toward admission and further SubmitJob calls for it are rejected. It
+// fails while t still has released-but-undispatched subtasks, because
+// reclaiming the capacity of a task with queued work would void the
+// tardiness bound for everyone else. Already-dispatched work stays in the
+// schedule.
+func (e *Executive) Unregister(t *model.Task) error {
+	if t.ID < 0 || t.ID >= len(e.active) {
+		return fmt.Errorf("online: unknown task %s", t)
+	}
+	if !e.active[t.ID] {
+		return fmt.Errorf("online: task %s already unregistered", t)
+	}
+	if e.cursor[t.ID] < len(e.sys.Subtasks(t)) {
+		return fmt.Errorf("online: task %s has %d undispatched subtasks; drain before unregistering",
+			t, len(e.sys.Subtasks(t))-e.cursor[t.ID])
+	}
+	e.active[t.ID] = false
+	e.activeUtil = e.activeUtil.Sub(t.W.Rat())
+	return nil
+}
+
+// Active reports whether t is currently registered (counted in utilization
+// and accepting jobs).
+func (e *Executive) Active(t *model.Task) bool {
+	return t.ID >= 0 && t.ID < len(e.active) && e.active[t.ID]
+}
+
+// ActiveUtilization returns Σ wt over currently registered tasks — the
+// quantity Register admission-checks against M.
+func (e *Executive) ActiveUtilization() rat.Rat { return e.activeUtil }
+
+// SetOnDispatch installs a persistent hook invoked for every scheduling
+// decision, regardless of whether it was driven by Run or Drain (and in
+// addition to any per-Run callback). The hook runs synchronously on the
+// executive's goroutine — see the package comment's concurrency contract —
+// so it must be fast and must not call back into the Executive. A nil
+// hook removes it.
+func (e *Executive) SetOnDispatch(fn func(Dispatch)) { e.onDispatch = fn }
 
 // Now returns the executive's current virtual time.
 func (e *Executive) Now() rat.Rat { return e.now }
@@ -134,6 +193,9 @@ func (e *Executive) SubmitJobEarly(t *model.Task, at rat.Rat, earliness int64) e
 }
 
 func (e *Executive) submit(t *model.Task, at rat.Rat, earliness int64) error {
+	if !e.Active(t) {
+		return fmt.Errorf("online: job submitted for unregistered task %s", t)
+	}
 	if at.Less(e.now) {
 		return fmt.Errorf("online: job of %s submitted at %s, before virtual time %s", t, at, e.now)
 	}
@@ -216,8 +278,12 @@ func (e *Executive) dispatchAt(t rat.Rat, yield sched.YieldFn, onDispatch func(D
 		e.freeAt[p] = a.Finish()
 		e.pending--
 		e.push(a.Finish())
+		d := Dispatch{Sub: sub, Proc: p, Start: t, Finish: a.Finish()}
 		if onDispatch != nil {
-			onDispatch(Dispatch{Sub: sub, Proc: p, Start: t, Finish: a.Finish()})
+			onDispatch(d)
+		}
+		if e.onDispatch != nil {
+			e.onDispatch(d)
 		}
 	}
 }

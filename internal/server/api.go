@@ -1,0 +1,96 @@
+package server
+
+// Wire types of the pfaird JSON API, shared with internal/client. All
+// rational quantities (virtual times, tardiness, utilization) travel as
+// exact strings in internal/rat syntax ("7", "3/2") — never as floats —
+// so a client can round-trip them without losing the paper's exactness.
+
+// CreateTenantRequest creates a tenant: an isolated online executive on M
+// processors under the named priority policy ("PD2" when empty; also
+// "PD", "PF", "EPDF").
+type CreateTenantRequest struct {
+	ID     string `json:"id"`
+	M      int    `json:"m"`
+	Policy string `json:"policy,omitempty"`
+}
+
+// TenantInfo is a point-in-time snapshot of one tenant.
+type TenantInfo struct {
+	ID           string `json:"id"`
+	M            int    `json:"m"`
+	Policy       string `json:"policy"`
+	Now          string `json:"now"`          // current virtual time
+	Utilization  string `json:"utilization"`  // Σ wt of admitted tasks
+	Tasks        int    `json:"tasks"`        // admitted task count
+	Pending      int    `json:"pending"`      // released, undispatched subtasks
+	Dispatches   int64  `json:"dispatches"`   // decisions made so far
+	MaxTardiness string `json:"maxTardiness"` // worst tardiness observed (≤ 1 by Theorem 3)
+	Rejections   int64  `json:"rejections"`   // admission rejections so far
+}
+
+// RegisterTaskRequest admits a task of weight E/P into a tenant.
+type RegisterTaskRequest struct {
+	Name string `json:"name"`
+	E    int64  `json:"e"`
+	P    int64  `json:"p"`
+}
+
+// RegisterTaskResponse reports the admission decision. Admitted is false
+// when the task would push Σ wt over M; the tenant is unchanged then.
+type RegisterTaskResponse struct {
+	Admitted  bool   `json:"admitted"`
+	Guarantee string `json:"guarantee"`
+	Reason    string `json:"reason"`
+}
+
+// SubmitJobRequest releases one job (E subtasks) of a registered task. An
+// empty At means "at the tenant's current virtual time", which is the
+// race-free choice for concurrent clients. Earliness enables early
+// releasing by up to that many slots (eq. 6).
+type SubmitJobRequest struct {
+	Task      string `json:"task"`
+	At        string `json:"at,omitempty"`
+	Earliness int64  `json:"earliness,omitempty"`
+}
+
+// SubmitJobResponse echoes the effective arrival time.
+type SubmitJobResponse struct {
+	At      string `json:"at"`
+	Pending int    `json:"pending"`
+}
+
+// AdvanceRequest advances a tenant's virtual time, dispatching work on the
+// way. Exactly one of Until (absolute) or By (relative) must be set; By is
+// the race-free choice for concurrent clients.
+type AdvanceRequest struct {
+	Until string `json:"until,omitempty"`
+	By    string `json:"by,omitempty"`
+}
+
+// AdvanceResponse reports the new virtual time and how many dispatch
+// decisions the advance produced.
+type AdvanceResponse struct {
+	Now        string `json:"now"`
+	Dispatched int64  `json:"dispatched"`
+	Pending    int    `json:"pending"`
+}
+
+// DispatchEvent is one scheduling decision, as streamed by
+// GET /v1/tenants/{id}/dispatches (one JSON object per line). Seq is the
+// 0-based decision index within the tenant; a stream opened with ?from=N
+// replays the log from decision N before following live decisions.
+type DispatchEvent struct {
+	Seq       int64  `json:"seq"`
+	Task      string `json:"task"`
+	Index     int64  `json:"index"`
+	Proc      int    `json:"proc"`
+	Start     string `json:"start"`
+	Finish    string `json:"finish"`
+	Deadline  int64  `json:"deadline"`
+	Tardiness string `json:"tardiness"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,48 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"desyncpfair/internal/client"
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/server"
+)
+
+// BenchmarkServerSubmit measures the submit hot path end to end — client
+// marshal, HTTP round trip, tenant lock, executive release — with a
+// periodic advance so the dispatch log keeps moving and the executive
+// never accumulates an unbounded backlog.
+func BenchmarkServerSubmit(b *testing.B) {
+	srv := server.New()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer srv.Shutdown()
+	c := client.New(hs.URL, hs.Client())
+	ctx := context.Background()
+
+	if _, err := c.CreateTenant(ctx, "bench", 2, ""); err != nil {
+		b.Fatal(err)
+	}
+	const tasks = 8
+	for i := 0; i < tasks; i++ {
+		if _, err := c.RegisterTask(ctx, "bench", fmt.Sprintf("w%d", i), model.W(1, tasks)); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.SubmitJob(ctx, "bench", fmt.Sprintf("w%d", i%tasks), ""); err != nil {
+			b.Fatal(err)
+		}
+		if i%tasks == tasks-1 {
+			if _, err := c.AdvanceBy(ctx, "bench", "1"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

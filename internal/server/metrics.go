@@ -1,0 +1,131 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the request-duration
+// histogram, powers of four from 16µs to ~67ms plus +Inf.
+var latencyBuckets = []float64{
+	16e-6, 64e-6, 256e-6, 1024e-6, 4096e-6, 16384e-6, 65536e-6,
+}
+
+// metrics aggregates per-route request counters. Tenant-level series
+// (dispatch counts, tardiness, rejections) are not stored here — they are
+// read live from the tenants at exposition time, so the two can never
+// drift apart.
+type metrics struct {
+	mu     sync.Mutex
+	routes map[string]*routeStats
+}
+
+type routeStats struct {
+	count   int64
+	errors  int64 // 4xx + 5xx responses
+	sum     float64
+	buckets []int64 // same length as latencyBuckets; bucket i counts d ≤ latencyBuckets[i]
+}
+
+func newMetrics() *metrics {
+	return &metrics{routes: map[string]*routeStats{}}
+}
+
+// observe records one request against its route pattern.
+func (m *metrics) observe(route string, d time.Duration, status int) {
+	secs := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs := m.routes[route]
+	if rs == nil {
+		rs = &routeStats{buckets: make([]int64, len(latencyBuckets))}
+		m.routes[route] = rs
+	}
+	rs.count++
+	rs.sum += secs
+	if status >= 400 {
+		rs.errors++
+	}
+	for i, ub := range latencyBuckets {
+		if secs <= ub {
+			rs.buckets[i]++
+		}
+	}
+}
+
+// write renders the text exposition: request counters per route, then the
+// live per-tenant series pulled from `infos`.
+func (m *metrics) write(b *strings.Builder, infos []TenantInfo) {
+	b.WriteString("# HELP pfaird_requests_total HTTP requests served, by route.\n")
+	b.WriteString("# TYPE pfaird_requests_total counter\n")
+	m.mu.Lock()
+	routes := make([]string, 0, len(m.routes))
+	for r := range m.routes {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		rs := m.routes[r]
+		fmt.Fprintf(b, "pfaird_requests_total{route=%q} %d\n", r, rs.count)
+	}
+	b.WriteString("# HELP pfaird_request_errors_total HTTP 4xx/5xx responses, by route.\n")
+	b.WriteString("# TYPE pfaird_request_errors_total counter\n")
+	for _, r := range routes {
+		fmt.Fprintf(b, "pfaird_request_errors_total{route=%q} %d\n", r, m.routes[r].errors)
+	}
+	b.WriteString("# HELP pfaird_request_duration_seconds Request latency histogram, by route.\n")
+	b.WriteString("# TYPE pfaird_request_duration_seconds histogram\n")
+	for _, r := range routes {
+		rs := m.routes[r]
+		for i, ub := range latencyBuckets {
+			fmt.Fprintf(b, "pfaird_request_duration_seconds_bucket{route=%q,le=%q} %d\n",
+				r, fmt.Sprintf("%g", ub), rs.buckets[i])
+		}
+		fmt.Fprintf(b, "pfaird_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", r, rs.count)
+		fmt.Fprintf(b, "pfaird_request_duration_seconds_sum{route=%q} %g\n", r, rs.sum)
+		fmt.Fprintf(b, "pfaird_request_duration_seconds_count{route=%q} %d\n", r, rs.count)
+	}
+	m.mu.Unlock()
+
+	b.WriteString("# HELP pfaird_tenants Current tenant count.\n")
+	b.WriteString("# TYPE pfaird_tenants gauge\n")
+	fmt.Fprintf(b, "pfaird_tenants %d\n", len(infos))
+	b.WriteString("# HELP pfaird_tenant_dispatches_total Scheduling decisions made, per tenant.\n")
+	b.WriteString("# TYPE pfaird_tenant_dispatches_total counter\n")
+	for _, ti := range infos {
+		fmt.Fprintf(b, "pfaird_tenant_dispatches_total{tenant=%q} %d\n", ti.ID, ti.Dispatches)
+	}
+	b.WriteString("# HELP pfaird_tenant_max_tardiness Worst observed tardiness in quanta (Theorem 3 bounds it by 1).\n")
+	b.WriteString("# TYPE pfaird_tenant_max_tardiness gauge\n")
+	for _, ti := range infos {
+		fmt.Fprintf(b, "pfaird_tenant_max_tardiness{tenant=%q} %s\n", ti.ID, ratToFloat(ti.MaxTardiness))
+	}
+	b.WriteString("# HELP pfaird_tenant_admission_rejections_total Register requests rejected by admission control, per tenant.\n")
+	b.WriteString("# TYPE pfaird_tenant_admission_rejections_total counter\n")
+	for _, ti := range infos {
+		fmt.Fprintf(b, "pfaird_tenant_admission_rejections_total{tenant=%q} %d\n", ti.ID, ti.Rejections)
+	}
+	b.WriteString("# HELP pfaird_tenant_pending_subtasks Released but undispatched subtasks, per tenant.\n")
+	b.WriteString("# TYPE pfaird_tenant_pending_subtasks gauge\n")
+	for _, ti := range infos {
+		fmt.Fprintf(b, "pfaird_tenant_pending_subtasks{tenant=%q} %d\n", ti.ID, ti.Pending)
+	}
+}
+
+// ratToFloat renders a rat string ("3/2") as a float for the exposition
+// format, which has no exact rationals. Metrics are the one place the
+// repo tolerates the loss; the JSON API never does this.
+func ratToFloat(s string) string {
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		var n, d float64
+		fmt.Sscanf(s[:i], "%g", &n)
+		fmt.Sscanf(s[i+1:], "%g", &d)
+		if d != 0 {
+			return fmt.Sprintf("%g", n/d)
+		}
+	}
+	return s
+}

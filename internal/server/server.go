@@ -1,0 +1,419 @@
+// Package server implements pfaird, a multi-tenant scheduling service
+// over the online executive: each tenant is an isolated PD²-DVQ
+// online.Executive (plus admission controller) behind a mutex, and a
+// stdlib net/http JSON API creates tenants, admits tasks, submits jobs,
+// advances virtual time, and streams dispatch decisions as newline-
+// delimited JSON. The service turns the paper's Theorem 3 into an
+// operational contract: every admitted tenant's workload keeps the
+// one-quantum tardiness bound, and /metrics exposes the observed maximum
+// so the claim is monitorable, not just provable.
+//
+// Routes:
+//
+//	GET    /healthz
+//	GET    /metrics
+//	POST   /v1/tenants                          CreateTenantRequest → TenantInfo
+//	GET    /v1/tenants                          → []TenantInfo
+//	GET    /v1/tenants/{id}                     → TenantInfo
+//	DELETE /v1/tenants/{id}
+//	POST   /v1/tenants/{id}/tasks               RegisterTaskRequest → RegisterTaskResponse
+//	DELETE /v1/tenants/{id}/tasks/{name}
+//	POST   /v1/tenants/{id}/jobs                SubmitJobRequest → SubmitJobResponse
+//	POST   /v1/tenants/{id}/advance             AdvanceRequest → AdvanceResponse
+//	POST   /v1/tenants/{id}/drain               → AdvanceResponse
+//	GET    /v1/tenants/{id}/dispatches          → DispatchEvent per line (chunked)
+//
+// The dispatch stream accepts ?from=N to replay the log from decision N
+// (default 0) and ?follow=false to stop at the current end of log instead
+// of following live decisions. On graceful shutdown (Server.Shutdown) all
+// in-flight streams flush whatever the log holds and terminate cleanly.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"desyncpfair/internal/model"
+)
+
+// nshards is the tenant-registry shard count: tenant operations on
+// different tenants contend only on their shard's lock, not a global one.
+const nshards = 16
+
+type shard struct {
+	mu      sync.RWMutex
+	tenants map[string]*Tenant
+}
+
+// Server is the pfaird HTTP service. Create one with New, mount
+// Handler(), and call Shutdown before closing the listener so in-flight
+// dispatch streams drain instead of being cut.
+type Server struct {
+	shards  [nshards]shard
+	mux     *http.ServeMux
+	metrics *metrics
+
+	shutdownOnce sync.Once
+	shutdown     chan struct{}
+}
+
+// New creates a server with an empty tenant registry.
+func New() *Server {
+	s := &Server{
+		mux:      http.NewServeMux(),
+		metrics:  newMetrics(),
+		shutdown: make(chan struct{}),
+	}
+	for i := range s.shards {
+		s.shards[i].tenants = map[string]*Tenant{}
+	}
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /metrics", s.handleMetrics)
+	s.route("POST /v1/tenants", s.handleCreateTenant)
+	s.route("GET /v1/tenants", s.handleListTenants)
+	s.route("GET /v1/tenants/{id}", s.handleGetTenant)
+	s.route("DELETE /v1/tenants/{id}", s.handleDeleteTenant)
+	s.route("POST /v1/tenants/{id}/tasks", s.handleRegisterTask)
+	s.route("DELETE /v1/tenants/{id}/tasks/{name}", s.handleUnregisterTask)
+	s.route("POST /v1/tenants/{id}/jobs", s.handleSubmitJob)
+	s.route("POST /v1/tenants/{id}/advance", s.handleAdvance)
+	s.route("POST /v1/tenants/{id}/drain", s.handleDrain)
+	s.route("GET /v1/tenants/{id}/dispatches", s.handleDispatches)
+	return s
+}
+
+// Handler returns the root handler to mount on an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown begins a graceful stop: dispatch streams flush their logs and
+// end, and new streams terminate immediately after their replay. Call it
+// before http.Server.Shutdown so stream handlers return and the listener
+// can drain. Idempotent.
+func (s *Server) Shutdown() {
+	s.shutdownOnce.Do(func() { close(s.shutdown) })
+}
+
+// route mounts a handler with request timing/counting middleware. The
+// route pattern (not the concrete URL) is the metrics label, so
+// cardinality stays bounded.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.metrics.observe(pattern, time.Since(start), sw.status)
+	})
+}
+
+// statusWriter captures the response status for metrics while passing
+// Flush through so chunked streaming keeps working.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *Server) shardOf(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &s.shards[h.Sum32()%nshards]
+}
+
+func (s *Server) tenant(id string) *Tenant {
+	sh := s.shardOf(id)
+	sh.mu.RLock()
+	t := sh.tenants[id]
+	sh.mu.RUnlock()
+	return t
+}
+
+// addTenant installs t unless the id is taken.
+func (s *Server) addTenant(t *Tenant) error {
+	sh := s.shardOf(t.ID())
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.tenants[t.ID()]; dup {
+		return fmt.Errorf("server: tenant %q already exists", t.ID())
+	}
+	sh.tenants[t.ID()] = t
+	return nil
+}
+
+// removeTenant deletes and closes the tenant, ending its streams.
+func (s *Server) removeTenant(id string) bool {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	t := sh.tenants[id]
+	delete(sh.tenants, id)
+	sh.mu.Unlock()
+	if t == nil {
+		return false
+	}
+	t.Close()
+	return true
+}
+
+// allTenants snapshots the registry in id order.
+func (s *Server) allTenants() []*Tenant {
+	var out []*Tenant
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, t := range sh.tenants {
+			out = append(out, t)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var infos []TenantInfo
+	for _, t := range s.allTenants() {
+		infos = append(infos, t.Info())
+	}
+	var b strings.Builder
+	s.metrics.write(&b, infos)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}
+
+func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
+	var req CreateTenantRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	t, err := NewTenant(req.ID, req.M, req.Policy)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.addTenant(t); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, t.Info())
+}
+
+func (s *Server) handleListTenants(w http.ResponseWriter, r *http.Request) {
+	infos := []TenantInfo{}
+	for _, t := range s.allTenants() {
+		infos = append(infos, t.Info())
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleGetTenant(w http.ResponseWriter, r *http.Request) {
+	t := s.tenant(r.PathValue("id"))
+	if t == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("server: no tenant %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, t.Info())
+}
+
+func (s *Server) handleDeleteTenant(w http.ResponseWriter, r *http.Request) {
+	if !s.removeTenant(r.PathValue("id")) {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("server: no tenant %q", r.PathValue("id")))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleRegisterTask(w http.ResponseWriter, r *http.Request) {
+	t := s.tenant(r.PathValue("id"))
+	if t == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("server: no tenant %q", r.PathValue("id")))
+		return
+	}
+	var req RegisterTaskRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	d, err := t.RegisterTask(req.Name, model.W(req.E, req.P))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := RegisterTaskResponse{Admitted: d.Admitted, Guarantee: d.Guarantee.String(), Reason: d.Reason}
+	if !d.Admitted {
+		// 409: the request was well-formed but capacity says no.
+		writeJSON(w, http.StatusConflict, resp)
+		return
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *Server) handleUnregisterTask(w http.ResponseWriter, r *http.Request) {
+	t := s.tenant(r.PathValue("id"))
+	if t == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("server: no tenant %q", r.PathValue("id")))
+		return
+	}
+	if err := t.UnregisterTask(r.PathValue("name")); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	t := s.tenant(r.PathValue("id"))
+	if t == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("server: no tenant %q", r.PathValue("id")))
+		return
+	}
+	var req SubmitJobRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	resp, err := t.SubmitJob(req.Task, req.At, req.Earliness)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	t := s.tenant(r.PathValue("id"))
+	if t == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("server: no tenant %q", r.PathValue("id")))
+		return
+	}
+	var req AdvanceRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	resp, err := t.Advance(req.Until, req.By)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	t := s.tenant(r.PathValue("id"))
+	if t == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("server: no tenant %q", r.PathValue("id")))
+		return
+	}
+	resp, err := t.Drain()
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDispatches streams the tenant's dispatch log as one JSON object
+// per line: first the backlog from ?from (default 0), then live decisions
+// as they are made, flushing after every batch. The stream ends when the
+// client goes away, the tenant is deleted, ?follow=false exhausted the
+// backlog, or the server shuts down — in the last two cases only after
+// everything currently in the log has been written (the "drain" part of
+// graceful shutdown).
+func (s *Server) handleDispatches(w http.ResponseWriter, r *http.Request) {
+	t := s.tenant(r.PathValue("id"))
+	if t == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("server: no tenant %q", r.PathValue("id")))
+		return
+	}
+	var from int64
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("server: bad from %q", v))
+			return
+		}
+		from = n
+	}
+	follow := r.URL.Query().Get("follow") != "false"
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the headers out now: a follower of an idle tenant must see
+		// the stream open immediately, not on the first dispatch.
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+
+	sub := t.Subscribe()
+	defer t.Unsubscribe(sub)
+
+	pos := from
+	for {
+		events := t.EventsSince(pos)
+		for _, ev := range events {
+			if err := enc.Encode(ev); err != nil {
+				return // client went away
+			}
+		}
+		pos += int64(len(events))
+		if flusher != nil && len(events) > 0 {
+			flusher.Flush()
+		}
+		if !follow {
+			return
+		}
+		select {
+		case <-sub.ping:
+		case <-r.Context().Done():
+			return
+		case <-t.Closed():
+			follow = false // flush whatever landed, then stop
+		case <-s.shutdown:
+			follow = false
+		}
+	}
+}
+
+// --- plumbing ---
+
+func decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}

@@ -1,0 +1,318 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"desyncpfair/internal/admission"
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/online"
+	"desyncpfair/internal/prio"
+	"desyncpfair/internal/rat"
+)
+
+// Tenant is the concurrency-safe wrapper around one online.Executive that
+// the HTTP layer serves. online.Executive is single-goroutine by contract;
+// Tenant serializes every executive call behind one mutex, keeps the full
+// dispatch log (so streams can replay from any point and a late subscriber
+// misses nothing), and maintains the counters /metrics exposes.
+//
+// Lock ordering: the executive's OnDispatch hook fires while mu is held
+// (dispatches only happen inside Advance/Drain, which hold mu), so the
+// hook only appends to the log and pokes subscriber wakeup channels with
+// non-blocking sends — it never blocks on a slow stream reader. Stream
+// handlers copy log slices under the lock and write to the network outside
+// it.
+type Tenant struct {
+	id     string
+	policy string
+
+	mu     sync.Mutex
+	ex     *online.Executive
+	ctrl   *admission.Controller
+	tasks  map[string]*model.Task
+	log    []DispatchEvent
+	maxTar rat.Rat
+	reject int64
+	subs   map[*subscriber]struct{}
+	closed chan struct{} // closed on tenant deletion; ends streams
+	gone   bool
+}
+
+// subscriber is one dispatch-stream follower. ping has capacity 1; the
+// dispatch hook's non-blocking send coalesces any number of new events
+// into one wakeup, and the follower re-reads the log to catch up.
+type subscriber struct {
+	ping chan struct{}
+}
+
+// PolicyByName maps a wire policy name to a prio.Policy. Empty selects PD².
+func PolicyByName(name string) (prio.Policy, error) {
+	switch name {
+	case "", "PD2":
+		return prio.PD2{}, nil
+	case "PD":
+		return prio.PD{}, nil
+	case "PF":
+		return prio.PF{}, nil
+	case "EPDF":
+		return prio.EPDF{}, nil
+	default:
+		return nil, fmt.Errorf("server: unknown policy %q (want PD2, PD, PF or EPDF)", name)
+	}
+}
+
+// NewTenant creates a tenant with id on m processors under the named
+// policy ("" = PD²).
+func NewTenant(id string, m int, policyName string) (*Tenant, error) {
+	if id == "" {
+		return nil, fmt.Errorf("server: empty tenant id")
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("server: tenant %q needs m ≥ 1, got %d", id, m)
+	}
+	pol, err := PolicyByName(policyName)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tenant{
+		id:     id,
+		policy: pol.Name(),
+		ex:     online.New(m, pol),
+		ctrl:   admission.NewController(m),
+		tasks:  map[string]*model.Task{},
+		maxTar: rat.Zero,
+		subs:   map[*subscriber]struct{}{},
+		closed: make(chan struct{}),
+	}
+	t.ex.SetOnDispatch(t.record)
+	return t, nil
+}
+
+// record is the executive's OnDispatch hook. It runs with t.mu held (see
+// the type comment), so plain field access is safe.
+func (t *Tenant) record(d online.Dispatch) {
+	deadline := d.Sub.Deadline()
+	tard := d.Finish.Sub(rat.FromInt(deadline))
+	if tard.Sign() < 0 {
+		tard = rat.Zero
+	}
+	if t.maxTar.Less(tard) {
+		t.maxTar = tard
+	}
+	t.log = append(t.log, DispatchEvent{
+		Seq:       int64(len(t.log)),
+		Task:      d.Sub.Task.Name,
+		Index:     d.Sub.Index,
+		Proc:      d.Proc,
+		Start:     d.Start.String(),
+		Finish:    d.Finish.String(),
+		Deadline:  deadline,
+		Tardiness: tard.String(),
+	})
+	for sub := range t.subs {
+		select {
+		case sub.ping <- struct{}{}:
+		default: // a wakeup is already queued; the follower will catch up
+		}
+	}
+}
+
+// ID returns the tenant id.
+func (t *Tenant) ID() string { return t.id }
+
+// RegisterTask admits a task through the admission controller and, when
+// admitted, registers it with the executive. A negative decision leaves
+// the tenant unchanged and is counted in the rejection metric.
+func (t *Tenant) RegisterTask(name string, w model.Weight) (admission.Decision, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.gone {
+		return admission.Decision{}, errTenantGone
+	}
+	d, err := t.ctrl.Register(name, w)
+	if err != nil {
+		return admission.Decision{}, err
+	}
+	if !d.Admitted {
+		t.reject++
+		return d, nil
+	}
+	task, err := t.ex.Register(name, w)
+	if err != nil {
+		// Unreachable while controller and executive enforce the same
+		// Σwt ≤ M bound; roll the controller back if it ever happens.
+		_ = t.ctrl.Unregister(name)
+		return admission.Decision{}, err
+	}
+	t.tasks[name] = task
+	return d, nil
+}
+
+// UnregisterTask removes a task and releases its capacity. It fails while
+// the task still has undispatched subtasks (advance or drain first).
+func (t *Tenant) UnregisterTask(name string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	task, ok := t.tasks[name]
+	if !ok {
+		return fmt.Errorf("server: tenant %q has no task %q", t.id, name)
+	}
+	if err := t.ex.Unregister(task); err != nil {
+		return err
+	}
+	if err := t.ctrl.Unregister(name); err != nil {
+		return err
+	}
+	delete(t.tasks, name)
+	return nil
+}
+
+// SubmitJob releases one job of the named task. An empty `at` submits at
+// the tenant's current virtual time (the race-free choice for concurrent
+// clients); otherwise `at` is parsed as a rat and must not precede it.
+func (t *Tenant) SubmitJob(taskName, at string, earliness int64) (SubmitJobResponse, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	task, ok := t.tasks[taskName]
+	if !ok {
+		return SubmitJobResponse{}, fmt.Errorf("server: tenant %q has no task %q", t.id, taskName)
+	}
+	when := t.ex.Now()
+	if at != "" {
+		var err error
+		when, err = rat.Parse(at)
+		if err != nil {
+			return SubmitJobResponse{}, err
+		}
+	}
+	var err error
+	if earliness > 0 {
+		err = t.ex.SubmitJobEarly(task, when, earliness)
+	} else {
+		err = t.ex.SubmitJob(task, when)
+	}
+	if err != nil {
+		return SubmitJobResponse{}, err
+	}
+	return SubmitJobResponse{At: when.String(), Pending: t.ex.Pending()}, nil
+}
+
+// Advance moves virtual time forward. Exactly one of until/by must be
+// non-empty; `by` is relative to the tenant's current virtual time.
+func (t *Tenant) Advance(until, by string) (AdvanceResponse, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var target rat.Rat
+	switch {
+	case until != "" && by != "":
+		return AdvanceResponse{}, fmt.Errorf("server: advance takes until or by, not both")
+	case until != "":
+		var err error
+		if target, err = rat.Parse(until); err != nil {
+			return AdvanceResponse{}, err
+		}
+	case by != "":
+		d, err := rat.Parse(by)
+		if err != nil {
+			return AdvanceResponse{}, err
+		}
+		if d.Sign() < 0 {
+			return AdvanceResponse{}, fmt.Errorf("server: advance by negative %s", by)
+		}
+		target = t.ex.Now().Add(d)
+	default:
+		return AdvanceResponse{}, fmt.Errorf("server: advance needs until or by")
+	}
+	before := int64(len(t.log))
+	if err := t.ex.Run(target, nil, nil); err != nil {
+		return AdvanceResponse{}, err
+	}
+	return AdvanceResponse{
+		Now:        t.ex.Now().String(),
+		Dispatched: int64(len(t.log)) - before,
+		Pending:    t.ex.Pending(),
+	}, nil
+}
+
+// Drain dispatches everything released so far and returns the final
+// virtual time.
+func (t *Tenant) Drain() (AdvanceResponse, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	before := int64(len(t.log))
+	if _, err := t.ex.Drain(nil); err != nil {
+		return AdvanceResponse{}, err
+	}
+	return AdvanceResponse{
+		Now:        t.ex.Now().String(),
+		Dispatched: int64(len(t.log)) - before,
+		Pending:    t.ex.Pending(),
+	}, nil
+}
+
+// Info snapshots the tenant for GET /v1/tenants/{id} and /metrics.
+func (t *Tenant) Info() TenantInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TenantInfo{
+		ID:           t.id,
+		M:            t.ctrl.M(),
+		Policy:       t.policy,
+		Now:          t.ex.Now().String(),
+		Utilization:  t.ctrl.Utilization().String(),
+		Tasks:        t.ctrl.Len(),
+		Pending:      t.ex.Pending(),
+		Dispatches:   int64(len(t.log)),
+		MaxTardiness: t.maxTar.String(),
+		Rejections:   t.reject,
+	}
+}
+
+// EventsSince returns a copy of the dispatch log from seq `from` on.
+func (t *Tenant) EventsSince(from int64) []DispatchEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from >= int64(len(t.log)) {
+		return nil
+	}
+	out := make([]DispatchEvent, int64(len(t.log))-from)
+	copy(out, t.log[from:])
+	return out
+}
+
+// Subscribe registers a stream follower; its ping channel receives a
+// (coalesced) wakeup after new dispatches land in the log.
+func (t *Tenant) Subscribe() *subscriber {
+	sub := &subscriber{ping: make(chan struct{}, 1)}
+	t.mu.Lock()
+	t.subs[sub] = struct{}{}
+	t.mu.Unlock()
+	return sub
+}
+
+// Unsubscribe removes a follower registered with Subscribe.
+func (t *Tenant) Unsubscribe(sub *subscriber) {
+	t.mu.Lock()
+	delete(t.subs, sub)
+	t.mu.Unlock()
+}
+
+// Close marks the tenant deleted: pending streams end after flushing and
+// subsequent mutating calls fail. Idempotent.
+func (t *Tenant) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.gone {
+		t.gone = true
+		close(t.closed)
+	}
+}
+
+// Closed returns a channel closed when the tenant is deleted.
+func (t *Tenant) Closed() <-chan struct{} { return t.closed }
+
+var errTenantGone = fmt.Errorf("server: tenant deleted")
