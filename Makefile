@@ -2,7 +2,7 @@
 GO ?= go
 BENCHTIME ?= 1x
 
-.PHONY: all build test vet fmt lint bench bench-json race race-server fuzz figures experiments soak pfaird pfairload report clean
+.PHONY: all build test vet fmt lint bench bench-json race race-server fuzz fuzz-smoke recovery figures experiments soak pfaird pfairload report clean
 
 all: build lint test
 
@@ -46,6 +46,21 @@ fuzz:
 	$(GO) test ./internal/core/ -fuzz=FuzzTheorem3 -fuzztime=30s
 	$(GO) test ./internal/core/ -fuzz=FuzzTheorem2 -fuzztime=30s
 	$(GO) test ./internal/rat/ -fuzz=FuzzParse -fuzztime=15s
+
+# fuzz-smoke runs the durability fuzz targets briefly — enough for CI to
+# catch regressions in the WAL replay path and the admission boundary
+# without the open-ended budget of `make fuzz`.
+fuzz-smoke:
+	$(GO) test ./internal/wal/ -run '^$$' -fuzz=FuzzWALReplay -fuzztime=30s
+	$(GO) test ./internal/server/ -run '^$$' -fuzz=FuzzTaskParams -fuzztime=30s
+
+# recovery runs the crash-safety suite — fault-injected WAL recovery,
+# checkpoint/restore determinism, shutdown edges, SIGTERM drain — under
+# the race detector.
+recovery:
+	$(GO) test -race -count=1 ./internal/wal/ ./internal/faultfs/ ./cmd/pfaird/ \
+		./internal/online/ -run 'Checkpoint|Restore|Crash|Recovery|Shutdown|SIGTERM|WAL'
+	$(GO) test -race -count=1 ./internal/server/ -run 'CrashRecovery|Shutdown|SnapshotStorm'
 
 figures:
 	$(GO) run ./cmd/figures all

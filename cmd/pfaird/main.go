@@ -6,10 +6,18 @@
 //
 // Usage:
 //
-//	pfaird -addr :8080
+//	pfaird -addr :8080 -data-dir /var/lib/pfaird
+//
+// With -data-dir the daemon is durable: every tenant mutation is journaled
+// to a write-ahead log before it is applied, and a restart rebuilds the
+// registry — tenants, admitted tasks, virtual time, and the full dispatch
+// history that ?from= stream replay serves — from the latest snapshot plus
+// the log tail (TUTORIAL.md, "Restarting pfaird without losing tenants").
+// Without it, state is in-memory only, as in PR 2.
 //
 // On SIGINT/SIGTERM the daemon drains: in-flight dispatch streams flush
-// and terminate, then the listener shuts down gracefully.
+// and terminate, the listener shuts down gracefully, and a durable daemon
+// writes one final snapshot so the next boot replays nothing.
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os/signal"
 	"syscall"
@@ -25,33 +34,89 @@ import (
 	"desyncpfair/internal/server"
 )
 
+type config struct {
+	addr          string
+	grace         time.Duration
+	dataDir       string
+	fsyncEvery    int
+	snapshotEvery int
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	grace := flag.Duration("grace", 10*time.Second, "graceful shutdown timeout")
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.DurationVar(&cfg.grace, "grace", 10*time.Second, "graceful shutdown timeout")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "directory for the write-ahead log and snapshots (empty = in-memory only)")
+	flag.IntVar(&cfg.fsyncEvery, "fsync-every", 64, "group-commit: fsync the journal once per this many records")
+	flag.IntVar(&cfg.snapshotEvery, "snapshot-every", 4096, "fold the journal into a snapshot after this many records")
 	flag.Parse()
 
-	srv := server.New()
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	if err := serve(context.Background(), cfg, nil); err != nil {
+		log.Fatalf("pfaird: %v", err)
+	}
+}
 
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+// serve runs the daemon until ctx is cancelled or SIGINT/SIGTERM arrives.
+// ready, if non-nil, is called with the bound address once the listener is
+// up — tests use it with addr ":0".
+func serve(ctx context.Context, cfg config, ready func(addr string)) error {
+	var srv *server.Server
+	var err error
+	if cfg.dataDir != "" {
+		srv, err = server.Open(server.Options{
+			DataDir:       cfg.dataDir,
+			FsyncEvery:    cfg.fsyncEvery,
+			SnapshotEvery: cfg.snapshotEvery,
+		})
+		if err != nil {
+			return err
+		}
+		rec := srv.Recovery()
+		log.Printf("pfaird: recovered %d tenant(s) from %s (%d command(s) total, %d record(s) replayed, %d byte(s) truncated)",
+			rec.Tenants, cfg.dataDir, rec.Commands, rec.RecordsReplayed, rec.TruncatedBytes)
+		if rec.ReplayErrors > 0 || rec.DispatchMismatches > 0 {
+			log.Printf("pfaird: WARNING: recovery degraded: %d replay error(s), %d dispatch mismatch(es)",
+				rec.ReplayErrors, rec.DispatchMismatches)
+		}
+	} else {
+		srv = server.New()
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(ctx, syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
-	go func() { errCh <- hs.ListenAndServe() }()
-	log.Printf("pfaird listening on %s", *addr)
+	go func() { errCh <- hs.Serve(ln) }()
+	log.Printf("pfaird listening on %s", ln.Addr())
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
 
 	select {
 	case err := <-errCh:
-		log.Fatalf("pfaird: %v", err)
+		return err
 	case <-ctx.Done():
 	}
 
-	log.Printf("pfaird: shutting down, draining streams (up to %s)", *grace)
+	log.Printf("pfaird: shutting down, draining streams (up to %s)", cfg.grace)
 	srv.Shutdown() // end dispatch streams first so Shutdown below can drain
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.grace)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("pfaird: forced close: %v", err)
 	}
+	// Final snapshot: the next boot starts from a compact directory with
+	// nothing to replay.
+	if err := srv.Close(); err != nil {
+		log.Printf("pfaird: final snapshot failed: %v", err)
+		return err
+	}
 	log.Printf("pfaird: bye")
+	return nil
 }

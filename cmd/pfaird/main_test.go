@@ -1,0 +1,112 @@
+package main
+
+import (
+	"context"
+	"io"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"desyncpfair/internal/client"
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/server"
+)
+
+// TestSIGTERMDuringStreamDrainsAndRecovers boots the real daemon loop on a
+// random port with a data directory, opens a live dispatch stream, and
+// delivers an actual SIGTERM while the stream is blocked. The daemon must
+// exit cleanly (stream EOF, serve() returns nil) and the directory must
+// reopen as a snapshot-only boot with every acknowledged command intact.
+func TestSIGTERMDuringStreamDrainsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config{
+		addr:          "127.0.0.1:0",
+		grace:         5 * time.Second,
+		dataDir:       dir,
+		fsyncEvery:    2,
+		snapshotEvery: 8, // several snapshot writes during the short run
+	}
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- serve(context.Background(), cfg, func(a string) { addrCh <- a })
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("serve exited before listening: %v", err)
+	}
+
+	ctx := context.Background()
+	c := client.New("http://"+addr, nil)
+	if _, err := c.CreateTenant(ctx, "t", 2, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RegisterTask(ctx, "t", "w", model.W(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	var produced int64
+	for i := 0; i < 5; i++ {
+		if _, err := c.SubmitJob(ctx, "t", "w", ""); err != nil {
+			t.Fatal(err)
+		}
+		adv, err := c.AdvanceBy(ctx, "t", "1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		produced += adv.Dispatched
+	}
+	acked := int64(2 + 5*2) // create, register, and the loop's commands
+
+	st, err := c.StreamDispatches(ctx, "t", 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var got int64
+	for got < produced {
+		if _, err := st.Next(); err != nil {
+			t.Fatalf("stream after %d events: %v", got, err)
+		}
+		got++
+	}
+
+	// The stream is now blocked on live decisions; pull the trigger.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := st.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("stream must drain to EOF on SIGTERM, got %v", err)
+		}
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v after SIGTERM", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit within 10s of SIGTERM")
+	}
+
+	// The final snapshot makes the next boot replay-free and complete.
+	srv, err := server.Open(server.Options{DataDir: dir})
+	if err != nil {
+		t.Fatalf("reopen after SIGTERM: %v", err)
+	}
+	defer srv.Close()
+	rec := srv.Recovery()
+	if rec.RecordsReplayed != 0 || rec.ReplayErrors != 0 || rec.DispatchMismatches != 0 {
+		t.Fatalf("post-SIGTERM boot: %+v, want a clean snapshot-only recovery", rec)
+	}
+	if rec.Commands != uint64(acked) {
+		t.Fatalf("recovered %d commands, %d were acknowledged before SIGTERM", rec.Commands, acked)
+	}
+	if rec.Tenants != 1 {
+		t.Fatalf("recovered %d tenants, want 1", rec.Tenants)
+	}
+}

@@ -43,6 +43,7 @@ type config struct {
 	m            int // processors per tenant
 	advanceEvery int // advance the tenant's virtual time every this many submits
 	policy       string
+	dataDir      string // durable in-process server (WAL under load)
 }
 
 // report is one load run's outcome.
@@ -66,6 +67,7 @@ func main() {
 	flag.IntVar(&cfg.m, "m", 2, "processors per tenant")
 	flag.IntVar(&cfg.advanceEvery, "advance-every", 4, "advance virtual time every N submits")
 	flag.StringVar(&cfg.policy, "policy", "PD2", "priority policy (PD2, PD, PF, EPDF)")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "make the in-process server durable: journal to this directory (measures WAL overhead under load)")
 	flag.Parse()
 
 	rep, err := run(cfg, os.Stdout)
@@ -98,15 +100,27 @@ func run(cfg config, out io.Writer) (report, error) {
 		if err != nil {
 			return report{}, err
 		}
-		srv := server.New()
+		var srv *server.Server
+		if cfg.dataDir != "" {
+			// Durable mode: every command journals before it acks, so the
+			// reported throughput includes the WAL's group-commit cost.
+			srv, err = server.Open(server.Options{DataDir: cfg.dataDir})
+			if err != nil {
+				return report{}, err
+			}
+			defer srv.Close()
+		} else {
+			srv = server.New()
+			defer srv.Shutdown()
+		}
 		hs := &http.Server{Handler: srv.Handler()}
 		go hs.Serve(ln)
 		defer hs.Close()
-		defer srv.Shutdown()
 		base = "http://" + ln.Addr().String()
 		fmt.Fprintf(out, "in-process pfaird on %s\n", base)
 	}
-	c := client.New(base, &http.Client{Timeout: 30 * time.Second})
+	c := client.New(base, &http.Client{Timeout: 30 * time.Second}).
+		WithRetry(client.RetryPolicy{MaxAttempts: 4}) // GETs only; mutations never retry
 	ctx := context.Background()
 
 	// Setup: tenants and tasks (counted in Requests but not in latency).

@@ -20,10 +20,12 @@ import (
 	"desyncpfair/internal/server"
 )
 
-// Client talks to one pfaird server.
+// Client talks to one pfaird server. WithRetry derives a view that
+// retries idempotent GETs with capped exponential backoff.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
 }
 
 // New creates a client for the server at base (e.g. "http://localhost:8080").
@@ -57,6 +59,12 @@ func IsReject(err error) bool {
 }
 
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	return c.doRetry(ctx, method, path, in, out)
+}
+
+// doOnce is a single request attempt; the request body is rebuilt from
+// `in` on every call so retries never resend a drained reader.
+func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		buf, err := json.Marshal(in)

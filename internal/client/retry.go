@@ -1,0 +1,109 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// RetryPolicy makes a Client retry idempotent requests. Only GETs are ever
+// retried: every mutating verb in the pfaird API journals a command on the
+// server, so resending one after an ambiguous failure could double-apply
+// it. A zero policy disables retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first.
+	// Values ≤ 1 disable retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further retry
+	// doubles it. Defaults to 10ms when MaxAttempts enables retries.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff. Defaults to 1s.
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	return p
+}
+
+// WithRetry returns a copy of the client that retries idempotent GETs
+// under the given policy. The original client is unchanged, so one
+// underlying http.Client can serve both retrying and non-retrying views.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	cp := *c
+	cp.retry = p.withDefaults()
+	return &cp
+}
+
+// retryable reports whether an attempt's failure may be transient: a
+// transport error that is not the caller's own cancellation, or a 5xx
+// reply. 4xx replies are the server answering clearly — never retried.
+func retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Status >= 500
+	}
+	return true // transport-level failure
+}
+
+var (
+	jitterMu  sync.Mutex
+	jitterRng = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+// backoff sleeps before retry attempt i (0-based), honouring ctx: the
+// delay is min(MaxDelay, BaseDelay·2^i), half fixed and half jittered so
+// synchronized clients spread out. Returns ctx.Err() if the deadline
+// lands mid-sleep.
+func backoff(ctx context.Context, p RetryPolicy, i int) error {
+	d := p.BaseDelay
+	for ; i > 0 && d < p.MaxDelay; i-- {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	jitterMu.Lock()
+	d = d/2 + time.Duration(jitterRng.Int63n(int64(d/2)+1))
+	jitterMu.Unlock()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// doRetry runs one request through the retry loop. Non-GET methods pass
+// straight through regardless of policy.
+func (c *Client) doRetry(ctx context.Context, method, path string, in, out any) error {
+	attempts := 1
+	if method == http.MethodGet && c.retry.MaxAttempts > 1 {
+		attempts = c.retry.MaxAttempts
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			if serr := backoff(ctx, c.retry, i-1); serr != nil {
+				return serr
+			}
+		}
+		if err = c.doOnce(ctx, method, path, in, out); err == nil || !retryable(err) {
+			return err
+		}
+	}
+	return err
+}

@@ -1,0 +1,155 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"desyncpfair/internal/client"
+	"desyncpfair/internal/server"
+)
+
+// flakyHandler fails the first `failures` requests with 503 and serves the
+// real server afterwards — the classic restart window a retrying client
+// must ride out.
+type flakyHandler struct {
+	failures int64
+	seen     atomic.Int64
+	next     http.Handler
+}
+
+func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.seen.Add(1) <= f.failures {
+		http.Error(w, "restarting", http.StatusServiceUnavailable)
+		return
+	}
+	f.next.ServeHTTP(w, r)
+}
+
+func TestRetryRidesOut503s(t *testing.T) {
+	srv := server.New()
+	defer srv.Shutdown()
+	fh := &flakyHandler{failures: 3, next: srv.Handler()}
+	hs := httptest.NewServer(fh)
+	defer hs.Close()
+
+	c := client.New(hs.URL, hs.Client()).WithRetry(client.RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    4 * time.Millisecond,
+	})
+	if _, err := c.Tenants(context.Background()); err != nil {
+		t.Fatalf("GET through 3 failures: %v", err)
+	}
+	if n := fh.seen.Load(); n != 4 {
+		t.Fatalf("server saw %d requests, want 3 failures + 1 success", n)
+	}
+}
+
+func TestMutationsAreNeverRetried(t *testing.T) {
+	srv := server.New()
+	defer srv.Shutdown()
+	fh := &flakyHandler{failures: 1, next: srv.Handler()}
+	hs := httptest.NewServer(fh)
+	defer hs.Close()
+
+	c := client.New(hs.URL, hs.Client()).WithRetry(client.RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   time.Millisecond,
+	})
+	// One 503 in the way: the POST must surface it instead of resending —
+	// a replayed mutation could double-apply a journaled command.
+	_, err := c.CreateTenant(context.Background(), "t", 1, "")
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("flaky POST returned %v, want the 503 passed through", err)
+	}
+	if n := fh.seen.Load(); n != 1 {
+		t.Fatalf("server saw %d requests for one POST, want exactly 1", n)
+	}
+}
+
+func TestRetryGivesUpAfterMaxAttempts(t *testing.T) {
+	var seen atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen.Add(1)
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer hs.Close()
+
+	c := client.New(hs.URL, hs.Client()).WithRetry(client.RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+	})
+	_, err := c.Tenants(context.Background())
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want the final 503", err)
+	}
+	if n := seen.Load(); n != 3 {
+		t.Fatalf("server saw %d attempts, want MaxAttempts = 3", n)
+	}
+}
+
+func TestRetryHonorsContextDeadline(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer hs.Close()
+
+	c := client.New(hs.URL, hs.Client()).WithRetry(client.RetryPolicy{
+		MaxAttempts: 1000,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    50 * time.Millisecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Tenants(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded from mid-backoff", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("gave up after %v; the deadline should abort the backoff sleep", el)
+	}
+}
+
+// dropTransport fails the first `failures` round trips at the transport
+// layer (connection refused, reset, …) and then delegates.
+type dropTransport struct {
+	failures int64
+	seen     atomic.Int64
+	next     http.RoundTripper
+}
+
+func (d *dropTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if d.seen.Add(1) <= d.failures {
+		return nil, fmt.Errorf("injected: connection reset")
+	}
+	return d.next.RoundTrip(req)
+}
+
+func TestRetryRidesOutTransportErrors(t *testing.T) {
+	srv := server.New()
+	defer srv.Shutdown()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	dt := &dropTransport{failures: 2, next: hs.Client().Transport}
+	hc := &http.Client{Transport: dt}
+	c := client.New(hs.URL, hc).WithRetry(client.RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Millisecond,
+	})
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("GET through 2 transport failures: %v", err)
+	}
+	if n := dt.seen.Load(); n != 3 {
+		t.Fatalf("transport saw %d attempts, want 2 failures + 1 success", n)
+	}
+}

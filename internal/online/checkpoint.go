@@ -1,0 +1,163 @@
+package online
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/prio"
+	"desyncpfair/internal/rat"
+)
+
+// Checkpoint is a serializable image of an Executive's full micro-state:
+// everything a Restore needs to continue making byte-identical scheduling
+// decisions. Dispatched history (the schedule itself) is deliberately NOT
+// part of it — a restored executive starts an empty schedule and only the
+// dispatch cursors, completion times, and event queue carry forward. That
+// keeps checkpoints proportional to live state while preserving the
+// determinism recovery relies on: same checkpoint + same subsequent calls
+// ⇒ same dispatch sequence. Rationals travel as exact strings.
+type Checkpoint struct {
+	M        int              `json:"m"`
+	Policy   string           `json:"policy"`
+	Now      string           `json:"now"`
+	FreeAt   []string         `json:"freeAt"`
+	Decision int              `json:"decision"`
+	Pending  int              `json:"pending"`
+	Events   []string         `json:"events,omitempty"` // queued event times, sorted
+	Tasks    []TaskCheckpoint `json:"tasks,omitempty"`
+}
+
+// TaskCheckpoint captures one task's registration and dispatch cursor.
+type TaskCheckpoint struct {
+	Name    string              `json:"name"`
+	E       int64               `json:"e"`
+	P       int64               `json:"p"`
+	Active  bool                `json:"active"`
+	Cursor  int                 `json:"cursor"`
+	LastFin string              `json:"lastFin"`
+	NextIdx int64               `json:"nextIdx"`
+	Subs    []SubtaskCheckpoint `json:"subs,omitempty"`
+}
+
+// SubtaskCheckpoint is one released subtask's window parameters. The full
+// released sequence is kept (not just the undispatched tail) because eq.
+// (5)/(6) monotonicity and the cursor both index into it.
+type SubtaskCheckpoint struct {
+	Index int64 `json:"i"`
+	Theta int64 `json:"theta"`
+	Elig  int64 `json:"elig"`
+}
+
+// Checkpoint snapshots the executive. Like every other method it must run
+// on the executive's single goroutine.
+func (e *Executive) Checkpoint() Checkpoint {
+	cp := Checkpoint{
+		M:        e.m,
+		Policy:   e.policy.Name(),
+		Now:      e.now.String(),
+		Decision: e.decision,
+		Pending:  e.pending,
+	}
+	for _, f := range e.freeAt {
+		cp.FreeAt = append(cp.FreeAt, f.String())
+	}
+	evs := append([]rat.Rat(nil), e.events...)
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Less(evs[j]) })
+	for _, ev := range evs {
+		cp.Events = append(cp.Events, ev.String())
+	}
+	for _, t := range e.sys.Tasks {
+		tc := TaskCheckpoint{
+			Name:    t.Name,
+			E:       t.W.E,
+			P:       t.W.P,
+			Active:  e.active[t.ID],
+			Cursor:  e.cursor[t.ID],
+			LastFin: e.lastFin[t.ID].String(),
+			NextIdx: e.nextIdx[t.ID],
+		}
+		for _, s := range e.sys.Subtasks(t) {
+			tc.Subs = append(tc.Subs, SubtaskCheckpoint{Index: s.Index, Theta: s.Theta, Elig: s.Elig})
+		}
+		cp.Tasks = append(cp.Tasks, tc)
+	}
+	return cp
+}
+
+// Restore rebuilds an executive from a checkpoint. The result continues
+// exactly where the checkpointed one would have: identical Register/
+// SubmitJob/Run/Drain calls produce identical dispatch decisions. Every
+// field is validated on the way in — a checkpoint that went through disk
+// is untrusted input.
+func Restore(cp Checkpoint) (*Executive, error) {
+	pol := prio.ByName(cp.Policy)
+	if pol == nil {
+		return nil, fmt.Errorf("online: checkpoint has unknown policy %q", cp.Policy)
+	}
+	if cp.M < 1 {
+		return nil, fmt.Errorf("online: checkpoint has m=%d", cp.M)
+	}
+	if len(cp.FreeAt) != cp.M {
+		return nil, fmt.Errorf("online: checkpoint has %d freeAt entries for m=%d", len(cp.FreeAt), cp.M)
+	}
+	e := New(cp.M, pol)
+	var err error
+	if e.now, err = rat.Parse(cp.Now); err != nil {
+		return nil, fmt.Errorf("online: checkpoint now: %v", err)
+	}
+	for p, s := range cp.FreeAt {
+		if e.freeAt[p], err = rat.Parse(s); err != nil {
+			return nil, fmt.Errorf("online: checkpoint freeAt[%d]: %v", p, err)
+		}
+	}
+	e.decision = cp.Decision
+
+	pending := 0
+	for _, tc := range cp.Tasks {
+		w := model.Weight{E: tc.E, P: tc.P}
+		if err := w.Validate(); err != nil {
+			return nil, fmt.Errorf("online: checkpoint task %q: %v", tc.Name, err)
+		}
+		t := e.sys.AddTask(tc.Name, w)
+		for _, sc := range tc.Subs {
+			e.sys.AddSubtask(t, sc.Index, sc.Theta, sc.Elig)
+		}
+		nsubs := len(e.sys.Subtasks(t))
+		if tc.Cursor < 0 || tc.Cursor > nsubs {
+			return nil, fmt.Errorf("online: checkpoint task %q cursor %d of %d subtasks", tc.Name, tc.Cursor, nsubs)
+		}
+		lastFin, err := rat.Parse(tc.LastFin)
+		if err != nil {
+			return nil, fmt.Errorf("online: checkpoint task %q lastFin: %v", tc.Name, err)
+		}
+		e.cursor = append(e.cursor, tc.Cursor)
+		e.lastFin = append(e.lastFin, lastFin)
+		e.nextIdx = append(e.nextIdx, tc.NextIdx)
+		e.active = append(e.active, tc.Active)
+		if tc.Active {
+			e.activeUtil = e.activeUtil.Add(w.Rat())
+		}
+		pending += nsubs - tc.Cursor
+	}
+	if pending != cp.Pending {
+		return nil, fmt.Errorf("online: checkpoint pending=%d but cursors imply %d", cp.Pending, pending)
+	}
+	e.pending = pending
+	if rat.FromInt(int64(e.m)).Less(e.activeUtil) {
+		return nil, fmt.Errorf("online: checkpoint active utilization %s > M=%d", e.activeUtil, e.m)
+	}
+	if err := e.sys.Validate(); err != nil {
+		return nil, fmt.Errorf("online: checkpoint system invalid: %v", err)
+	}
+	for _, s := range cp.Events {
+		ev, err := rat.Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("online: checkpoint event %q: %v", s, err)
+		}
+		e.push(ev) // rebuilds the seen set as a side effect
+	}
+	heap.Init(&e.events)
+	return e, nil
+}

@@ -151,6 +151,15 @@ func (e *Executive) Active(t *model.Task) bool {
 // quantity Register admission-checks against M.
 func (e *Executive) ActiveUtilization() rat.Rat { return e.activeUtil }
 
+// Undispatched returns how many released subtasks of t have not been
+// dispatched yet (the count that blocks Unregister).
+func (e *Executive) Undispatched(t *model.Task) int {
+	if t.ID < 0 || t.ID >= len(e.cursor) {
+		return 0
+	}
+	return len(e.sys.Subtasks(t)) - e.cursor[t.ID]
+}
+
 // SetOnDispatch installs a persistent hook invoked for every scheduling
 // decision, regardless of whether it was driven by Run or Drain (and in
 // addition to any per-Run callback). The hook runs synchronously on the
@@ -329,7 +338,14 @@ func (e *Executive) Drain(yield sched.YieldFn) (rat.Rat, error) {
 		}
 	}
 	// Advance past the last completion so the schedule's makespan is final.
+	// A restored executive's schedule restarts empty, but freeAt still
+	// carries the pre-checkpoint completions; max(freeAt) is the makespan
+	// of everything ever dispatched, so using it keeps Drain's final time
+	// identical to an uninterrupted run's.
 	end := e.schedule.Makespan()
+	for _, f := range e.freeAt {
+		end = rat.Max(end, f)
+	}
 	if e.now.Less(end) {
 		if err := e.Run(end, yield, nil); err != nil {
 			return e.now, err

@@ -90,6 +90,16 @@ type DispatchEvent struct {
 	Tardiness string `json:"tardiness"`
 }
 
+// HealthResponse is the body of GET /healthz. Status is "ok", "degraded"
+// (recovery saw replay errors or dispatch mismatches — state is being
+// served but warrants attention), or "wal-failed" (the journal wedged;
+// mutations return 503 until restart). Recovery is present on durable
+// servers and describes what the last boot rebuilt from disk.
+type HealthResponse struct {
+	Status   string        `json:"status"`
+	Recovery *RecoveryInfo `json:"recovery,omitempty"`
+}
+
 // ErrorResponse is the body of every non-2xx reply.
 type ErrorResponse struct {
 	Error string `json:"error"`

@@ -46,3 +46,46 @@ func BenchmarkServerSubmit(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkServerSubmitWAL is BenchmarkServerSubmit against a durable
+// server: every submit is journaled (group-commit, fsync once per 64
+// records) before it is acknowledged. The delta against the in-memory
+// benchmark is the full durability overhead on the hot path.
+func BenchmarkServerSubmitWAL(b *testing.B) {
+	srv, err := server.Open(server.Options{
+		DataDir:       b.TempDir(),
+		FsyncEvery:    64,
+		SnapshotEvery: 1 << 30, // keep compaction out of the measured loop
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer srv.Close()
+	c := client.New(hs.URL, hs.Client())
+	ctx := context.Background()
+
+	if _, err := c.CreateTenant(ctx, "bench", 2, ""); err != nil {
+		b.Fatal(err)
+	}
+	const tasks = 8
+	for i := 0; i < tasks; i++ {
+		if _, err := c.RegisterTask(ctx, "bench", fmt.Sprintf("w%d", i), model.W(1, tasks)); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.SubmitJob(ctx, "bench", fmt.Sprintf("w%d", i%tasks), ""); err != nil {
+			b.Fatal(err)
+		}
+		if i%tasks == tasks-1 {
+			if _, err := c.AdvanceBy(ctx, "bench", "1"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,366 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"desyncpfair/internal/admission"
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/online"
+	"desyncpfair/internal/rat"
+	"desyncpfair/internal/wal"
+)
+
+// Options configures a durable server (Open). A server without durability
+// is created with New instead.
+type Options struct {
+	// DataDir holds the write-ahead log and snapshots.
+	DataDir string
+	// FsyncEvery group-commits the journal: one fsync per this many
+	// records (≤ 1 syncs every record).
+	FsyncEvery int
+	// SnapshotEvery folds the log into a fresh snapshot after this many
+	// records. Defaults to 4096.
+	SnapshotEvery int
+	// FS overrides the filesystem (internal/faultfs in the recovery
+	// suite); nil selects the real one.
+	FS wal.FS
+}
+
+// RecoveryInfo reports what Open rebuilt from disk; /healthz serves it.
+type RecoveryInfo struct {
+	Durable     bool   `json:"durable"`
+	SnapshotLSN uint64 `json:"snapshotLSN"`
+	Tenants     int    `json:"tenants"`
+	// RecordsReplayed counts all log-tail records applied over the
+	// snapshot; CommandsReplayed the state-mutating subset.
+	RecordsReplayed  int `json:"recordsReplayed"`
+	CommandsReplayed int `json:"commandsReplayed"`
+	// Commands is the total command count reflected in the recovered
+	// state (snapshot + replayed tail). It resumes the live counter.
+	Commands uint64 `json:"commands"`
+	// TruncatedBytes were discarded at torn segment tails — expected
+	// after a crash.
+	TruncatedBytes int64 `json:"truncatedBytes"`
+	// DispatchMismatches counts journaled dispatch records that did not
+	// match the regenerated decision, and ReplayErrors commands that
+	// failed to re-apply. Both are 0 on every healthy recovery; non-zero
+	// values mean the journal and the executive disagree.
+	DispatchMismatches int `json:"dispatchMismatches"`
+	ReplayErrors       int `json:"replayErrors"`
+}
+
+// snapshotPayload is the wal snapshot body: the full tenant registry plus
+// the command counter it corresponds to.
+type snapshotPayload struct {
+	Commands uint64             `json:"commands"`
+	Tenants  []tenantCheckpoint `json:"tenants,omitempty"`
+}
+
+// tenantCheckpoint images one tenant: its executive micro-state plus the
+// dispatch log (which ?from= stream replay serves) and counters.
+type tenantCheckpoint struct {
+	ID     string            `json:"id"`
+	Reject int64             `json:"rejections"`
+	MaxTar string            `json:"maxTardiness"`
+	Log    []DispatchEvent   `json:"log,omitempty"`
+	Exec   online.Checkpoint `json:"exec"`
+}
+
+// checkpoint snapshots the tenant under its lock.
+func (t *Tenant) checkpoint() tenantCheckpoint {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return tenantCheckpoint{
+		ID:     t.id,
+		Reject: t.reject,
+		MaxTar: t.maxTar.String(),
+		Log:    append([]DispatchEvent(nil), t.log...),
+		Exec:   t.ex.Checkpoint(),
+	}
+}
+
+// restoreTenant rebuilds a tenant from its checkpoint. The admission
+// controller is reconstructed by re-admitting every active task — the
+// checkpoint's validated Σwt ≤ M guarantees each admission succeeds.
+func restoreTenant(cp tenantCheckpoint) (*Tenant, error) {
+	if cp.ID == "" {
+		return nil, fmt.Errorf("server: tenant checkpoint without id")
+	}
+	ex, err := online.Restore(cp.Exec)
+	if err != nil {
+		return nil, fmt.Errorf("server: tenant %q: %v", cp.ID, err)
+	}
+	maxTar, err := rat.Parse(cp.MaxTar)
+	if err != nil {
+		return nil, fmt.Errorf("server: tenant %q maxTardiness: %v", cp.ID, err)
+	}
+	for i, ev := range cp.Log {
+		if ev.Seq != int64(i) {
+			return nil, fmt.Errorf("server: tenant %q dispatch log has seq %d at position %d", cp.ID, ev.Seq, i)
+		}
+	}
+	t := &Tenant{
+		id:     cp.ID,
+		policy: cp.Exec.Policy,
+		ex:     ex,
+		ctrl:   admission.NewController(cp.Exec.M),
+		tasks:  map[string]*model.Task{},
+		log:    cp.Log,
+		maxTar: maxTar,
+		reject: cp.Reject,
+		subs:   map[*subscriber]struct{}{},
+		closed: make(chan struct{}),
+	}
+	for _, task := range ex.System().Tasks {
+		if !ex.Active(task) {
+			continue
+		}
+		d, err := t.ctrl.Register(task.Name, task.W)
+		if err != nil {
+			return nil, fmt.Errorf("server: tenant %q re-admitting %q: %v", cp.ID, task.Name, err)
+		}
+		if !d.Admitted {
+			return nil, fmt.Errorf("server: tenant %q re-admitting %q: rejected (%s)", cp.ID, task.Name, d.Reason)
+		}
+		t.tasks[task.Name] = task
+	}
+	t.ex.SetOnDispatch(t.record)
+	return t, nil
+}
+
+// Open creates a durable server over opts.DataDir: it loads the latest
+// snapshot, replays the journal tail through the real tenant code paths
+// (the executive is deterministic, so replay regenerates the exact
+// dispatch decisions the pre-crash server made — and verifies them against
+// the journaled dispatch records), then folds the result into a fresh
+// snapshot so the next boot starts from a compact directory.
+func Open(opts Options) (*Server, error) {
+	if opts.DataDir == "" {
+		return nil, fmt.Errorf("server: Open needs a data dir")
+	}
+	snapEvery := opts.SnapshotEvery
+	if snapEvery == 0 {
+		snapEvery = 4096
+	}
+	l, rec, err := wal.Open(opts.DataDir, wal.Options{
+		FS: opts.FS, FsyncEvery: opts.FsyncEvery, SnapshotEvery: snapEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := New()
+	info := RecoveryInfo{
+		Durable:        true,
+		SnapshotLSN:    rec.SnapshotLSN,
+		TruncatedBytes: rec.TruncatedBytes,
+	}
+	if rec.Snapshot != nil {
+		var pay snapshotPayload
+		if err := json.Unmarshal(rec.Snapshot, &pay); err != nil {
+			l.Close()
+			return nil, fmt.Errorf("server: snapshot payload: %v", err)
+		}
+		s.cmdSeq.Store(pay.Commands)
+		for _, tc := range pay.Tenants {
+			t, err := restoreTenant(tc)
+			if err != nil {
+				l.Close()
+				return nil, err
+			}
+			if err := s.addTenant(t); err != nil {
+				l.Close()
+				return nil, err
+			}
+		}
+	}
+	for _, r := range rec.Records {
+		s.applyRecord(r, &info)
+	}
+	info.Commands = s.cmdSeq.Load()
+	info.Tenants = len(s.allTenants())
+
+	// Arm durability only now: replay itself must not re-journal.
+	s.wal = l
+	s.recovery = &info
+	for _, t := range s.allTenants() {
+		t.SetJournal(s.journalRecord, s.failJournal)
+	}
+	// Fold the replayed tail into a fresh snapshot so boot always starts
+	// the journal from a compact directory.
+	if err := s.compact(); err != nil {
+		l.Close()
+		return nil, fmt.Errorf("server: boot snapshot: %v", err)
+	}
+	return s, nil
+}
+
+// applyRecord replays one journal record during recovery. Command records
+// re-apply through the same tenant methods that served them; dispatch
+// records are verified against the regenerated decisions. Failures are
+// counted, never fatal — a recovered server with non-zero counters is
+// degraded, and /healthz says so.
+func (s *Server) applyRecord(r wal.Record, info *RecoveryInfo) {
+	info.RecordsReplayed++
+	fail := func() { info.ReplayErrors++ }
+	t := s.tenant(r.Tenant)
+	switch r.Op {
+	case wal.OpTenantCreate:
+		nt, err := NewTenant(r.Tenant, r.M, r.Policy)
+		if err == nil {
+			err = s.addTenant(nt)
+		}
+		if err != nil {
+			fail()
+			return
+		}
+	case wal.OpTenantDelete:
+		if !s.dropTenant(r.Tenant) {
+			fail()
+			return
+		}
+	case wal.OpTaskRegister:
+		if t == nil {
+			fail()
+			return
+		}
+		d, err := t.RegisterTask(r.Name, model.W(r.E, r.P))
+		if err != nil || !d.Admitted {
+			fail()
+			return
+		}
+	case wal.OpTaskUnregister:
+		if t == nil || t.UnregisterTask(r.Name) != nil {
+			fail()
+			return
+		}
+	case wal.OpJobSubmit:
+		if t == nil {
+			fail()
+			return
+		}
+		if _, err := t.SubmitJob(r.Name, r.At, r.Earliness); err != nil {
+			fail()
+			return
+		}
+	case wal.OpAdvance:
+		if t == nil {
+			fail()
+			return
+		}
+		if _, err := t.Advance(r.At, ""); err != nil {
+			fail()
+			return
+		}
+	case wal.OpDrain:
+		if t == nil {
+			fail()
+			return
+		}
+		if _, err := t.Drain(); err != nil {
+			fail()
+			return
+		}
+	case wal.OpDispatch:
+		if t == nil {
+			info.DispatchMismatches++
+			return
+		}
+		ev, ok := t.eventAt(r.DSeq)
+		if !ok || ev.Task != r.Name || ev.Index != r.Index || ev.Finish != r.Finish {
+			info.DispatchMismatches++
+		}
+		return // not a command; no cmdSeq bump
+	default:
+		fail()
+		return
+	}
+	s.cmdSeq.Add(1)
+	info.CommandsReplayed++
+}
+
+// journalRecord is the tenants' durability hook: it appends through the
+// wal and counts acknowledged commands.
+func (s *Server) journalRecord(r wal.Record) error {
+	if s.wal == nil {
+		return nil
+	}
+	if _, err := s.wal.Append(r); err != nil {
+		return err
+	}
+	if r.IsCommand() {
+		s.cmdSeq.Add(1)
+	}
+	return nil
+}
+
+// Recovery returns what Open rebuilt, or nil for a non-durable server.
+func (s *Server) Recovery() *RecoveryInfo { return s.recovery }
+
+// compact quiesces every mutating operation (opMu writer side), images the
+// registry, and folds it into a fresh wal snapshot.
+func (s *Server) compact() error {
+	if s.wal == nil {
+		return nil
+	}
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	pay := snapshotPayload{Commands: s.cmdSeq.Load()}
+	for _, t := range s.allTenants() {
+		pay.Tenants = append(pay.Tenants, t.checkpoint())
+	}
+	buf, err := json.Marshal(pay)
+	if err != nil {
+		return err
+	}
+	return s.wal.Compact(buf)
+}
+
+// maybeCompact runs a snapshot when the journal says one is due. Called by
+// mutating handlers after they release the opMu read side.
+func (s *Server) maybeCompact() {
+	if s.wal != nil && s.wal.ShouldCompact() {
+		// A failed periodic snapshot is not fatal: the journal still has
+		// every record, and the next mutation will retry.
+		_ = s.compact()
+	}
+}
+
+// Close gracefully stops a durable server: streams drain (Shutdown), a
+// final snapshot captures the exact current state, and the journal closes.
+// Safe on non-durable servers, where it is just Shutdown.
+func (s *Server) Close() error {
+	s.Shutdown()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.compact()
+	if errors.Is(err, wal.ErrWedged) {
+		err = nil // already failed earlier; nothing more to preserve
+	}
+	if cerr := s.wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WALStats exposes the journal counters for /metrics (zero for a
+// non-durable server).
+func (s *Server) WALStats() wal.Stats {
+	if s.wal == nil {
+		return wal.Stats{}
+	}
+	return s.wal.Stats()
+}
+
+// statusOf maps an operation error to its HTTP status: a wedged journal is
+// the server's failure (503), everything else keeps the handler's own
+// fallback.
+func statusOf(err error, fallback int) int {
+	if errors.Is(err, wal.ErrWedged) {
+		return http.StatusServiceUnavailable
+	}
+	return fallback
+}

@@ -115,6 +115,55 @@ func (m *metrics) write(b *strings.Builder, infos []TenantInfo) {
 	}
 }
 
+// writeWALMetrics appends the journal counters to the exposition. A
+// non-durable server emits nothing, so PR 2's scrape output is unchanged
+// for it.
+func (s *Server) writeWALMetrics(b *strings.Builder) {
+	if s.wal == nil {
+		return
+	}
+	st := s.wal.Stats()
+	b.WriteString("# HELP pfaird_wal_appends_total Journal records appended.\n")
+	b.WriteString("# TYPE pfaird_wal_appends_total counter\n")
+	fmt.Fprintf(b, "pfaird_wal_appends_total %d\n", st.Appends)
+	b.WriteString("# HELP pfaird_wal_fsyncs_total Group-commit fsyncs issued.\n")
+	b.WriteString("# TYPE pfaird_wal_fsyncs_total counter\n")
+	fmt.Fprintf(b, "pfaird_wal_fsyncs_total %d\n", st.Fsyncs)
+	b.WriteString("# HELP pfaird_wal_append_errors_total Journal appends refused or failed.\n")
+	b.WriteString("# TYPE pfaird_wal_append_errors_total counter\n")
+	fmt.Fprintf(b, "pfaird_wal_append_errors_total %d\n", st.AppendErrors)
+	b.WriteString("# HELP pfaird_wal_snapshots_total Snapshots written (compactions).\n")
+	b.WriteString("# TYPE pfaird_wal_snapshots_total counter\n")
+	fmt.Fprintf(b, "pfaird_wal_snapshots_total %d\n", st.Snapshots)
+	b.WriteString("# HELP pfaird_wal_wedged Whether the journal has failed and refuses writes.\n")
+	b.WriteString("# TYPE pfaird_wal_wedged gauge\n")
+	fmt.Fprintf(b, "pfaird_wal_wedged %d\n", boolGauge(st.Wedged))
+	b.WriteString("# HELP pfaird_commands_total Commands acknowledged (journaled and applied) since the data dir was created.\n")
+	b.WriteString("# TYPE pfaird_commands_total counter\n")
+	fmt.Fprintf(b, "pfaird_commands_total %d\n", s.cmdSeq.Load())
+	if rec := s.recovery; rec != nil {
+		b.WriteString("# HELP pfaird_recovery_records_replayed Journal records replayed at the last boot.\n")
+		b.WriteString("# TYPE pfaird_recovery_records_replayed gauge\n")
+		fmt.Fprintf(b, "pfaird_recovery_records_replayed %d\n", rec.RecordsReplayed)
+		b.WriteString("# HELP pfaird_recovery_truncated_bytes Bytes discarded at torn segment tails at the last boot.\n")
+		b.WriteString("# TYPE pfaird_recovery_truncated_bytes gauge\n")
+		fmt.Fprintf(b, "pfaird_recovery_truncated_bytes %d\n", rec.TruncatedBytes)
+		b.WriteString("# HELP pfaird_recovery_replay_errors Commands that failed to re-apply at the last boot (0 on a healthy recovery).\n")
+		b.WriteString("# TYPE pfaird_recovery_replay_errors gauge\n")
+		fmt.Fprintf(b, "pfaird_recovery_replay_errors %d\n", rec.ReplayErrors)
+		b.WriteString("# HELP pfaird_recovery_dispatch_mismatches Journaled dispatch records that contradicted replay at the last boot (0 on a healthy recovery).\n")
+		b.WriteString("# TYPE pfaird_recovery_dispatch_mismatches gauge\n")
+		fmt.Fprintf(b, "pfaird_recovery_dispatch_mismatches %d\n", rec.DispatchMismatches)
+	}
+}
+
+func boolGauge(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
 // ratToFloat renders a rat string ("3/2") as a float for the exposition
 // format, which has no exact rationals. Metrics are the one place the
 // repo tolerates the loss; the JSON API never does this.

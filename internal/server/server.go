@@ -38,9 +38,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"desyncpfair/internal/model"
+	"desyncpfair/internal/wal"
 )
 
 // nshards is the tenant-registry shard count: tenant operations on
@@ -59,6 +61,16 @@ type Server struct {
 	shards  [nshards]shard
 	mux     *http.ServeMux
 	metrics *metrics
+
+	// Durability (nil wal = in-memory server, the New() default). opMu's
+	// read side brackets every journaled mutation; compact takes the
+	// write side to get a stop-the-world-consistent image of the registry
+	// and cmdSeq, the count of acknowledged (journaled + applied)
+	// commands. Lock order: opMu → shard.mu / Tenant.mu → wal's own lock.
+	wal      *wal.Log
+	opMu     sync.RWMutex
+	cmdSeq   atomic.Uint64
+	recovery *RecoveryInfo
 
 	shutdownOnce sync.Once
 	shutdown     chan struct{}
@@ -144,7 +156,9 @@ func (s *Server) tenant(id string) *Tenant {
 	return t
 }
 
-// addTenant installs t unless the id is taken.
+// addTenant installs t unless the id is taken, journaling the creation
+// while the shard lock serializes it against racing creates and deletes of
+// the same id (so journal order matches applied order).
 func (s *Server) addTenant(t *Tenant) error {
 	sh := s.shardOf(t.ID())
 	sh.mu.Lock()
@@ -152,12 +166,42 @@ func (s *Server) addTenant(t *Tenant) error {
 	if _, dup := sh.tenants[t.ID()]; dup {
 		return fmt.Errorf("server: tenant %q already exists", t.ID())
 	}
+	if err := s.journalRecord(wal.Record{
+		Op: wal.OpTenantCreate, Tenant: t.ID(), M: t.ctrl.M(), Policy: t.policy,
+	}); err != nil {
+		return err
+	}
 	sh.tenants[t.ID()] = t
+	if s.wal != nil {
+		t.SetJournal(s.journalRecord, s.failJournal)
+	}
 	return nil
 }
 
-// removeTenant deletes and closes the tenant, ending its streams.
-func (s *Server) removeTenant(id string) bool {
+// removeTenant journals then deletes and closes the tenant, ending its
+// streams. It reports whether the tenant existed; the error is a journal
+// failure (the tenant then remains).
+func (s *Server) removeTenant(id string) (bool, error) {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	t := sh.tenants[id]
+	if t == nil {
+		sh.mu.Unlock()
+		return false, nil
+	}
+	if err := s.journalRecord(wal.Record{Op: wal.OpTenantDelete, Tenant: id}); err != nil {
+		sh.mu.Unlock()
+		return true, err
+	}
+	delete(sh.tenants, id)
+	sh.mu.Unlock()
+	t.Close()
+	return true, nil
+}
+
+// dropTenant removes and closes a tenant without journaling — the replay
+// path, where the delete record is the input, not the output.
+func (s *Server) dropTenant(id string) bool {
 	sh := s.shardOf(id)
 	sh.mu.Lock()
 	t := sh.tenants[id]
@@ -168,6 +212,13 @@ func (s *Server) removeTenant(id string) bool {
 	}
 	t.Close()
 	return true
+}
+
+// failJournal wedges the journal (no-op for in-memory servers).
+func (s *Server) failJournal(err error) {
+	if s.wal != nil {
+		s.wal.Fail(err)
+	}
 }
 
 // allTenants snapshots the registry in id order.
@@ -188,8 +239,17 @@ func (s *Server) allTenants() []*Tenant {
 // --- handlers ---
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	resp := HealthResponse{Status: "ok", Recovery: s.recovery}
+	status := http.StatusOK
+	switch {
+	case s.wal != nil && s.wal.Wedged():
+		// The journal failed: reads still work but mutations 503.
+		resp.Status = "wal-failed"
+		status = http.StatusServiceUnavailable
+	case s.recovery != nil && (s.recovery.ReplayErrors > 0 || s.recovery.DispatchMismatches > 0):
+		resp.Status = "degraded"
+	}
+	writeJSON(w, status, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -199,6 +259,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	var b strings.Builder
 	s.metrics.write(&b, infos)
+	s.writeWALMetrics(&b)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, b.String())
 }
@@ -213,10 +274,14 @@ func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.addTenant(t); err != nil {
-		writeErr(w, http.StatusConflict, err)
+	s.opMu.RLock()
+	err = s.addTenant(t)
+	s.opMu.RUnlock()
+	if err != nil {
+		writeErr(w, statusOf(err, http.StatusConflict), err)
 		return
 	}
+	s.maybeCompact()
 	writeJSON(w, http.StatusCreated, t.Info())
 }
 
@@ -238,10 +303,18 @@ func (s *Server) handleGetTenant(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteTenant(w http.ResponseWriter, r *http.Request) {
-	if !s.removeTenant(r.PathValue("id")) {
+	s.opMu.RLock()
+	found, err := s.removeTenant(r.PathValue("id"))
+	s.opMu.RUnlock()
+	if err != nil {
+		writeErr(w, statusOf(err, http.StatusServiceUnavailable), err)
+		return
+	}
+	if !found {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("server: no tenant %q", r.PathValue("id")))
 		return
 	}
+	s.maybeCompact()
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -255,11 +328,14 @@ func (s *Server) handleRegisterTask(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	s.opMu.RLock()
 	d, err := t.RegisterTask(req.Name, model.W(req.E, req.P))
+	s.opMu.RUnlock()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, statusOf(err, http.StatusBadRequest), err)
 		return
 	}
+	s.maybeCompact()
 	resp := RegisterTaskResponse{Admitted: d.Admitted, Guarantee: d.Guarantee.String(), Reason: d.Reason}
 	if !d.Admitted {
 		// 409: the request was well-formed but capacity says no.
@@ -275,10 +351,14 @@ func (s *Server) handleUnregisterTask(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("server: no tenant %q", r.PathValue("id")))
 		return
 	}
-	if err := t.UnregisterTask(r.PathValue("name")); err != nil {
-		writeErr(w, http.StatusConflict, err)
+	s.opMu.RLock()
+	err := t.UnregisterTask(r.PathValue("name"))
+	s.opMu.RUnlock()
+	if err != nil {
+		writeErr(w, statusOf(err, http.StatusConflict), err)
 		return
 	}
+	s.maybeCompact()
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -292,11 +372,14 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	s.opMu.RLock()
 	resp, err := t.SubmitJob(req.Task, req.At, req.Earliness)
+	s.opMu.RUnlock()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, statusOf(err, http.StatusBadRequest), err)
 		return
 	}
+	s.maybeCompact()
 	writeJSON(w, http.StatusAccepted, resp)
 }
 
@@ -310,11 +393,14 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	s.opMu.RLock()
 	resp, err := t.Advance(req.Until, req.By)
+	s.opMu.RUnlock()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, statusOf(err, http.StatusBadRequest), err)
 		return
 	}
+	s.maybeCompact()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -324,11 +410,14 @@ func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("server: no tenant %q", r.PathValue("id")))
 		return
 	}
+	s.opMu.RLock()
 	resp, err := t.Drain()
+	s.opMu.RUnlock()
 	if err != nil {
-		writeErr(w, http.StatusConflict, err)
+		writeErr(w, statusOf(err, http.StatusConflict), err)
 		return
 	}
+	s.maybeCompact()
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -9,6 +9,7 @@ import (
 	"desyncpfair/internal/online"
 	"desyncpfair/internal/prio"
 	"desyncpfair/internal/rat"
+	"desyncpfair/internal/wal"
 )
 
 // Tenant is the concurrency-safe wrapper around one online.Executive that
@@ -37,6 +38,16 @@ type Tenant struct {
 	subs   map[*subscriber]struct{}
 	closed chan struct{} // closed on tenant deletion; ends streams
 	gone   bool
+
+	// journal, when set, is the durability hook next to SetOnDispatch:
+	// every mutating call journals its command record through it *before*
+	// applying (write-ahead). The call sites pre-validate so a journaled
+	// command cannot fail to apply — that is what lets recovery treat a
+	// replay error as a real inconsistency. journalFail wedges the log in
+	// the one case pre-validation cannot cover (Drain's internal guards),
+	// so in-memory state can never silently outrun the journal.
+	journal     func(wal.Record) error
+	journalFail func(error)
 }
 
 // subscriber is one dispatch-stream follower. ping has capacity 1; the
@@ -71,6 +82,9 @@ func NewTenant(id string, m int, policyName string) (*Tenant, error) {
 	if m < 1 {
 		return nil, fmt.Errorf("server: tenant %q needs m ≥ 1, got %d", id, m)
 	}
+	if m > MaxM {
+		return nil, fmt.Errorf("server: tenant %q wants m = %d > %d processors", id, m, MaxM)
+	}
 	pol, err := PolicyByName(policyName)
 	if err != nil {
 		return nil, err
@@ -87,6 +101,16 @@ func NewTenant(id string, m int, policyName string) (*Tenant, error) {
 	}
 	t.ex.SetOnDispatch(t.record)
 	return t, nil
+}
+
+// SetJournal installs the durability hook: append journals a record,
+// fail permanently wedges the journal after a post-journal apply failure.
+// Like SetOnDispatch it must be called before the tenant serves traffic.
+func (t *Tenant) SetJournal(append func(wal.Record) error, fail func(error)) {
+	t.mu.Lock()
+	t.journal = append
+	t.journalFail = fail
+	t.mu.Unlock()
 }
 
 // record is the executive's OnDispatch hook. It runs with t.mu held (see
@@ -110,6 +134,17 @@ func (t *Tenant) record(d online.Dispatch) {
 		Deadline:  deadline,
 		Tardiness: tard.String(),
 	})
+	if t.journal != nil {
+		ev := t.log[len(t.log)-1]
+		// Dispatch records are verification-only: recovery regenerates
+		// decisions by replaying commands and checks them against these.
+		// An append error here already wedged the log, so the following
+		// command will fail loudly; nothing to do with it now.
+		_ = t.journal(wal.Record{
+			Op: wal.OpDispatch, Tenant: t.id,
+			Name: ev.Task, DSeq: ev.Seq, Index: ev.Index, Finish: ev.Finish,
+		})
+	}
 	for sub := range t.subs {
 		select {
 		case sub.ping <- struct{}{}:
@@ -130,13 +165,30 @@ func (t *Tenant) RegisterTask(name string, w model.Weight) (admission.Decision, 
 	if t.gone {
 		return admission.Decision{}, errTenantGone
 	}
+	if w.P > MaxPeriod {
+		return admission.Decision{}, fmt.Errorf("server: task %q period %d exceeds %d", name, w.P, MaxPeriod)
+	}
+	if err := w.Validate(); err != nil {
+		return admission.Decision{}, err
+	}
+	if !t.utilOverflowSafe(w) {
+		return admission.Decision{}, fmt.Errorf("server: task %q weight %s: utilization sum leaves exact-arithmetic range", name, w)
+	}
 	d, err := t.ctrl.Register(name, w)
 	if err != nil {
 		return admission.Decision{}, err
 	}
 	if !d.Admitted {
+		// Rejections are not journaled: they leave no state behind, and
+		// the rejection metric is restored from the last snapshot.
 		t.reject++
 		return d, nil
+	}
+	if t.journal != nil {
+		if jerr := t.journal(wal.Record{Op: wal.OpTaskRegister, Tenant: t.id, Name: name, E: w.E, P: w.P}); jerr != nil {
+			_ = t.ctrl.Unregister(name)
+			return admission.Decision{}, jerr
+		}
 	}
 	task, err := t.ex.Register(name, w)
 	if err != nil {
@@ -157,6 +209,16 @@ func (t *Tenant) UnregisterTask(name string) error {
 	task, ok := t.tasks[name]
 	if !ok {
 		return fmt.Errorf("server: tenant %q has no task %q", t.id, name)
+	}
+	// Pre-validate the one way Unregister can fail (t.tasks only holds
+	// active tasks) so the journaled command always applies on replay.
+	if n := t.ex.Undispatched(task); n > 0 {
+		return fmt.Errorf("server: task %q has %d undispatched subtasks; drain before unregistering", name, n)
+	}
+	if t.journal != nil {
+		if jerr := t.journal(wal.Record{Op: wal.OpTaskUnregister, Tenant: t.id, Name: name}); jerr != nil {
+			return jerr
+		}
 	}
 	if err := t.ex.Unregister(task); err != nil {
 		return err
@@ -185,6 +247,26 @@ func (t *Tenant) SubmitJob(taskName, at string, earliness int64) (SubmitJobRespo
 		if err != nil {
 			return SubmitJobResponse{}, err
 		}
+		if err := checkTime("arrival", when); err != nil {
+			return SubmitJobResponse{}, err
+		}
+	}
+	// Pre-validate everything the executive would reject, then journal the
+	// *resolved* arrival time: an empty `at` means "now", which only the
+	// live server knows — replay must not re-resolve it.
+	if when.Less(t.ex.Now()) {
+		return SubmitJobResponse{}, fmt.Errorf("server: job of %q submitted at %s, before virtual time %s", taskName, when, t.ex.Now())
+	}
+	if earliness < 0 {
+		return SubmitJobResponse{}, fmt.Errorf("server: negative earliness %d", earliness)
+	}
+	if earliness > MaxEarliness {
+		return SubmitJobResponse{}, fmt.Errorf("server: earliness %d exceeds %d", earliness, MaxEarliness)
+	}
+	if t.journal != nil {
+		if jerr := t.journal(wal.Record{Op: wal.OpJobSubmit, Tenant: t.id, Name: taskName, At: when.String(), Earliness: earliness}); jerr != nil {
+			return SubmitJobResponse{}, jerr
+		}
 	}
 	var err error
 	if earliness > 0 {
@@ -212,6 +294,9 @@ func (t *Tenant) Advance(until, by string) (AdvanceResponse, error) {
 		if target, err = rat.Parse(until); err != nil {
 			return AdvanceResponse{}, err
 		}
+		if err := checkTime("advance target", target); err != nil {
+			return AdvanceResponse{}, err
+		}
 	case by != "":
 		d, err := rat.Parse(by)
 		if err != nil {
@@ -220,9 +305,27 @@ func (t *Tenant) Advance(until, by string) (AdvanceResponse, error) {
 		if d.Sign() < 0 {
 			return AdvanceResponse{}, fmt.Errorf("server: advance by negative %s", by)
 		}
+		// Bound the step before adding it to now: the addition itself is
+		// exact arithmetic and must stay in range.
+		if err := checkTime("advance step", d); err != nil {
+			return AdvanceResponse{}, err
+		}
 		target = t.ex.Now().Add(d)
+		if err := checkTime("advance target", target); err != nil {
+			return AdvanceResponse{}, err
+		}
 	default:
 		return AdvanceResponse{}, fmt.Errorf("server: advance needs until or by")
+	}
+	if target.Less(t.ex.Now()) {
+		return AdvanceResponse{}, fmt.Errorf("server: cannot advance to %s, already at %s", target, t.ex.Now())
+	}
+	if t.journal != nil {
+		// Journal the resolved absolute target: `by` is relative to a
+		// virtual time only the live server knows.
+		if jerr := t.journal(wal.Record{Op: wal.OpAdvance, Tenant: t.id, At: target.String()}); jerr != nil {
+			return AdvanceResponse{}, jerr
+		}
 	}
 	before := int64(len(t.log))
 	if err := t.ex.Run(target, nil, nil); err != nil {
@@ -240,8 +343,20 @@ func (t *Tenant) Advance(until, by string) (AdvanceResponse, error) {
 func (t *Tenant) Drain() (AdvanceResponse, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.journal != nil {
+		if jerr := t.journal(wal.Record{Op: wal.OpDrain, Tenant: t.id}); jerr != nil {
+			return AdvanceResponse{}, jerr
+		}
+	}
 	before := int64(len(t.log))
 	if _, err := t.ex.Drain(nil); err != nil {
+		// Drain's convergence guards are the one failure pre-validation
+		// cannot rule out. The command is already journaled and may have
+		// partially applied, so wedge the journal: refusing further writes
+		// is the only way to keep recovered state trustworthy.
+		if t.journalFail != nil {
+			t.journalFail(err)
+		}
 		return AdvanceResponse{}, err
 	}
 	return AdvanceResponse{
@@ -284,6 +399,18 @@ func (t *Tenant) EventsSince(from int64) []DispatchEvent {
 	return out
 }
 
+// eventAt returns the dispatch event with sequence number seq, if the log
+// holds it. Recovery uses it to verify regenerated decisions against the
+// journaled dispatch records.
+func (t *Tenant) eventAt(seq int64) (DispatchEvent, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if seq < 0 || seq >= int64(len(t.log)) {
+		return DispatchEvent{}, false
+	}
+	return t.log[seq], true
+}
+
 // Subscribe registers a stream follower; its ping channel receives a
 // (coalesced) wakeup after new dispatches land in the log.
 func (t *Tenant) Subscribe() *subscriber {
@@ -316,3 +443,54 @@ func (t *Tenant) Close() {
 func (t *Tenant) Closed() <-chan struct{} { return t.closed }
 
 var errTenantGone = fmt.Errorf("server: tenant deleted")
+
+// Service-boundary limits. The scheduling core uses exact int64 rational
+// arithmetic that panics on overflow by design (internal/rat); these caps
+// keep everything a client can introduce far inside the representable
+// range, so arbitrary request parameters are rejected with a 4xx instead
+// of tripping that panic — in particular never *after* a command has been
+// journaled, which would poison replay.
+const (
+	// MaxM caps processors per tenant; it also bounds the per-tenant
+	// freeAt allocation a single create request can force.
+	MaxM = 1 << 12
+	// MaxPeriod caps a task period. Subtask deadlines scale with
+	// index·P/E, so bounding P keeps per-job arithmetic in range for any
+	// realistic job count.
+	MaxPeriod = int64(1) << 20
+	// MaxEarliness caps early-release offsets (eq. (6) shifts scale with
+	// it).
+	MaxEarliness = int64(1) << 20
+	// maxTimeDen / maxTimeValue bound virtual-time instants a client may
+	// name. rat.Cmp cross-multiplies numerator × opposing denominator, so
+	// a comparable time needs value·den_a·den_b ≤ 2^62; 2^28 quanta with
+	// denominators ≤ 2^16 leaves headroom for sums of two bounded times.
+	maxTimeDen   = int64(1) << 16
+	maxTimeValue = int64(1) << 28
+)
+
+// checkTime rejects virtual-time instants outside the service's
+// representable horizon. The denominator check must come first: Cmp
+// cross-multiplies, so even comparing an unbounded rational against the
+// bound could overflow.
+func checkTime(what string, r rat.Rat) error {
+	if r.Den() > maxTimeDen {
+		return fmt.Errorf("server: %s %s: denominator exceeds 2^16", what, r)
+	}
+	if rat.FromInt(maxTimeValue).Less(r) {
+		return fmt.Errorf("server: %s %s is beyond the service horizon 2^28", what, r)
+	}
+	return nil
+}
+
+// utilOverflowSafe reports whether adding w to the running utilization
+// sums stays inside exact int64 arithmetic. Admitted periods are bounded,
+// but the least common denominator across many coprime periods can still
+// outgrow int64; probing here (before journaling, before mutating) turns
+// the rat package's deliberate overflow panic into a clean rejection.
+func (t *Tenant) utilOverflowSafe(w model.Weight) (ok bool) {
+	defer func() { ok = recover() == nil }()
+	t.ctrl.Utilization().Add(w.Rat())
+	t.ex.ActiveUtilization().Add(w.Rat())
+	return true
+}

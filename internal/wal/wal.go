@@ -1,0 +1,523 @@
+// Package wal makes pfaird's tenant state durable: a length-prefixed,
+// CRC-checked append log of tenant lifecycle and dispatch records, plus
+// atomically-replaced snapshots, so a restarted server recovers by loading
+// the latest snapshot and replaying the log tail. Because every tenant
+// mutation is journaled before it is applied and the online executive is
+// deterministic, the durable record prefix fully determines the recovered
+// state — including the per-tenant dispatch log the `?from` stream replay
+// serves — which is what keeps Theorem 3's tardiness bound meaningful
+// across a crash.
+//
+// # On-disk layout
+//
+// A data directory holds at most one snapshot and one or more segments:
+//
+//	snapshot.json         {"lsn":N,"crc":C,"payload":...}   (atomic rename)
+//	wal-<firstLSN>.log    frames: | len u32 | crc32 u32 | payload (JSON) |
+//
+// Every record carries a monotonically increasing LSN. Recovery reads the
+// snapshot (records with LSN ≤ snapshot LSN are superseded by it), then
+// scans segments in LSN order, stopping a segment at the first torn or
+// corrupt frame: a partial write at the crash point truncates the tail, it
+// is never fatal. Compact writes a new snapshot, rolls to a fresh segment
+// and deletes the old ones; a crash anywhere in that sequence is safe
+// because stale segments only hold records the snapshot already covers.
+//
+// # Durability model
+//
+// Append is group-committed: the frame is written immediately but fsync'd
+// only every Options.FsyncEvery records, so a crash can lose up to one
+// batch of acknowledged records — never reorder them, and never corrupt
+// the surviving prefix. The first write or sync error wedges the log
+// (ErrWedged): all further appends fail, so the in-memory state can never
+// silently run ahead of what a recovery could rebuild.
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Record ops. Everything except OpDispatch is a command: replaying the
+// command sequence through the (deterministic) service rebuilds the exact
+// tenant state, including the dispatch logs. OpDispatch records are
+// verification records — recovery checks the regenerated decisions against
+// them and reports any mismatch — not state-bearing ones.
+const (
+	OpTenantCreate   = "tenant-create"
+	OpTenantDelete   = "tenant-delete"
+	OpTaskRegister   = "task-register"
+	OpTaskUnregister = "task-unregister"
+	OpJobSubmit      = "job-submit"
+	OpAdvance        = "advance"
+	OpDrain          = "drain"
+	OpDispatch       = "dispatch"
+)
+
+// Record is one journal entry. Fields beyond LSN/Op/Tenant are op-specific;
+// rational times travel as exact strings in internal/rat syntax, matching
+// the service's wire format.
+type Record struct {
+	LSN    uint64 `json:"lsn"`
+	Op     string `json:"op"`
+	Tenant string `json:"tenant,omitempty"`
+
+	M      int    `json:"m,omitempty"`      // tenant-create: processor count
+	Policy string `json:"policy,omitempty"` // tenant-create: policy name
+
+	Name      string `json:"name,omitempty"`      // task name
+	E         int64  `json:"e,omitempty"`         // task-register: weight numerator
+	P         int64  `json:"p,omitempty"`         // task-register: weight denominator
+	At        string `json:"at,omitempty"`        // job-submit / advance: resolved absolute time
+	Earliness int64  `json:"earliness,omitempty"` // job-submit: early-release slots
+
+	DSeq   int64  `json:"dseq,omitempty"`   // dispatch: decision index within the tenant log
+	Index  int64  `json:"index,omitempty"`  // dispatch: subtask index
+	Finish string `json:"finish,omitempty"` // dispatch: completion time
+}
+
+// IsCommand reports whether the record mutates state on replay (everything
+// except dispatch verification records).
+func (r Record) IsCommand() bool { return r.Op != OpDispatch }
+
+// ErrWedged is wrapped by every append after the log's first write or sync
+// failure: the log refuses further mutations so recovered state can never
+// diverge from what was applied in memory.
+var ErrWedged = errors.New("wal: log failed; further appends refused")
+
+const (
+	snapshotName = "snapshot.json"
+	snapshotTmp  = "snapshot.tmp"
+	segPrefix    = "wal-"
+	segSuffix    = ".log"
+	frameHeader  = 8       // u32 length + u32 crc
+	maxPayload   = 1 << 20 // sanity bound on one record
+	maxLSN       = 1 << 62 // LSNs beyond this are treated as corruption
+)
+
+// Options configures Open.
+type Options struct {
+	// FS is the filesystem the log writes through; nil selects the real
+	// one. Tests inject internal/faultfs here.
+	FS FS
+	// FsyncEvery group-commits: fsync once per this many appended records.
+	// Values ≤ 1 sync every append.
+	FsyncEvery int
+	// SnapshotEvery makes ShouldCompact report true once this many records
+	// have been appended since the last snapshot. 0 disables the hint
+	// (Compact can still be called explicitly).
+	SnapshotEvery int
+}
+
+// Stats are the log's monotonic counters, exposed by pfaird's /metrics.
+type Stats struct {
+	Appends      uint64 // records appended
+	Fsyncs       uint64 // group-commit syncs issued
+	AppendErrors uint64 // appends refused (including post-wedge)
+	Snapshots    uint64 // successful Compact calls
+	Wedged       bool
+}
+
+// Recovery is what Open found on disk: the snapshot payload (nil if none)
+// and the valid record tail to replay over it, in LSN order.
+type Recovery struct {
+	Snapshot    []byte
+	SnapshotLSN uint64
+	Records     []Record
+	// TruncatedBytes counts bytes discarded at torn or corrupt segment
+	// tails — expected after a crash, reported for observability.
+	TruncatedBytes int64
+	Segments       int
+}
+
+// Log is an append-only record journal over one data directory. All
+// methods are safe for concurrent use.
+type Log struct {
+	dir        string
+	fs         FS
+	fsyncEvery int
+	snapEvery  int
+
+	mu        sync.Mutex
+	f         File
+	seg       string // active segment file name
+	nextLSN   uint64
+	unsynced  int
+	sinceSnap int
+	wedged    error
+	closed    bool
+	st        Stats
+}
+
+// Open recovers whatever the directory holds (creating it if needed) and
+// returns a log ready to append, plus the recovered snapshot and record
+// tail. Torn or corrupt segment tails are truncated, never fatal; only a
+// corrupt snapshot — which is written atomically and so indicates real
+// damage rather than a crash — or an environmental error fails Open.
+func Open(dir string, opts Options) (*Log, *Recovery, error) {
+	fs := opts.FS
+	if fs == nil {
+		fs = OSFS{}
+	}
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, nil, err
+	}
+	rec := &Recovery{}
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	have := map[string]bool{}
+	var segs []string
+	for _, n := range names {
+		have[n] = true
+		if strings.HasPrefix(n, segPrefix) && strings.HasSuffix(n, segSuffix) {
+			segs = append(segs, n)
+		}
+	}
+	sort.Strings(segs) // zero-padded hex first-LSN names sort in LSN order
+
+	if have[snapshotName] {
+		payload, lsn, err := readSnapshot(fs, filepath.Join(dir, snapshotName))
+		if err != nil {
+			return nil, nil, err
+		}
+		rec.Snapshot = payload
+		rec.SnapshotLSN = lsn
+	}
+
+	lastLSN := rec.SnapshotLSN
+	for _, name := range segs {
+		recs, trunc, err := readSegment(fs, filepath.Join(dir, name))
+		if err != nil {
+			return nil, nil, err
+		}
+		rec.TruncatedBytes += trunc
+		rec.Segments++
+		for _, r := range recs {
+			if r.LSN <= lastLSN {
+				continue // superseded by the snapshot, or a stale duplicate
+			}
+			rec.Records = append(rec.Records, r)
+			lastLSN = r.LSN
+		}
+	}
+
+	l := &Log{
+		dir:        dir,
+		fs:         fs,
+		fsyncEvery: opts.FsyncEvery,
+		snapEvery:  opts.SnapshotEvery,
+		nextLSN:    lastLSN + 1,
+		sinceSnap:  len(rec.Records),
+	}
+	if l.fsyncEvery < 1 {
+		l.fsyncEvery = 1
+	}
+	if err := l.openSegment(); err != nil {
+		return nil, nil, err
+	}
+	return l, rec, nil
+}
+
+// openSegment starts a fresh active segment named by the next LSN. Called
+// with l.mu held (or before the log is shared).
+func (l *Log) openSegment() error {
+	name := fmt.Sprintf("%s%016x%s", segPrefix, l.nextLSN, segSuffix)
+	f, err := l.fs.Create(filepath.Join(l.dir, name))
+	if err != nil {
+		return err
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	if l.f != nil {
+		l.f.Close()
+	}
+	l.f = f
+	l.seg = name
+	l.unsynced = 0
+	return nil
+}
+
+// Append journals one record, assigning its LSN. The write lands
+// immediately; the fsync is batched per Options.FsyncEvery (group commit).
+// Any I/O failure wedges the log: the error (wrapping ErrWedged) is
+// returned now and by every later append.
+func (l *Log) Append(r Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wedged != nil {
+		l.st.AppendErrors++
+		return 0, l.wedged
+	}
+	if l.closed {
+		l.st.AppendErrors++
+		return 0, fmt.Errorf("wal: log closed")
+	}
+	r.LSN = l.nextLSN
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return 0, err
+	}
+	if len(payload) > maxPayload {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte bound", len(payload), maxPayload)
+	}
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeader:], payload)
+	if _, err := l.f.Write(frame); err != nil {
+		l.wedge(err)
+		l.st.AppendErrors++
+		return 0, l.wedged
+	}
+	l.nextLSN++
+	l.st.Appends++
+	l.sinceSnap++
+	l.unsynced++
+	if l.unsynced >= l.fsyncEvery {
+		if err := l.f.Sync(); err != nil {
+			l.wedge(err)
+			l.st.AppendErrors++
+			return 0, l.wedged
+		}
+		l.unsynced = 0
+		l.st.Fsyncs++
+	}
+	return r.LSN, nil
+}
+
+func (l *Log) wedge(err error) {
+	if l.wedged == nil {
+		l.wedged = fmt.Errorf("%w: %v", ErrWedged, err)
+	}
+}
+
+// Sync forces out any unsynced appends (the partial group-commit batch).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.wedged != nil {
+		return l.wedged
+	}
+	if l.unsynced == 0 {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		l.wedge(err)
+		return l.wedged
+	}
+	l.unsynced = 0
+	l.st.Fsyncs++
+	return nil
+}
+
+// ShouldCompact hints that enough records accumulated since the last
+// snapshot to be worth folding into a new one.
+func (l *Log) ShouldCompact() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapEvery > 0 && l.sinceSnap >= l.snapEvery && l.wedged == nil && !l.closed
+}
+
+// Compact atomically installs payload as the new snapshot, covering every
+// record appended so far, then rolls to a fresh segment and removes the
+// stale ones. The caller must guarantee payload reflects exactly the state
+// after the last appended record (pfaird quiesces mutations around it).
+func (l *Log) Compact(payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wedged != nil {
+		return l.wedged
+	}
+	if l.closed {
+		return fmt.Errorf("wal: log closed")
+	}
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	sf := snapshotFile{LSN: l.nextLSN - 1, CRC: crc32.ChecksumIEEE(payload), Payload: payload}
+	buf, err := json.Marshal(sf)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(l.dir, snapshotTmp)
+	f, err := l.fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		l.fs.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		l.fs.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		l.fs.Remove(tmp)
+		return err
+	}
+	if err := l.fs.Rename(tmp, filepath.Join(l.dir, snapshotName)); err != nil {
+		l.fs.Remove(tmp)
+		return err
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		return err
+	}
+	// The snapshot is durable; roll the segment. Failures from here leave
+	// stale segments behind, which recovery skips by LSN — never unsafe.
+	if err := l.openSegment(); err != nil {
+		return err
+	}
+	if names, err := l.fs.ReadDir(l.dir); err == nil {
+		for _, n := range names {
+			if strings.HasPrefix(n, segPrefix) && strings.HasSuffix(n, segSuffix) && n != l.seg {
+				l.fs.Remove(filepath.Join(l.dir, n))
+			}
+		}
+	}
+	l.sinceSnap = 0
+	l.st.Snapshots++
+	return nil
+}
+
+// Close flushes the group-commit batch and closes the active segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	err := func() error {
+		if l.wedged != nil {
+			return nil // already failed; nothing more to preserve
+		}
+		if l.unsynced > 0 {
+			if serr := l.f.Sync(); serr != nil {
+				return serr
+			}
+			l.st.Fsyncs++
+			l.unsynced = 0
+		}
+		return nil
+	}()
+	if l.f != nil {
+		if cerr := l.f.Close(); err == nil {
+			err = cerr
+		}
+		l.f = nil
+	}
+	return err
+}
+
+// Fail permanently wedges the log. Callers use it when they discover,
+// after a successful append, that the corresponding state change did not
+// fully apply: refusing further appends keeps the journal from diverging
+// from memory.
+func (l *Log) Fail(err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.wedge(err)
+}
+
+// Wedged reports whether the log has failed and refuses appends.
+func (l *Log) Wedged() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.wedged != nil
+}
+
+// Stats returns a copy of the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.st
+	st.Wedged = l.wedged != nil
+	return st
+}
+
+type snapshotFile struct {
+	LSN     uint64          `json:"lsn"`
+	CRC     uint32          `json:"crc"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+func readSnapshot(fs FS, path string) ([]byte, uint64, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	var sf snapshotFile
+	if err := json.Unmarshal(data, &sf); err != nil {
+		return nil, 0, fmt.Errorf("wal: snapshot corrupt: %v", err)
+	}
+	if crc32.ChecksumIEEE(sf.Payload) != sf.CRC {
+		return nil, 0, fmt.Errorf("wal: snapshot CRC mismatch")
+	}
+	return sf.Payload, sf.LSN, nil
+}
+
+// readSegment decodes frames until the end of the file or the first torn
+// or corrupt one; everything after that point is returned as the truncated
+// byte count. Arbitrary bytes never produce an error (FuzzWALReplay pins
+// this), only environmental failures do.
+func readSegment(fs FS, path string) ([]Record, int64, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	var out []Record
+	off := 0
+	for {
+		rest := len(data) - off
+		if rest == 0 {
+			return out, 0, nil
+		}
+		if rest < frameHeader {
+			return out, int64(rest), nil
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n == 0 || n > maxPayload || rest-frameHeader < int(n) {
+			return out, int64(rest), nil
+		}
+		payload := data[off+frameHeader : off+frameHeader+int(n)]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return out, int64(rest), nil
+		}
+		var r Record
+		if json.Unmarshal(payload, &r) != nil || r.LSN >= maxLSN {
+			return out, int64(rest), nil
+		}
+		out = append(out, r)
+		off += frameHeader + int(n)
+	}
+}
