@@ -2,7 +2,7 @@
 GO ?= go
 BENCHTIME ?= 1x
 
-.PHONY: all build test vet fmt lint bench bench-json race race-server fuzz fuzz-smoke recovery figures experiments soak pfaird pfairload report clean
+.PHONY: all build test vet fmt lint bench bench-json race race-server fuzz fuzz-smoke obs recovery figures experiments soak pfaird pfairload report clean
 
 all: build lint test
 
@@ -29,7 +29,7 @@ race:
 # The service layer is the concurrency-heavy code; give it a dedicated
 # race gate that stays fast even when the full -race run grows slow.
 race-server:
-	$(GO) test -race ./internal/server/... ./internal/client/... ./internal/online/...
+	$(GO) test -race ./internal/server/... ./internal/client/... ./internal/online/... ./internal/obs/...
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -39,20 +39,31 @@ bench:
 bench-json:
 	{ $(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) . && \
 	  $(GO) test -run '^$$' -bench=BenchmarkServerSubmit -benchmem -benchtime=1000x ./internal/server/; } \
-	  | $(GO) run ./cmd/benchjson > BENCH_2.json
-	@echo wrote BENCH_2.json
+	  | $(GO) run ./cmd/benchjson > BENCH_4.json
+	@echo wrote BENCH_4.json
 
 fuzz:
 	$(GO) test ./internal/core/ -fuzz=FuzzTheorem3 -fuzztime=30s
 	$(GO) test ./internal/core/ -fuzz=FuzzTheorem2 -fuzztime=30s
 	$(GO) test ./internal/rat/ -fuzz=FuzzParse -fuzztime=15s
 
-# fuzz-smoke runs the durability fuzz targets briefly — enough for CI to
-# catch regressions in the WAL replay path and the admission boundary
-# without the open-ended budget of `make fuzz`.
+# fuzz-smoke runs the durability and decoding fuzz targets briefly —
+# enough for CI to catch regressions in the WAL replay path, the
+# admission boundary, and the trace-stream decoder without the
+# open-ended budget of `make fuzz`.
 fuzz-smoke:
 	$(GO) test ./internal/wal/ -run '^$$' -fuzz=FuzzWALReplay -fuzztime=30s
 	$(GO) test ./internal/server/ -run '^$$' -fuzz=FuzzTaskParams -fuzztime=30s
+	$(GO) test ./internal/client/ -run '^$$' -fuzz=FuzzTraceDecoder -fuzztime=30s
+
+# obs runs the deterministic observability harness: the golden /metrics
+# exposition (regenerate with `go test ./internal/server -run Golden
+# -update`), the exact trace-lifecycle tests, and the scrape-vs-submit
+# concurrency workout, all under -race.
+obs:
+	$(GO) test -race -count=1 ./internal/obs/
+	$(GO) test -race -count=1 -v ./internal/server/ -run 'Golden|Trace|ObsConcurrent'
+	$(GO) test -race -count=1 ./internal/client/ -run 'TraceDecoder|StreamTrace'
 
 # recovery runs the crash-safety suite — fault-injected WAL recovery,
 # checkpoint/restore determinism, shutdown edges, SIGTERM drain — under

@@ -18,6 +18,12 @@
 // On SIGINT/SIGTERM the daemon drains: in-flight dispatch streams flush
 // and terminate, the listener shuts down gracefully, and a durable daemon
 // writes one final snapshot so the next boot replays nothing.
+//
+// Observability: /metrics serves latency histograms (submit→ack, journal
+// append/fsync, dispatch lag in quanta) next to the counters,
+// /v1/tenants/{id}/trace streams per-command lifecycle events as NDJSON
+// (retention set by -trace-buffer), and -pprof (default on) mounts
+// net/http/pprof under /debug/pprof/ on the same listener.
 package main
 
 import (
@@ -40,6 +46,8 @@ type config struct {
 	dataDir       string
 	fsyncEvery    int
 	snapshotEvery int
+	pprof         bool
+	traceBuffer   int
 }
 
 func main() {
@@ -49,6 +57,8 @@ func main() {
 	flag.StringVar(&cfg.dataDir, "data-dir", "", "directory for the write-ahead log and snapshots (empty = in-memory only)")
 	flag.IntVar(&cfg.fsyncEvery, "fsync-every", 64, "group-commit: fsync the journal once per this many records")
 	flag.IntVar(&cfg.snapshotEvery, "snapshot-every", 4096, "fold the journal into a snapshot after this many records")
+	flag.BoolVar(&cfg.pprof, "pprof", true, "serve net/http/pprof profiles under /debug/pprof/")
+	flag.IntVar(&cfg.traceBuffer, "trace-buffer", 4096, "per-tenant trace-ring retention in events (GET /v1/tenants/{id}/trace)")
 	flag.Parse()
 
 	if err := serve(context.Background(), cfg, nil); err != nil {
@@ -67,6 +77,7 @@ func serve(ctx context.Context, cfg config, ready func(addr string)) error {
 			DataDir:       cfg.dataDir,
 			FsyncEvery:    cfg.fsyncEvery,
 			SnapshotEvery: cfg.snapshotEvery,
+			TraceBuffer:   cfg.traceBuffer,
 		})
 		if err != nil {
 			return err
@@ -80,6 +91,10 @@ func serve(ctx context.Context, cfg config, ready func(addr string)) error {
 		}
 	} else {
 		srv = server.New()
+		srv.SetTraceBuffer(cfg.traceBuffer)
+	}
+	if cfg.pprof {
+		srv.EnablePprof()
 	}
 
 	ln, err := net.Listen("tcp", cfg.addr)

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"io"
+	"net/http"
 	"os"
 	"syscall"
 	"testing"
@@ -26,6 +27,8 @@ func TestSIGTERMDuringStreamDrainsAndRecovers(t *testing.T) {
 		dataDir:       dir,
 		fsyncEvery:    2,
 		snapshotEvery: 8, // several snapshot writes during the short run
+		pprof:         true,
+		traceBuffer:   64,
 	}
 	addrCh := make(chan string, 1)
 	done := make(chan error, 1)
@@ -41,6 +44,17 @@ func TestSIGTERMDuringStreamDrainsAndRecovers(t *testing.T) {
 
 	ctx := context.Background()
 	c := client.New("http://"+addr, nil)
+
+	// The -pprof flag mounts the profile index on the same listener.
+	resp, err := http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline: status %d", resp.StatusCode)
+	}
+
 	if _, err := c.CreateTenant(ctx, "t", 2, ""); err != nil {
 		t.Fatal(err)
 	}

@@ -30,6 +30,7 @@ import (
 
 	"desyncpfair/internal/client"
 	"desyncpfair/internal/model"
+	"desyncpfair/internal/obs"
 	"desyncpfair/internal/rat"
 	"desyncpfair/internal/server"
 )
@@ -46,13 +47,21 @@ type config struct {
 	dataDir      string // durable in-process server (WAL under load)
 }
 
-// report is one load run's outcome.
+// report is one load run's outcome. The P* percentiles are measured by
+// the client (request round trips); the SrvP* ones come from the server's
+// own submit→ack histogram on /metrics, estimated by interpolation within
+// its buckets — so the two views of the same load can be compared, and the
+// error of each estimate is bounded by its bucket's width.
 type report struct {
 	Requests     int           // total HTTP requests issued (setup + load + drain)
 	Wall         time.Duration // load-phase wall clock
 	Throughput   float64       // load-phase requests per second
 	P50, P90     time.Duration
 	P99, Max     time.Duration
+	SrvP50       time.Duration // server-side submit→ack percentiles
+	SrvP90       time.Duration
+	SrvP99       time.Duration
+	SrvCount     uint64 // observations behind the server-side percentiles
 	Dispatched   int64  // scheduling decisions across all tenants
 	MaxTardiness string // worst tardiness across tenants (rat string)
 }
@@ -241,13 +250,47 @@ func run(cfg config, out io.Writer) (report, error) {
 		Dispatched:   dispatched,
 		MaxTardiness: maxTar.String(),
 	}
+	if err := addServerPercentiles(ctx, c, &rep); err != nil {
+		return report{}, fmt.Errorf("server-side histogram: %w", err)
+	}
 	fmt.Fprintf(out, "tenants            : %d × %d tasks, %d jobs/task, %d workers\n",
 		cfg.tenants, cfg.tasks, cfg.jobs, cfg.workers)
 	fmt.Fprintf(out, "requests           : %d total (%d timed)\n", rep.Requests, len(all))
 	fmt.Fprintf(out, "wall / throughput  : %v / %.0f req/s\n", rep.Wall.Round(time.Millisecond), rep.Throughput)
 	fmt.Fprintf(out, "latency p50/p90/p99: %v / %v / %v (max %v)\n", rep.P50, rep.P90, rep.P99, rep.Max)
+	fmt.Fprintf(out, "server ack p50/p90/p99: %v / %v / %v (%d acks, ±bucket width)\n",
+		rep.SrvP50, rep.SrvP90, rep.SrvP99, rep.SrvCount)
 	fmt.Fprintf(out, "dispatches         : %d, max tardiness %s (bound: 1)\n", rep.Dispatched, rep.MaxTardiness)
 	return rep, nil
+}
+
+// addServerPercentiles scrapes /metrics and fills the SrvP* fields from
+// the server's aggregate submit→ack histogram. Client percentiles time
+// round trips from outside; these time the handler from inside — the gap
+// between the two is the network plus scheduling overhead the server
+// cannot see.
+func addServerPercentiles(ctx context.Context, c *client.Client, rep *report) error {
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	ex, err := obs.ParseExposition(text)
+	if err != nil {
+		return err
+	}
+	snap, err := ex.Histogram("pfaird_submit_ack_seconds", nil)
+	if err != nil {
+		return err
+	}
+	rep.SrvCount = snap.Count
+	if snap.Count == 0 {
+		return nil
+	}
+	toDur := func(q float64) time.Duration {
+		return time.Duration(snap.Quantile(q) * float64(time.Second)).Round(time.Microsecond)
+	}
+	rep.SrvP50, rep.SrvP90, rep.SrvP99 = toDur(0.50), toDur(0.90), toDur(0.99)
+	return nil
 }
 
 // percentile returns the q-quantile of sorted latencies (q in (0, 1]).

@@ -44,7 +44,21 @@ func TestLoadTenThousandRequests(t *testing.T) {
 	if rep.MaxTardiness != "0" && !strings.Contains(rep.MaxTardiness, "/") && rep.MaxTardiness != "1" {
 		t.Errorf("suspicious max tardiness %q", rep.MaxTardiness)
 	}
-	for _, want := range []string{"latency p50/p90/p99", "req/s", "max tardiness"} {
+	// The server-side histogram saw exactly the successful submits, and
+	// its interpolated percentiles are ordered like any quantiles.
+	if want := uint64(4 * 4 * 500); rep.SrvCount != want {
+		t.Errorf("server-side ack count %d, want %d", rep.SrvCount, want)
+	}
+	if rep.SrvP50 < 0 || rep.SrvP50 > rep.SrvP90 || rep.SrvP90 > rep.SrvP99 {
+		t.Errorf("implausible server percentiles p50=%v p90=%v p99=%v", rep.SrvP50, rep.SrvP90, rep.SrvP99)
+	}
+	// The server times itself from inside the handler, so its view of the
+	// median cannot exceed the client's round-trip median by more than the
+	// top finite bucket bound (the estimate's worst-case error).
+	if rep.SrvP50 > rep.P50+66*time.Millisecond {
+		t.Errorf("server p50 %v far above client p50 %v", rep.SrvP50, rep.P50)
+	}
+	for _, want := range []string{"latency p50/p90/p99", "server ack p50/p90/p99", "req/s", "max tardiness"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("report output missing %q:\n%s", want, out.String())
 		}

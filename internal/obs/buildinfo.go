@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the running binary for the pfaird_build_info
+// metric: the standard "info metric" pattern where the interesting data
+// rides in labels and the value is constantly 1.
+type BuildInfo struct {
+	// Version is the main module version ("(devel)" for a source build).
+	Version string
+	// Revision is the VCS revision baked in by the Go toolchain, if any.
+	Revision string
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+}
+
+// ReadBuildInfo discovers the binary's build identity from the runtime.
+// Tests override the result wholesale (Server.SetBuildInfo) so golden
+// expositions do not depend on the toolchain that ran them.
+func ReadBuildInfo() BuildInfo {
+	bi := BuildInfo{Version: "unknown", GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	if info.Main.Version != "" {
+		bi.Version = info.Main.Version
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			bi.Revision = s.Value
+		}
+	}
+	return bi
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// DefaultLatencyBuckets are the upper bounds (seconds) of request-latency
+// histograms: powers of four from 16µs to ~67ms. The implicit +Inf bucket
+// is always present and not listed.
+var DefaultLatencyBuckets = []float64{
+	16e-6, 64e-6, 256e-6, 1024e-6, 4096e-6, 16384e-6, 65536e-6,
+}
+
+// QuantaBuckets are the upper bounds for virtual-time lag histograms,
+// measured in quanta. Theorem 3 bounds PD²-DVQ tardiness by one quantum,
+// so the interesting resolution is below 1; anything above 1 landing
+// outside the 1-bucket is a theorem violation made visible.
+var QuantaBuckets = []float64{0, 0.25, 0.5, 0.75, 1}
+
+// Histogram is a fixed-bucket histogram with cumulative bucket semantics
+// matching the Prometheus text exposition: bucket i counts observations
+// ≤ Bounds[i], and an implicit +Inf bucket counts everything. It is safe
+// for concurrent use.
+type Histogram struct {
+	bounds []float64
+
+	mu      sync.Mutex
+	buckets []uint64 // cumulative: buckets[i] counts v ≤ bounds[i]
+	count   uint64
+	sum     float64
+}
+
+// NewHistogram creates a histogram over the given bucket upper bounds,
+// which must be strictly increasing. The bounds slice is not copied; do
+// not mutate it after the call.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not increasing at %d: %g ≤ %g", i, bounds[i], bounds[i-1]))
+		}
+	}
+	return &Histogram{bounds: bounds, buckets: make([]uint64, len(bounds))}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.count++
+	h.sum += v
+	for i, ub := range h.bounds {
+		if v <= ub {
+			h.buckets[i]++
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of a histogram's state. Buckets are
+// cumulative and parallel to Bounds; Count is the +Inf bucket.
+type Snapshot struct {
+	Bounds  []float64
+	Buckets []uint64
+	Count   uint64
+	Sum     float64
+}
+
+// Snapshot returns a consistent copy of the histogram.
+func (h *Histogram) Snapshot() Snapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return Snapshot{
+		Bounds:  h.bounds,
+		Buckets: append([]uint64(nil), h.buckets...),
+		Count:   h.count,
+		Sum:     h.sum,
+	}
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) from bucket counts by
+// linear interpolation inside the bucket that contains the target rank,
+// the same estimate Prometheus's histogram_quantile computes.
+//
+// Error bound: an observation is only known to lie within its bucket, so
+// the estimate is off by at most the width of that bucket (for the first
+// bucket, its upper bound; the lower edge is taken as 0 for non-negative
+// data). If the rank lands in the +Inf bucket the estimate clamps to the
+// last finite bound — quantiles beyond the instrumented range are
+// reported as "at least the largest bound", never extrapolated. The
+// histogram unit tests assert exactly these bounds.
+func (s Snapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	lower := 0.0 // lower edge of bucket i is Bounds[i-1] (0 for the first)
+	prev := uint64(0)
+	for i, ub := range s.Bounds {
+		c := s.Buckets[i]
+		if rank <= float64(c) && c > prev {
+			// Interpolate within (lower, ub] by the rank's position among
+			// this bucket's own observations.
+			frac := (rank - float64(prev)) / float64(c-prev)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (ub-lower)*frac
+		}
+		lower = ub
+		prev = c
+	}
+	if len(s.Bounds) == 0 {
+		return math.NaN()
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

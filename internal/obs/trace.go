@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Lifecycle stages of one traced command. A mutating request emits
+// StageSubmit when it reaches its tenant, StageWALAppend after its record
+// is journaled (durable servers only), StageApply after the executive
+// applied it, and one StageDispatch per scheduling decision the apply
+// produced. The Cmd field ties the stages of one command together.
+const (
+	StageSubmit    = "submit"
+	StageWALAppend = "wal-append"
+	StageApply     = "apply"
+	StageDispatch  = "dispatch"
+)
+
+// Event is one structured trace event, streamed as NDJSON by
+// GET /v1/tenants/{id}/trace. Wall timestamps come from the injected
+// Clock (exact under a Fake); virtual-time detail travels as exact
+// rational strings like the rest of the wire protocol.
+type Event struct {
+	// Seq is the event's sequence number in its tenant's trace ring,
+	// monotone from 0. A stream opened with ?from=N resumes at the oldest
+	// retained event with Seq ≥ N.
+	Seq int64 `json:"seq"`
+	// T is the event time in nanoseconds since the Unix epoch.
+	T int64 `json:"t"`
+	// Tenant is the owning tenant id.
+	Tenant string `json:"tenant,omitempty"`
+	// Cmd correlates the stages of one command (per-tenant, monotone from
+	// 1). Dispatch events carry the Cmd of the advance/drain/submit that
+	// produced them.
+	Cmd int64 `json:"cmd,omitempty"`
+	// Op is the command op ("job-submit", "advance", ...), matching the
+	// WAL record op names.
+	Op string `json:"op,omitempty"`
+	// Stage is one of the Stage* constants.
+	Stage string `json:"stage"`
+	// Task names the task involved, when there is one.
+	Task string `json:"task,omitempty"`
+	// At is the virtual time the command named (exact rat string).
+	At string `json:"at,omitempty"`
+	// DSeq is the dispatch decision's index in the tenant log
+	// (StageDispatch only).
+	DSeq int64 `json:"dseq,omitempty"`
+	// Lag is the dispatch's tardiness in quanta, an exact rat string
+	// (StageDispatch only).
+	Lag string `json:"lag,omitempty"`
+	// DurNs is the duration of the stage in nanoseconds, measured from
+	// the command's StageSubmit instant by the injected clock.
+	DurNs int64 `json:"durNs,omitempty"`
+	// Err carries the failure message when the stage failed; the command
+	// emits no further stages then.
+	Err string `json:"err,omitempty"`
+}
+
+// Ring retains the most recent trace events in a fixed-capacity ring
+// buffer and wakes followers when new events land. It is safe for
+// concurrent use. Sequence numbers are assigned on Append and never
+// reused; once the ring wraps, the oldest events are dropped and Since
+// reports how many the caller missed.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	start int   // index of the oldest retained event
+	n     int   // retained count
+	next  int64 // next sequence number to assign
+	subs  map[chan struct{}]struct{}
+}
+
+// NewRing creates a ring retaining up to cap events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity), subs: map[chan struct{}]struct{}{}}
+}
+
+// Append assigns the event's sequence number, stores it (evicting the
+// oldest if full), pokes followers, and returns the assigned Seq.
+func (r *Ring) Append(ev Event) int64 {
+	r.mu.Lock()
+	ev.Seq = r.next
+	r.next++
+	if r.n == len(r.buf) {
+		r.buf[r.start] = ev
+		r.start = (r.start + 1) % len(r.buf)
+	} else {
+		r.buf[(r.start+r.n)%len(r.buf)] = ev
+		r.n++
+	}
+	for sub := range r.subs {
+		select {
+		case sub <- struct{}{}:
+		default: // a wakeup is already queued; the follower will catch up
+		}
+	}
+	r.mu.Unlock()
+	return ev.Seq
+}
+
+// Since returns a copy of all retained events with Seq ≥ from, plus how
+// many events with Seq ≥ from were already evicted (a follower that asked
+// for history the ring no longer holds learns it skipped, rather than
+// silently missing it).
+func (r *Ring) Since(from int64) (events []Event, dropped int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	oldest := r.next - int64(r.n)
+	if from < oldest {
+		dropped = oldest - from
+		from = oldest
+	}
+	if from >= r.next {
+		return nil, dropped
+	}
+	events = make([]Event, 0, r.next-from)
+	for i := int(from - oldest); i < r.n; i++ {
+		events = append(events, r.buf[(r.start+i)%len(r.buf)])
+	}
+	return events, dropped
+}
+
+// Next returns the sequence number the next appended event will get.
+func (r *Ring) Next() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Subscribe registers a follower wakeup channel (capacity 1, coalescing).
+// The follower re-reads Since after each wakeup.
+func (r *Ring) Subscribe() chan struct{} {
+	ch := make(chan struct{}, 1)
+	r.mu.Lock()
+	r.subs[ch] = struct{}{}
+	r.mu.Unlock()
+	return ch
+}
+
+// Unsubscribe removes a follower channel.
+func (r *Ring) Unsubscribe(ch chan struct{}) {
+	r.mu.Lock()
+	delete(r.subs, ch)
+	r.mu.Unlock()
+}
+
+// Tracer stamps lifecycle events for one tenant into its ring. The zero
+// value (nil ring) is a no-op tracer, so untraced code paths cost one nil
+// check. Cmd ids are assigned by Begin; callers hold their tenant lock
+// while emitting, which orders events of one tenant totally.
+type Tracer struct {
+	ring  *Ring
+	clock Clock
+
+	mu      sync.Mutex
+	nextCmd int64
+}
+
+// NewTracer creates a tracer writing to ring with timestamps from clock.
+func NewTracer(ring *Ring, clock Clock) *Tracer {
+	if clock == nil {
+		clock = Real{}
+	}
+	return &Tracer{ring: ring, clock: clock}
+}
+
+// Begin opens a traced command: it assigns the next Cmd id, emits the
+// StageSubmit event, and returns the id and the submit instant that later
+// stages measure their DurNs from.
+func (t *Tracer) Begin(tenant, op, task, at string) (cmd int64, start time.Time) {
+	if t == nil || t.ring == nil {
+		return 0, time.Time{}
+	}
+	start = t.clock.Now()
+	t.mu.Lock()
+	t.nextCmd++
+	cmd = t.nextCmd
+	t.mu.Unlock()
+	t.ring.Append(Event{
+		T: start.UnixNano(), Tenant: tenant, Cmd: cmd,
+		Op: op, Stage: StageSubmit, Task: task, At: at,
+	})
+	return cmd, start
+}
+
+// Stage emits one lifecycle stage for the command opened by Begin, with
+// DurNs measured from the submit instant.
+func (t *Tracer) Stage(tenant string, cmd int64, start time.Time, op, stage, errMsg string) {
+	if t == nil || t.ring == nil || cmd == 0 {
+		return
+	}
+	now := t.clock.Now()
+	t.ring.Append(Event{
+		T: now.UnixNano(), Tenant: tenant, Cmd: cmd,
+		Op: op, Stage: stage, DurNs: now.Sub(start).Nanoseconds(), Err: errMsg,
+	})
+}
+
+// Dispatch emits a StageDispatch event for decision dseq of task at lag
+// quanta, correlated to the command that produced it.
+func (t *Tracer) Dispatch(tenant string, cmd int64, start time.Time, op, task string, dseq int64, lag string) {
+	if t == nil || t.ring == nil {
+		return
+	}
+	now := t.clock.Now()
+	ev := Event{
+		T: now.UnixNano(), Tenant: tenant, Cmd: cmd,
+		Op: op, Stage: StageDispatch, Task: task, DSeq: dseq, Lag: lag,
+	}
+	if cmd != 0 {
+		ev.DurNs = now.Sub(start).Nanoseconds()
+	}
+	t.ring.Append(ev)
+}
+
+// Ring returns the tracer's ring (nil for a no-op tracer).
+func (t *Tracer) Ring() *Ring {
+	if t == nil {
+		return nil
+	}
+	return t.ring
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingAppendSince(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 3; i++ {
+		seq := r.Append(Event{Stage: StageSubmit})
+		if seq != int64(i) {
+			t.Fatalf("append %d: got seq %d", i, seq)
+		}
+	}
+	evs, dropped := r.Since(0)
+	if dropped != 0 || len(evs) != 3 {
+		t.Fatalf("Since(0): got %d events, %d dropped", len(evs), dropped)
+	}
+	for i, ev := range evs {
+		if ev.Seq != int64(i) {
+			t.Errorf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+	evs, _ = r.Since(2)
+	if len(evs) != 1 || evs[0].Seq != 2 {
+		t.Fatalf("Since(2): got %+v", evs)
+	}
+	if evs, _ := r.Since(99); evs != nil {
+		t.Fatalf("Since past end should be empty, got %+v", evs)
+	}
+}
+
+// TestRingWrapDrops: once the ring wraps, Since reports exactly how many
+// requested events were evicted and returns the retained suffix in order.
+func TestRingWrapDrops(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 10; i++ {
+		r.Append(Event{Cmd: int64(i)})
+	}
+	evs, dropped := r.Since(0)
+	if dropped != 7 {
+		t.Errorf("dropped: got %d, want 7", dropped)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("retained: got %d, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(7 + i); ev.Seq != want || ev.Cmd != want {
+			t.Errorf("event %d: seq %d cmd %d, want %d", i, ev.Seq, ev.Cmd, want)
+		}
+	}
+	// Asking from inside the retained window drops nothing.
+	if _, dropped := r.Since(8); dropped != 0 {
+		t.Errorf("Since(8) dropped %d, want 0", dropped)
+	}
+}
+
+func TestRingSubscribeCoalesces(t *testing.T) {
+	r := NewRing(8)
+	ch := r.Subscribe()
+	defer r.Unsubscribe(ch)
+	for i := 0; i < 5; i++ {
+		r.Append(Event{})
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("no wakeup after appends")
+	}
+	select {
+	case <-ch:
+		t.Fatal("wakeups should coalesce to one")
+	default:
+	}
+}
+
+// TestTracerLifecycle drives a full traced command with a stepping fake
+// clock and asserts every timestamp and duration exactly.
+func TestTracerLifecycle(t *testing.T) {
+	start := time.Unix(1700000000, 0)
+	clock := NewFake(start, time.Millisecond)
+	ring := NewRing(16)
+	tr := NewTracer(ring, clock)
+
+	cmd, t0 := tr.Begin("acme", "job-submit", "web", "3")
+	if cmd != 1 {
+		t.Fatalf("first cmd id: got %d", cmd)
+	}
+	tr.Stage("acme", cmd, t0, "job-submit", StageWALAppend, "")
+	tr.Stage("acme", cmd, t0, "job-submit", StageApply, "")
+	tr.Dispatch("acme", cmd, t0, "job-submit", "web", 0, "0")
+
+	evs, _ := ring.Since(0)
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	wantStages := []string{StageSubmit, StageWALAppend, StageApply, StageDispatch}
+	for i, ev := range evs {
+		if ev.Stage != wantStages[i] {
+			t.Errorf("event %d stage %q, want %q", i, ev.Stage, wantStages[i])
+		}
+		if ev.Cmd != 1 || ev.Tenant != "acme" || ev.Op != "job-submit" {
+			t.Errorf("event %d: %+v", i, ev)
+		}
+		// The clock steps 1ms per read; event i was stamped at read i.
+		if want := start.Add(time.Duration(i) * time.Millisecond).UnixNano(); ev.T != want {
+			t.Errorf("event %d timestamp %d, want %d", i, ev.T, want)
+		}
+		if i > 0 {
+			if want := (time.Duration(i) * time.Millisecond).Nanoseconds(); ev.DurNs != want {
+				t.Errorf("event %d durNs %d, want %d", i, ev.DurNs, want)
+			}
+		}
+	}
+	if evs[0].Task != "web" || evs[0].At != "3" {
+		t.Errorf("submit event detail: %+v", evs[0])
+	}
+	if evs[3].Lag != "0" || evs[3].DSeq != 0 || evs[3].Task != "web" {
+		t.Errorf("dispatch event detail: %+v", evs[3])
+	}
+}
+
+// TestTracerNoop: a nil tracer and a tracer without a ring are free to
+// call — the untraced path must not need guards at every call site.
+func TestTracerNoop(t *testing.T) {
+	var tr *Tracer
+	cmd, t0 := tr.Begin("x", "advance", "", "")
+	tr.Stage("x", cmd, t0, "advance", StageApply, "")
+	tr.Dispatch("x", cmd, t0, "advance", "", 0, "0")
+	if tr.Ring() != nil {
+		t.Error("nil tracer should have nil ring")
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Append(Event{Stage: StageDispatch})
+				r.Since(0)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Next() != 800 {
+		t.Errorf("next seq: got %d, want 800", r.Next())
+	}
+}

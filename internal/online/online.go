@@ -69,11 +69,16 @@ type Executive struct {
 }
 
 // Dispatch reports one scheduling decision to the Run callback.
+// Decision is the executive-wide 1-based decision number (the same
+// counter the schedule's assignments carry), so observability layers can
+// correlate a hook invocation with its position in the dispatch sequence
+// without holding extra state.
 type Dispatch struct {
-	Sub    *model.Subtask
-	Proc   int
-	Start  rat.Rat
-	Finish rat.Rat
+	Sub      *model.Subtask
+	Proc     int
+	Start    rat.Rat
+	Finish   rat.Rat
+	Decision int
 }
 
 // New creates an executive for m processors. A nil policy selects PD².
@@ -287,7 +292,7 @@ func (e *Executive) dispatchAt(t rat.Rat, yield sched.YieldFn, onDispatch func(D
 		e.freeAt[p] = a.Finish()
 		e.pending--
 		e.push(a.Finish())
-		d := Dispatch{Sub: sub, Proc: p, Start: t, Finish: a.Finish()}
+		d := Dispatch{Sub: sub, Proc: p, Start: t, Finish: a.Finish(), Decision: e.decision}
 		if onDispatch != nil {
 			onDispatch(d)
 		}

@@ -8,6 +8,7 @@ import (
 
 	"desyncpfair/internal/admission"
 	"desyncpfair/internal/model"
+	"desyncpfair/internal/obs"
 	"desyncpfair/internal/online"
 	"desyncpfair/internal/rat"
 	"desyncpfair/internal/wal"
@@ -27,6 +28,13 @@ type Options struct {
 	// FS overrides the filesystem (internal/faultfs in the recovery
 	// suite); nil selects the real one.
 	FS wal.FS
+	// Clock is the observability clock (request timing, histograms, trace
+	// timestamps, journal timings). Nil selects the real clock; tests
+	// inject an obs.Fake to make every exposed duration exact.
+	Clock obs.Clock
+	// TraceBuffer is the per-tenant trace-ring capacity in events.
+	// Defaults to 4096.
+	TraceBuffer int
 }
 
 // RecoveryInfo reports what Open rebuilt from disk; /healthz serves it.
@@ -145,13 +153,16 @@ func Open(opts Options) (*Server, error) {
 	if snapEvery == 0 {
 		snapEvery = 4096
 	}
+	s := New()
+	s.SetClock(opts.Clock)
+	s.SetTraceBuffer(opts.TraceBuffer)
 	l, rec, err := wal.Open(opts.DataDir, wal.Options{
 		FS: opts.FS, FsyncEvery: opts.FsyncEvery, SnapshotEvery: snapEvery,
+		Now: s.obs.clock.Now, Timings: walTimings{s.obs},
 	})
 	if err != nil {
 		return nil, err
 	}
-	s := New()
 	info := RecoveryInfo{
 		Durable:        true,
 		SnapshotLSN:    rec.SnapshotLSN,

@@ -155,6 +155,7 @@ func (s *Server) writeWALMetrics(b *strings.Builder) {
 		b.WriteString("# TYPE pfaird_recovery_dispatch_mismatches gauge\n")
 		fmt.Fprintf(b, "pfaird_recovery_dispatch_mismatches %d\n", rec.DispatchMismatches)
 	}
+	s.obs.writeWALTimingMetrics(b)
 }
 
 func boolGauge(v bool) int {

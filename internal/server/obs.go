@@ -1,0 +1,225 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"desyncpfair/internal/obs"
+	"desyncpfair/internal/wal"
+)
+
+// serverObs bundles the server's observability state: the injected clock
+// every measured path reads, the aggregate histograms, the build identity,
+// and the trace-ring capacity handed to each new tenant. Per-tenant
+// histograms and rings live on the tenants themselves (attached by
+// addTenant), so tenant deletion reclaims them and /metrics reads them
+// live, like the rest of the tenant series.
+type serverObs struct {
+	clock    obs.Clock
+	build    obs.BuildInfo
+	traceCap int
+
+	submitAck   *obs.Histogram // submit→ack, all tenants
+	dispatchLag *obs.Histogram // dispatch tardiness in quanta, all tenants
+
+	walAppend     *obs.Histogram // journal frame-write duration
+	walFsync      *obs.Histogram // fsync syscall duration
+	walLogToFsync *obs.Histogram // append→durable group-commit latency
+}
+
+// defaultTraceCap is each tenant's trace-ring retention (events). At
+// ~6 events per command it covers the last ~700 commands — enough to
+// diagnose "what just happened" without unbounded memory.
+const defaultTraceCap = 4096
+
+func newServerObs() *serverObs {
+	return &serverObs{
+		clock:         obs.Real{},
+		build:         obs.ReadBuildInfo(),
+		traceCap:      defaultTraceCap,
+		submitAck:     obs.NewHistogram(obs.DefaultLatencyBuckets),
+		dispatchLag:   obs.NewHistogram(obs.QuantaBuckets),
+		walAppend:     obs.NewHistogram(obs.DefaultLatencyBuckets),
+		walFsync:      obs.NewHistogram(obs.DefaultLatencyBuckets),
+		walLogToFsync: obs.NewHistogram(obs.DefaultLatencyBuckets),
+	}
+}
+
+// walTimings adapts the serverObs histograms to the wal.Timings sink.
+type walTimings struct{ o *serverObs }
+
+func (t walTimings) ObserveAppend(d time.Duration)     { t.o.walAppend.Observe(d.Seconds()) }
+func (t walTimings) ObserveFsync(d time.Duration)      { t.o.walFsync.Observe(d.Seconds()) }
+func (t walTimings) ObserveLogToFsync(d time.Duration) { t.o.walLogToFsync.Observe(d.Seconds()) }
+
+var _ wal.Timings = walTimings{}
+
+// SetClock injects the clock every measured path reads: request timing,
+// submit→ack histograms, trace timestamps (WAL timings are wired at Open
+// via Options.Clock). With an obs.Fake clock every exposed metric is an
+// exact function of the request sequence — the deterministic test
+// harness depends on it. Call before the server takes traffic.
+func (s *Server) SetClock(c obs.Clock) {
+	if c != nil {
+		s.obs.clock = c
+	}
+}
+
+// SetBuildInfo overrides the pfaird_build_info labels (discovered from
+// the runtime by default). Golden-exposition tests pin it so scrapes do
+// not vary with the toolchain.
+func (s *Server) SetBuildInfo(bi obs.BuildInfo) { s.obs.build = bi }
+
+// SetTraceBuffer sets the per-tenant trace-ring capacity for tenants
+// created after the call. Call before the server takes traffic.
+func (s *Server) SetTraceBuffer(n int) {
+	if n > 0 {
+		s.obs.traceCap = n
+	}
+}
+
+// EnablePprof mounts net/http/pprof's handlers at /debug/pprof/ on the
+// server's mux, so one listener serves the API, /metrics, and profiles.
+// The handlers bypass the request-metrics middleware: a 30-second CPU
+// profile would distort the latency histograms it is being taken to
+// explain.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// tenantObsSnap is one tenant's observability snapshot, taken at
+// exposition time alongside TenantInfo.
+type tenantObsSnap struct {
+	id        string
+	submitAck obs.Snapshot
+	lag       obs.Snapshot
+	traceLen  int64
+}
+
+// writeObsMetrics renders the observability families. The family order
+// is fixed — the golden exposition test pins it — and every family is
+// written exactly once, aggregate before per-tenant.
+func (o *serverObs) writeObsMetrics(b *strings.Builder, snaps []tenantObsSnap) {
+	obs.WriteHeader(b, "pfaird_submit_ack_seconds",
+		"Latency from job-submit request arrival to acknowledgment, all tenants.", "histogram")
+	obs.WriteHistogram(b, "pfaird_submit_ack_seconds", nil, o.submitAck.Snapshot())
+	obs.WriteHeader(b, "pfaird_dispatch_lag_quanta",
+		"Dispatch tardiness in quanta, all tenants (Theorem 3 bounds it by 1).", "histogram")
+	obs.WriteHistogram(b, "pfaird_dispatch_lag_quanta", nil, o.dispatchLag.Snapshot())
+	obs.WriteHeader(b, "pfaird_tenant_submit_ack_seconds",
+		"Latency from job-submit request arrival to acknowledgment, per tenant.", "histogram")
+	for _, sn := range snaps {
+		obs.WriteHistogram(b, "pfaird_tenant_submit_ack_seconds",
+			[]obs.Label{{Name: "tenant", Value: sn.id}}, sn.submitAck)
+	}
+	obs.WriteHeader(b, "pfaird_tenant_dispatch_lag_quanta",
+		"Dispatch tardiness in quanta, per tenant.", "histogram")
+	for _, sn := range snaps {
+		obs.WriteHistogram(b, "pfaird_tenant_dispatch_lag_quanta",
+			[]obs.Label{{Name: "tenant", Value: sn.id}}, sn.lag)
+	}
+	obs.WriteHeader(b, "pfaird_trace_events_total",
+		"Trace events recorded, per tenant (ring retention is bounded; this counts all ever recorded).", "counter")
+	for _, sn := range snaps {
+		obs.WriteSample(b, "pfaird_trace_events_total",
+			[]obs.Label{{Name: "tenant", Value: sn.id}}, strconv.FormatInt(sn.traceLen, 10))
+	}
+}
+
+// writeBuildInfo renders the info-metric identifying the binary.
+func (o *serverObs) writeBuildInfo(b *strings.Builder) {
+	obs.WriteHeader(b, "pfaird_build_info",
+		"Build identity of the serving binary; the value is always 1.", "gauge")
+	obs.WriteSample(b, "pfaird_build_info", []obs.Label{
+		{Name: "version", Value: o.build.Version},
+		{Name: "revision", Value: o.build.Revision},
+		{Name: "go", Value: o.build.GoVersion},
+	}, "1")
+}
+
+// writeWALTimingMetrics renders the journal latency histograms (durable
+// servers only; the in-memory server's exposition is unchanged).
+func (o *serverObs) writeWALTimingMetrics(b *strings.Builder) {
+	obs.WriteHeader(b, "pfaird_wal_append_seconds",
+		"Journal frame-write duration.", "histogram")
+	obs.WriteHistogram(b, "pfaird_wal_append_seconds", nil, o.walAppend.Snapshot())
+	obs.WriteHeader(b, "pfaird_wal_fsync_seconds",
+		"Journal fsync syscall duration.", "histogram")
+	obs.WriteHistogram(b, "pfaird_wal_fsync_seconds", nil, o.walFsync.Snapshot())
+	obs.WriteHeader(b, "pfaird_wal_log_to_fsync_seconds",
+		"Per-record latency from journal append to the group-commit fsync that made it durable.", "histogram")
+	obs.WriteHistogram(b, "pfaird_wal_log_to_fsync_seconds", nil, o.walLogToFsync.Snapshot())
+}
+
+// handleTrace streams the tenant's trace ring as NDJSON, one obs.Event
+// per line: first the retained backlog from ?from (default 0), then live
+// events as commands execute. Ring retention is bounded, so a follower
+// that asks for evicted history simply resumes at the oldest retained
+// event — the Seq gap tells it how much it missed. ?follow=false stops
+// at the current end instead of following. The stream ends with the
+// client, the tenant, or the server, exactly like the dispatch stream.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	t := s.tenant(r.PathValue("id"))
+	if t == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("server: no tenant %q", r.PathValue("id")))
+		return
+	}
+	var from int64
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("server: bad from %q", v))
+			return
+		}
+		from = n
+	}
+	follow := r.URL.Query().Get("follow") != "false"
+
+	ring := t.traceRing()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+
+	sub := ring.Subscribe()
+	defer ring.Unsubscribe(sub)
+
+	pos := from
+	for {
+		events, dropped := ring.Since(pos)
+		pos += dropped
+		for _, ev := range events {
+			if err := enc.Encode(ev); err != nil {
+				return // client went away
+			}
+		}
+		pos += int64(len(events))
+		if flusher != nil && len(events) > 0 {
+			flusher.Flush()
+		}
+		if !follow {
+			return
+		}
+		select {
+		case <-sub:
+		case <-r.Context().Done():
+			return
+		case <-t.Closed():
+			follow = false // flush whatever landed, then stop
+		case <-s.shutdown:
+			follow = false
+		}
+	}
+}

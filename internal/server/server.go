@@ -12,6 +12,7 @@
 //
 //	GET    /healthz
 //	GET    /metrics
+//	GET    /debug/pprof/*                       (after EnablePprof)
 //	POST   /v1/tenants                          CreateTenantRequest → TenantInfo
 //	GET    /v1/tenants                          → []TenantInfo
 //	GET    /v1/tenants/{id}                     → TenantInfo
@@ -22,6 +23,7 @@
 //	POST   /v1/tenants/{id}/advance             AdvanceRequest → AdvanceResponse
 //	POST   /v1/tenants/{id}/drain               → AdvanceResponse
 //	GET    /v1/tenants/{id}/dispatches          → DispatchEvent per line (chunked)
+//	GET    /v1/tenants/{id}/trace               → obs.Event per line (chunked)
 //
 // The dispatch stream accepts ?from=N to replay the log from decision N
 // (default 0) and ?follow=false to stop at the current end of log instead
@@ -39,7 +41,6 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"desyncpfair/internal/model"
 	"desyncpfair/internal/wal"
@@ -61,6 +62,7 @@ type Server struct {
 	shards  [nshards]shard
 	mux     *http.ServeMux
 	metrics *metrics
+	obs     *serverObs
 
 	// Durability (nil wal = in-memory server, the New() default). opMu's
 	// read side brackets every journaled mutation; compact takes the
@@ -81,6 +83,7 @@ func New() *Server {
 	s := &Server{
 		mux:      http.NewServeMux(),
 		metrics:  newMetrics(),
+		obs:      newServerObs(),
 		shutdown: make(chan struct{}),
 	}
 	for i := range s.shards {
@@ -98,6 +101,7 @@ func New() *Server {
 	s.route("POST /v1/tenants/{id}/advance", s.handleAdvance)
 	s.route("POST /v1/tenants/{id}/drain", s.handleDrain)
 	s.route("GET /v1/tenants/{id}/dispatches", s.handleDispatches)
+	s.route("GET /v1/tenants/{id}/trace", s.handleTrace)
 	return s
 }
 
@@ -114,13 +118,14 @@ func (s *Server) Shutdown() {
 
 // route mounts a handler with request timing/counting middleware. The
 // route pattern (not the concrete URL) is the metrics label, so
-// cardinality stays bounded.
+// cardinality stays bounded. Durations come from the injected clock, so
+// under an obs.Fake clock the request histograms are deterministic.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
+		start := s.obs.clock.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
-		s.metrics.observe(pattern, time.Since(start), sw.status)
+		s.metrics.observe(pattern, s.obs.clock.Now().Sub(start), sw.status)
 	})
 }
 
@@ -158,7 +163,10 @@ func (s *Server) tenant(id string) *Tenant {
 
 // addTenant installs t unless the id is taken, journaling the creation
 // while the shard lock serializes it against racing creates and deletes of
-// the same id (so journal order matches applied order).
+// the same id (so journal order matches applied order). Installation
+// attaches the server's observability (trace ring, per-tenant histograms)
+// — both the live-create and the recovery-restore path come through here,
+// so every served tenant is instrumented.
 func (s *Server) addTenant(t *Tenant) error {
 	sh := s.shardOf(t.ID())
 	sh.mu.Lock()
@@ -171,6 +179,7 @@ func (s *Server) addTenant(t *Tenant) error {
 	}); err != nil {
 		return err
 	}
+	t.attachObs(s.obs)
 	sh.tenants[t.ID()] = t
 	if s.wal != nil {
 		t.SetJournal(s.journalRecord, s.failJournal)
@@ -254,11 +263,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var infos []TenantInfo
+	var snaps []tenantObsSnap
 	for _, t := range s.allTenants() {
 		infos = append(infos, t.Info())
+		snaps = append(snaps, t.obsSnapshot())
 	}
 	var b strings.Builder
+	s.obs.writeBuildInfo(&b)
 	s.metrics.write(&b, infos)
+	s.obs.writeObsMetrics(&b, snaps)
 	s.writeWALMetrics(&b)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, b.String())
@@ -363,6 +376,7 @@ func (s *Server) handleUnregisterTask(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	start := s.obs.clock.Now()
 	t := s.tenant(r.PathValue("id"))
 	if t == nil {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("server: no tenant %q", r.PathValue("id")))
@@ -380,6 +394,10 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.maybeCompact()
+	// Acknowledged: the job is accepted (and, on a durable server, its
+	// record journaled). Only successful submissions land in the histogram
+	// — rejections are counted elsewhere and would skew the latency series.
+	t.observeSubmitAck(s.obs.clock.Now().Sub(start))
 	writeJSON(w, http.StatusAccepted, resp)
 }
 

@@ -3,9 +3,11 @@ package server
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"desyncpfair/internal/admission"
 	"desyncpfair/internal/model"
+	"desyncpfair/internal/obs"
 	"desyncpfair/internal/online"
 	"desyncpfair/internal/prio"
 	"desyncpfair/internal/rat"
@@ -48,6 +50,22 @@ type Tenant struct {
 	// so in-memory state can never silently outrun the journal.
 	journal     func(wal.Record) error
 	journalFail func(error)
+
+	// Observability, attached by Server.addTenant before the tenant takes
+	// traffic (NewTenant installs standalone defaults so a bare tenant
+	// works too). All observability state is volatile: it is not
+	// journaled or checkpointed, so like any Prometheus counter it resets
+	// at boot and re-accumulates from the replayed tail.
+	tr        *obs.Tracer    // command-lifecycle trace ring
+	submitAck *obs.Histogram // submit→ack latency, this tenant
+	lag       *obs.Histogram // dispatch tardiness in quanta, this tenant
+	sobs      *serverObs     // aggregate sinks (nil on a bare tenant)
+	// curCmd/curStart/curOp tie dispatch trace events to the command
+	// whose apply produced them; valid only while mu is held across an
+	// executive call.
+	curCmd   int64
+	curStart time.Time
+	curOp    string
 }
 
 // subscriber is one dispatch-stream follower. ping has capacity 1; the
@@ -100,7 +118,76 @@ func NewTenant(id string, m int, policyName string) (*Tenant, error) {
 		closed: make(chan struct{}),
 	}
 	t.ex.SetOnDispatch(t.record)
+	// Standalone observability defaults; Server.addTenant swaps in the
+	// server-wide clock, capacity and aggregate sinks via attachObs.
+	t.tr = obs.NewTracer(obs.NewRing(defaultTraceCap), obs.Real{})
+	t.submitAck = obs.NewHistogram(obs.DefaultLatencyBuckets)
+	t.lag = obs.NewHistogram(obs.QuantaBuckets)
 	return t, nil
+}
+
+// attachObs rewires the tenant onto the server's observability: its
+// injected clock, its trace-ring capacity, and the aggregate histograms
+// that /metrics sums across tenants. addTenant calls it before the tenant
+// is visible to requests, so the swap races with nothing — and it is the
+// one chokepoint covering both live-created and recovery-restored tenants
+// (restoreTenant builds the struct directly, without NewTenant's
+// defaults).
+func (t *Tenant) attachObs(o *serverObs) {
+	t.mu.Lock()
+	t.tr = obs.NewTracer(obs.NewRing(o.traceCap), o.clock)
+	t.submitAck = obs.NewHistogram(obs.DefaultLatencyBuckets)
+	t.lag = obs.NewHistogram(obs.QuantaBuckets)
+	t.sobs = o
+	t.mu.Unlock()
+}
+
+// traceRing returns the tenant's trace ring for the streaming handler.
+func (t *Tenant) traceRing() *obs.Ring {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tr.Ring()
+}
+
+// obsSnapshot snapshots the tenant's observability series for /metrics.
+func (t *Tenant) obsSnapshot() tenantObsSnap {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return tenantObsSnap{
+		id:        t.id,
+		submitAck: t.submitAck.Snapshot(),
+		lag:       t.lag.Snapshot(),
+		traceLen:  t.tr.Ring().Next(),
+	}
+}
+
+// observeSubmitAck records one submit→ack latency into the tenant and
+// aggregate histograms. Histograms carry their own locks, so the HTTP
+// handler calls this after releasing every other lock.
+func (t *Tenant) observeSubmitAck(d time.Duration) {
+	s := d.Seconds()
+	t.submitAck.Observe(s)
+	if t.sobs != nil {
+		t.sobs.submitAck.Observe(s)
+	}
+}
+
+// traceBegin opens a traced command and parks its context for record() to
+// stamp onto the dispatch events it produces. Callers hold t.mu.
+func (t *Tenant) traceBegin(op, task, at string) {
+	t.curCmd, t.curStart = t.tr.Begin(t.id, op, task, at)
+	t.curOp = op
+}
+
+// traceStage marks the current command's next completed lifecycle stage.
+func (t *Tenant) traceStage(stage string) {
+	t.tr.Stage(t.id, t.curCmd, t.curStart, t.curOp, stage, "")
+}
+
+// traceFail marks the current command failed at stage; no further stages
+// follow for it.
+func (t *Tenant) traceFail(stage string, err error) {
+	t.tr.Stage(t.id, t.curCmd, t.curStart, t.curOp, stage, err.Error())
 }
 
 // SetJournal installs the durability hook: append journals a record,
@@ -134,8 +221,14 @@ func (t *Tenant) record(d online.Dispatch) {
 		Deadline:  deadline,
 		Tardiness: tard.String(),
 	})
+	ev := t.log[len(t.log)-1]
+	lagf := tard.Float64()
+	t.lag.Observe(lagf)
+	if t.sobs != nil {
+		t.sobs.dispatchLag.Observe(lagf)
+	}
+	t.tr.Dispatch(t.id, t.curCmd, t.curStart, t.curOp, ev.Task, ev.Seq, ev.Tardiness)
 	if t.journal != nil {
-		ev := t.log[len(t.log)-1]
 		// Dispatch records are verification-only: recovery regenerates
 		// decisions by replaying commands and checks them against these.
 		// An append error here already wedged the log, so the following
@@ -184,20 +277,25 @@ func (t *Tenant) RegisterTask(name string, w model.Weight) (admission.Decision, 
 		t.reject++
 		return d, nil
 	}
+	t.traceBegin(wal.OpTaskRegister, name, "")
 	if t.journal != nil {
 		if jerr := t.journal(wal.Record{Op: wal.OpTaskRegister, Tenant: t.id, Name: name, E: w.E, P: w.P}); jerr != nil {
 			_ = t.ctrl.Unregister(name)
+			t.traceFail(obs.StageWALAppend, jerr)
 			return admission.Decision{}, jerr
 		}
+		t.traceStage(obs.StageWALAppend)
 	}
 	task, err := t.ex.Register(name, w)
 	if err != nil {
 		// Unreachable while controller and executive enforce the same
 		// Σwt ≤ M bound; roll the controller back if it ever happens.
 		_ = t.ctrl.Unregister(name)
+		t.traceFail(obs.StageApply, err)
 		return admission.Decision{}, err
 	}
 	t.tasks[name] = task
+	t.traceStage(obs.StageApply)
 	return d, nil
 }
 
@@ -215,18 +313,24 @@ func (t *Tenant) UnregisterTask(name string) error {
 	if n := t.ex.Undispatched(task); n > 0 {
 		return fmt.Errorf("server: task %q has %d undispatched subtasks; drain before unregistering", name, n)
 	}
+	t.traceBegin(wal.OpTaskUnregister, name, "")
 	if t.journal != nil {
 		if jerr := t.journal(wal.Record{Op: wal.OpTaskUnregister, Tenant: t.id, Name: name}); jerr != nil {
+			t.traceFail(obs.StageWALAppend, jerr)
 			return jerr
 		}
+		t.traceStage(obs.StageWALAppend)
 	}
 	if err := t.ex.Unregister(task); err != nil {
+		t.traceFail(obs.StageApply, err)
 		return err
 	}
 	if err := t.ctrl.Unregister(name); err != nil {
+		t.traceFail(obs.StageApply, err)
 		return err
 	}
 	delete(t.tasks, name)
+	t.traceStage(obs.StageApply)
 	return nil
 }
 
@@ -263,10 +367,13 @@ func (t *Tenant) SubmitJob(taskName, at string, earliness int64) (SubmitJobRespo
 	if earliness > MaxEarliness {
 		return SubmitJobResponse{}, fmt.Errorf("server: earliness %d exceeds %d", earliness, MaxEarliness)
 	}
+	t.traceBegin(wal.OpJobSubmit, taskName, when.String())
 	if t.journal != nil {
 		if jerr := t.journal(wal.Record{Op: wal.OpJobSubmit, Tenant: t.id, Name: taskName, At: when.String(), Earliness: earliness}); jerr != nil {
+			t.traceFail(obs.StageWALAppend, jerr)
 			return SubmitJobResponse{}, jerr
 		}
+		t.traceStage(obs.StageWALAppend)
 	}
 	var err error
 	if earliness > 0 {
@@ -275,8 +382,10 @@ func (t *Tenant) SubmitJob(taskName, at string, earliness int64) (SubmitJobRespo
 		err = t.ex.SubmitJob(task, when)
 	}
 	if err != nil {
+		t.traceFail(obs.StageApply, err)
 		return SubmitJobResponse{}, err
 	}
+	t.traceStage(obs.StageApply)
 	return SubmitJobResponse{At: when.String(), Pending: t.ex.Pending()}, nil
 }
 
@@ -320,17 +429,22 @@ func (t *Tenant) Advance(until, by string) (AdvanceResponse, error) {
 	if target.Less(t.ex.Now()) {
 		return AdvanceResponse{}, fmt.Errorf("server: cannot advance to %s, already at %s", target, t.ex.Now())
 	}
+	t.traceBegin(wal.OpAdvance, "", target.String())
 	if t.journal != nil {
 		// Journal the resolved absolute target: `by` is relative to a
 		// virtual time only the live server knows.
 		if jerr := t.journal(wal.Record{Op: wal.OpAdvance, Tenant: t.id, At: target.String()}); jerr != nil {
+			t.traceFail(obs.StageWALAppend, jerr)
 			return AdvanceResponse{}, jerr
 		}
+		t.traceStage(obs.StageWALAppend)
 	}
 	before := int64(len(t.log))
 	if err := t.ex.Run(target, nil, nil); err != nil {
+		t.traceFail(obs.StageApply, err)
 		return AdvanceResponse{}, err
 	}
+	t.traceStage(obs.StageApply)
 	return AdvanceResponse{
 		Now:        t.ex.Now().String(),
 		Dispatched: int64(len(t.log)) - before,
@@ -343,10 +457,13 @@ func (t *Tenant) Advance(until, by string) (AdvanceResponse, error) {
 func (t *Tenant) Drain() (AdvanceResponse, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.traceBegin(wal.OpDrain, "", "")
 	if t.journal != nil {
 		if jerr := t.journal(wal.Record{Op: wal.OpDrain, Tenant: t.id}); jerr != nil {
+			t.traceFail(obs.StageWALAppend, jerr)
 			return AdvanceResponse{}, jerr
 		}
+		t.traceStage(obs.StageWALAppend)
 	}
 	before := int64(len(t.log))
 	if _, err := t.ex.Drain(nil); err != nil {
@@ -357,8 +474,10 @@ func (t *Tenant) Drain() (AdvanceResponse, error) {
 		if t.journalFail != nil {
 			t.journalFail(err)
 		}
+		t.traceFail(obs.StageApply, err)
 		return AdvanceResponse{}, err
 	}
+	t.traceStage(obs.StageApply)
 	return AdvanceResponse{
 		Now:        t.ex.Now().String(),
 		Dispatched: int64(len(t.log)) - before,

@@ -1,0 +1,118 @@
+package wal
+
+import (
+	"testing"
+	"time"
+)
+
+// stepClock is a deterministic clock for timing tests: every call returns
+// the previous instant plus one step, so each measured duration is an
+// exact function of how many times the code path read the clock.
+type stepClock struct {
+	now  time.Time
+	step time.Duration
+}
+
+func (c *stepClock) Now() time.Time {
+	t := c.now
+	c.now = c.now.Add(c.step)
+	return t
+}
+
+// recTimings records every observation in order.
+type recTimings struct {
+	appends []time.Duration
+	fsyncs  []time.Duration
+	logSync []time.Duration
+}
+
+func (r *recTimings) ObserveAppend(d time.Duration)     { r.appends = append(r.appends, d) }
+func (r *recTimings) ObserveFsync(d time.Duration)      { r.fsyncs = append(r.fsyncs, d) }
+func (r *recTimings) ObserveLogToFsync(d time.Duration) { r.logSync = append(r.logSync, d) }
+
+// TestTimingsGroupCommit pins the journal's instrumentation exactly: with
+// a 1ms step clock, each append write measures 1ms, the group-commit
+// fsync measures 1ms, and each of the batch's records reports a log→fsync
+// latency that shrinks by 2ms per position — the group-commit window made
+// visible. No tolerances: the fake clock makes the arithmetic exact.
+func TestTimingsGroupCommit(t *testing.T) {
+	clock := &stepClock{now: time.Unix(0, 0), step: time.Millisecond}
+	rec := &recTimings{}
+	l, _ := mustOpen(t, t.TempDir(), Options{
+		FsyncEvery: 4, Now: clock.Now, Timings: rec,
+	})
+	defer l.Close()
+
+	appendN(t, l, 4)
+
+	if len(rec.appends) != 4 {
+		t.Fatalf("append observations: got %d, want 4", len(rec.appends))
+	}
+	for i, d := range rec.appends {
+		if d != time.Millisecond {
+			t.Errorf("append %d duration %v, want 1ms", i, d)
+		}
+	}
+	if len(rec.fsyncs) != 1 || rec.fsyncs[0] != time.Millisecond {
+		t.Fatalf("fsync observations: %v, want one 1ms", rec.fsyncs)
+	}
+	// Appends read the clock at steps 0/1, 2/3, 4/5, 6/7 (t0/t1 pairs);
+	// the fsync reads 8/9. Record i became durable at step 9 having landed
+	// at step 2i+1: latencies 8, 6, 4, 2 ms.
+	want := []time.Duration{8 * time.Millisecond, 6 * time.Millisecond, 4 * time.Millisecond, 2 * time.Millisecond}
+	if len(rec.logSync) != len(want) {
+		t.Fatalf("log→fsync observations: got %d, want %d", len(rec.logSync), len(want))
+	}
+	for i, d := range rec.logSync {
+		if d != want[i] {
+			t.Errorf("log→fsync %d: %v, want %v", i, d, want[i])
+		}
+	}
+}
+
+// TestTimingsExplicitSync: records awaiting group commit get their
+// log→fsync latency observed when Sync (or Close) flushes them early.
+func TestTimingsExplicitSync(t *testing.T) {
+	clock := &stepClock{now: time.Unix(0, 0), step: time.Millisecond}
+	rec := &recTimings{}
+	l, _ := mustOpen(t, t.TempDir(), Options{
+		FsyncEvery: 1000, Now: clock.Now, Timings: rec,
+	})
+	appendN(t, l, 2)
+	if len(rec.fsyncs) != 0 {
+		t.Fatalf("no fsync expected before Sync, got %v", rec.fsyncs)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.fsyncs) != 1 || len(rec.logSync) != 2 {
+		t.Fatalf("after Sync: %d fsyncs, %d log→fsync", len(rec.fsyncs), len(rec.logSync))
+	}
+	// A second Sync with nothing pending observes nothing.
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.fsyncs) != 1 {
+		t.Fatalf("idle Sync observed an fsync")
+	}
+	appendN(t, l, 1)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.fsyncs) != 2 || len(rec.logSync) != 3 {
+		t.Fatalf("after Close: %d fsyncs, %d log→fsync", len(rec.fsyncs), len(rec.logSync))
+	}
+}
+
+// TestTimingsNilIsUninstrumented: without a Timings sink the log never
+// reads the clock — the hot path stays exactly as cheap as before.
+func TestTimingsNilIsUninstrumented(t *testing.T) {
+	calls := 0
+	clock := func() time.Time { calls++; return time.Unix(0, 0) }
+	l, _ := mustOpen(t, t.TempDir(), Options{FsyncEvery: 1, Now: clock})
+	appendN(t, l, 8)
+	l.Close()
+	if calls != 0 {
+		t.Fatalf("uninstrumented log read the clock %d times", calls)
+	}
+}

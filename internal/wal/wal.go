@@ -44,6 +44,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Record ops. Everything except OpDispatch is a command: replaying the
@@ -115,6 +116,28 @@ type Options struct {
 	// have been appended since the last snapshot. 0 disables the hint
 	// (Compact can still be called explicitly).
 	SnapshotEvery int
+	// Now supplies timestamps for Timings measurements; nil selects
+	// time.Now. Tests inject a fake clock so the observed durations are
+	// exact. Ignored when Timings is nil — an uninstrumented log never
+	// reads the clock on the append path.
+	Now func() time.Time
+	// Timings, when non-nil, receives the journal's write-path latencies.
+	Timings Timings
+}
+
+// Timings observes the journal's write-path latencies. Implementations
+// must be safe for concurrent use and fast: the callbacks run under the
+// log's lock, on the append hot path.
+type Timings interface {
+	// ObserveAppend sees the duration of one frame write.
+	ObserveAppend(d time.Duration)
+	// ObserveFsync sees the duration of one fsync syscall.
+	ObserveFsync(d time.Duration)
+	// ObserveLogToFsync sees, for each record, the latency from its
+	// append landing in the log to the group-commit fsync that made it
+	// durable — the window in which an acknowledged record could still be
+	// lost to a crash.
+	ObserveLogToFsync(d time.Duration)
 }
 
 // Stats are the log's monotonic counters, exposed by pfaird's /metrics.
@@ -145,6 +168,8 @@ type Log struct {
 	fs         FS
 	fsyncEvery int
 	snapEvery  int
+	now        func() time.Time
+	timings    Timings
 
 	mu        sync.Mutex
 	f         File
@@ -152,6 +177,10 @@ type Log struct {
 	nextLSN   uint64
 	unsynced  int
 	sinceSnap int
+	// pendingAt holds the append instant of each unsynced record, so the
+	// group-commit fsync can report every record's log→fsync latency.
+	// Empty (and untouched) when timings is nil.
+	pendingAt []time.Time
 	wedged    error
 	closed    bool
 	st        Stats
@@ -216,8 +245,13 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 		fs:         fs,
 		fsyncEvery: opts.FsyncEvery,
 		snapEvery:  opts.SnapshotEvery,
+		now:        opts.Now,
+		timings:    opts.Timings,
 		nextLSN:    lastLSN + 1,
 		sinceSnap:  len(rec.Records),
+	}
+	if l.now == nil {
+		l.now = time.Now
 	}
 	if l.fsyncEvery < 1 {
 		l.fsyncEvery = 1
@@ -276,25 +310,56 @@ func (l *Log) Append(r Record) (uint64, error) {
 	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
 	copy(frame[frameHeader:], payload)
+	var t0 time.Time
+	if l.timings != nil {
+		t0 = l.now()
+	}
 	if _, err := l.f.Write(frame); err != nil {
 		l.wedge(err)
 		l.st.AppendErrors++
 		return 0, l.wedged
+	}
+	if l.timings != nil {
+		t1 := l.now()
+		l.timings.ObserveAppend(t1.Sub(t0))
+		l.pendingAt = append(l.pendingAt, t1)
 	}
 	l.nextLSN++
 	l.st.Appends++
 	l.sinceSnap++
 	l.unsynced++
 	if l.unsynced >= l.fsyncEvery {
-		if err := l.f.Sync(); err != nil {
-			l.wedge(err)
+		if err := l.fsyncLocked(); err != nil {
 			l.st.AppendErrors++
-			return 0, l.wedged
+			return 0, err
 		}
-		l.unsynced = 0
-		l.st.Fsyncs++
 	}
 	return r.LSN, nil
+}
+
+// fsyncLocked issues the group-commit fsync, observing its duration and
+// every pending record's log→fsync latency. On failure it wedges the log
+// and returns the wedged error. Called with l.mu held and unsynced > 0.
+func (l *Log) fsyncLocked() error {
+	var s0 time.Time
+	if l.timings != nil {
+		s0 = l.now()
+	}
+	if err := l.f.Sync(); err != nil {
+		l.wedge(err)
+		return l.wedged
+	}
+	l.unsynced = 0
+	l.st.Fsyncs++
+	if l.timings != nil {
+		s1 := l.now()
+		l.timings.ObserveFsync(s1.Sub(s0))
+		for _, at := range l.pendingAt {
+			l.timings.ObserveLogToFsync(s1.Sub(at))
+		}
+		l.pendingAt = l.pendingAt[:0]
+	}
+	return nil
 }
 
 func (l *Log) wedge(err error) {
@@ -317,13 +382,7 @@ func (l *Log) syncLocked() error {
 	if l.unsynced == 0 {
 		return nil
 	}
-	if err := l.f.Sync(); err != nil {
-		l.wedge(err)
-		return l.wedged
-	}
-	l.unsynced = 0
-	l.st.Fsyncs++
-	return nil
+	return l.fsyncLocked()
 }
 
 // ShouldCompact hints that enough records accumulated since the last
@@ -411,11 +470,9 @@ func (l *Log) Close() error {
 			return nil // already failed; nothing more to preserve
 		}
 		if l.unsynced > 0 {
-			if serr := l.f.Sync(); serr != nil {
+			if serr := l.fsyncLocked(); serr != nil {
 				return serr
 			}
-			l.st.Fsyncs++
-			l.unsynced = 0
 		}
 		return nil
 	}()
