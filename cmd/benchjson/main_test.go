@@ -2,6 +2,9 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -50,6 +53,39 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// TestParseCollapsesRepeatedRuns pins the -count=N handling: repeated
+// lines for the same benchmark keep only the fastest run, and a
+// same-named benchmark in a different package or at different GOMAXPROCS
+// stays separate.
+func TestParseCollapsesRepeatedRuns(t *testing.T) {
+	const repeated = `pkg: p
+BenchmarkHot-8   	     100	  2000 ns/op	  64 B/op	  2 allocs/op
+BenchmarkHot-8   	     100	  1500 ns/op	  48 B/op	  1 allocs/op
+BenchmarkHot-8   	     100	  1800 ns/op	  64 B/op	  2 allocs/op
+BenchmarkHot-4   	     100	  3000 ns/op
+pkg: q
+BenchmarkHot-8   	     100	  9000 ns/op
+`
+	out, err := parse(bufio.NewScanner(strings.NewReader(repeated)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3 (min-collapsed):\n%+v", len(out.Benchmarks), out.Benchmarks)
+	}
+	hot := out.Benchmarks[0]
+	if hot.NsPerOp != 1500 {
+		t.Errorf("collapsed ns/op = %v, want the 1500 minimum", hot.NsPerOp)
+	}
+	// The whole fastest record wins, not a field-wise mix.
+	if hot.Metrics["allocs/op"] != 1 || hot.Metrics["B/op"] != 48 {
+		t.Errorf("collapsed metrics %+v, want the fastest run's", hot.Metrics)
+	}
+	if out.Benchmarks[1].Procs != 4 || out.Benchmarks[2].Pkg != "q" {
+		t.Errorf("distinct procs/pkg collapsed: %+v", out.Benchmarks)
+	}
+}
+
 func TestParseBenchRejectsNonResultLines(t *testing.T) {
 	for _, line := range []string{
 		"BenchmarkFoo", // bare name, no iteration count
@@ -59,5 +95,76 @@ func TestParseBenchRejectsNonResultLines(t *testing.T) {
 		if b, ok := parseBench(line); ok {
 			t.Errorf("parseBench(%q) accepted: %+v", line, b)
 		}
+	}
+}
+
+// writeDoc marshals a document to a temp file for diff tests.
+func writeDoc(t *testing.T, dir, name string, doc Output) string {
+	t.Helper()
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffTableAndThreshold(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeDoc(t, dir, "old.json", Output{Benchmarks: []Benchmark{
+		{Name: "Steady", Pkg: "p", Procs: 8, NsPerOp: 1000, Metrics: map[string]float64{"allocs/op": 10}},
+		{Name: "Faster", Pkg: "p", Procs: 8, NsPerOp: 1000},
+		{Name: "Gone", Pkg: "p", Procs: 8, NsPerOp: 500},
+	}})
+	newPath := writeDoc(t, dir, "new.json", Output{Benchmarks: []Benchmark{
+		{Name: "Steady", Pkg: "p", Procs: 8, NsPerOp: 1100, Metrics: map[string]float64{"allocs/op": 9}},
+		{Name: "Faster", Pkg: "p", Procs: 8, NsPerOp: 400},
+		{Name: "New", Pkg: "p", Procs: 8, NsPerOp: 700},
+	}})
+
+	// +10% on Steady is inside the 20% default; -60% on Faster is a win;
+	// Gone/New never gate.
+	var out strings.Builder
+	regressed, err := diff(&out, oldPath, newPath, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("diff flagged a regression within threshold:\n%s", out.String())
+	}
+	for _, want := range []string{"p.Steady", "+10.0%", "-10.0%", "(gone)", "(new)", "-60.0%"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("diff table missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Tighten the threshold below the +10% drift: now it must gate.
+	out.Reset()
+	regressed, err = diff(&out, oldPath, newPath, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("diff missed a 10%% regression at threshold 5:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("regressed row not marked:\n%s", out.String())
+	}
+}
+
+// TestDiffIdenticalIsClean pins the gate used by `make bench-diff`: a file
+// diffed against itself reports nothing.
+func TestDiffIdenticalIsClean(t *testing.T) {
+	dir := t.TempDir()
+	path := writeDoc(t, dir, "same.json", Output{Benchmarks: []Benchmark{
+		{Name: "A", Pkg: "p", Procs: 4, NsPerOp: 123},
+	}})
+	var out strings.Builder
+	regressed, err := diff(&out, path, path, 20)
+	if err != nil || regressed {
+		t.Fatalf("self-diff regressed=%v err=%v:\n%s", regressed, err, out.String())
 	}
 }

@@ -45,6 +45,7 @@ type config struct {
 	grace         time.Duration
 	dataDir       string
 	fsyncEvery    int
+	fsyncMaxDelay time.Duration
 	snapshotEvery int
 	pprof         bool
 	traceBuffer   int
@@ -56,6 +57,7 @@ func main() {
 	flag.DurationVar(&cfg.grace, "grace", 10*time.Second, "graceful shutdown timeout")
 	flag.StringVar(&cfg.dataDir, "data-dir", "", "directory for the write-ahead log and snapshots (empty = in-memory only)")
 	flag.IntVar(&cfg.fsyncEvery, "fsync-every", 64, "group-commit: fsync the journal once per this many records")
+	flag.DurationVar(&cfg.fsyncMaxDelay, "fsync-max-delay", 100*time.Millisecond, "upper bound on how long a journaled record may wait for its fsync (0 disables the timer)")
 	flag.IntVar(&cfg.snapshotEvery, "snapshot-every", 4096, "fold the journal into a snapshot after this many records")
 	flag.BoolVar(&cfg.pprof, "pprof", true, "serve net/http/pprof profiles under /debug/pprof/")
 	flag.IntVar(&cfg.traceBuffer, "trace-buffer", 4096, "per-tenant trace-ring retention in events (GET /v1/tenants/{id}/trace)")
@@ -73,9 +75,14 @@ func serve(ctx context.Context, cfg config, ready func(addr string)) error {
 	var srv *server.Server
 	var err error
 	if cfg.dataDir != "" {
+		maxDelay := cfg.fsyncMaxDelay
+		if maxDelay == 0 {
+			maxDelay = -1 // flag 0 = disabled; Options 0 = default
+		}
 		srv, err = server.Open(server.Options{
 			DataDir:       cfg.dataDir,
 			FsyncEvery:    cfg.fsyncEvery,
+			FsyncMaxDelay: maxDelay,
 			SnapshotEvery: cfg.snapshotEvery,
 			TraceBuffer:   cfg.traceBuffer,
 		})

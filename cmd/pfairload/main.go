@@ -43,8 +43,23 @@ type config struct {
 	workers      int
 	m            int // processors per tenant
 	advanceEvery int // advance the tenant's virtual time every this many submits
+	batch        int // jobs per submit request; >1 uses POST jobs:batch
 	policy       string
 	dataDir      string // durable in-process server (WAL under load)
+}
+
+// newTransport builds the shared keep-alive transport for a load run. The
+// default transport caps idle connections per host at 2, so any -workers
+// above that reconnects on nearly every request and a long run exhausts
+// ephemeral ports; sizing the idle pool to the worker count keeps one warm
+// connection per worker.
+func newTransport(workers int) *http.Transport {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	if tr.MaxIdleConns < workers {
+		tr.MaxIdleConns = workers
+	}
+	tr.MaxIdleConnsPerHost = workers
+	return tr
 }
 
 // report is one load run's outcome. The P* percentiles are measured by
@@ -75,6 +90,7 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 8, "concurrent client workers")
 	flag.IntVar(&cfg.m, "m", 2, "processors per tenant")
 	flag.IntVar(&cfg.advanceEvery, "advance-every", 4, "advance virtual time every N submits")
+	flag.IntVar(&cfg.batch, "batch", 1, "jobs per submit request; >1 drives POST jobs:batch")
 	flag.StringVar(&cfg.policy, "policy", "PD2", "priority policy (PD2, PD, PF, EPDF)")
 	flag.StringVar(&cfg.dataDir, "data-dir", "", "make the in-process server durable: journal to this directory (measures WAL overhead under load)")
 	flag.Parse()
@@ -102,6 +118,9 @@ func run(cfg config, out io.Writer) (report, error) {
 	if cfg.advanceEvery < 1 {
 		cfg.advanceEvery = 1
 	}
+	if cfg.batch < 1 {
+		cfg.batch = 1
+	}
 
 	base := cfg.addr
 	if base == "" {
@@ -128,7 +147,7 @@ func run(cfg config, out io.Writer) (report, error) {
 		base = "http://" + ln.Addr().String()
 		fmt.Fprintf(out, "in-process pfaird on %s\n", base)
 	}
-	c := client.New(base, &http.Client{Timeout: 30 * time.Second}).
+	c := client.New(base, &http.Client{Timeout: 30 * time.Second, Transport: newTransport(cfg.workers)}).
 		WithRetry(client.RetryPolicy{MaxAttempts: 4}) // GETs only; mutations never retry
 	ctx := context.Background()
 
@@ -178,23 +197,44 @@ func run(cfg config, out io.Writer) (report, error) {
 			mine := perWorker[w]
 			lat := make([]time.Duration, 0, cfg.jobs*len(mine)*2)
 			submits := 0
-			for j := 0; j < cfg.jobs; j++ {
+			advance := func(tenant string) bool {
+				t0 := time.Now()
+				_, err := c.AdvanceBy(ctx, tenant, "1")
+				lat = append(lat, time.Since(t0))
+				if err != nil {
+					errs[w] = fmt.Errorf("advance %s: %w", tenant, err)
+					return false
+				}
+				return true
+			}
+			for j := 0; j < cfg.jobs; j += cfg.batch {
+				n := cfg.batch
+				if j+n > cfg.jobs {
+					n = cfg.jobs - j
+				}
 				for _, p := range mine {
 					t0 := time.Now()
-					_, err := c.SubmitJob(ctx, p.tenant, p.task, "")
+					var err error
+					if n == 1 {
+						_, err = c.SubmitJob(ctx, p.tenant, p.task, "")
+					} else {
+						// One request, one fsync, n jobs: the group-commit
+						// batch path.
+						jobs := make([]server.SubmitJobRequest, n)
+						for i := range jobs {
+							jobs[i] = server.SubmitJobRequest{Task: p.task}
+						}
+						_, err = c.SubmitJobs(ctx, p.tenant, jobs)
+					}
 					lat = append(lat, time.Since(t0))
 					if err != nil {
 						errs[w] = fmt.Errorf("submit %s/%s: %w", p.tenant, p.task, err)
 						lats[w] = lat
 						return
 					}
-					submits++
-					if submits%cfg.advanceEvery == 0 {
-						t0 = time.Now()
-						_, err := c.AdvanceBy(ctx, p.tenant, "1")
-						lat = append(lat, time.Since(t0))
-						if err != nil {
-							errs[w] = fmt.Errorf("advance %s: %w", p.tenant, err)
+					submits += n
+					if submits%cfg.advanceEvery < n {
+						if !advance(p.tenant) {
 							lats[w] = lat
 							return
 						}

@@ -1,7 +1,13 @@
 package main
 
 import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httptrace"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -62,6 +68,94 @@ func TestLoadTenThousandRequests(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("report output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestBatchLoadRun drives the same acceptance workload through the batch
+// submit path (-batch 5): every job still dispatches exactly once, so the
+// batch API is equivalent to singular submits under load.
+func TestBatchLoadRun(t *testing.T) {
+	var out strings.Builder
+	rep, err := run(config{
+		tenants:      2,
+		tasks:        4,
+		jobs:         100,
+		workers:      4,
+		m:            2,
+		advanceEvery: 5,
+		batch:        5,
+		policy:       "PD2",
+	}, &out)
+	if err != nil {
+		t.Fatalf("batch load run failed: %v\n%s", err, out.String())
+	}
+	if want := int64(2 * 4 * 100); rep.Dispatched != want {
+		t.Errorf("dispatched %d subtasks, want %d", rep.Dispatched, want)
+	}
+	// The server-side histogram records one ack latency per job, batched or
+	// not, so the two modes stay comparable.
+	if want := uint64(2 * 4 * 100); rep.SrvCount != want {
+		t.Errorf("server-side ack count %d, want %d", rep.SrvCount, want)
+	}
+}
+
+// TestTransportReusesConnections pins the shared-transport fix: with
+// `workers` concurrent requests over three rounds, the pool must serve
+// rounds two and three from kept-alive connections instead of redialing —
+// the default transport's per-host idle cap of 2 would open fresh
+// connections on nearly every request at high concurrency and exhaust
+// ephemeral ports on long runs.
+func TestTransportReusesConnections(t *testing.T) {
+	const workers = 16
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	tr := newTransport(workers)
+	defer tr.CloseIdleConnections()
+	hc := &http.Client{Transport: tr}
+
+	var dials atomic.Int64
+	trace := &httptrace.ClientTrace{
+		GotConn: func(info httptrace.GotConnInfo) {
+			if !info.Reused {
+				dials.Add(1)
+			}
+		},
+	}
+	for round := 0; round < 3; round++ {
+		var wg sync.WaitGroup
+		// A barrier per round: all workers in flight at once, so the round
+		// genuinely needs `workers` connections, and later rounds prove
+		// they were kept alive rather than redialed.
+		release := make(chan struct{})
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-release
+				ctx := httptrace.WithClientTrace(context.Background(), trace)
+				req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp, err := hc.Do(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+			}()
+		}
+		close(release)
+		wg.Wait()
+	}
+	// 3 rounds × 16 concurrent requests: every dial beyond the worker count
+	// means the pool dropped a reusable connection.
+	if got := dials.Load(); got > workers {
+		t.Errorf("%d new connections across 3×%d requests; the transport is not reusing connections", got, workers)
 	}
 }
 

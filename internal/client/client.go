@@ -183,6 +183,16 @@ func (c *Client) SubmitJob(ctx context.Context, tenant, task, at string) (server
 	return resp, err
 }
 
+// SubmitJobs releases a batch of jobs in one request through
+// POST /v1/tenants/{id}/jobs:batch. The batch is atomic: either every job
+// is accepted (one durability ack covers them all) or none is.
+func (c *Client) SubmitJobs(ctx context.Context, tenant string, jobs []server.SubmitJobRequest) (server.SubmitJobsResponse, error) {
+	var resp server.SubmitJobsResponse
+	err := c.do(ctx, http.MethodPost, "/v1/tenants/"+tenant+"/jobs:batch",
+		server.SubmitJobsRequest{Jobs: jobs}, &resp)
+	return resp, err
+}
+
 // SubmitJobEarly is SubmitJob with early releasing by up to `earliness`
 // slots.
 func (c *Client) SubmitJobEarly(ctx context.Context, tenant, task, at string, earliness int64) (server.SubmitJobResponse, error) {

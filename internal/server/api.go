@@ -59,6 +59,22 @@ type SubmitJobResponse struct {
 	Pending int    `json:"pending"`
 }
 
+// SubmitJobsRequest releases a batch of jobs in one request
+// (POST /v1/tenants/{id}/jobs:batch). The batch is atomic: every job is
+// validated before any is applied, one bad job rejects the whole batch,
+// and on a durable server the batch is journaled as one frame group and
+// acknowledged after a single fsync.
+type SubmitJobsRequest struct {
+	Jobs []SubmitJobRequest `json:"jobs"`
+}
+
+// SubmitJobsResponse reports a fully-accepted batch; Results[i] matches
+// Jobs[i] of the request.
+type SubmitJobsResponse struct {
+	Accepted int                 `json:"accepted"`
+	Results  []SubmitJobResponse `json:"results"`
+}
+
 // AdvanceRequest advances a tenant's virtual time, dispatching work on the
 // way. Exactly one of Until (absolute) or By (relative) must be set; By is
 // the race-free choice for concurrent clients.

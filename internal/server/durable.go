@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"desyncpfair/internal/admission"
 	"desyncpfair/internal/model"
@@ -22,6 +23,12 @@ type Options struct {
 	// FsyncEvery group-commits the journal: one fsync per this many
 	// records (≤ 1 syncs every record).
 	FsyncEvery int
+	// FsyncMaxDelay bounds how long any record may sit unsynced when
+	// FsyncEvery > 1: a timer flushes the partial tail group so an idle
+	// log always converges to durable. 0 selects the 100ms default; a
+	// negative value disables the timer (tests with fake clocks use this
+	// to keep fsync counts deterministic).
+	FsyncMaxDelay time.Duration
 	// SnapshotEvery folds the log into a fresh snapshot after this many
 	// records. Defaults to 4096.
 	SnapshotEvery int
@@ -153,12 +160,20 @@ func Open(opts Options) (*Server, error) {
 	if snapEvery == 0 {
 		snapEvery = 4096
 	}
+	maxDelay := opts.FsyncMaxDelay
+	switch {
+	case maxDelay == 0:
+		maxDelay = 100 * time.Millisecond
+	case maxDelay < 0:
+		maxDelay = 0 // disabled
+	}
 	s := New()
 	s.SetClock(opts.Clock)
 	s.SetTraceBuffer(opts.TraceBuffer)
 	l, rec, err := wal.Open(opts.DataDir, wal.Options{
-		FS: opts.FS, FsyncEvery: opts.FsyncEvery, SnapshotEvery: snapEvery,
-		Now: s.obs.clock.Now, Timings: walTimings{s.obs},
+		FS: opts.FS, FsyncEvery: opts.FsyncEvery, FsyncMaxDelay: maxDelay,
+		SnapshotEvery: snapEvery,
+		Now:           s.obs.clock.Now, Timings: walTimings{s.obs},
 	})
 	if err != nil {
 		return nil, err
@@ -181,7 +196,7 @@ func Open(opts Options) (*Server, error) {
 				l.Close()
 				return nil, err
 			}
-			if err := s.addTenant(t); err != nil {
+			if _, err := s.addTenant(t); err != nil {
 				l.Close()
 				return nil, err
 			}
@@ -197,7 +212,7 @@ func Open(opts Options) (*Server, error) {
 	s.wal = l
 	s.recovery = &info
 	for _, t := range s.allTenants() {
-		t.SetJournal(s.journalRecord, s.failJournal)
+		t.SetJournal(s.journalRecord, s.journalBatch, s.failJournal)
 	}
 	// Fold the replayed tail into a fresh snapshot so boot always starts
 	// the journal from a compact directory.
@@ -221,7 +236,7 @@ func (s *Server) applyRecord(r wal.Record, info *RecoveryInfo) {
 	case wal.OpTenantCreate:
 		nt, err := NewTenant(r.Tenant, r.M, r.Policy)
 		if err == nil {
-			err = s.addTenant(nt)
+			_, err = s.addTenant(nt)
 		}
 		if err != nil {
 			fail()
@@ -237,13 +252,17 @@ func (s *Server) applyRecord(r wal.Record, info *RecoveryInfo) {
 			fail()
 			return
 		}
-		d, err := t.RegisterTask(r.Name, model.W(r.E, r.P))
+		d, _, err := t.RegisterTask(r.Name, model.W(r.E, r.P))
 		if err != nil || !d.Admitted {
 			fail()
 			return
 		}
 	case wal.OpTaskUnregister:
-		if t == nil || t.UnregisterTask(r.Name) != nil {
+		if t == nil {
+			fail()
+			return
+		}
+		if _, err := t.UnregisterTask(r.Name); err != nil {
 			fail()
 			return
 		}
@@ -252,7 +271,7 @@ func (s *Server) applyRecord(r wal.Record, info *RecoveryInfo) {
 			fail()
 			return
 		}
-		if _, err := t.SubmitJob(r.Name, r.At, r.Earliness); err != nil {
+		if _, _, err := t.SubmitJob(r.Name, r.At, r.Earliness); err != nil {
 			fail()
 			return
 		}
@@ -261,7 +280,7 @@ func (s *Server) applyRecord(r wal.Record, info *RecoveryInfo) {
 			fail()
 			return
 		}
-		if _, err := t.Advance(r.At, ""); err != nil {
+		if _, _, err := t.Advance(r.At, ""); err != nil {
 			fail()
 			return
 		}
@@ -270,7 +289,7 @@ func (s *Server) applyRecord(r wal.Record, info *RecoveryInfo) {
 			fail()
 			return
 		}
-		if _, err := t.Drain(); err != nil {
+		if _, _, err := t.Drain(); err != nil {
 			fail()
 			return
 		}
@@ -292,19 +311,58 @@ func (s *Server) applyRecord(r wal.Record, info *RecoveryInfo) {
 	info.CommandsReplayed++
 }
 
-// journalRecord is the tenants' durability hook: it appends through the
-// wal and counts acknowledged commands.
-func (s *Server) journalRecord(r wal.Record) error {
+// journalRecord is the tenants' durability hook: it *enqueues* the record
+// (frame encode + buffered write, no fsync) and counts commands. The
+// caller carries the returned commit out of its locks and waits on it via
+// waitDurable before acking — compact's opMu quiesce still sees a cmdSeq
+// consistent with applied state because enqueue and apply both happen
+// under the tenant lock inside opMu's read side.
+func (s *Server) journalRecord(r wal.Record) (wal.Commit, error) {
 	if s.wal == nil {
-		return nil
+		return wal.Commit{}, nil
 	}
-	if _, err := s.wal.Append(r); err != nil {
-		return err
+	c, err := s.wal.AppendAsync(r)
+	if err != nil {
+		return wal.Commit{}, err
 	}
 	if r.IsCommand() {
 		s.cmdSeq.Add(1)
 	}
-	return nil
+	return c, nil
+}
+
+// journalBatch enqueues a frame group in one buffered write; the returned
+// commit covers the whole batch, so N records ack after one fsync.
+func (s *Server) journalBatch(rs []wal.Record) (wal.Commit, error) {
+	if s.wal == nil {
+		return wal.Commit{}, nil
+	}
+	c, err := s.wal.AppendBatch(rs)
+	if err != nil {
+		return wal.Commit{}, err
+	}
+	n := uint64(0)
+	for i := range rs {
+		if rs[i].IsCommand() {
+			n++
+		}
+	}
+	if n > 0 {
+		s.cmdSeq.Add(n)
+	}
+	return c, nil
+}
+
+// waitDurable blocks until the commit's record is covered by an fsync
+// (group commit: the first waiter syncs for everyone queued behind it).
+// Handlers call it after releasing opMu and every tenant lock, so a slow
+// fsync stalls only the acking requests. A zero commit — in-memory
+// server, non-journaled operation — returns immediately.
+func (s *Server) waitDurable(c wal.Commit) error {
+	if s.wal == nil || c.LSN == 0 {
+		return nil
+	}
+	return s.wal.Wait(c)
 }
 
 // Recovery returns what Open rebuilt, or nil for a non-durable server.

@@ -135,6 +135,9 @@ func (s *Server) writeWALMetrics(b *strings.Builder) {
 	b.WriteString("# HELP pfaird_wal_snapshots_total Snapshots written (compactions).\n")
 	b.WriteString("# TYPE pfaird_wal_snapshots_total counter\n")
 	fmt.Fprintf(b, "pfaird_wal_snapshots_total %d\n", st.Snapshots)
+	b.WriteString("# HELP pfaird_wal_unsynced_records Records written to the journal but not yet covered by an fsync.\n")
+	b.WriteString("# TYPE pfaird_wal_unsynced_records gauge\n")
+	fmt.Fprintf(b, "pfaird_wal_unsynced_records %d\n", st.Unsynced)
 	b.WriteString("# HELP pfaird_wal_wedged Whether the journal has failed and refuses writes.\n")
 	b.WriteString("# TYPE pfaird_wal_wedged gauge\n")
 	fmt.Fprintf(b, "pfaird_wal_wedged %d\n", boolGauge(st.Wedged))

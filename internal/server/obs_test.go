@@ -39,7 +39,10 @@ func newObsServer(t testing.TB) *server.Server {
 	srv, err := server.Open(server.Options{
 		DataDir:    t.TempDir(),
 		FsyncEvery: 1,
-		Clock:      obs.NewFake(time.Unix(1700000000, 0), time.Millisecond),
+		// The idle-flush timer runs on the real clock; disable it so fsync
+		// counts depend only on the request sequence under the fake clock.
+		FsyncMaxDelay: -1,
+		Clock:         obs.NewFake(time.Unix(1700000000, 0), time.Millisecond),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -20,6 +20,7 @@
 //	POST   /v1/tenants/{id}/tasks               RegisterTaskRequest → RegisterTaskResponse
 //	DELETE /v1/tenants/{id}/tasks/{name}
 //	POST   /v1/tenants/{id}/jobs                SubmitJobRequest → SubmitJobResponse
+//	POST   /v1/tenants/{id}/jobs:batch          SubmitJobsRequest → SubmitJobsResponse
 //	POST   /v1/tenants/{id}/advance             AdvanceRequest → AdvanceResponse
 //	POST   /v1/tenants/{id}/drain               → AdvanceResponse
 //	GET    /v1/tenants/{id}/dispatches          → DispatchEvent per line (chunked)
@@ -67,8 +68,12 @@ type Server struct {
 	// Durability (nil wal = in-memory server, the New() default). opMu's
 	// read side brackets every journaled mutation; compact takes the
 	// write side to get a stop-the-world-consistent image of the registry
-	// and cmdSeq, the count of acknowledged (journaled + applied)
-	// commands. Lock order: opMu → shard.mu / Tenant.mu → wal's own lock.
+	// and cmdSeq, the count of enqueued (journaled + applied) commands.
+	// Lock order: opMu → shard.mu / Tenant.mu → wal's own lock. Mutations
+	// only *enqueue* their record while holding those locks; the fsync
+	// wait (waitDurable) happens after all of them are released, so one
+	// request's fsync never blocks other tenants — concurrent waiters
+	// coalesce into a single fsync inside wal.Log (group commit).
 	wal      *wal.Log
 	opMu     sync.RWMutex
 	cmdSeq   atomic.Uint64
@@ -98,6 +103,7 @@ func New() *Server {
 	s.route("POST /v1/tenants/{id}/tasks", s.handleRegisterTask)
 	s.route("DELETE /v1/tenants/{id}/tasks/{name}", s.handleUnregisterTask)
 	s.route("POST /v1/tenants/{id}/jobs", s.handleSubmitJob)
+	s.route("POST /v1/tenants/{id}/jobs:batch", s.handleSubmitJobs)
 	s.route("POST /v1/tenants/{id}/advance", s.handleAdvance)
 	s.route("POST /v1/tenants/{id}/drain", s.handleDrain)
 	s.route("GET /v1/tenants/{id}/dispatches", s.handleDispatches)
@@ -167,45 +173,47 @@ func (s *Server) tenant(id string) *Tenant {
 // attaches the server's observability (trace ring, per-tenant histograms)
 // — both the live-create and the recovery-restore path come through here,
 // so every served tenant is instrumented.
-func (s *Server) addTenant(t *Tenant) error {
+func (s *Server) addTenant(t *Tenant) (wal.Commit, error) {
 	sh := s.shardOf(t.ID())
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if _, dup := sh.tenants[t.ID()]; dup {
-		return fmt.Errorf("server: tenant %q already exists", t.ID())
+		return wal.Commit{}, fmt.Errorf("server: tenant %q already exists", t.ID())
 	}
-	if err := s.journalRecord(wal.Record{
+	commit, err := s.journalRecord(wal.Record{
 		Op: wal.OpTenantCreate, Tenant: t.ID(), M: t.ctrl.M(), Policy: t.policy,
-	}); err != nil {
-		return err
+	})
+	if err != nil {
+		return wal.Commit{}, err
 	}
 	t.attachObs(s.obs)
 	sh.tenants[t.ID()] = t
 	if s.wal != nil {
-		t.SetJournal(s.journalRecord, s.failJournal)
+		t.SetJournal(s.journalRecord, s.journalBatch, s.failJournal)
 	}
-	return nil
+	return commit, nil
 }
 
 // removeTenant journals then deletes and closes the tenant, ending its
 // streams. It reports whether the tenant existed; the error is a journal
 // failure (the tenant then remains).
-func (s *Server) removeTenant(id string) (bool, error) {
+func (s *Server) removeTenant(id string) (bool, wal.Commit, error) {
 	sh := s.shardOf(id)
 	sh.mu.Lock()
 	t := sh.tenants[id]
 	if t == nil {
 		sh.mu.Unlock()
-		return false, nil
+		return false, wal.Commit{}, nil
 	}
-	if err := s.journalRecord(wal.Record{Op: wal.OpTenantDelete, Tenant: id}); err != nil {
+	commit, err := s.journalRecord(wal.Record{Op: wal.OpTenantDelete, Tenant: id})
+	if err != nil {
 		sh.mu.Unlock()
-		return true, err
+		return true, wal.Commit{}, err
 	}
 	delete(sh.tenants, id)
 	sh.mu.Unlock()
 	t.Close()
-	return true, nil
+	return true, commit, nil
 }
 
 // dropTenant removes and closes a tenant without journaling — the replay
@@ -288,10 +296,14 @@ func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.opMu.RLock()
-	err = s.addTenant(t)
+	commit, err := s.addTenant(t)
 	s.opMu.RUnlock()
 	if err != nil {
 		writeErr(w, statusOf(err, http.StatusConflict), err)
+		return
+	}
+	if err := s.waitDurable(commit); err != nil {
+		writeErr(w, statusOf(err, http.StatusServiceUnavailable), err)
 		return
 	}
 	s.maybeCompact()
@@ -317,7 +329,7 @@ func (s *Server) handleGetTenant(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteTenant(w http.ResponseWriter, r *http.Request) {
 	s.opMu.RLock()
-	found, err := s.removeTenant(r.PathValue("id"))
+	found, commit, err := s.removeTenant(r.PathValue("id"))
 	s.opMu.RUnlock()
 	if err != nil {
 		writeErr(w, statusOf(err, http.StatusServiceUnavailable), err)
@@ -325,6 +337,10 @@ func (s *Server) handleDeleteTenant(w http.ResponseWriter, r *http.Request) {
 	}
 	if !found {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("server: no tenant %q", r.PathValue("id")))
+		return
+	}
+	if err := s.waitDurable(commit); err != nil {
+		writeErr(w, statusOf(err, http.StatusServiceUnavailable), err)
 		return
 	}
 	s.maybeCompact()
@@ -342,10 +358,14 @@ func (s *Server) handleRegisterTask(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.opMu.RLock()
-	d, err := t.RegisterTask(req.Name, model.W(req.E, req.P))
+	d, commit, err := t.RegisterTask(req.Name, model.W(req.E, req.P))
 	s.opMu.RUnlock()
 	if err != nil {
 		writeErr(w, statusOf(err, http.StatusBadRequest), err)
+		return
+	}
+	if err := s.waitDurable(commit); err != nil {
+		writeErr(w, statusOf(err, http.StatusServiceUnavailable), err)
 		return
 	}
 	s.maybeCompact()
@@ -365,10 +385,14 @@ func (s *Server) handleUnregisterTask(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.opMu.RLock()
-	err := t.UnregisterTask(r.PathValue("name"))
+	commit, err := t.UnregisterTask(r.PathValue("name"))
 	s.opMu.RUnlock()
 	if err != nil {
 		writeErr(w, statusOf(err, http.StatusConflict), err)
+		return
+	}
+	if err := s.waitDurable(commit); err != nil {
+		writeErr(w, statusOf(err, http.StatusServiceUnavailable), err)
 		return
 	}
 	s.maybeCompact()
@@ -387,10 +411,16 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.opMu.RLock()
-	resp, err := t.SubmitJob(req.Task, req.At, req.Earliness)
+	resp, commit, err := t.SubmitJob(req.Task, req.At, req.Earliness)
 	s.opMu.RUnlock()
 	if err != nil {
 		writeErr(w, statusOf(err, http.StatusBadRequest), err)
+		return
+	}
+	// Durability wait happens here, outside every lock: concurrent submits
+	// park together in the WAL and share one fsync (group commit).
+	if err := s.waitDurable(commit); err != nil {
+		writeErr(w, statusOf(err, http.StatusServiceUnavailable), err)
 		return
 	}
 	s.maybeCompact()
@@ -398,6 +428,49 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	// record journaled). Only successful submissions land in the histogram
 	// — rejections are counted elsewhere and would skew the latency series.
 	t.observeSubmitAck(s.obs.clock.Now().Sub(start))
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// handleSubmitJobs is the batch submit path: all jobs validate, journal as
+// one frame group, and apply under a single tenant-lock acquisition, then
+// the whole batch acks after one durability wait.
+func (s *Server) handleSubmitJobs(w http.ResponseWriter, r *http.Request) {
+	start := s.obs.clock.Now()
+	t := s.tenant(r.PathValue("id"))
+	if t == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("server: no tenant %q", r.PathValue("id")))
+		return
+	}
+	var req SubmitJobsRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: empty batch"))
+		return
+	}
+	if len(req.Jobs) > MaxBatchJobs {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: batch of %d jobs exceeds %d", len(req.Jobs), MaxBatchJobs))
+		return
+	}
+	s.opMu.RLock()
+	resp, commit, err := t.SubmitJobs(req.Jobs)
+	s.opMu.RUnlock()
+	if err != nil {
+		writeErr(w, statusOf(err, http.StatusBadRequest), err)
+		return
+	}
+	if err := s.waitDurable(commit); err != nil {
+		writeErr(w, statusOf(err, http.StatusServiceUnavailable), err)
+		return
+	}
+	s.maybeCompact()
+	// One ack covers the batch; record one latency observation per job so
+	// the submit-ack histogram stays comparable with the singular path.
+	d := s.obs.clock.Now().Sub(start)
+	for range resp.Results {
+		t.observeSubmitAck(d)
+	}
 	writeJSON(w, http.StatusAccepted, resp)
 }
 
@@ -412,10 +485,14 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.opMu.RLock()
-	resp, err := t.Advance(req.Until, req.By)
+	resp, commit, err := t.Advance(req.Until, req.By)
 	s.opMu.RUnlock()
 	if err != nil {
 		writeErr(w, statusOf(err, http.StatusBadRequest), err)
+		return
+	}
+	if err := s.waitDurable(commit); err != nil {
+		writeErr(w, statusOf(err, http.StatusServiceUnavailable), err)
 		return
 	}
 	s.maybeCompact()
@@ -429,10 +506,14 @@ func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.opMu.RLock()
-	resp, err := t.Drain()
+	resp, commit, err := t.Drain()
 	s.opMu.RUnlock()
 	if err != nil {
 		writeErr(w, statusOf(err, http.StatusConflict), err)
+		return
+	}
+	if err := s.waitDurable(commit); err != nil {
+		writeErr(w, statusOf(err, http.StatusServiceUnavailable), err)
 		return
 	}
 	s.maybeCompact()

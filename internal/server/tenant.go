@@ -45,11 +45,17 @@ type Tenant struct {
 	// every mutating call journals its command record through it *before*
 	// applying (write-ahead). The call sites pre-validate so a journaled
 	// command cannot fail to apply — that is what lets recovery treat a
-	// replay error as a real inconsistency. journalFail wedges the log in
-	// the one case pre-validation cannot cover (Drain's internal guards),
-	// so in-memory state can never silently outrun the journal.
-	journal     func(wal.Record) error
-	journalFail func(error)
+	// replay error as a real inconsistency. The hook only *enqueues* the
+	// record (wal.AppendAsync); the returned wal.Commit travels up to the
+	// HTTP handler, which waits for durability after releasing t.mu — so a
+	// slow fsync stalls the acking request, never the tenant. journalBatch
+	// enqueues a whole frame group the same way. journalFail wedges the
+	// log in the cases pre-validation cannot cover (Drain's internal
+	// guards, a batch that partially applied), so in-memory state can
+	// never silently outrun the journal.
+	journal      func(wal.Record) (wal.Commit, error)
+	journalBatch func([]wal.Record) (wal.Commit, error)
+	journalFail  func(error)
 
 	// Observability, attached by Server.addTenant before the tenant takes
 	// traffic (NewTenant installs standalone defaults so a bare tenant
@@ -190,12 +196,16 @@ func (t *Tenant) traceFail(stage string, err error) {
 	t.tr.Stage(t.id, t.curCmd, t.curStart, t.curOp, stage, err.Error())
 }
 
-// SetJournal installs the durability hook: append journals a record,
-// fail permanently wedges the journal after a post-journal apply failure.
-// Like SetOnDispatch it must be called before the tenant serves traffic.
-func (t *Tenant) SetJournal(append func(wal.Record) error, fail func(error)) {
+// SetJournal installs the durability hooks: append enqueues one record,
+// batch enqueues a frame group, fail permanently wedges the journal after
+// a post-journal apply failure. append/batch return a wal.Commit the
+// caller waits on *after* releasing t.mu (group commit: the first waiter
+// fsyncs for everyone queued behind it). Like SetOnDispatch it must be
+// called before the tenant serves traffic.
+func (t *Tenant) SetJournal(append func(wal.Record) (wal.Commit, error), batch func([]wal.Record) (wal.Commit, error), fail func(error)) {
 	t.mu.Lock()
 	t.journal = append
+	t.journalBatch = batch
 	t.journalFail = fail
 	t.mu.Unlock()
 }
@@ -233,7 +243,7 @@ func (t *Tenant) record(d online.Dispatch) {
 		// decisions by replaying commands and checks them against these.
 		// An append error here already wedged the log, so the following
 		// command will fail loudly; nothing to do with it now.
-		_ = t.journal(wal.Record{
+		_, _ = t.journal(wal.Record{
 			Op: wal.OpDispatch, Tenant: t.id,
 			Name: ev.Task, DSeq: ev.Seq, Index: ev.Index, Finish: ev.Finish,
 		})
@@ -251,39 +261,44 @@ func (t *Tenant) ID() string { return t.id }
 
 // RegisterTask admits a task through the admission controller and, when
 // admitted, registers it with the executive. A negative decision leaves
-// the tenant unchanged and is counted in the rejection metric.
-func (t *Tenant) RegisterTask(name string, w model.Weight) (admission.Decision, error) {
+// the tenant unchanged and is counted in the rejection metric. The
+// returned commit is the journal position to wait durable before acking
+// (zero when nothing was journaled).
+func (t *Tenant) RegisterTask(name string, w model.Weight) (admission.Decision, wal.Commit, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.gone {
-		return admission.Decision{}, errTenantGone
+		return admission.Decision{}, wal.Commit{}, errTenantGone
 	}
 	if w.P > MaxPeriod {
-		return admission.Decision{}, fmt.Errorf("server: task %q period %d exceeds %d", name, w.P, MaxPeriod)
+		return admission.Decision{}, wal.Commit{}, fmt.Errorf("server: task %q period %d exceeds %d", name, w.P, MaxPeriod)
 	}
 	if err := w.Validate(); err != nil {
-		return admission.Decision{}, err
+		return admission.Decision{}, wal.Commit{}, err
 	}
 	if !t.utilOverflowSafe(w) {
-		return admission.Decision{}, fmt.Errorf("server: task %q weight %s: utilization sum leaves exact-arithmetic range", name, w)
+		return admission.Decision{}, wal.Commit{}, fmt.Errorf("server: task %q weight %s: utilization sum leaves exact-arithmetic range", name, w)
 	}
 	d, err := t.ctrl.Register(name, w)
 	if err != nil {
-		return admission.Decision{}, err
+		return admission.Decision{}, wal.Commit{}, err
 	}
 	if !d.Admitted {
 		// Rejections are not journaled: they leave no state behind, and
 		// the rejection metric is restored from the last snapshot.
 		t.reject++
-		return d, nil
+		return d, wal.Commit{}, nil
 	}
+	var commit wal.Commit
 	t.traceBegin(wal.OpTaskRegister, name, "")
 	if t.journal != nil {
-		if jerr := t.journal(wal.Record{Op: wal.OpTaskRegister, Tenant: t.id, Name: name, E: w.E, P: w.P}); jerr != nil {
+		c, jerr := t.journal(wal.Record{Op: wal.OpTaskRegister, Tenant: t.id, Name: name, E: w.E, P: w.P})
+		if jerr != nil {
 			_ = t.ctrl.Unregister(name)
 			t.traceFail(obs.StageWALAppend, jerr)
-			return admission.Decision{}, jerr
+			return admission.Decision{}, wal.Commit{}, jerr
 		}
+		commit = c
 		t.traceStage(obs.StageWALAppend)
 	}
 	task, err := t.ex.Register(name, w)
@@ -292,177 +307,266 @@ func (t *Tenant) RegisterTask(name string, w model.Weight) (admission.Decision, 
 		// Σwt ≤ M bound; roll the controller back if it ever happens.
 		_ = t.ctrl.Unregister(name)
 		t.traceFail(obs.StageApply, err)
-		return admission.Decision{}, err
+		return admission.Decision{}, wal.Commit{}, err
 	}
 	t.tasks[name] = task
 	t.traceStage(obs.StageApply)
-	return d, nil
+	return d, commit, nil
 }
 
 // UnregisterTask removes a task and releases its capacity. It fails while
 // the task still has undispatched subtasks (advance or drain first).
-func (t *Tenant) UnregisterTask(name string) error {
+func (t *Tenant) UnregisterTask(name string) (wal.Commit, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	task, ok := t.tasks[name]
 	if !ok {
-		return fmt.Errorf("server: tenant %q has no task %q", t.id, name)
+		return wal.Commit{}, fmt.Errorf("server: tenant %q has no task %q", t.id, name)
 	}
 	// Pre-validate the one way Unregister can fail (t.tasks only holds
 	// active tasks) so the journaled command always applies on replay.
 	if n := t.ex.Undispatched(task); n > 0 {
-		return fmt.Errorf("server: task %q has %d undispatched subtasks; drain before unregistering", name, n)
+		return wal.Commit{}, fmt.Errorf("server: task %q has %d undispatched subtasks; drain before unregistering", name, n)
 	}
+	var commit wal.Commit
 	t.traceBegin(wal.OpTaskUnregister, name, "")
 	if t.journal != nil {
-		if jerr := t.journal(wal.Record{Op: wal.OpTaskUnregister, Tenant: t.id, Name: name}); jerr != nil {
+		c, jerr := t.journal(wal.Record{Op: wal.OpTaskUnregister, Tenant: t.id, Name: name})
+		if jerr != nil {
 			t.traceFail(obs.StageWALAppend, jerr)
-			return jerr
+			return wal.Commit{}, jerr
 		}
+		commit = c
 		t.traceStage(obs.StageWALAppend)
 	}
 	if err := t.ex.Unregister(task); err != nil {
 		t.traceFail(obs.StageApply, err)
-		return err
+		return wal.Commit{}, err
 	}
 	if err := t.ctrl.Unregister(name); err != nil {
 		t.traceFail(obs.StageApply, err)
-		return err
+		return wal.Commit{}, err
 	}
 	delete(t.tasks, name)
 	t.traceStage(obs.StageApply)
-	return nil
+	return commit, nil
 }
 
 // SubmitJob releases one job of the named task. An empty `at` submits at
 // the tenant's current virtual time (the race-free choice for concurrent
 // clients); otherwise `at` is parsed as a rat and must not precede it.
-func (t *Tenant) SubmitJob(taskName, at string, earliness int64) (SubmitJobResponse, error) {
+func (t *Tenant) SubmitJob(taskName, at string, earliness int64) (SubmitJobResponse, wal.Commit, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	task, ok := t.tasks[taskName]
+	req := SubmitJobRequest{Task: taskName, At: at, Earliness: earliness}
+	task, when, err := t.validateSubmitLocked(req)
+	if err != nil {
+		return SubmitJobResponse{}, wal.Commit{}, err
+	}
+	var commit wal.Commit
+	t.traceBegin(wal.OpJobSubmit, taskName, when.String())
+	if t.journal != nil {
+		c, jerr := t.journal(wal.Record{Op: wal.OpJobSubmit, Tenant: t.id, Name: taskName, At: when.String(), Earliness: earliness})
+		if jerr != nil {
+			t.traceFail(obs.StageWALAppend, jerr)
+			return SubmitJobResponse{}, wal.Commit{}, jerr
+		}
+		commit = c
+		t.traceStage(obs.StageWALAppend)
+	}
+	if err := t.applySubmitLocked(task, when, earliness); err != nil {
+		t.traceFail(obs.StageApply, err)
+		return SubmitJobResponse{}, wal.Commit{}, err
+	}
+	t.traceStage(obs.StageApply)
+	return SubmitJobResponse{At: when.String(), Pending: t.ex.Pending()}, commit, nil
+}
+
+// validateSubmitLocked runs every check the executive would enforce on a
+// job submit and resolves an empty `at` to the tenant's current virtual
+// time. Callers hold t.mu. A nil error guarantees applySubmitLocked with
+// the returned values cannot fail — that is the pre-validation contract
+// that makes journal-before-apply safe.
+func (t *Tenant) validateSubmitLocked(req SubmitJobRequest) (*model.Task, rat.Rat, error) {
+	task, ok := t.tasks[req.Task]
 	if !ok {
-		return SubmitJobResponse{}, fmt.Errorf("server: tenant %q has no task %q", t.id, taskName)
+		return nil, rat.Zero, fmt.Errorf("server: tenant %q has no task %q", t.id, req.Task)
 	}
 	when := t.ex.Now()
-	if at != "" {
+	if req.At != "" {
 		var err error
-		when, err = rat.Parse(at)
+		when, err = rat.Parse(req.At)
 		if err != nil {
-			return SubmitJobResponse{}, err
+			return nil, rat.Zero, err
 		}
 		if err := checkTime("arrival", when); err != nil {
-			return SubmitJobResponse{}, err
+			return nil, rat.Zero, err
 		}
 	}
 	// Pre-validate everything the executive would reject, then journal the
 	// *resolved* arrival time: an empty `at` means "now", which only the
 	// live server knows — replay must not re-resolve it.
 	if when.Less(t.ex.Now()) {
-		return SubmitJobResponse{}, fmt.Errorf("server: job of %q submitted at %s, before virtual time %s", taskName, when, t.ex.Now())
+		return nil, rat.Zero, fmt.Errorf("server: job of %q submitted at %s, before virtual time %s", req.Task, when, t.ex.Now())
 	}
-	if earliness < 0 {
-		return SubmitJobResponse{}, fmt.Errorf("server: negative earliness %d", earliness)
+	if req.Earliness < 0 {
+		return nil, rat.Zero, fmt.Errorf("server: negative earliness %d", req.Earliness)
 	}
-	if earliness > MaxEarliness {
-		return SubmitJobResponse{}, fmt.Errorf("server: earliness %d exceeds %d", earliness, MaxEarliness)
+	if req.Earliness > MaxEarliness {
+		return nil, rat.Zero, fmt.Errorf("server: earliness %d exceeds %d", req.Earliness, MaxEarliness)
 	}
-	t.traceBegin(wal.OpJobSubmit, taskName, when.String())
-	if t.journal != nil {
-		if jerr := t.journal(wal.Record{Op: wal.OpJobSubmit, Tenant: t.id, Name: taskName, At: when.String(), Earliness: earliness}); jerr != nil {
-			t.traceFail(obs.StageWALAppend, jerr)
-			return SubmitJobResponse{}, jerr
-		}
-		t.traceStage(obs.StageWALAppend)
-	}
-	var err error
+	return task, when, nil
+}
+
+// applySubmitLocked releases one pre-validated job into the executive.
+// Callers hold t.mu.
+func (t *Tenant) applySubmitLocked(task *model.Task, when rat.Rat, earliness int64) error {
 	if earliness > 0 {
-		err = t.ex.SubmitJobEarly(task, when, earliness)
-	} else {
-		err = t.ex.SubmitJob(task, when)
+		return t.ex.SubmitJobEarly(task, when, earliness)
 	}
-	if err != nil {
-		t.traceFail(obs.StageApply, err)
-		return SubmitJobResponse{}, err
+	return t.ex.SubmitJob(task, when)
+}
+
+// SubmitJobs releases a batch of jobs atomically: every job is validated
+// against the tenant's current state first (all-or-nothing — one bad job
+// rejects the whole batch with no state change), then the batch is
+// journaled as one contiguous frame group and applied under this single
+// lock acquisition. The caller waits on the one returned commit, so N
+// jobs cost one fsync even with FsyncEvery=1.
+func (t *Tenant) SubmitJobs(reqs []SubmitJobRequest) (SubmitJobsResponse, wal.Commit, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.gone {
+		return SubmitJobsResponse{}, wal.Commit{}, errTenantGone
 	}
-	t.traceStage(obs.StageApply)
-	return SubmitJobResponse{At: when.String(), Pending: t.ex.Pending()}, nil
+	tasks := make([]*model.Task, len(reqs))
+	whens := make([]rat.Rat, len(reqs))
+	recs := make([]wal.Record, len(reqs))
+	for i, req := range reqs {
+		task, when, err := t.validateSubmitLocked(req)
+		if err != nil {
+			return SubmitJobsResponse{}, wal.Commit{}, fmt.Errorf("job %d: %w", i, err)
+		}
+		tasks[i], whens[i] = task, when
+		recs[i] = wal.Record{Op: wal.OpJobSubmit, Tenant: t.id, Name: req.Task, At: when.String(), Earliness: req.Earliness}
+	}
+	// Jobs within a batch are validated independently against the state at
+	// entry; submits only add pending work and never move virtual time, so
+	// independent validity implies sequential validity.
+	var commit wal.Commit
+	if t.journalBatch != nil {
+		c, jerr := t.journalBatch(recs)
+		if jerr != nil {
+			// Trace one failed command for the whole batch so the ring
+			// shows why nothing applied.
+			t.traceBegin(wal.OpJobSubmit, fmt.Sprintf("batch[%d]", len(reqs)), "")
+			t.traceFail(obs.StageWALAppend, jerr)
+			return SubmitJobsResponse{}, wal.Commit{}, jerr
+		}
+		commit = c
+	}
+	resp := SubmitJobsResponse{Results: make([]SubmitJobResponse, len(reqs))}
+	for i := range reqs {
+		t.traceBegin(wal.OpJobSubmit, reqs[i].Task, whens[i].String())
+		if t.journalBatch != nil {
+			t.traceStage(obs.StageWALAppend)
+		}
+		if err := t.applySubmitLocked(tasks[i], whens[i], reqs[i].Earliness); err != nil {
+			// Unreachable after pre-validation; if it ever happens the
+			// journaled suffix no longer matches applied state, so wedge.
+			if t.journalFail != nil {
+				t.journalFail(err)
+			}
+			t.traceFail(obs.StageApply, err)
+			return SubmitJobsResponse{}, wal.Commit{}, fmt.Errorf("job %d: %w", i, err)
+		}
+		t.traceStage(obs.StageApply)
+		resp.Results[i] = SubmitJobResponse{At: whens[i].String(), Pending: t.ex.Pending()}
+	}
+	resp.Accepted = len(reqs)
+	return resp, commit, nil
 }
 
 // Advance moves virtual time forward. Exactly one of until/by must be
 // non-empty; `by` is relative to the tenant's current virtual time.
-func (t *Tenant) Advance(until, by string) (AdvanceResponse, error) {
+func (t *Tenant) Advance(until, by string) (AdvanceResponse, wal.Commit, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	var target rat.Rat
 	switch {
 	case until != "" && by != "":
-		return AdvanceResponse{}, fmt.Errorf("server: advance takes until or by, not both")
+		return AdvanceResponse{}, wal.Commit{}, fmt.Errorf("server: advance takes until or by, not both")
 	case until != "":
 		var err error
 		if target, err = rat.Parse(until); err != nil {
-			return AdvanceResponse{}, err
+			return AdvanceResponse{}, wal.Commit{}, err
 		}
 		if err := checkTime("advance target", target); err != nil {
-			return AdvanceResponse{}, err
+			return AdvanceResponse{}, wal.Commit{}, err
 		}
 	case by != "":
 		d, err := rat.Parse(by)
 		if err != nil {
-			return AdvanceResponse{}, err
+			return AdvanceResponse{}, wal.Commit{}, err
 		}
 		if d.Sign() < 0 {
-			return AdvanceResponse{}, fmt.Errorf("server: advance by negative %s", by)
+			return AdvanceResponse{}, wal.Commit{}, fmt.Errorf("server: advance by negative %s", by)
 		}
 		// Bound the step before adding it to now: the addition itself is
 		// exact arithmetic and must stay in range.
 		if err := checkTime("advance step", d); err != nil {
-			return AdvanceResponse{}, err
+			return AdvanceResponse{}, wal.Commit{}, err
 		}
 		target = t.ex.Now().Add(d)
 		if err := checkTime("advance target", target); err != nil {
-			return AdvanceResponse{}, err
+			return AdvanceResponse{}, wal.Commit{}, err
 		}
 	default:
-		return AdvanceResponse{}, fmt.Errorf("server: advance needs until or by")
+		return AdvanceResponse{}, wal.Commit{}, fmt.Errorf("server: advance needs until or by")
 	}
 	if target.Less(t.ex.Now()) {
-		return AdvanceResponse{}, fmt.Errorf("server: cannot advance to %s, already at %s", target, t.ex.Now())
+		return AdvanceResponse{}, wal.Commit{}, fmt.Errorf("server: cannot advance to %s, already at %s", target, t.ex.Now())
 	}
+	var commit wal.Commit
 	t.traceBegin(wal.OpAdvance, "", target.String())
 	if t.journal != nil {
 		// Journal the resolved absolute target: `by` is relative to a
 		// virtual time only the live server knows.
-		if jerr := t.journal(wal.Record{Op: wal.OpAdvance, Tenant: t.id, At: target.String()}); jerr != nil {
+		c, jerr := t.journal(wal.Record{Op: wal.OpAdvance, Tenant: t.id, At: target.String()})
+		if jerr != nil {
 			t.traceFail(obs.StageWALAppend, jerr)
-			return AdvanceResponse{}, jerr
+			return AdvanceResponse{}, wal.Commit{}, jerr
 		}
+		commit = c
 		t.traceStage(obs.StageWALAppend)
 	}
 	before := int64(len(t.log))
 	if err := t.ex.Run(target, nil, nil); err != nil {
 		t.traceFail(obs.StageApply, err)
-		return AdvanceResponse{}, err
+		return AdvanceResponse{}, wal.Commit{}, err
 	}
 	t.traceStage(obs.StageApply)
 	return AdvanceResponse{
 		Now:        t.ex.Now().String(),
 		Dispatched: int64(len(t.log)) - before,
 		Pending:    t.ex.Pending(),
-	}, nil
+	}, commit, nil
 }
 
 // Drain dispatches everything released so far and returns the final
 // virtual time.
-func (t *Tenant) Drain() (AdvanceResponse, error) {
+func (t *Tenant) Drain() (AdvanceResponse, wal.Commit, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	var commit wal.Commit
 	t.traceBegin(wal.OpDrain, "", "")
 	if t.journal != nil {
-		if jerr := t.journal(wal.Record{Op: wal.OpDrain, Tenant: t.id}); jerr != nil {
+		c, jerr := t.journal(wal.Record{Op: wal.OpDrain, Tenant: t.id})
+		if jerr != nil {
 			t.traceFail(obs.StageWALAppend, jerr)
-			return AdvanceResponse{}, jerr
+			return AdvanceResponse{}, wal.Commit{}, jerr
 		}
+		commit = c
 		t.traceStage(obs.StageWALAppend)
 	}
 	before := int64(len(t.log))
@@ -475,14 +579,14 @@ func (t *Tenant) Drain() (AdvanceResponse, error) {
 			t.journalFail(err)
 		}
 		t.traceFail(obs.StageApply, err)
-		return AdvanceResponse{}, err
+		return AdvanceResponse{}, wal.Commit{}, err
 	}
 	t.traceStage(obs.StageApply)
 	return AdvanceResponse{
 		Now:        t.ex.Now().String(),
 		Dispatched: int64(len(t.log)) - before,
 		Pending:    t.ex.Pending(),
-	}, nil
+	}, commit, nil
 }
 
 // Info snapshots the tenant for GET /v1/tenants/{id} and /metrics.
@@ -580,6 +684,10 @@ const (
 	// MaxEarliness caps early-release offsets (eq. (6) shifts scale with
 	// it).
 	MaxEarliness = int64(1) << 20
+	// MaxBatchJobs caps jobs per batch submit: it bounds how long one
+	// request may hold the tenant lock and how large a WAL frame group the
+	// journal writes in one go.
+	MaxBatchJobs = 1024
 	// maxTimeDen / maxTimeValue bound virtual-time instants a client may
 	// name. rat.Cmp cross-multiplies numerator × opposing denominator, so
 	// a comparable time needs value·den_a·den_b ≤ 2^62; 2^28 quanta with

@@ -25,15 +25,24 @@
 //
 // # Durability model
 //
-// Append is group-committed: the frame is written immediately but fsync'd
-// only every Options.FsyncEvery records, so a crash can lose up to one
-// batch of acknowledged records — never reorder them, and never corrupt
-// the surviving prefix. The first write or sync error wedges the log
-// (ErrWedged): all further appends fail, so the in-memory state can never
-// silently run ahead of what a recovery could rebuild.
+// Appending is a two-step pipeline. The enqueue (AppendAsync/AppendBatch)
+// assigns the LSN and writes the frame under the log's mutex — cheap, no
+// syscall beyond the buffered write. Durability is a separate Wait on the
+// returned Commit: the first waiter becomes the fsync leader, releases the
+// mutex for the syscall, and its one fsync covers every record written
+// before it — all followers queued behind share that sync (leader/follower
+// group commit, the etcd/RocksDB write-group shape). With FsyncEvery == 1
+// every Wait is durable before it returns; with FsyncEvery > 1 Wait acks
+// immediately and the fsync happens once per batch (so a crash can lose up
+// to one batch of acknowledged records — never reorder them, and never
+// corrupt the surviving prefix), with FsyncMaxDelay bounding how long a
+// final partial batch can sit exposed. The first write or sync error
+// wedges the log (ErrWedged): all further appends fail, so the in-memory
+// state can never silently run ahead of what a recovery could rebuild.
 package wal
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -102,7 +111,24 @@ const (
 	frameHeader  = 8       // u32 length + u32 crc
 	maxPayload   = 1 << 20 // sanity bound on one record
 	maxLSN       = 1 << 62 // LSNs beyond this are treated as corruption
+	// maxPooledFrame bounds the encoding buffers the pool retains: a
+	// rare giant batch should not pin its scratch space forever.
+	maxPooledFrame = 64 << 10
 )
+
+// Commit is a durability ticket: AppendAsync and AppendBatch return one,
+// and Wait blocks until the identified record — and, by write ordering,
+// everything before it — is covered by an fsync per the log's policy. The
+// zero Commit waits for nothing, so callers without a journal can pass it
+// through unchanged.
+type Commit struct {
+	LSN uint64
+}
+
+// Timer is the handle Options.AfterFunc returns; *time.Timer satisfies it.
+type Timer interface {
+	Stop() bool
+}
 
 // Options configures Open.
 type Options struct {
@@ -110,12 +136,22 @@ type Options struct {
 	// one. Tests inject internal/faultfs here.
 	FS FS
 	// FsyncEvery group-commits: fsync once per this many appended records.
-	// Values ≤ 1 sync every append.
+	// Values ≤ 1 sync every append (and make Wait a durability barrier).
 	FsyncEvery int
 	// SnapshotEvery makes ShouldCompact report true once this many records
 	// have been appended since the last snapshot. 0 disables the hint
 	// (Compact can still be called explicitly).
 	SnapshotEvery int
+	// FsyncMaxDelay bounds how long a written record may sit unsynced when
+	// the FsyncEvery threshold has not been reached: a timer armed by the
+	// first record of each unsynced batch forces the group fsync after
+	// this delay, so a final partial batch no longer waits forever when
+	// traffic stops. 0 disables the timer.
+	FsyncMaxDelay time.Duration
+	// AfterFunc schedules the FsyncMaxDelay callback; nil selects
+	// time.AfterFunc. Tests inject a manually-fired timer so the
+	// idle-flush path needs no sleeps.
+	AfterFunc func(d time.Duration, f func()) Timer
 	// Now supplies timestamps for Timings measurements; nil selects
 	// time.Now. Tests inject a fake clock so the observed durations are
 	// exact. Ignored when Timings is nil — an uninstrumented log never
@@ -129,7 +165,8 @@ type Options struct {
 // must be safe for concurrent use and fast: the callbacks run under the
 // log's lock, on the append hot path.
 type Timings interface {
-	// ObserveAppend sees the duration of one frame write.
+	// ObserveAppend sees the duration of one frame write (one append, or
+	// one whole batch).
 	ObserveAppend(d time.Duration)
 	// ObserveFsync sees the duration of one fsync syscall.
 	ObserveFsync(d time.Duration)
@@ -140,12 +177,14 @@ type Timings interface {
 	ObserveLogToFsync(d time.Duration)
 }
 
-// Stats are the log's monotonic counters, exposed by pfaird's /metrics.
+// Stats are the log's counters, exposed by pfaird's /metrics. All fields
+// are monotonic except Unsynced and Wedged, which are point-in-time.
 type Stats struct {
 	Appends      uint64 // records appended
 	Fsyncs       uint64 // group-commit syncs issued
 	AppendErrors uint64 // appends refused (including post-wedge)
 	Snapshots    uint64 // successful Compact calls
+	Unsynced     uint64 // records written but not yet covered by an fsync
 	Wedged       bool
 }
 
@@ -161,6 +200,14 @@ type Recovery struct {
 	Segments       int
 }
 
+// pendingStamp remembers when an unsynced record's write landed, so the
+// group-commit fsync can report its log→fsync latency. Stamps are kept in
+// LSN order; the leader drains exactly the prefix its sync covered.
+type pendingStamp struct {
+	lsn uint64
+	at  time.Time
+}
+
 // Log is an append-only record journal over one data directory. All
 // methods are safe for concurrent use.
 type Log struct {
@@ -168,22 +215,76 @@ type Log struct {
 	fs         FS
 	fsyncEvery int
 	snapEvery  int
+	maxDelay   time.Duration
+	afterFunc  func(d time.Duration, f func()) Timer
 	now        func() time.Time
 	timings    Timings
 
-	mu        sync.Mutex
-	f         File
-	seg       string // active segment file name
-	nextLSN   uint64
-	unsynced  int
-	sinceSnap int
-	// pendingAt holds the append instant of each unsynced record, so the
-	// group-commit fsync can report every record's log→fsync latency.
-	// Empty (and untouched) when timings is nil.
-	pendingAt []time.Time
-	wedged    error
-	closed    bool
-	st        Stats
+	mu sync.Mutex
+	// commit signals durability progress: leaderSyncLocked broadcasts when
+	// a sync completes (or wedges), waking followers blocked in
+	// syncToLocked.
+	commit     *sync.Cond
+	f          File
+	seg        string // active segment file name
+	nextLSN    uint64
+	writtenLSN uint64 // highest LSN whose frame write succeeded
+	durableLSN uint64 // highest LSN covered by a completed fsync
+	syncing    bool   // a leader is inside the fsync syscall, mutex dropped
+	sinceSnap  int
+	timerArmed bool
+	timer      Timer
+	pendingAt  []pendingStamp // empty (and untouched) when timings is nil
+	wedged     error
+	closed     bool
+	st         Stats
+}
+
+// frameBuf is a reusable frame-encoding scratch: one buffer plus a JSON
+// encoder bound to it, pooled so the append hot path allocates neither per
+// record.
+type frameBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var framePool = sync.Pool{New: func() any {
+	fb := &frameBuf{}
+	fb.enc = json.NewEncoder(&fb.buf)
+	return fb
+}}
+
+func getFrameBuf() *frameBuf { return framePool.Get().(*frameBuf) }
+
+func putFrameBuf(fb *frameBuf) {
+	if fb.buf.Cap() > maxPooledFrame {
+		return
+	}
+	fb.buf.Reset()
+	framePool.Put(fb)
+}
+
+// encodeFrame appends one framed record to fb: 8-byte header reserved
+// first, JSON payload encoded in place, then length and CRC backfilled.
+// On error fb is restored to its previous length.
+func encodeFrame(fb *frameBuf, r *Record) error {
+	start := fb.buf.Len()
+	var header [frameHeader]byte
+	fb.buf.Write(header[:])
+	if err := fb.enc.Encode(r); err != nil {
+		fb.buf.Truncate(start)
+		return err
+	}
+	fb.buf.Truncate(fb.buf.Len() - 1) // Encode's trailing newline is not part of the frame
+	payload := fb.buf.Bytes()[start+frameHeader:]
+	if len(payload) > maxPayload {
+		fb.buf.Truncate(start)
+		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte bound", len(payload), maxPayload)
+	}
+	hdr := fb.buf.Bytes()[start : start+frameHeader]
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	return nil
 }
 
 // Open recovers whatever the directory holds (creating it if needed) and
@@ -245,13 +346,21 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 		fs:         fs,
 		fsyncEvery: opts.FsyncEvery,
 		snapEvery:  opts.SnapshotEvery,
+		maxDelay:   opts.FsyncMaxDelay,
+		afterFunc:  opts.AfterFunc,
 		now:        opts.Now,
 		timings:    opts.Timings,
 		nextLSN:    lastLSN + 1,
+		writtenLSN: lastLSN,
+		durableLSN: lastLSN,
 		sinceSnap:  len(rec.Records),
 	}
+	l.commit = sync.NewCond(&l.mu)
 	if l.now == nil {
 		l.now = time.Now
+	}
+	if l.afterFunc == nil {
+		l.afterFunc = func(d time.Duration, f func()) Timer { return time.AfterFunc(d, f) }
 	}
 	if l.fsyncEvery < 1 {
 		l.fsyncEvery = 1
@@ -263,7 +372,8 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 }
 
 // openSegment starts a fresh active segment named by the next LSN. Called
-// with l.mu held (or before the log is shared).
+// with l.mu held (or before the log is shared), with no unsynced records
+// and no sync in flight.
 func (l *Log) openSegment() error {
 	name := fmt.Sprintf("%s%016x%s", segPrefix, l.nextLSN, segSuffix)
 	f, err := l.fs.Create(filepath.Join(l.dir, name))
@@ -279,92 +389,240 @@ func (l *Log) openSegment() error {
 	}
 	l.f = f
 	l.seg = name
-	l.unsynced = 0
 	return nil
 }
 
-// Append journals one record, assigning its LSN. The write lands
-// immediately; the fsync is batched per Options.FsyncEvery (group commit).
-// Any I/O failure wedges the log: the error (wrapping ErrWedged) is
-// returned now and by every later append.
-func (l *Log) Append(r Record) (uint64, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+// unsyncedLocked is the count of written-but-unsynced records.
+func (l *Log) unsyncedLocked() int { return int(l.writtenLSN - l.durableLSN) }
+
+// appendableLocked refuses appends on a wedged or closed log, counting the
+// refusal.
+func (l *Log) appendableLocked() error {
 	if l.wedged != nil {
 		l.st.AppendErrors++
-		return 0, l.wedged
+		return l.wedged
 	}
 	if l.closed {
 		l.st.AppendErrors++
-		return 0, fmt.Errorf("wal: log closed")
+		return fmt.Errorf("wal: log closed")
 	}
-	r.LSN = l.nextLSN
-	payload, err := json.Marshal(r)
+	return nil
+}
+
+// Append journals one record, assigning its LSN, and applies the log's
+// durability policy before returning (the PR-3 behavior: with FsyncEvery
+// == 1 the record is fsync-covered on return; above that the fsync is
+// batched). It is AppendAsync + Wait — callers that can ack later use
+// those directly to overlap work with the fsync. Any I/O failure wedges
+// the log: the error (wrapping ErrWedged) is returned now and by every
+// later append.
+func (l *Log) Append(r Record) (uint64, error) {
+	c, err := l.AppendAsync(r)
 	if err != nil {
 		return 0, err
 	}
-	if len(payload) > maxPayload {
-		return 0, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte bound", len(payload), maxPayload)
+	if err := l.Wait(c); err != nil {
+		l.mu.Lock()
+		l.st.AppendErrors++
+		l.mu.Unlock()
+		return 0, err
 	}
-	frame := make([]byte, frameHeader+len(payload))
-	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
-	copy(frame[frameHeader:], payload)
+	return c.LSN, nil
+}
+
+// AppendAsync journals one record without waiting for durability: the
+// frame is encoded and written to the active segment under the log's
+// mutex, and the returned Commit is handed to Wait when the caller is
+// ready to ack. Splitting the enqueue from the wait is what lets the
+// server release the tenant lock before the fsync.
+func (l *Log) AppendAsync(r Record) (Commit, error) {
+	fb := getFrameBuf()
+	defer putFrameBuf(fb)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.appendableLocked(); err != nil {
+		return Commit{}, err
+	}
+	r.LSN = l.nextLSN
+	if err := encodeFrame(fb, &r); err != nil {
+		return Commit{}, err
+	}
+	if err := l.writeLocked(fb, 1); err != nil {
+		return Commit{}, err
+	}
+	return Commit{LSN: r.LSN}, nil
+}
+
+// AppendBatch journals records as one contiguous frame group: LSNs are
+// assigned in order (written back into rs), all frames are encoded into
+// one buffer and land in a single segment write under one mutex
+// acquisition. The returned Commit covers the last record, so one Wait
+// acks the whole group after one fsync. An empty batch is a no-op.
+//
+// The group is not crash-atomic: a torn write can leave a prefix of the
+// batch on disk. That is safe for the service because the write error
+// wedges the log before any Wait can succeed — the batch is never
+// acknowledged, and replaying a prefix of pre-validated commands is
+// exactly the un-acked-suffix case recovery already tolerates.
+func (l *Log) AppendBatch(rs []Record) (Commit, error) {
+	if len(rs) == 0 {
+		return Commit{}, nil
+	}
+	fb := getFrameBuf()
+	defer putFrameBuf(fb)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.appendableLocked(); err != nil {
+		return Commit{}, err
+	}
+	for i := range rs {
+		rs[i].LSN = l.nextLSN + uint64(i)
+		if err := encodeFrame(fb, &rs[i]); err != nil {
+			return Commit{}, err
+		}
+	}
+	if err := l.writeLocked(fb, len(rs)); err != nil {
+		return Commit{}, err
+	}
+	return Commit{LSN: l.writtenLSN}, nil
+}
+
+// writeLocked writes fb's n encoded frames (LSNs nextLSN..nextLSN+n-1) to
+// the active segment and publishes them as written, arming the idle-flush
+// timer. Called with l.mu held after appendableLocked and encoding.
+func (l *Log) writeLocked(fb *frameBuf, n int) error {
 	var t0 time.Time
 	if l.timings != nil {
 		t0 = l.now()
 	}
-	if _, err := l.f.Write(frame); err != nil {
+	if _, err := l.f.Write(fb.buf.Bytes()); err != nil {
 		l.wedge(err)
 		l.st.AppendErrors++
-		return 0, l.wedged
+		return l.wedged
 	}
 	if l.timings != nil {
 		t1 := l.now()
 		l.timings.ObserveAppend(t1.Sub(t0))
-		l.pendingAt = append(l.pendingAt, t1)
-	}
-	l.nextLSN++
-	l.st.Appends++
-	l.sinceSnap++
-	l.unsynced++
-	if l.unsynced >= l.fsyncEvery {
-		if err := l.fsyncLocked(); err != nil {
-			l.st.AppendErrors++
-			return 0, err
+		for i := 0; i < n; i++ {
+			l.pendingAt = append(l.pendingAt, pendingStamp{lsn: l.nextLSN + uint64(i), at: t1})
 		}
 	}
-	return r.LSN, nil
+	l.nextLSN += uint64(n)
+	l.writtenLSN = l.nextLSN - 1
+	l.st.Appends += uint64(n)
+	l.sinceSnap += n
+	if l.maxDelay > 0 && !l.timerArmed {
+		l.timerArmed = true
+		l.timer = l.afterFunc(l.maxDelay, l.flushTimerFired)
+	}
+	return nil
 }
 
-// fsyncLocked issues the group-commit fsync, observing its duration and
-// every pending record's log→fsync latency. On failure it wedges the log
-// and returns the wedged error. Called with l.mu held and unsynced > 0.
-func (l *Log) fsyncLocked() error {
+// Wait blocks until c's record is covered per the log's policy:
+//
+//   - FsyncEvery == 1 (durable acks): wait until an fsync covers c. The
+//     first waiter becomes the leader — it issues one fsync for every
+//     record written so far, with the mutex released during the syscall
+//     so appends keep flowing — and every waiter queued behind shares
+//     that sync.
+//   - FsyncEvery > 1: acks are group-committed; Wait returns immediately
+//     unless the unsynced batch has reached the threshold, in which case
+//     this waiter drives the sync (the PR-3 inline fsync, moved off the
+//     append path). A crash can still lose up to one batch of
+//     acknowledged records, exactly as before.
+//
+// The zero Commit returns nil immediately.
+func (l *Log) Wait(c Commit) error {
+	if c.LSN == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.fsyncEvery > 1 {
+		if l.unsyncedLocked() < l.fsyncEvery {
+			return nil
+		}
+		return l.syncToLocked(l.writtenLSN)
+	}
+	return l.syncToLocked(c.LSN)
+}
+
+// syncToLocked blocks until durableLSN ≥ target, becoming the fsync
+// leader if nobody is syncing, otherwise following the in-flight sync —
+// and re-checking after it, since that sync may cover only an earlier
+// prefix. Called with l.mu held; the mutex is released while following
+// and while leading the syscall.
+func (l *Log) syncToLocked(target uint64) error {
+	for l.durableLSN < target {
+		if l.wedged != nil {
+			return l.wedged
+		}
+		if l.syncing {
+			l.commit.Wait()
+			continue
+		}
+		l.leaderSyncLocked()
+	}
+	return nil
+}
+
+// leaderSyncLocked performs one group-commit fsync as the leader: it
+// captures the written high-water mark, releases l.mu for the syscall so
+// appends and new waiters keep flowing, then reacquires it to publish
+// durability and wake the followers. Called with l.mu held, !l.syncing,
+// not wedged, and durableLSN < writtenLSN.
+func (l *Log) leaderSyncLocked() {
+	end := l.writtenLSN
+	f := l.f
+	l.syncing = true
 	var s0 time.Time
 	if l.timings != nil {
 		s0 = l.now()
 	}
-	if err := l.f.Sync(); err != nil {
+	l.mu.Unlock()
+	err := f.Sync()
+	l.mu.Lock()
+	l.syncing = false
+	if err != nil {
 		l.wedge(err)
-		return l.wedged
-	}
-	l.unsynced = 0
-	l.st.Fsyncs++
-	if l.timings != nil {
-		s1 := l.now()
-		l.timings.ObserveFsync(s1.Sub(s0))
-		for _, at := range l.pendingAt {
-			l.timings.ObserveLogToFsync(s1.Sub(at))
+	} else {
+		if end > l.durableLSN {
+			l.durableLSN = end
 		}
-		l.pendingAt = l.pendingAt[:0]
+		l.st.Fsyncs++
+		if l.timings != nil {
+			s1 := l.now()
+			l.timings.ObserveFsync(s1.Sub(s0))
+			i := 0
+			for ; i < len(l.pendingAt) && l.pendingAt[i].lsn <= end; i++ {
+				l.timings.ObserveLogToFsync(s1.Sub(l.pendingAt[i].at))
+			}
+			l.pendingAt = l.pendingAt[:copy(l.pendingAt, l.pendingAt[i:])]
+		}
 	}
-	return nil
+	l.commit.Broadcast()
+}
+
+// flushTimerFired is the FsyncMaxDelay callback: it syncs whatever is
+// still unsynced (a no-op if a threshold sync, an explicit Sync, or a
+// durable-ack leader got there first). The next append re-arms the timer,
+// so each unsynced batch gets one bounded deadline.
+func (l *Log) flushTimerFired() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.timerArmed = false
+	if l.closed || l.wedged != nil || l.unsyncedLocked() == 0 {
+		return
+	}
+	_ = l.syncToLocked(l.writtenLSN) // a failure wedges the log; nothing more to report here
 }
 
 func (l *Log) wedge(err error) {
 	if l.wedged == nil {
 		l.wedged = fmt.Errorf("%w: %v", ErrWedged, err)
+	}
+	if l.commit != nil {
+		l.commit.Broadcast()
 	}
 }
 
@@ -372,17 +630,10 @@ func (l *Log) wedge(err error) {
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.syncLocked()
-}
-
-func (l *Log) syncLocked() error {
 	if l.wedged != nil {
 		return l.wedged
 	}
-	if l.unsynced == 0 {
-		return nil
-	}
-	return l.fsyncLocked()
+	return l.syncToLocked(l.writtenLSN)
 }
 
 // ShouldCompact hints that enough records accumulated since the last
@@ -406,8 +657,17 @@ func (l *Log) Compact(payload []byte) error {
 	if l.closed {
 		return fmt.Errorf("wal: log closed")
 	}
-	if err := l.syncLocked(); err != nil {
-		return err
+	// Everything written must be durable — and no leader mid-syscall on
+	// the segment we are about to roll — before the snapshot claims to
+	// cover it. The loop re-checks because both waits release the mutex.
+	for {
+		if err := l.syncToLocked(l.writtenLSN); err != nil {
+			return err
+		}
+		if !l.syncing && l.durableLSN == l.writtenLSN {
+			break
+		}
+		l.commit.Wait()
 	}
 	sf := snapshotFile{LSN: l.nextLSN - 1, CRC: crc32.ChecksumIEEE(payload), Payload: payload}
 	buf, err := json.Marshal(sf)
@@ -465,17 +725,22 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
+	if l.timer != nil {
+		l.timer.Stop()
+		l.timerArmed = false
+	}
 	err := func() error {
 		if l.wedged != nil {
 			return nil // already failed; nothing more to preserve
 		}
-		if l.unsynced > 0 {
-			if serr := l.fsyncLocked(); serr != nil {
-				return serr
-			}
-		}
-		return nil
+		return l.syncToLocked(l.writtenLSN)
 	}()
+	// A leader may still be inside its syscall (it captured l.f before
+	// releasing the mutex); wait it out so closing the file cannot race
+	// the fsync.
+	for l.syncing {
+		l.commit.Wait()
+	}
 	if l.f != nil {
 		if cerr := l.f.Close(); err == nil {
 			err = cerr
@@ -507,6 +772,7 @@ func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	st := l.st
+	st.Unsynced = uint64(l.unsyncedLocked())
 	st.Wedged = l.wedged != nil
 	return st
 }
