@@ -3,7 +3,7 @@ GO ?= go
 BENCHTIME ?= 1x
 BENCHCOUNT ?= 1
 
-.PHONY: all build test vet fmt lint bench bench-json bench-diff race race-server fuzz fuzz-smoke obs recovery figures experiments soak pfaird pfairload report clean
+.PHONY: all build test vet fmt lint bench bench-json bench-diff race race-server fuzz fuzz-smoke obs recovery profile-mutex figures experiments soak pfaird pfairload report clean
 
 all: build lint test
 
@@ -44,13 +44,13 @@ bench:
 bench-json:
 	{ $(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) . && \
 	  $(GO) test -run '^$$' -bench=BenchmarkServerSubmit -benchmem -benchtime=1000x -count=$(BENCHCOUNT) ./internal/server/; } \
-	  | $(GO) run ./cmd/benchjson > BENCH_5.json
-	@echo wrote BENCH_5.json
+	  | $(GO) run ./cmd/benchjson > BENCH_6.json
+	@echo wrote BENCH_6.json
 
 # bench-diff gates the archived results: the benchmarks shared by the two
 # documents must not regress in ns/op by more than 20%.
 bench-diff:
-	$(GO) run ./cmd/benchjson -diff BENCH_4.json BENCH_5.json
+	$(GO) run ./cmd/benchjson -diff BENCH_5.json BENCH_6.json
 
 fuzz:
 	$(GO) test ./internal/core/ -fuzz=FuzzTheorem3 -fuzztime=30s
@@ -65,6 +65,7 @@ fuzz-smoke:
 	$(GO) test ./internal/wal/ -run '^$$' -fuzz=FuzzWALReplay -fuzztime=30s
 	$(GO) test ./internal/server/ -run '^$$' -fuzz=FuzzTaskParams -fuzztime=30s
 	$(GO) test ./internal/client/ -run '^$$' -fuzz=FuzzTraceDecoder -fuzztime=30s
+	$(GO) test ./internal/rat/ -run '^$$' -fuzz=FuzzLatticeEquivalence -fuzztime=30s
 
 # obs runs the deterministic observability harness: the golden /metrics
 # exposition (regenerate with `go test ./internal/server -run Golden
@@ -81,7 +82,17 @@ obs:
 recovery:
 	$(GO) test -race -count=1 ./internal/wal/ ./internal/faultfs/ ./cmd/pfaird/ \
 		./internal/online/ -run 'Checkpoint|Restore|Crash|Recovery|Shutdown|SIGTERM|WAL'
-	$(GO) test -race -count=1 ./internal/server/ -run 'CrashRecovery|Shutdown|SnapshotStorm'
+	$(GO) test -race -count=1 ./internal/server/ -run 'CrashRecovery|Shutdown|SnapshotStorm|CrashNeverAcks'
+
+# profile-mutex captures contention profiles for the submit hot path: run
+# the parallel benchmarks with mutex/block profiling on, then inspect with
+# `go tool pprof mutex.out`. After the single-writer loop, the profile
+# should show no Tenant-level mutex at all — what remains is the WAL lock
+# and the runtime's own channel locks.
+profile-mutex:
+	$(GO) test -run '^$$' -bench 'ServerSubmitParallel|ServerSubmitContended' -benchtime=200x \
+		-mutexprofile=mutex.out -blockprofile=block.out ./internal/server/
+	@echo "wrote mutex.out, block.out — inspect with: go tool pprof mutex.out"
 
 figures:
 	$(GO) run ./cmd/figures all

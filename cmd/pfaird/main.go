@@ -24,6 +24,11 @@
 // /v1/tenants/{id}/trace streams per-command lifecycle events as NDJSON
 // (retention set by -trace-buffer), and -pprof (default on) mounts
 // net/http/pprof under /debug/pprof/ on the same listener.
+//
+// Each tenant applies mutations on a single-writer event loop fed by a
+// bounded submit ring (-submit-ring, default 256); a full ring answers
+// 429 so overload surfaces as client backpressure instead of queue
+// growth, while reads are served lock-free from published snapshots.
 package main
 
 import (
@@ -49,6 +54,7 @@ type config struct {
 	snapshotEvery int
 	pprof         bool
 	traceBuffer   int
+	submitRing    int
 }
 
 func main() {
@@ -61,6 +67,7 @@ func main() {
 	flag.IntVar(&cfg.snapshotEvery, "snapshot-every", 4096, "fold the journal into a snapshot after this many records")
 	flag.BoolVar(&cfg.pprof, "pprof", true, "serve net/http/pprof profiles under /debug/pprof/")
 	flag.IntVar(&cfg.traceBuffer, "trace-buffer", 4096, "per-tenant trace-ring retention in events (GET /v1/tenants/{id}/trace)")
+	flag.IntVar(&cfg.submitRing, "submit-ring", 256, "per-tenant submit-ring capacity; a full ring answers 429 backpressure")
 	flag.Parse()
 
 	if err := serve(context.Background(), cfg, nil); err != nil {
@@ -85,6 +92,7 @@ func serve(ctx context.Context, cfg config, ready func(addr string)) error {
 			FsyncMaxDelay: maxDelay,
 			SnapshotEvery: cfg.snapshotEvery,
 			TraceBuffer:   cfg.traceBuffer,
+			SubmitRing:    cfg.submitRing,
 		})
 		if err != nil {
 			return err
@@ -99,6 +107,7 @@ func serve(ctx context.Context, cfg config, ready func(addr string)) error {
 	} else {
 		srv = server.New()
 		srv.SetTraceBuffer(cfg.traceBuffer)
+		srv.SetSubmitRing(cfg.submitRing)
 	}
 	if cfg.pprof {
 		srv.EnablePprof()

@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +27,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"desyncpfair/internal/client"
@@ -79,6 +81,7 @@ type report struct {
 	SrvCount     uint64 // observations behind the server-side percentiles
 	Dispatched   int64  // scheduling decisions across all tenants
 	MaxTardiness string // worst tardiness across tenants (rat string)
+	Backpressure int64  // 429 replies (submit ring full); retried, not errors
 }
 
 func main() {
@@ -185,6 +188,23 @@ func run(cfg config, out io.Writer) (report, error) {
 
 	lats := make([][]time.Duration, cfg.workers)
 	errs := make([]error, cfg.workers)
+	// 429 means the tenant's submit ring is full: explicit backpressure,
+	// not a failure. Workers retry the same request and the run reports
+	// how often it happened, separately from errors — sustained
+	// backpressure at a given worker count is a capacity signal, while a
+	// single hard error still aborts the run.
+	var backpressure atomic.Int64
+	retry429 := func(do func() error) error {
+		for {
+			err := do()
+			var ae *client.APIError
+			if errors.As(err, &ae) && ae.Status == http.StatusTooManyRequests {
+				backpressure.Add(1)
+				continue
+			}
+			return err
+		}
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.workers; w++ {
@@ -199,7 +219,10 @@ func run(cfg config, out io.Writer) (report, error) {
 			submits := 0
 			advance := func(tenant string) bool {
 				t0 := time.Now()
-				_, err := c.AdvanceBy(ctx, tenant, "1")
+				err := retry429(func() error {
+					_, err := c.AdvanceBy(ctx, tenant, "1")
+					return err
+				})
 				lat = append(lat, time.Since(t0))
 				if err != nil {
 					errs[w] = fmt.Errorf("advance %s: %w", tenant, err)
@@ -214,18 +237,20 @@ func run(cfg config, out io.Writer) (report, error) {
 				}
 				for _, p := range mine {
 					t0 := time.Now()
-					var err error
-					if n == 1 {
-						_, err = c.SubmitJob(ctx, p.tenant, p.task, "")
-					} else {
+					err := retry429(func() error {
+						if n == 1 {
+							_, err := c.SubmitJob(ctx, p.tenant, p.task, "")
+							return err
+						}
 						// One request, one fsync, n jobs: the group-commit
 						// batch path.
 						jobs := make([]server.SubmitJobRequest, n)
 						for i := range jobs {
 							jobs[i] = server.SubmitJobRequest{Task: p.task}
 						}
-						_, err = c.SubmitJobs(ctx, p.tenant, jobs)
-					}
+						_, err := c.SubmitJobs(ctx, p.tenant, jobs)
+						return err
+					})
 					lat = append(lat, time.Since(t0))
 					if err != nil {
 						errs[w] = fmt.Errorf("submit %s/%s: %w", p.tenant, p.task, err)
@@ -289,6 +314,7 @@ func run(cfg config, out io.Writer) (report, error) {
 		Max:          percentile(all, 1.00),
 		Dispatched:   dispatched,
 		MaxTardiness: maxTar.String(),
+		Backpressure: backpressure.Load(),
 	}
 	if err := addServerPercentiles(ctx, c, &rep); err != nil {
 		return report{}, fmt.Errorf("server-side histogram: %w", err)
@@ -300,6 +326,7 @@ func run(cfg config, out io.Writer) (report, error) {
 	fmt.Fprintf(out, "latency p50/p90/p99: %v / %v / %v (max %v)\n", rep.P50, rep.P90, rep.P99, rep.Max)
 	fmt.Fprintf(out, "server ack p50/p90/p99: %v / %v / %v (%d acks, ±bucket width)\n",
 		rep.SrvP50, rep.SrvP90, rep.SrvP99, rep.SrvCount)
+	fmt.Fprintf(out, "backpressure       : %d × 429 (submit ring full; retried)\n", rep.Backpressure)
 	fmt.Fprintf(out, "dispatches         : %d, max tardiness %s (bound: 1)\n", rep.Dispatched, rep.MaxTardiness)
 	return rep, nil
 }

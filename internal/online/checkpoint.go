@@ -1,9 +1,7 @@
 package online
 
 import (
-	"container/heap"
 	"fmt"
-	"sort"
 
 	"desyncpfair/internal/model"
 	"desyncpfair/internal/prio"
@@ -63,9 +61,7 @@ func (e *Executive) Checkpoint() Checkpoint {
 	for _, f := range e.freeAt {
 		cp.FreeAt = append(cp.FreeAt, f.String())
 	}
-	evs := append([]rat.Rat(nil), e.events...)
-	sort.Slice(evs, func(i, j int) bool { return evs[i].Less(evs[j]) })
-	for _, ev := range evs {
+	for _, ev := range e.tl.all() {
 		cp.Events = append(cp.Events, ev.String())
 	}
 	for _, t := range e.sys.Tasks {
@@ -156,8 +152,7 @@ func Restore(cp Checkpoint) (*Executive, error) {
 		if err != nil {
 			return nil, fmt.Errorf("online: checkpoint event %q: %v", s, err)
 		}
-		e.push(ev) // rebuilds the seen set as a side effect
+		e.push(ev) // rebuilds the dedup set as a side effect
 	}
-	heap.Init(&e.events)
 	return e, nil
 }

@@ -34,7 +34,6 @@
 package online
 
 import (
-	"container/heap"
 	"fmt"
 
 	"desyncpfair/internal/model"
@@ -64,8 +63,7 @@ type Executive struct {
 	pending  int       // released, undispatched subtasks
 	decision int
 
-	events eventHeap
-	seen   map[rat.Rat]bool
+	tl timeline
 }
 
 // Dispatch reports one scheduling decision to the Run callback.
@@ -97,9 +95,8 @@ func New(m int, policy prio.Policy) *Executive {
 		schedule:   sched.New(sys, m, policy.Name(), "DVQ-online"),
 		activeUtil: rat.Zero,
 		freeAt:     make([]rat.Rat, m),
-		seen:       map[rat.Rat]bool{},
+		tl:         newTimeline(),
 	}
-	heap.Init(&e.events)
 	return e
 }
 
@@ -258,13 +255,12 @@ func (e *Executive) Run(until rat.Rat, yield sched.YieldFn, onDispatch func(Disp
 	if yield == nil {
 		yield = sched.FullCost
 	}
-	for e.events.Len() > 0 {
-		next := e.events[0]
+	for e.tl.len() > 0 {
+		next := e.tl.min()
 		if until.Less(next) {
 			break
 		}
-		heap.Pop(&e.events)
-		delete(e.seen, next)
+		e.tl.popMin()
 		e.now = next
 		e.dispatchAt(next, yield, onDispatch)
 	}
@@ -330,10 +326,10 @@ func (e *Executive) bestReady(t rat.Rat) *model.Subtask {
 func (e *Executive) Drain(yield sched.YieldFn) (rat.Rat, error) {
 	guard := 0
 	for e.pending > 0 {
-		if e.events.Len() == 0 {
+		if e.tl.len() == 0 {
 			return e.now, fmt.Errorf("online: %d subtasks pending with no events", e.pending)
 		}
-		next := e.events[0]
+		next := e.tl.min()
 		if err := e.Run(next, yield, nil); err != nil {
 			return e.now, err
 		}
@@ -359,23 +355,4 @@ func (e *Executive) Drain(yield sched.YieldFn) (rat.Rat, error) {
 	return e.now, nil
 }
 
-func (e *Executive) push(t rat.Rat) {
-	if !e.seen[t] {
-		e.seen[t] = true
-		heap.Push(&e.events, t)
-	}
-}
-
-type eventHeap []rat.Rat
-
-func (h eventHeap) Len() int            { return len(h) }
-func (h eventHeap) Less(i, j int) bool  { return h[i].Less(h[j]) }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(rat.Rat)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
+func (e *Executive) push(t rat.Rat) { e.tl.push(t) }

@@ -1,0 +1,205 @@
+package online
+
+import (
+	"container/heap"
+	"sort"
+
+	"desyncpfair/internal/rat"
+)
+
+// timeline is the executive's event queue: the set of future quantum
+// boundaries (eligibility times and completion times) at which scheduling
+// decisions are made. It has two regimes.
+//
+// In the lattice regime — the common case, where every queued time lives
+// on one fixed-point grid k/L — events are int64 tick counts in a
+// hand-rolled binary min-heap: sift comparisons are single integer
+// compares instead of Rat.Less cross multiplications, and deduplication
+// hashes an int64 instead of a two-word struct. The lattice grows by LCM
+// as new denominators arrive (rescaling the queued ticks, which preserves
+// heap order because the scale factor is positive).
+//
+// When a time cannot be represented — the LCM of denominators or a tick
+// count overflows int64 — the timeline migrates every queued tick to the
+// exact rat heap and stays in the exact regime permanently. The exact
+// engine is the oracle: both regimes pop identical values in identical
+// order, so dispatch decisions (and therefore checkpoints, WAL replay,
+// and the Theorem 3 bound) are invariant under the regime switch.
+type timeline struct {
+	lat   rat.Lattice
+	ticks []int64
+	tseen map[int64]struct{}
+
+	exact  bool
+	events eventHeap
+	seen   map[rat.Rat]bool
+}
+
+func newTimeline() timeline {
+	return timeline{tseen: map[int64]struct{}{}}
+}
+
+func (tl *timeline) len() int {
+	if tl.exact {
+		return len(tl.events)
+	}
+	return len(tl.ticks)
+}
+
+// min returns the earliest queued time. Call only when len() > 0. Both
+// regimes return the same canonical reduced rational.
+func (tl *timeline) min() rat.Rat {
+	if tl.exact {
+		return tl.events[0]
+	}
+	return tl.lat.ToRat(tl.ticks[0])
+}
+
+// popMin removes the earliest queued time.
+func (tl *timeline) popMin() {
+	if tl.exact {
+		t := tl.events[0]
+		heap.Pop(&tl.events)
+		delete(tl.seen, t)
+		return
+	}
+	t := tl.ticks[0]
+	delete(tl.tseen, t)
+	n := len(tl.ticks) - 1
+	tl.ticks[0] = tl.ticks[n]
+	tl.ticks = tl.ticks[:n]
+	tl.down(0)
+}
+
+// push queues a time, deduplicating. In the lattice regime it extends the
+// lattice as needed; any overflow falls back to the exact regime.
+func (tl *timeline) push(r rat.Rat) {
+	if !tl.exact {
+		if t, ok := tl.tick(r); ok {
+			if _, dup := tl.tseen[t]; !dup {
+				tl.tseen[t] = struct{}{}
+				tl.ticks = append(tl.ticks, t)
+				tl.up(len(tl.ticks) - 1)
+			}
+			return
+		}
+		tl.fallback()
+	}
+	if !tl.seen[r] {
+		if tl.seen == nil {
+			tl.seen = map[rat.Rat]bool{}
+		}
+		tl.seen[r] = true
+		heap.Push(&tl.events, r)
+	}
+}
+
+// all returns the queued times sorted ascending — the checkpoint order.
+func (tl *timeline) all() []rat.Rat {
+	if tl.exact {
+		out := append([]rat.Rat(nil), tl.events...)
+		sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+		return out
+	}
+	ts := append([]int64(nil), tl.ticks...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	out := make([]rat.Rat, len(ts))
+	for i, t := range ts {
+		out[i] = tl.lat.ToRat(t)
+	}
+	return out
+}
+
+// tick converts r to ticks on the current lattice, extending the lattice
+// (and rescaling the queued ticks) when r's denominator is new. ok=false
+// means r cannot be represented — the caller must fall back.
+func (tl *timeline) tick(r rat.Rat) (int64, bool) {
+	if t, ok := tl.lat.FromRat(r); ok {
+		return t, true
+	}
+	ext, ok := tl.lat.Extend(r.Den())
+	if !ok {
+		return 0, false
+	}
+	t, ok := ext.FromRat(r)
+	if !ok {
+		return 0, false
+	}
+	scaled := make([]int64, len(tl.ticks))
+	for i, q := range tl.ticks {
+		s, ok := tl.lat.Rescale(q, ext)
+		if !ok {
+			return 0, false
+		}
+		scaled[i] = s
+	}
+	// Commit: positive uniform scaling preserves heap order, so the
+	// rescaled slice is still a valid min-heap.
+	tl.lat = ext
+	tl.ticks = scaled
+	tl.tseen = make(map[int64]struct{}, len(scaled))
+	for _, q := range scaled {
+		tl.tseen[q] = struct{}{}
+	}
+	return t, true
+}
+
+// fallback migrates the queue to the exact regime, permanently.
+func (tl *timeline) fallback() {
+	tl.exact = true
+	if tl.seen == nil {
+		tl.seen = make(map[rat.Rat]bool, len(tl.ticks))
+	}
+	for _, t := range tl.ticks {
+		r := tl.lat.ToRat(t)
+		if !tl.seen[r] {
+			tl.seen[r] = true
+			heap.Push(&tl.events, r)
+		}
+	}
+	tl.ticks, tl.tseen = nil, nil
+}
+
+func (tl *timeline) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if tl.ticks[p] <= tl.ticks[i] {
+			return
+		}
+		tl.ticks[p], tl.ticks[i] = tl.ticks[i], tl.ticks[p]
+		i = p
+	}
+}
+
+func (tl *timeline) down(i int) {
+	n := len(tl.ticks)
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && tl.ticks[l] < tl.ticks[s] {
+			s = l
+		}
+		if r < n && tl.ticks[r] < tl.ticks[s] {
+			s = r
+		}
+		if s == i {
+			return
+		}
+		tl.ticks[i], tl.ticks[s] = tl.ticks[s], tl.ticks[i]
+		i = s
+	}
+}
+
+type eventHeap []rat.Rat
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].Less(h[j]) }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(rat.Rat)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,188 @@
+package online
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"desyncpfair/internal/gen"
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/rat"
+)
+
+// timelineRegime configures which event-queue regime a test executive
+// runs in: the int64 lattice fast path (the default), the exact rat heap
+// (the oracle), or a mid-run forced fallback.
+type timelineRegime int
+
+const (
+	regimeLattice timelineRegime = iota
+	regimeExact
+	regimeFallbackMidRun
+)
+
+// runRegime drives one executive through a fractional-yield workload and
+// returns the dispatch transcript plus the final checkpoint JSON.
+func runRegime(t *testing.T, reg timelineRegime) ([]string, string) {
+	t.Helper()
+	ex := New(2, nil)
+	if reg == regimeExact {
+		ex.tl.fallback()
+	}
+	weights := []model.Weight{model.W(1, 3), model.W(2, 5), model.W(3, 4), model.W(1, 2)}
+	tasks := make([]*model.Task, len(weights))
+	for i, w := range weights {
+		task, err := ex.Register(fmt.Sprintf("T%d", i), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks[i] = task
+	}
+	var log []string
+	record := func(d Dispatch) {
+		log = append(log, fmt.Sprintf("%s.%d@%s+%s proc%d dec%d",
+			d.Sub.Task.Name, d.Sub.Index, d.Start, d.Finish.Sub(d.Start), d.Proc, d.Decision))
+	}
+	// Fractional yields on a 1/8 grid force non-integer quantum
+	// boundaries, so the lattice has to extend past the integer grid.
+	y := gen.UniformYield(41, 8)
+	const horizon = 30
+	for slot := int64(0); slot < horizon; slot++ {
+		for i, w := range weights {
+			if slot%w.P == 0 {
+				if err := ex.SubmitJob(tasks[i], rat.FromInt(slot)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := ex.Run(rat.FromInt(slot+1), y, record); err != nil {
+			t.Fatal(err)
+		}
+		if reg == regimeFallbackMidRun && slot == horizon/2 && !ex.tl.exact {
+			ex.tl.fallback()
+		}
+	}
+	if _, err := ex.Drain(y); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := json.Marshal(ex.Checkpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log, string(cp)
+}
+
+// TestTimelineLatticeMatchesExact pins the lattice fast path to the exact
+// rat engine: the same workload, dispatched decision for decision, must be
+// identical whether quantum boundaries are compared as int64 ticks, as
+// exact rationals, or switched from one to the other mid-run. The final
+// checkpoints (which serialize the queued event times) must also agree,
+// so recovery is regime-invariant.
+func TestTimelineLatticeMatchesExact(t *testing.T) {
+	latLog, latCp := runRegime(t, regimeLattice)
+	exLog, exCp := runRegime(t, regimeExact)
+	fbLog, fbCp := runRegime(t, regimeFallbackMidRun)
+	if len(latLog) == 0 {
+		t.Fatal("workload dispatched nothing")
+	}
+	if len(latLog) != len(exLog) {
+		t.Fatalf("lattice dispatched %d subtasks, exact %d", len(latLog), len(exLog))
+	}
+	for i := range latLog {
+		if latLog[i] != exLog[i] {
+			t.Fatalf("dispatch %d differs:\n  lattice: %s\n  exact:   %s", i, latLog[i], exLog[i])
+		}
+		if latLog[i] != fbLog[i] {
+			t.Fatalf("dispatch %d differs:\n  lattice:  %s\n  fallback: %s", i, latLog[i], fbLog[i])
+		}
+	}
+	if latCp != exCp {
+		t.Fatalf("checkpoints differ:\n  lattice: %s\n  exact:   %s", latCp, exCp)
+	}
+	if latCp != fbCp {
+		t.Fatalf("checkpoints differ:\n  lattice:  %s\n  fallback: %s", latCp, fbCp)
+	}
+}
+
+// TestTimelineStaysOnLattice asserts the fast path actually engages: an
+// all-integer workload (full-cost quanta) never leaves the integer
+// lattice, and a 1/8-grid yield workload extends the lattice rather than
+// falling back to the exact heap.
+func TestTimelineStaysOnLattice(t *testing.T) {
+	ex := New(1, nil)
+	task, err := ex.Register("a", model.W(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := int64(0); s < 10; s += 2 {
+		if err := ex.SubmitJob(task, rat.FromInt(s)); err != nil {
+			t.Fatal(err)
+		}
+		if err := ex.Run(rat.FromInt(s+2), nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ex.tl.exact {
+		t.Fatal("integer workload fell back to exact regime")
+	}
+	if got := ex.tl.lat.Den(); got != 1 {
+		t.Fatalf("integer workload on lattice den %d, want 1", got)
+	}
+
+	ex2 := New(1, nil)
+	task2, err := ex2.Register("b", model.W(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := gen.UniformYield(7, 8)
+	for s := int64(0); s < 10; s += 2 {
+		if err := ex2.SubmitJob(task2, rat.FromInt(s)); err != nil {
+			t.Fatal(err)
+		}
+		if err := ex2.Run(rat.FromInt(s+2), y, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ex2.tl.exact {
+		t.Fatal("1/8-grid workload fell back to exact regime")
+	}
+	if got := ex2.tl.lat.Den(); got < 2 || 8%got != 0 && got%2 != 0 {
+		t.Fatalf("fractional workload on lattice den %d", got)
+	}
+}
+
+// TestTimelineOverflowFallsBack drives the lattice denominator into
+// overflow and checks the queue migrates to the exact regime without
+// losing or reordering events.
+func TestTimelineOverflowFallsBack(t *testing.T) {
+	tl := newTimeline()
+	tl.push(rat.New(1, 3))
+	tl.push(rat.New(1, 1<<31))
+	tl.push(rat.New(5, 7))
+	// LCM(3·2^31, next prime power) overflows: 1/(2^31+1) is coprime to
+	// 2^31, so the LCM needs ~2^62·3 — representable — then one more
+	// coprime factor pushes it over.
+	tl.push(rat.New(1, (1<<31)+1))
+	if !tl.exact {
+		t.Skip("lattice absorbed all denominators; extend the sequence")
+	}
+	want := []string{"1/2147483649", "1/2147483648", "1/3", "5/7"}
+	for i, w := range want {
+		if tl.len() == 0 {
+			t.Fatalf("queue drained after %d events, want %d", i, len(want))
+		}
+		got := tl.min().String()
+		tl.popMin()
+		if got != w {
+			t.Fatalf("event %d = %s, want %s", i, got, w)
+		}
+	}
+	if tl.len() != 0 {
+		t.Fatalf("%d events left over", tl.len())
+	}
+	// A fallen-back timeline stays exact.
+	tl.push(rat.FromInt(1))
+	if !tl.exact {
+		t.Fatal("timeline left exact regime")
+	}
+}

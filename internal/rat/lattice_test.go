@@ -1,0 +1,152 @@
+package rat
+
+import (
+	"testing"
+)
+
+func TestLatticeExtend(t *testing.T) {
+	l := Lattice{}
+	if l.Den() != 1 {
+		t.Fatalf("zero lattice den = %d, want 1", l.Den())
+	}
+	cases := []struct {
+		den  int64
+		want int64
+	}{
+		{2, 2}, {3, 6}, {4, 12}, {6, 12}, {5, 60},
+	}
+	for _, c := range cases {
+		var ok bool
+		l, ok = l.Extend(c.den)
+		if !ok || l.Den() != c.want {
+			t.Fatalf("Extend(%d) = den %d ok=%v, want den %d", c.den, l.Den(), ok, c.want)
+		}
+	}
+	if _, ok := l.Extend(1 << 62); ok {
+		t.Fatal("Extend(1<<62) on den=60 lattice should overflow")
+	}
+	if _, ok := l.Extend(0); ok {
+		t.Fatal("Extend(0) should fail")
+	}
+}
+
+func TestLatticeFromRat(t *testing.T) {
+	l := LatticeOf(12)
+	for _, c := range []struct {
+		r    Rat
+		tick int64
+		ok   bool
+	}{
+		{New(1, 3), 4, true},
+		{New(5, 4), 15, true},
+		{FromInt(-2), -24, true},
+		{New(1, 5), 0, false}, // off-lattice
+	} {
+		tick, ok := l.FromRat(c.r)
+		if ok != c.ok || (ok && tick != c.tick) {
+			t.Fatalf("FromRat(%s) = %d,%v want %d,%v", c.r, tick, ok, c.tick, c.ok)
+		}
+		if ok && !l.ToRat(tick).Equal(c.r) {
+			t.Fatalf("ToRat(FromRat(%s)) = %s", c.r, l.ToRat(tick))
+		}
+	}
+	// Tick overflow: a huge numerator times the scale factor must report
+	// not-ok rather than wrap.
+	if _, ok := l.FromRat(New(1<<61, 2)); ok {
+		t.Fatal("FromRat with overflowing scale should fail")
+	}
+}
+
+func TestLatticeRescale(t *testing.T) {
+	c := LatticeOf(4)
+	f := LatticeOf(12)
+	tick, ok := c.Rescale(5, f) // 5/4 → 15/12
+	if !ok || tick != 15 {
+		t.Fatalf("Rescale(5, den 12) = %d,%v want 15,true", tick, ok)
+	}
+	if _, ok := f.Rescale(1, c); ok {
+		t.Fatal("rescaling to a coarser lattice should fail")
+	}
+	if _, ok := c.Rescale(1<<62, f); ok {
+		t.Fatal("overflowing rescale should fail")
+	}
+}
+
+func TestTickArith(t *testing.T) {
+	if s, ok := AddTicks(1<<62, 1<<62); ok {
+		t.Fatalf("AddTicks overflow returned %d", s)
+	}
+	if s, ok := SubTicks(0, minInt64); ok {
+		t.Fatalf("SubTicks(0, min) returned %d", s)
+	}
+	if s, ok := SubTicks(-1, minInt64); !ok || s != (1<<63-1) {
+		t.Fatalf("SubTicks(-1, min) = %d,%v", s, ok)
+	}
+	l := LatticeOf(4)
+	if p, ok := l.MulTicks(6, 2); !ok || p != 3 { // (6/4)·(2/4) = 12/16 = 3/4
+		t.Fatalf("MulTicks(6,2) = %d,%v want 3,true", p, ok)
+	}
+	if _, ok := l.MulTicks(3, 2); ok { // 6/16 is off the 1/4 lattice
+		t.Fatal("MulTicks leaving lattice should fail")
+	}
+	if _, ok := l.MulTicks(1<<40, 1<<40); ok {
+		t.Fatal("MulTicks overflow should fail")
+	}
+}
+
+// FuzzLatticeEquivalence pins the lattice fast path to the exact Rat
+// oracle: any two rationals that both land on a lattice must Cmp, Add,
+// and Mul identically tick-wise and exactly, and every operation that
+// cannot be represented must report ok=false — never a wrapped or
+// off-grid value.
+func FuzzLatticeEquivalence(f *testing.F) {
+	f.Add(int64(1), int64(3), int64(5), int64(4), int64(12))
+	f.Add(int64(-7), int64(2), int64(9), int64(6), int64(6))
+	f.Add(int64(1)<<40, int64(3), int64(1)<<40, int64(5), int64(15))
+	f.Add(int64(0), int64(1), int64(0), int64(1), int64(1))
+	f.Fuzz(func(t *testing.T, an, ad, bn, bd, den int64) {
+		if ad == 0 || bd == 0 || den <= 0 {
+			t.Skip()
+		}
+		defer func() {
+			// Rat construction itself panics on int64 overflow in
+			// normalization; that is the exact engine's documented
+			// contract, not a lattice bug.
+			_ = recover()
+		}()
+		a, b := New(an, ad), New(bn, bd)
+		l := LatticeOf(den)
+		ta, okA := l.FromRat(a)
+		tb, okB := l.FromRat(b)
+		if okA && !l.ToRat(ta).Equal(a) {
+			t.Fatalf("round trip %s on den %d gave %s", a, den, l.ToRat(ta))
+		}
+		if okB && !l.ToRat(tb).Equal(b) {
+			t.Fatalf("round trip %s on den %d gave %s", b, den, l.ToRat(tb))
+		}
+		if !okA || !okB {
+			return
+		}
+		if got, want := CmpTicks(ta, tb), a.Cmp(b); got != want {
+			t.Fatalf("CmpTicks(%s,%s) = %d, Rat.Cmp = %d", a, b, got, want)
+		}
+		if sum, ok := AddTicks(ta, tb); ok {
+			want := a.Add(b)
+			if !l.ToRat(sum).Equal(want) {
+				t.Fatalf("AddTicks(%s,%s) = %s, want %s", a, b, l.ToRat(sum), want)
+			}
+		}
+		if diff, ok := SubTicks(ta, tb); ok {
+			want := a.Sub(b)
+			if !l.ToRat(diff).Equal(want) {
+				t.Fatalf("SubTicks(%s,%s) = %s, want %s", a, b, l.ToRat(diff), want)
+			}
+		}
+		if prod, ok := l.MulTicks(ta, tb); ok {
+			want := a.Mul(b)
+			if !l.ToRat(prod).Equal(want) {
+				t.Fatalf("MulTicks(%s,%s) = %s, want %s", a, b, l.ToRat(prod), want)
+			}
+		}
+	})
+}

@@ -2,6 +2,7 @@ package server_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -208,6 +209,115 @@ func benchSubmitParallel(b *testing.B, fsyncEvery, clients int) {
 				}
 			}
 		}(fmt.Sprintf("t%02d", i))
+	}
+	wg.Wait()
+	b.StopTimer()
+	select {
+	case err := <-errc:
+		b.Fatal(err)
+	default:
+	}
+	after := srv.WALStats()
+	b.ReportMetric(float64(after.Fsyncs-before.Fsyncs)/float64(b.N), "fsyncs/op")
+	b.ReportMetric(float64(after.Appends-before.Appends)/float64(b.N), "appends/op")
+}
+
+// BenchmarkServerSubmitContended is the sharpest test of the single-writer
+// event loop: every client submits to the SAME tenant, so all requests
+// funnel through one MPSC ring and one loop goroutine. Under the old
+// per-tenant mutex this serialized completely; the loop instead drains the
+// concurrent arrivals as a run, validates each, journals them as one frame
+// group and shares one commit — so fsyncs/op and appends/op fall as
+// concurrency rises while every ack still waits for durability. A 429
+// (ring full) is backpressure, not failure: the client retries, and the
+// retry cost is part of the measured regime.
+func BenchmarkServerSubmitContended(b *testing.B) {
+	for _, clients := range []int{8, 64} {
+		b.Run(fmt.Sprintf("fsync=1/clients=%d", clients), func(b *testing.B) {
+			benchSubmitContended(b, clients)
+		})
+	}
+}
+
+func benchSubmitContended(b *testing.B, clients int) {
+	srv, err := server.Open(server.Options{
+		DataDir:       b.TempDir(),
+		FS:            slowFS{delay: 2 * time.Millisecond},
+		FsyncEvery:    1,
+		SnapshotEvery: 1 << 30, // keep compaction out of the measured loop
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer srv.Close()
+
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = clients * 2
+	tr.MaxIdleConnsPerHost = clients * 2
+	defer tr.CloseIdleConnections()
+	c := client.New(hs.URL, &http.Client{Transport: tr})
+	ctx := context.Background()
+
+	const tasks = 4
+	if _, err := c.CreateTenant(ctx, "hot", 1, ""); err != nil {
+		b.Fatal(err)
+	}
+	for j := 0; j < tasks; j++ {
+		if _, err := c.RegisterTask(ctx, "hot", fmt.Sprintf("w%d", j), model.W(1, tasks)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	before := srv.WALStats()
+
+	retry429 := func(do func() error) error {
+		for {
+			err := do()
+			var ae *client.APIError
+			if errors.As(err, &ae) && ae.Status == http.StatusTooManyRequests {
+				continue
+			}
+			return err
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			for {
+				i := next.Add(1)
+				if i > int64(b.N) {
+					return
+				}
+				err := retry429(func() error {
+					_, err := c.SubmitJob(ctx, "hot", fmt.Sprintf("w%d", n%tasks), "")
+					return err
+				})
+				if err != nil {
+					errc <- err
+					return
+				}
+				n++
+				if i%(8*int64(tasks)) == 0 {
+					err := retry429(func() error {
+						_, err := c.AdvanceBy(ctx, "hot", "1")
+						return err
+					})
+					if err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+		}()
 	}
 	wg.Wait()
 	b.StopTimer()

@@ -42,6 +42,9 @@ type Options struct {
 	// TraceBuffer is the per-tenant trace-ring capacity in events.
 	// Defaults to 4096.
 	TraceBuffer int
+	// SubmitRing is the per-tenant command-ring capacity. Defaults to 256.
+	// A full ring surfaces as HTTP 429 backpressure.
+	SubmitRing int
 }
 
 // RecoveryInfo reports what Open rebuilt from disk; /healthz serves it.
@@ -84,23 +87,35 @@ type tenantCheckpoint struct {
 	Exec   online.Checkpoint `json:"exec"`
 }
 
-// checkpoint snapshots the tenant under its lock.
+// checkpoint snapshots the tenant by running on its loop goroutine via a
+// control command, which quiesces every loop-owned field (the executive's
+// Checkpoint must run on its single goroutine). Compact holds the opMu
+// write side, so no handler can be mid-command: the ring is empty and the
+// control command runs immediately. A tenant deleted concurrently yields
+// a zero checkpoint; the caller skips it.
 func (t *Tenant) checkpoint() tenantCheckpoint {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return tenantCheckpoint{
-		ID:     t.id,
-		Reject: t.reject,
-		MaxTar: t.maxTar.String(),
-		Log:    append([]DispatchEvent(nil), t.log...),
-		Exec:   t.ex.Checkpoint(),
+	var cp tenantCheckpoint
+	res := t.ctlExec(&command{kind: cmdCtl, fn: func() {
+		cp = tenantCheckpoint{
+			ID:     t.id,
+			Reject: t.reject,
+			MaxTar: t.maxTar.String(),
+			Log:    append([]DispatchEvent(nil), t.log...),
+			Exec:   t.ex.Checkpoint(),
+		}
+	}})
+	if res.err != nil {
+		return tenantCheckpoint{}
 	}
+	return cp
 }
 
 // restoreTenant rebuilds a tenant from its checkpoint. The admission
 // controller is reconstructed by re-admitting every active task — the
-// checkpoint's validated Σwt ≤ M guarantees each admission succeeds.
-func restoreTenant(cp tenantCheckpoint) (*Tenant, error) {
+// checkpoint's validated Σwt ≤ M guarantees each admission succeeds. The
+// loop-owned fields are finished before start(), while no loop can be
+// running.
+func restoreTenant(cp tenantCheckpoint, ringSize int) (*Tenant, error) {
 	if cp.ID == "" {
 		return nil, fmt.Errorf("server: tenant checkpoint without id")
 	}
@@ -117,18 +132,10 @@ func restoreTenant(cp tenantCheckpoint) (*Tenant, error) {
 			return nil, fmt.Errorf("server: tenant %q dispatch log has seq %d at position %d", cp.ID, ev.Seq, i)
 		}
 	}
-	t := &Tenant{
-		id:     cp.ID,
-		policy: cp.Exec.Policy,
-		ex:     ex,
-		ctrl:   admission.NewController(cp.Exec.M),
-		tasks:  map[string]*model.Task{},
-		log:    cp.Log,
-		maxTar: maxTar,
-		reject: cp.Reject,
-		subs:   map[*subscriber]struct{}{},
-		closed: make(chan struct{}),
-	}
+	t := newTenantCore(cp.ID, cp.Exec.Policy, cp.Exec.M, ex, admission.NewController(cp.Exec.M), ringSize)
+	t.log = cp.Log
+	t.maxTar = maxTar
+	t.reject = cp.Reject
 	for _, task := range ex.System().Tasks {
 		if !ex.Active(task) {
 			continue
@@ -142,7 +149,7 @@ func restoreTenant(cp tenantCheckpoint) (*Tenant, error) {
 		}
 		t.tasks[task.Name] = task
 	}
-	t.ex.SetOnDispatch(t.record)
+	t.start()
 	return t, nil
 }
 
@@ -170,6 +177,7 @@ func Open(opts Options) (*Server, error) {
 	s := New()
 	s.SetClock(opts.Clock)
 	s.SetTraceBuffer(opts.TraceBuffer)
+	s.SetSubmitRing(opts.SubmitRing)
 	l, rec, err := wal.Open(opts.DataDir, wal.Options{
 		FS: opts.FS, FsyncEvery: opts.FsyncEvery, FsyncMaxDelay: maxDelay,
 		SnapshotEvery: snapEvery,
@@ -191,12 +199,13 @@ func Open(opts Options) (*Server, error) {
 		}
 		s.cmdSeq.Store(pay.Commands)
 		for _, tc := range pay.Tenants {
-			t, err := restoreTenant(tc)
+			t, err := restoreTenant(tc, s.submitRing)
 			if err != nil {
 				l.Close()
 				return nil, err
 			}
 			if _, err := s.addTenant(t); err != nil {
+				t.Close()
 				l.Close()
 				return nil, err
 			}
@@ -234,9 +243,11 @@ func (s *Server) applyRecord(r wal.Record, info *RecoveryInfo) {
 	t := s.tenant(r.Tenant)
 	switch r.Op {
 	case wal.OpTenantCreate:
-		nt, err := NewTenant(r.Tenant, r.M, r.Policy)
+		nt, err := newTenant(r.Tenant, r.M, r.Policy, s.submitRing)
 		if err == nil {
-			_, err = s.addTenant(nt)
+			if _, err = s.addTenant(nt); err != nil {
+				nt.Close() // never installed; stop its loop goroutine
+			}
 		}
 		if err != nil {
 			fail()
@@ -378,7 +389,11 @@ func (s *Server) compact() error {
 	defer s.opMu.Unlock()
 	pay := snapshotPayload{Commands: s.cmdSeq.Load()}
 	for _, t := range s.allTenants() {
-		pay.Tenants = append(pay.Tenants, t.checkpoint())
+		cp := t.checkpoint()
+		if cp.ID == "" {
+			continue // deleted while we walked the registry
+		}
+		pay.Tenants = append(pay.Tenants, cp)
 	}
 	buf, err := json.Marshal(pay)
 	if err != nil {
@@ -409,6 +424,12 @@ func (s *Server) Close() error {
 	if errors.Is(err, wal.ErrWedged) {
 		err = nil // already failed earlier; nothing more to preserve
 	}
+	// Stop every tenant loop after the final snapshot (checkpoint needs
+	// the loops alive) and before the journal closes (the close flush may
+	// still journal backlogged commands).
+	for _, t := range s.allTenants() {
+		t.Close()
+	}
 	if cerr := s.wal.Close(); err == nil {
 		err = cerr
 	}
@@ -425,11 +446,14 @@ func (s *Server) WALStats() wal.Stats {
 }
 
 // statusOf maps an operation error to its HTTP status: a wedged journal is
-// the server's failure (503), everything else keeps the handler's own
-// fallback.
+// the server's failure (503), a full submit ring is explicit backpressure
+// (429, retryable), everything else keeps the handler's own fallback.
 func statusOf(err error, fallback int) int {
 	if errors.Is(err, wal.ErrWedged) {
 		return http.StatusServiceUnavailable
+	}
+	if errors.Is(err, ErrRingFull) {
+		return http.StatusTooManyRequests
 	}
 	return fallback
 }

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"runtime"
+	"testing"
+
+	"desyncpfair/internal/model"
+)
+
+// TestRingFullBackpressure pins the bounded-ring contract: when the loop
+// is busy and the ring is at capacity, exec refuses immediately with
+// ErrRingFull (mapped to 429) instead of blocking the handler.
+func TestRingFullBackpressure(t *testing.T) {
+	tn, err := newTenant("ring", 1, "", 1) // ring capacity 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tn.Close()
+
+	// Park the loop inside a control command so the ring cannot drain.
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	ctlDone := make(chan cmdResult, 1)
+	go func() {
+		ctlDone <- tn.ctlExec(&command{kind: cmdCtl, fn: func() {
+			close(entered)
+			<-gate
+		}})
+	}()
+	<-entered
+
+	// Fill the single ring slot.
+	queued := make(chan cmdResult, 1)
+	go func() { queued <- tn.exec(&command{kind: cmdDrain}) }()
+	for len(tn.ring) == 0 {
+		runtime.Gosched()
+	}
+
+	res := tn.exec(&command{kind: cmdDrain})
+	if !errors.Is(res.err, ErrRingFull) {
+		t.Fatalf("exec on a full ring: err = %v, want ErrRingFull", res.err)
+	}
+	if got := statusOf(res.err, http.StatusBadRequest); got != http.StatusTooManyRequests {
+		t.Fatalf("statusOf(ErrRingFull) = %d, want 429", got)
+	}
+
+	// Release the loop: the queued command must complete normally.
+	close(gate)
+	if r := <-ctlDone; r.err != nil {
+		t.Fatalf("control command: %v", r.err)
+	}
+	if r := <-queued; r.err != nil {
+		t.Fatalf("queued drain after release: %v", r.err)
+	}
+}
+
+// TestCloseDrainsBacklogThenRefuses pins the close protocol: commands
+// accepted before the close gate are applied (not lost, not failed), and
+// commands after it fail errTenantGone.
+func TestCloseDrainsBacklogThenRefuses(t *testing.T) {
+	tn, err := NewTenant("closing", 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tn.RegisterTask("a", model.W(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Park the loop and stuff the ring with submits while it cannot drain.
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	ctlDone := make(chan cmdResult, 1)
+	go func() {
+		ctlDone <- tn.ctlExec(&command{kind: cmdCtl, fn: func() {
+			close(entered)
+			<-gate
+		}})
+	}()
+	<-entered
+	const backlog = 5
+	pending := make(chan cmdResult, backlog)
+	for i := 0; i < backlog; i++ {
+		go func() {
+			pending <- tn.exec(&command{kind: cmdSubmit, submit: SubmitJobRequest{Task: "a"}})
+		}()
+	}
+	for len(tn.ring) < backlog {
+		runtime.Gosched()
+	}
+
+	closed := make(chan struct{})
+	go func() {
+		close(gate) // un-park the loop as Close starts racing it
+		tn.Close()
+		close(closed)
+	}()
+	<-ctlDone
+	for i := 0; i < backlog; i++ {
+		if r := <-pending; r.err != nil {
+			t.Fatalf("backlogged submit %d failed across close: %v", i, r.err)
+		}
+	}
+	<-closed
+
+	if _, _, err := tn.SubmitJob("a", "", 0); !errors.Is(err, errTenantGone) {
+		t.Fatalf("submit after close: err = %v, want errTenantGone", err)
+	}
+	select {
+	case <-tn.Closed():
+	default:
+		t.Fatal("Closed() channel not closed after Close")
+	}
+	tn.Close() // idempotent
+}
+
+// TestSnapshotReadersSeeClosedTenantState pins that the read paths stay
+// serviceable after close: the last published snapshot remains readable
+// (streams use it to flush before ending).
+func TestSnapshotReadersSeeClosedTenantState(t *testing.T) {
+	tn, err := NewTenant("readers", 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tn.RegisterTask("a", model.W(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tn.SubmitJob("a", "", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tn.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	want := tn.Info()
+	if want.Dispatches == 0 {
+		t.Fatal("drain dispatched nothing")
+	}
+	tn.Close()
+	if got := tn.Info(); got != want {
+		t.Fatalf("Info after close = %+v, want %+v", got, want)
+	}
+	if got := len(tn.EventsSince(0)); int64(got) != want.Dispatches {
+		t.Fatalf("EventsSince after close returned %d events, want %d", got, want.Dispatches)
+	}
+}

@@ -2,9 +2,10 @@ package server
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -14,72 +15,122 @@ var latencyBuckets = []float64{
 	16e-6, 64e-6, 256e-6, 1024e-6, 4096e-6, 16384e-6, 65536e-6,
 }
 
-// metrics aggregates per-route request counters. Tenant-level series
+// metrics aggregates per-route request counters without any lock on the
+// request path. The route map is built once at registration (route()) and
+// read-only afterwards, so observe() is a map lookup plus atomic adds —
+// a /metrics scrape never contends with a request, and requests never
+// contend with each other on a counter mutex. Tenant-level series
 // (dispatch counts, tardiness, rejections) are not stored here — they are
 // read live from the tenants at exposition time, so the two can never
 // drift apart.
 type metrics struct {
-	mu     sync.Mutex
 	routes map[string]*routeStats
 }
 
+// routeStats is one route's counters, updated and read with atomics only.
+// Writers order their updates so a concurrent reader always sees an
+// internally consistent histogram (see observe / snapshot).
 type routeStats struct {
-	count   int64
-	errors  int64 // 4xx + 5xx responses
-	sum     float64
-	buckets []int64 // same length as latencyBuckets; bucket i counts d ≤ latencyBuckets[i]
+	count   atomic.Int64
+	errors  atomic.Int64  // 4xx + 5xx responses
+	sum     atomic.Uint64 // float64 bits, CAS-updated
+	buckets [7]atomic.Int64
 }
 
 func newMetrics() *metrics {
 	return &metrics{routes: map[string]*routeStats{}}
 }
 
-// observe records one request against its route pattern.
+// register pre-creates a route's counters. Called only from route() while
+// the server is being built, before any request can run; after that the
+// map is never written again, which is what makes lock-free observe safe.
+func (m *metrics) register(route string) {
+	m.routes[route] = &routeStats{}
+}
+
+// observe records one request against its route pattern. Update order is
+// the consistency protocol: count first, then buckets from the widest
+// down. A reader going the other way (buckets ascending, count last; see
+// snapshot) therefore sees, for every bucket, at most as many increments
+// as the next wider one and never more than count — the histogram it
+// reads is always cumulative and `bucket ≤ count` holds even mid-update.
 func (m *metrics) observe(route string, d time.Duration, status int) {
-	secs := d.Seconds()
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	rs := m.routes[route]
 	if rs == nil {
-		rs = &routeStats{buckets: make([]int64, len(latencyBuckets))}
-		m.routes[route] = rs
+		// Unregistered patterns cannot happen via route(); drop rather
+		// than grow the map (which is lock-free only because it's frozen).
+		return
 	}
-	rs.count++
-	rs.sum += secs
+	secs := d.Seconds()
+	rs.count.Add(1)
 	if status >= 400 {
-		rs.errors++
+		rs.errors.Add(1)
 	}
-	for i, ub := range latencyBuckets {
-		if secs <= ub {
-			rs.buckets[i]++
+	for old := rs.sum.Load(); ; old = rs.sum.Load() {
+		if rs.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+secs)) {
+			break
+		}
+	}
+	for i := len(latencyBuckets) - 1; i >= 0; i-- {
+		if secs <= latencyBuckets[i] {
+			rs.buckets[i].Add(1)
 		}
 	}
 }
 
+// routeSnap is one route's counters as read at exposition time.
+type routeSnap struct {
+	count   int64
+	errors  int64
+	sum     float64
+	buckets [7]int64
+}
+
+// snapshot reads rs in the order that pairs with observe's write order:
+// buckets ascending first, count last. Every value is monotone, so the
+// result is a valid cumulative histogram with bucket[i] ≤ bucket[j≥i] ≤
+// count even while writers are mid-flight.
+func (rs *routeStats) snapshot() routeSnap {
+	var s routeSnap
+	for i := range rs.buckets {
+		s.buckets[i] = rs.buckets[i].Load()
+	}
+	s.errors = rs.errors.Load()
+	s.sum = math.Float64frombits(rs.sum.Load())
+	s.count = rs.count.Load()
+	return s
+}
+
 // write renders the text exposition: request counters per route, then the
-// live per-tenant series pulled from `infos`.
+// live per-tenant series pulled from `infos`. Routes that have never been
+// hit are filtered, so the page's route set matches what has actually
+// served traffic (as it did when routes were created on first hit).
 func (m *metrics) write(b *strings.Builder, infos []TenantInfo) {
-	b.WriteString("# HELP pfaird_requests_total HTTP requests served, by route.\n")
-	b.WriteString("# TYPE pfaird_requests_total counter\n")
-	m.mu.Lock()
 	routes := make([]string, 0, len(m.routes))
-	for r := range m.routes {
+	snaps := make(map[string]routeSnap, len(m.routes))
+	for r, rs := range m.routes {
+		s := rs.snapshot()
+		if s.count == 0 {
+			continue
+		}
 		routes = append(routes, r)
+		snaps[r] = s
 	}
 	sort.Strings(routes)
+	b.WriteString("# HELP pfaird_requests_total HTTP requests served, by route.\n")
+	b.WriteString("# TYPE pfaird_requests_total counter\n")
 	for _, r := range routes {
-		rs := m.routes[r]
-		fmt.Fprintf(b, "pfaird_requests_total{route=%q} %d\n", r, rs.count)
+		fmt.Fprintf(b, "pfaird_requests_total{route=%q} %d\n", r, snaps[r].count)
 	}
 	b.WriteString("# HELP pfaird_request_errors_total HTTP 4xx/5xx responses, by route.\n")
 	b.WriteString("# TYPE pfaird_request_errors_total counter\n")
 	for _, r := range routes {
-		fmt.Fprintf(b, "pfaird_request_errors_total{route=%q} %d\n", r, m.routes[r].errors)
+		fmt.Fprintf(b, "pfaird_request_errors_total{route=%q} %d\n", r, snaps[r].errors)
 	}
 	b.WriteString("# HELP pfaird_request_duration_seconds Request latency histogram, by route.\n")
 	b.WriteString("# TYPE pfaird_request_duration_seconds histogram\n")
 	for _, r := range routes {
-		rs := m.routes[r]
+		rs := snaps[r]
 		for i, ub := range latencyBuckets {
 			fmt.Fprintf(b, "pfaird_request_duration_seconds_bucket{route=%q,le=%q} %d\n",
 				r, fmt.Sprintf("%g", ub), rs.buckets[i])
@@ -88,7 +139,6 @@ func (m *metrics) write(b *strings.Builder, infos []TenantInfo) {
 		fmt.Fprintf(b, "pfaird_request_duration_seconds_sum{route=%q} %g\n", r, rs.sum)
 		fmt.Fprintf(b, "pfaird_request_duration_seconds_count{route=%q} %d\n", r, rs.count)
 	}
-	m.mu.Unlock()
 
 	b.WriteString("# HELP pfaird_tenants Current tenant count.\n")
 	b.WriteString("# TYPE pfaird_tenants gauge\n")

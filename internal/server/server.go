@@ -1,9 +1,9 @@
 // Package server implements pfaird, a multi-tenant scheduling service
 // over the online executive: each tenant is an isolated PD²-DVQ
-// online.Executive (plus admission controller) behind a mutex, and a
-// stdlib net/http JSON API creates tenants, admits tasks, submits jobs,
-// advances virtual time, and streams dispatch decisions as newline-
-// delimited JSON. The service turns the paper's Theorem 3 into an
+// online.Executive (plus admission controller) behind a single-writer
+// event loop fed by a bounded MPSC submit ring, and a stdlib net/http
+// JSON API creates tenants, admits tasks, submits jobs, advances virtual
+// time, and streams dispatch decisions as newline-delimited JSON. The service turns the paper's Theorem 3 into an
 // operational contract: every admitted tenant's workload keeps the
 // one-quantum tardiness bound, and /metrics exposes the observed maximum
 // so the claim is monitorable, not just provable.
@@ -79,6 +79,10 @@ type Server struct {
 	cmdSeq   atomic.Uint64
 	recovery *RecoveryInfo
 
+	// submitRing is the per-tenant command-ring capacity for tenants this
+	// server creates (0 = defaultSubmitRing). Set before serving traffic.
+	submitRing int
+
 	shutdownOnce sync.Once
 	shutdown     chan struct{}
 }
@@ -114,6 +118,12 @@ func New() *Server {
 // Handler returns the root handler to mount on an http.Server.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// SetSubmitRing sets the per-tenant submit-ring capacity for tenants
+// created after the call (0 restores the default). A full ring surfaces
+// as HTTP 429 backpressure. Like SetClock, call it before serving
+// traffic.
+func (s *Server) SetSubmitRing(n int) { s.submitRing = n }
+
 // Shutdown begins a graceful stop: dispatch streams flush their logs and
 // end, and new streams terminate immediately after their replay. Call it
 // before http.Server.Shutdown so stream handlers return and the listener
@@ -127,6 +137,7 @@ func (s *Server) Shutdown() {
 // cardinality stays bounded. Durations come from the injected clock, so
 // under an obs.Fake clock the request histograms are deterministic.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.metrics.register(pattern)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := s.obs.clock.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
@@ -181,7 +192,7 @@ func (s *Server) addTenant(t *Tenant) (wal.Commit, error) {
 		return wal.Commit{}, fmt.Errorf("server: tenant %q already exists", t.ID())
 	}
 	commit, err := s.journalRecord(wal.Record{
-		Op: wal.OpTenantCreate, Tenant: t.ID(), M: t.ctrl.M(), Policy: t.policy,
+		Op: wal.OpTenantCreate, Tenant: t.ID(), M: t.m, Policy: t.policy,
 	})
 	if err != nil {
 		return wal.Commit{}, err
@@ -194,25 +205,36 @@ func (s *Server) addTenant(t *Tenant) (wal.Commit, error) {
 	return commit, nil
 }
 
-// removeTenant journals then deletes and closes the tenant, ending its
-// streams. It reports whether the tenant existed; the error is a journal
-// failure (the tenant then remains).
+// removeTenant deletes a tenant through the close protocol: win the
+// tenant's close gate (so no further commands are accepted), flush its
+// ring backlog (so every accepted command precedes the delete in the
+// journal), journal the delete under the shard lock, unlink, and stop the
+// loop. It reports whether the tenant existed; the error is a journal
+// failure — the close gate then reopens and the tenant remains, fully
+// consistent, as if the delete never happened.
 func (s *Server) removeTenant(id string) (bool, wal.Commit, error) {
-	sh := s.shardOf(id)
-	sh.mu.Lock()
-	t := sh.tenants[id]
+	t := s.tenant(id)
 	if t == nil {
-		sh.mu.Unlock()
 		return false, wal.Commit{}, nil
 	}
+	if !t.beginClose() {
+		// A concurrent delete of the same id won the gate; wait for it and
+		// report not-found, exactly as if we had arrived after it.
+		<-t.closed
+		return false, wal.Commit{}, nil
+	}
+	t.flushBacklog()
+	sh := s.shardOf(id)
+	sh.mu.Lock()
 	commit, err := s.journalRecord(wal.Record{Op: wal.OpTenantDelete, Tenant: id})
 	if err != nil {
 		sh.mu.Unlock()
+		t.abortClose()
 		return true, wal.Commit{}, err
 	}
 	delete(sh.tenants, id)
 	sh.mu.Unlock()
-	t.Close()
+	t.finishClose()
 	return true, commit, nil
 }
 
@@ -290,7 +312,7 @@ func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	t, err := NewTenant(req.ID, req.M, req.Policy)
+	t, err := newTenant(req.ID, req.M, req.Policy, s.submitRing)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -299,6 +321,7 @@ func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
 	commit, err := s.addTenant(t)
 	s.opMu.RUnlock()
 	if err != nil {
+		t.Close() // never installed; stop its loop goroutine
 		writeErr(w, statusOf(err, http.StatusConflict), err)
 		return
 	}

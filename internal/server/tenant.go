@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"desyncpfair/internal/admission"
@@ -14,69 +15,88 @@ import (
 	"desyncpfair/internal/wal"
 )
 
-// Tenant is the concurrency-safe wrapper around one online.Executive that
-// the HTTP layer serves. online.Executive is single-goroutine by contract;
-// Tenant serializes every executive call behind one mutex, keeps the full
-// dispatch log (so streams can replay from any point and a late subscriber
-// misses nothing), and maintains the counters /metrics exposes.
+// Tenant wraps one online.Executive behind a single-writer event loop.
+// online.Executive is single-goroutine by contract; instead of a mutex,
+// each tenant runs one loop goroutine (runLoop, loop.go) fed by a bounded
+// MPSC submit ring. HTTP handlers validate the wire input, enqueue a
+// command, and wait on its completion; the loop journals, applies, and
+// publishes an immutable tenantSnap through an atomic pointer. Every read
+// path — Info, /metrics, stream replay, recovery verification — loads the
+// snapshot and never synchronizes with the writer, so scrapes and
+// followers cost the hot path nothing.
 //
-// Lock ordering: the executive's OnDispatch hook fires while mu is held
-// (dispatches only happen inside Advance/Drain, which hold mu), so the
-// hook only appends to the log and pokes subscriber wakeup channels with
-// non-blocking sends — it never blocks on a slow stream reader. Stream
-// handlers copy log slices under the lock and write to the network outside
-// it.
+// Field ownership:
+//   - loop-owned (no lock; only the loop goroutine may touch them after
+//     start): ex, ctrl, tasks, log, maxTar, reject, pendDisp, cur*.
+//   - immutable after construction: id, policy, m, ring, ctl, closed.
+//   - atomics: snap (published state), hooks (journal callbacks), obsP
+//     (tracer + histograms), closing (delete gate).
+//   - locks: ringMu is the enqueue/close barrier (see loop.go); subMu
+//     guards the stream-follower set.
 type Tenant struct {
 	id     string
 	policy string
+	m      int
 
-	mu     sync.Mutex
+	ring    chan *command
+	ctl     chan *command
+	ringMu  sync.RWMutex
+	closing atomic.Bool
+	closed  chan struct{}
+
+	snap  atomic.Pointer[tenantSnap]
+	hooks atomic.Pointer[journalHooks]
+	obsP  atomic.Pointer[tenantObs]
+
+	// Loop-owned state.
 	ex     *online.Executive
 	ctrl   *admission.Controller
 	tasks  map[string]*model.Task
 	log    []DispatchEvent
 	maxTar rat.Rat
 	reject int64
-	subs   map[*subscriber]struct{}
-	closed chan struct{} // closed on tenant deletion; ends streams
-	gone   bool
+	// pendDisp buffers the dispatch records one command's apply produced;
+	// flushAfterApply journals them as a single frame group.
+	pendDisp []wal.Record
+	// curCmd/curStart/curOp tie dispatch trace events to the command
+	// whose apply produced them.
+	curCmd   int64
+	curStart time.Time
+	curOp    string
 
-	// journal, when set, is the durability hook next to SetOnDispatch:
-	// every mutating call journals its command record through it *before*
-	// applying (write-ahead). The call sites pre-validate so a journaled
-	// command cannot fail to apply — that is what lets recovery treat a
-	// replay error as a real inconsistency. The hook only *enqueues* the
-	// record (wal.AppendAsync); the returned wal.Commit travels up to the
-	// HTTP handler, which waits for durability after releasing t.mu — so a
-	// slow fsync stalls the acking request, never the tenant. journalBatch
-	// enqueues a whole frame group the same way. journalFail wedges the
-	// log in the cases pre-validation cannot cover (Drain's internal
-	// guards, a batch that partially applied), so in-memory state can
-	// never silently outrun the journal.
-	journal      func(wal.Record) (wal.Commit, error)
-	journalBatch func([]wal.Record) (wal.Commit, error)
-	journalFail  func(error)
+	subMu sync.Mutex
+	subs  map[*subscriber]struct{}
+}
 
-	// Observability, attached by Server.addTenant before the tenant takes
-	// traffic (NewTenant installs standalone defaults so a bare tenant
-	// works too). All observability state is volatile: it is not
-	// journaled or checkpointed, so like any Prometheus counter it resets
-	// at boot and re-accumulates from the replayed tail.
+// tenantSnap is the immutable state image the loop publishes after every
+// command. The log slice aliases the loop's backing array up to its
+// length — the loop only ever appends past it, so the visible prefix
+// never mutates and readers serve it with zero copying.
+type tenantSnap struct {
+	now     rat.Rat
+	util    rat.Rat
+	tasks   int
+	pending int
+	log     []DispatchEvent
+	maxTar  rat.Rat
+	reject  int64
+}
+
+// tenantObs bundles the tenant's observability sinks behind one atomic
+// pointer: the trace ring, the per-tenant histograms, and the aggregate
+// sinks. Allocated lazily — a server-attached tenant never pays for the
+// standalone defaults (previously every tenant allocated its trace ring
+// twice: once in NewTenant, once in attachObs).
+type tenantObs struct {
 	tr        *obs.Tracer    // command-lifecycle trace ring
 	submitAck *obs.Histogram // submit→ack latency, this tenant
 	lag       *obs.Histogram // dispatch tardiness in quanta, this tenant
 	sobs      *serverObs     // aggregate sinks (nil on a bare tenant)
-	// curCmd/curStart/curOp tie dispatch trace events to the command
-	// whose apply produced them; valid only while mu is held across an
-	// executive call.
-	curCmd   int64
-	curStart time.Time
-	curOp    string
 }
 
 // subscriber is one dispatch-stream follower. ping has capacity 1; the
-// dispatch hook's non-blocking send coalesces any number of new events
-// into one wakeup, and the follower re-reads the log to catch up.
+// loop's post-command non-blocking send coalesces any number of new
+// events into one wakeup, and the follower re-reads the log to catch up.
 type subscriber struct {
 	ping chan struct{}
 }
@@ -98,8 +118,12 @@ func PolicyByName(name string) (prio.Policy, error) {
 }
 
 // NewTenant creates a tenant with id on m processors under the named
-// policy ("" = PD²).
+// policy ("" = PD²) with the default submit-ring capacity.
 func NewTenant(id string, m int, policyName string) (*Tenant, error) {
+	return newTenant(id, m, policyName, 0)
+}
+
+func newTenant(id string, m int, policyName string, ringSize int) (*Tenant, error) {
 	if id == "" {
 		return nil, fmt.Errorf("server: empty tenant id")
 	}
@@ -113,105 +137,167 @@ func NewTenant(id string, m int, policyName string) (*Tenant, error) {
 	if err != nil {
 		return nil, err
 	}
+	t := newTenantCore(id, pol.Name(), m, online.New(m, pol), admission.NewController(m), ringSize)
+	t.start()
+	return t, nil
+}
+
+// newTenantCore builds the shared tenant shell. The loop is NOT started:
+// callers finish wiring loop-owned state (restoreTenant re-admits tasks,
+// installs the log) and then call start. Both the live-create and the
+// recovery-restore path come through here.
+func newTenantCore(id, policy string, m int, ex *online.Executive, ctrl *admission.Controller, ringSize int) *Tenant {
+	if ringSize <= 0 {
+		ringSize = defaultSubmitRing
+	}
 	t := &Tenant{
 		id:     id,
-		policy: pol.Name(),
-		ex:     online.New(m, pol),
-		ctrl:   admission.NewController(m),
+		policy: policy,
+		m:      m,
+		ring:   make(chan *command, ringSize),
+		ctl:    make(chan *command),
+		closed: make(chan struct{}),
+		ex:     ex,
+		ctrl:   ctrl,
 		tasks:  map[string]*model.Task{},
 		maxTar: rat.Zero,
 		subs:   map[*subscriber]struct{}{},
-		closed: make(chan struct{}),
 	}
 	t.ex.SetOnDispatch(t.record)
-	// Standalone observability defaults; Server.addTenant swaps in the
-	// server-wide clock, capacity and aggregate sinks via attachObs.
-	t.tr = obs.NewTracer(obs.NewRing(defaultTraceCap), obs.Real{})
-	t.submitAck = obs.NewHistogram(obs.DefaultLatencyBuckets)
-	t.lag = obs.NewHistogram(obs.QuantaBuckets)
-	return t, nil
+	return t
+}
+
+// start publishes the initial snapshot and launches the event loop. After
+// start, loop-owned fields belong to the loop goroutine exclusively.
+func (t *Tenant) start() {
+	t.publish()
+	go t.runLoop()
+}
+
+// publish stores the post-command state image and reports whether the
+// dispatch log grew since the last published snapshot (the signal to wake
+// stream followers). Loop goroutine only (callable before start, while
+// the loop cannot be running).
+func (t *Tenant) publish() bool {
+	prev := t.snap.Load()
+	t.snap.Store(&tenantSnap{
+		now:     t.ex.Now(),
+		util:    t.ctrl.Utilization(),
+		tasks:   t.ctrl.Len(),
+		pending: t.ex.Pending(),
+		log:     t.log,
+		maxTar:  t.maxTar,
+		reject:  t.reject,
+	})
+	return prev == nil || len(t.log) > len(prev.log)
+}
+
+// pingSubs wakes every stream follower (coalesced, non-blocking).
+func (t *Tenant) pingSubs() {
+	t.subMu.Lock()
+	for sub := range t.subs {
+		select {
+		case sub.ping <- struct{}{}:
+		default: // a wakeup is already queued; the follower will catch up
+		}
+	}
+	t.subMu.Unlock()
+}
+
+// obs returns the tenant's observability sinks, installing standalone
+// defaults on first use if the server never attached its own.
+func (t *Tenant) obs() *tenantObs {
+	if o := t.obsP.Load(); o != nil {
+		return o
+	}
+	def := &tenantObs{
+		tr:        obs.NewTracer(obs.NewRing(defaultTraceCap), obs.Real{}),
+		submitAck: obs.NewHistogram(obs.DefaultLatencyBuckets),
+		lag:       obs.NewHistogram(obs.QuantaBuckets),
+	}
+	if t.obsP.CompareAndSwap(nil, def) {
+		return def
+	}
+	return t.obsP.Load()
 }
 
 // attachObs rewires the tenant onto the server's observability: its
 // injected clock, its trace-ring capacity, and the aggregate histograms
 // that /metrics sums across tenants. addTenant calls it before the tenant
 // is visible to requests, so the swap races with nothing — and it is the
-// one chokepoint covering both live-created and recovery-restored tenants
-// (restoreTenant builds the struct directly, without NewTenant's
-// defaults).
+// one chokepoint covering both live-created and recovery-restored
+// tenants.
 func (t *Tenant) attachObs(o *serverObs) {
-	t.mu.Lock()
-	t.tr = obs.NewTracer(obs.NewRing(o.traceCap), o.clock)
-	t.submitAck = obs.NewHistogram(obs.DefaultLatencyBuckets)
-	t.lag = obs.NewHistogram(obs.QuantaBuckets)
-	t.sobs = o
-	t.mu.Unlock()
+	t.obsP.Store(&tenantObs{
+		tr:        obs.NewTracer(obs.NewRing(o.traceCap), o.clock),
+		submitAck: obs.NewHistogram(obs.DefaultLatencyBuckets),
+		lag:       obs.NewHistogram(obs.QuantaBuckets),
+		sobs:      o,
+	})
 }
 
 // traceRing returns the tenant's trace ring for the streaming handler.
 func (t *Tenant) traceRing() *obs.Ring {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.tr.Ring()
+	return t.obs().tr.Ring()
 }
 
 // obsSnapshot snapshots the tenant's observability series for /metrics.
 func (t *Tenant) obsSnapshot() tenantObsSnap {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	o := t.obs()
 	return tenantObsSnap{
 		id:        t.id,
-		submitAck: t.submitAck.Snapshot(),
-		lag:       t.lag.Snapshot(),
-		traceLen:  t.tr.Ring().Next(),
+		submitAck: o.submitAck.Snapshot(),
+		lag:       o.lag.Snapshot(),
+		traceLen:  o.tr.Ring().Next(),
 	}
 }
 
 // observeSubmitAck records one submit→ack latency into the tenant and
 // aggregate histograms. Histograms carry their own locks, so the HTTP
-// handler calls this after releasing every other lock.
+// handler calls this directly.
 func (t *Tenant) observeSubmitAck(d time.Duration) {
+	o := t.obs()
 	s := d.Seconds()
-	t.submitAck.Observe(s)
-	if t.sobs != nil {
-		t.sobs.submitAck.Observe(s)
+	o.submitAck.Observe(s)
+	if o.sobs != nil {
+		o.sobs.submitAck.Observe(s)
 	}
 }
 
 // traceBegin opens a traced command and parks its context for record() to
-// stamp onto the dispatch events it produces. Callers hold t.mu.
+// stamp onto the dispatch events it produces. Loop goroutine only.
 func (t *Tenant) traceBegin(op, task, at string) {
-	t.curCmd, t.curStart = t.tr.Begin(t.id, op, task, at)
+	o := t.obs()
+	t.curCmd, t.curStart = o.tr.Begin(t.id, op, task, at)
 	t.curOp = op
 }
 
 // traceStage marks the current command's next completed lifecycle stage.
 func (t *Tenant) traceStage(stage string) {
-	t.tr.Stage(t.id, t.curCmd, t.curStart, t.curOp, stage, "")
+	t.obs().tr.Stage(t.id, t.curCmd, t.curStart, t.curOp, stage, "")
 }
 
 // traceFail marks the current command failed at stage; no further stages
 // follow for it.
 func (t *Tenant) traceFail(stage string, err error) {
-	t.tr.Stage(t.id, t.curCmd, t.curStart, t.curOp, stage, err.Error())
+	t.obs().tr.Stage(t.id, t.curCmd, t.curStart, t.curOp, stage, err.Error())
 }
 
 // SetJournal installs the durability hooks: append enqueues one record,
 // batch enqueues a frame group, fail permanently wedges the journal after
 // a post-journal apply failure. append/batch return a wal.Commit the
-// caller waits on *after* releasing t.mu (group commit: the first waiter
-// fsyncs for everyone queued behind it). Like SetOnDispatch it must be
-// called before the tenant serves traffic.
+// enqueuing handler waits on after the command completes (group commit:
+// the first waiter fsyncs for everyone queued behind it). Like
+// SetOnDispatch it must be called before the tenant serves traffic.
 func (t *Tenant) SetJournal(append func(wal.Record) (wal.Commit, error), batch func([]wal.Record) (wal.Commit, error), fail func(error)) {
-	t.mu.Lock()
-	t.journal = append
-	t.journalBatch = batch
-	t.journalFail = fail
-	t.mu.Unlock()
+	t.hooks.Store(&journalHooks{append: append, batch: batch, fail: fail})
 }
 
-// record is the executive's OnDispatch hook. It runs with t.mu held (see
-// the type comment), so plain field access is safe.
+// record is the executive's OnDispatch hook. It runs on the loop
+// goroutine (dispatches only happen inside a command's apply), so plain
+// field access is safe. Dispatch WAL records are buffered in pendDisp and
+// flushed as one frame group after the apply; follower wakeups happen
+// once per command, after the snapshot publishes.
 func (t *Tenant) record(d online.Dispatch) {
 	deadline := d.Sub.Deadline()
 	tard := d.Finish.Sub(rat.FromInt(deadline))
@@ -232,32 +318,25 @@ func (t *Tenant) record(d online.Dispatch) {
 		Tardiness: tard.String(),
 	})
 	ev := t.log[len(t.log)-1]
+	o := t.obs()
 	lagf := tard.Float64()
-	t.lag.Observe(lagf)
-	if t.sobs != nil {
-		t.sobs.dispatchLag.Observe(lagf)
+	o.lag.Observe(lagf)
+	if o.sobs != nil {
+		o.sobs.dispatchLag.Observe(lagf)
 	}
-	t.tr.Dispatch(t.id, t.curCmd, t.curStart, t.curOp, ev.Task, ev.Seq, ev.Tardiness)
-	if t.journal != nil {
-		// Dispatch records are verification-only: recovery regenerates
-		// decisions by replaying commands and checks them against these.
-		// An append error here already wedged the log, so the following
-		// command will fail loudly; nothing to do with it now.
-		_, _ = t.journal(wal.Record{
+	o.tr.Dispatch(t.id, t.curCmd, t.curStart, t.curOp, ev.Task, ev.Seq, ev.Tardiness)
+	if t.hooks.Load() != nil {
+		t.pendDisp = append(t.pendDisp, wal.Record{
 			Op: wal.OpDispatch, Tenant: t.id,
 			Name: ev.Task, DSeq: ev.Seq, Index: ev.Index, Finish: ev.Finish,
 		})
-	}
-	for sub := range t.subs {
-		select {
-		case sub.ping <- struct{}{}:
-		default: // a wakeup is already queued; the follower will catch up
-		}
 	}
 }
 
 // ID returns the tenant id.
 func (t *Tenant) ID() string { return t.id }
+
+// --- public API: each method enqueues one command and waits ---
 
 // RegisterTask admits a task through the admission controller and, when
 // admitted, registers it with the executive. A negative decision leaves
@@ -265,11 +344,53 @@ func (t *Tenant) ID() string { return t.id }
 // returned commit is the journal position to wait durable before acking
 // (zero when nothing was journaled).
 func (t *Tenant) RegisterTask(name string, w model.Weight) (admission.Decision, wal.Commit, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.gone {
-		return admission.Decision{}, wal.Commit{}, errTenantGone
-	}
+	res := t.exec(&command{kind: cmdRegister, name: name, w: w})
+	return res.dec, res.commit, res.err
+}
+
+// UnregisterTask removes a task and releases its capacity. It fails while
+// the task still has undispatched subtasks (advance or drain first).
+func (t *Tenant) UnregisterTask(name string) (wal.Commit, error) {
+	res := t.exec(&command{kind: cmdUnregister, name: name})
+	return res.commit, res.err
+}
+
+// SubmitJob releases one job of the named task. An empty `at` submits at
+// the tenant's current virtual time (the race-free choice for concurrent
+// clients); otherwise `at` is parsed as a rat and must not precede it.
+func (t *Tenant) SubmitJob(taskName, at string, earliness int64) (SubmitJobResponse, wal.Commit, error) {
+	res := t.exec(&command{kind: cmdSubmit, submit: SubmitJobRequest{Task: taskName, At: at, Earliness: earliness}})
+	return res.submit, res.commit, res.err
+}
+
+// SubmitJobs releases a batch of jobs atomically: every job is validated
+// against the tenant's current state first (all-or-nothing — one bad job
+// rejects the whole batch with no state change), then the batch is
+// journaled as one contiguous frame group and applied. The caller waits
+// on the one returned commit, so N jobs cost one fsync even with
+// FsyncEvery=1.
+func (t *Tenant) SubmitJobs(reqs []SubmitJobRequest) (SubmitJobsResponse, wal.Commit, error) {
+	res := t.exec(&command{kind: cmdSubmitBatch, batch: reqs})
+	return res.subs, res.commit, res.err
+}
+
+// Advance moves virtual time forward. Exactly one of until/by must be
+// non-empty; `by` is relative to the tenant's current virtual time.
+func (t *Tenant) Advance(until, by string) (AdvanceResponse, wal.Commit, error) {
+	res := t.exec(&command{kind: cmdAdvance, until: until, by: by})
+	return res.adv, res.commit, res.err
+}
+
+// Drain dispatches everything released so far and returns the final
+// virtual time.
+func (t *Tenant) Drain() (AdvanceResponse, wal.Commit, error) {
+	res := t.exec(&command{kind: cmdDrain})
+	return res.adv, res.commit, res.err
+}
+
+// --- loop-side appliers (loop goroutine only) ---
+
+func (t *Tenant) applyRegister(name string, w model.Weight) (admission.Decision, wal.Commit, error) {
 	if w.P > MaxPeriod {
 		return admission.Decision{}, wal.Commit{}, fmt.Errorf("server: task %q period %d exceeds %d", name, w.P, MaxPeriod)
 	}
@@ -290,9 +411,10 @@ func (t *Tenant) RegisterTask(name string, w model.Weight) (admission.Decision, 
 		return d, wal.Commit{}, nil
 	}
 	var commit wal.Commit
+	h := t.hooks.Load()
 	t.traceBegin(wal.OpTaskRegister, name, "")
-	if t.journal != nil {
-		c, jerr := t.journal(wal.Record{Op: wal.OpTaskRegister, Tenant: t.id, Name: name, E: w.E, P: w.P})
+	if h != nil {
+		c, jerr := h.append(wal.Record{Op: wal.OpTaskRegister, Tenant: t.id, Name: name, E: w.E, P: w.P})
 		if jerr != nil {
 			_ = t.ctrl.Unregister(name)
 			t.traceFail(obs.StageWALAppend, jerr)
@@ -314,11 +436,7 @@ func (t *Tenant) RegisterTask(name string, w model.Weight) (admission.Decision, 
 	return d, commit, nil
 }
 
-// UnregisterTask removes a task and releases its capacity. It fails while
-// the task still has undispatched subtasks (advance or drain first).
-func (t *Tenant) UnregisterTask(name string) (wal.Commit, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+func (t *Tenant) applyUnregister(name string) (wal.Commit, error) {
 	task, ok := t.tasks[name]
 	if !ok {
 		return wal.Commit{}, fmt.Errorf("server: tenant %q has no task %q", t.id, name)
@@ -329,9 +447,10 @@ func (t *Tenant) UnregisterTask(name string) (wal.Commit, error) {
 		return wal.Commit{}, fmt.Errorf("server: task %q has %d undispatched subtasks; drain before unregistering", name, n)
 	}
 	var commit wal.Commit
+	h := t.hooks.Load()
 	t.traceBegin(wal.OpTaskUnregister, name, "")
-	if t.journal != nil {
-		c, jerr := t.journal(wal.Record{Op: wal.OpTaskUnregister, Tenant: t.id, Name: name})
+	if h != nil {
+		c, jerr := h.append(wal.Record{Op: wal.OpTaskUnregister, Tenant: t.id, Name: name})
 		if jerr != nil {
 			t.traceFail(obs.StageWALAppend, jerr)
 			return wal.Commit{}, jerr
@@ -352,21 +471,16 @@ func (t *Tenant) UnregisterTask(name string) (wal.Commit, error) {
 	return commit, nil
 }
 
-// SubmitJob releases one job of the named task. An empty `at` submits at
-// the tenant's current virtual time (the race-free choice for concurrent
-// clients); otherwise `at` is parsed as a rat and must not precede it.
-func (t *Tenant) SubmitJob(taskName, at string, earliness int64) (SubmitJobResponse, wal.Commit, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	req := SubmitJobRequest{Task: taskName, At: at, Earliness: earliness}
-	task, when, err := t.validateSubmitLocked(req)
+func (t *Tenant) applySubmit(req SubmitJobRequest) (SubmitJobResponse, wal.Commit, error) {
+	task, when, err := t.validateSubmit(req)
 	if err != nil {
 		return SubmitJobResponse{}, wal.Commit{}, err
 	}
 	var commit wal.Commit
-	t.traceBegin(wal.OpJobSubmit, taskName, when.String())
-	if t.journal != nil {
-		c, jerr := t.journal(wal.Record{Op: wal.OpJobSubmit, Tenant: t.id, Name: taskName, At: when.String(), Earliness: earliness})
+	h := t.hooks.Load()
+	t.traceBegin(wal.OpJobSubmit, req.Task, when.String())
+	if h != nil {
+		c, jerr := h.append(wal.Record{Op: wal.OpJobSubmit, Tenant: t.id, Name: req.Task, At: when.String(), Earliness: req.Earliness})
 		if jerr != nil {
 			t.traceFail(obs.StageWALAppend, jerr)
 			return SubmitJobResponse{}, wal.Commit{}, jerr
@@ -374,7 +488,7 @@ func (t *Tenant) SubmitJob(taskName, at string, earliness int64) (SubmitJobRespo
 		commit = c
 		t.traceStage(obs.StageWALAppend)
 	}
-	if err := t.applySubmitLocked(task, when, earliness); err != nil {
+	if err := t.applySubmitJob(task, when, req.Earliness); err != nil {
 		t.traceFail(obs.StageApply, err)
 		return SubmitJobResponse{}, wal.Commit{}, err
 	}
@@ -382,12 +496,12 @@ func (t *Tenant) SubmitJob(taskName, at string, earliness int64) (SubmitJobRespo
 	return SubmitJobResponse{At: when.String(), Pending: t.ex.Pending()}, commit, nil
 }
 
-// validateSubmitLocked runs every check the executive would enforce on a
-// job submit and resolves an empty `at` to the tenant's current virtual
-// time. Callers hold t.mu. A nil error guarantees applySubmitLocked with
-// the returned values cannot fail — that is the pre-validation contract
-// that makes journal-before-apply safe.
-func (t *Tenant) validateSubmitLocked(req SubmitJobRequest) (*model.Task, rat.Rat, error) {
+// validateSubmit runs every check the executive would enforce on a job
+// submit and resolves an empty `at` to the tenant's current virtual time.
+// A nil error guarantees applySubmitJob with the returned values cannot
+// fail — that is the pre-validation contract that makes journal-before-
+// apply safe.
+func (t *Tenant) validateSubmit(req SubmitJobRequest) (*model.Task, rat.Rat, error) {
 	task, ok := t.tasks[req.Task]
 	if !ok {
 		return nil, rat.Zero, fmt.Errorf("server: tenant %q has no task %q", t.id, req.Task)
@@ -418,32 +532,20 @@ func (t *Tenant) validateSubmitLocked(req SubmitJobRequest) (*model.Task, rat.Ra
 	return task, when, nil
 }
 
-// applySubmitLocked releases one pre-validated job into the executive.
-// Callers hold t.mu.
-func (t *Tenant) applySubmitLocked(task *model.Task, when rat.Rat, earliness int64) error {
+// applySubmitJob releases one pre-validated job into the executive.
+func (t *Tenant) applySubmitJob(task *model.Task, when rat.Rat, earliness int64) error {
 	if earliness > 0 {
 		return t.ex.SubmitJobEarly(task, when, earliness)
 	}
 	return t.ex.SubmitJob(task, when)
 }
 
-// SubmitJobs releases a batch of jobs atomically: every job is validated
-// against the tenant's current state first (all-or-nothing — one bad job
-// rejects the whole batch with no state change), then the batch is
-// journaled as one contiguous frame group and applied under this single
-// lock acquisition. The caller waits on the one returned commit, so N
-// jobs cost one fsync even with FsyncEvery=1.
-func (t *Tenant) SubmitJobs(reqs []SubmitJobRequest) (SubmitJobsResponse, wal.Commit, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.gone {
-		return SubmitJobsResponse{}, wal.Commit{}, errTenantGone
-	}
+func (t *Tenant) applySubmitBatch(reqs []SubmitJobRequest) (SubmitJobsResponse, wal.Commit, error) {
 	tasks := make([]*model.Task, len(reqs))
 	whens := make([]rat.Rat, len(reqs))
 	recs := make([]wal.Record, len(reqs))
 	for i, req := range reqs {
-		task, when, err := t.validateSubmitLocked(req)
+		task, when, err := t.validateSubmit(req)
 		if err != nil {
 			return SubmitJobsResponse{}, wal.Commit{}, fmt.Errorf("job %d: %w", i, err)
 		}
@@ -454,8 +556,9 @@ func (t *Tenant) SubmitJobs(reqs []SubmitJobRequest) (SubmitJobsResponse, wal.Co
 	// entry; submits only add pending work and never move virtual time, so
 	// independent validity implies sequential validity.
 	var commit wal.Commit
-	if t.journalBatch != nil {
-		c, jerr := t.journalBatch(recs)
+	h := t.hooks.Load()
+	if h != nil {
+		c, jerr := h.batch(recs)
 		if jerr != nil {
 			// Trace one failed command for the whole batch so the ring
 			// shows why nothing applied.
@@ -468,14 +571,14 @@ func (t *Tenant) SubmitJobs(reqs []SubmitJobRequest) (SubmitJobsResponse, wal.Co
 	resp := SubmitJobsResponse{Results: make([]SubmitJobResponse, len(reqs))}
 	for i := range reqs {
 		t.traceBegin(wal.OpJobSubmit, reqs[i].Task, whens[i].String())
-		if t.journalBatch != nil {
+		if h != nil {
 			t.traceStage(obs.StageWALAppend)
 		}
-		if err := t.applySubmitLocked(tasks[i], whens[i], reqs[i].Earliness); err != nil {
+		if err := t.applySubmitJob(tasks[i], whens[i], reqs[i].Earliness); err != nil {
 			// Unreachable after pre-validation; if it ever happens the
 			// journaled suffix no longer matches applied state, so wedge.
-			if t.journalFail != nil {
-				t.journalFail(err)
+			if h != nil && h.fail != nil {
+				h.fail(err)
 			}
 			t.traceFail(obs.StageApply, err)
 			return SubmitJobsResponse{}, wal.Commit{}, fmt.Errorf("job %d: %w", i, err)
@@ -487,11 +590,7 @@ func (t *Tenant) SubmitJobs(reqs []SubmitJobRequest) (SubmitJobsResponse, wal.Co
 	return resp, commit, nil
 }
 
-// Advance moves virtual time forward. Exactly one of until/by must be
-// non-empty; `by` is relative to the tenant's current virtual time.
-func (t *Tenant) Advance(until, by string) (AdvanceResponse, wal.Commit, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+func (t *Tenant) applyAdvance(until, by string) (AdvanceResponse, wal.Commit, error) {
 	var target rat.Rat
 	switch {
 	case until != "" && by != "":
@@ -528,11 +627,12 @@ func (t *Tenant) Advance(until, by string) (AdvanceResponse, wal.Commit, error) 
 		return AdvanceResponse{}, wal.Commit{}, fmt.Errorf("server: cannot advance to %s, already at %s", target, t.ex.Now())
 	}
 	var commit wal.Commit
+	h := t.hooks.Load()
 	t.traceBegin(wal.OpAdvance, "", target.String())
-	if t.journal != nil {
+	if h != nil {
 		// Journal the resolved absolute target: `by` is relative to a
 		// virtual time only the live server knows.
-		c, jerr := t.journal(wal.Record{Op: wal.OpAdvance, Tenant: t.id, At: target.String()})
+		c, jerr := h.append(wal.Record{Op: wal.OpAdvance, Tenant: t.id, At: target.String()})
 		if jerr != nil {
 			t.traceFail(obs.StageWALAppend, jerr)
 			return AdvanceResponse{}, wal.Commit{}, jerr
@@ -553,15 +653,12 @@ func (t *Tenant) Advance(until, by string) (AdvanceResponse, wal.Commit, error) 
 	}, commit, nil
 }
 
-// Drain dispatches everything released so far and returns the final
-// virtual time.
-func (t *Tenant) Drain() (AdvanceResponse, wal.Commit, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+func (t *Tenant) applyDrain() (AdvanceResponse, wal.Commit, error) {
 	var commit wal.Commit
+	h := t.hooks.Load()
 	t.traceBegin(wal.OpDrain, "", "")
-	if t.journal != nil {
-		c, jerr := t.journal(wal.Record{Op: wal.OpDrain, Tenant: t.id})
+	if h != nil {
+		c, jerr := h.append(wal.Record{Op: wal.OpDrain, Tenant: t.id})
 		if jerr != nil {
 			t.traceFail(obs.StageWALAppend, jerr)
 			return AdvanceResponse{}, wal.Commit{}, jerr
@@ -575,8 +672,8 @@ func (t *Tenant) Drain() (AdvanceResponse, wal.Commit, error) {
 		// cannot rule out. The command is already journaled and may have
 		// partially applied, so wedge the journal: refusing further writes
 		// is the only way to keep recovered state trustworthy.
-		if t.journalFail != nil {
-			t.journalFail(err)
+		if h != nil && h.fail != nil {
+			h.fail(err)
 		}
 		t.traceFail(obs.StageApply, err)
 		return AdvanceResponse{}, wal.Commit{}, err
@@ -589,81 +686,66 @@ func (t *Tenant) Drain() (AdvanceResponse, wal.Commit, error) {
 	}, commit, nil
 }
 
+// --- snapshot readers (any goroutine, never block the loop) ---
+
 // Info snapshots the tenant for GET /v1/tenants/{id} and /metrics.
 func (t *Tenant) Info() TenantInfo {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	sn := t.snap.Load()
 	return TenantInfo{
 		ID:           t.id,
-		M:            t.ctrl.M(),
+		M:            t.m,
 		Policy:       t.policy,
-		Now:          t.ex.Now().String(),
-		Utilization:  t.ctrl.Utilization().String(),
-		Tasks:        t.ctrl.Len(),
-		Pending:      t.ex.Pending(),
-		Dispatches:   int64(len(t.log)),
-		MaxTardiness: t.maxTar.String(),
-		Rejections:   t.reject,
+		Now:          sn.now.String(),
+		Utilization:  sn.util.String(),
+		Tasks:        sn.tasks,
+		Pending:      sn.pending,
+		Dispatches:   int64(len(sn.log)),
+		MaxTardiness: sn.maxTar.String(),
+		Rejections:   sn.reject,
 	}
 }
 
-// EventsSince returns a copy of the dispatch log from seq `from` on.
+// EventsSince returns the dispatch log from seq `from` on. The returned
+// slice aliases the published snapshot's immutable prefix — no copy, no
+// lock; the loop only ever appends past it.
 func (t *Tenant) EventsSince(from int64) []DispatchEvent {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	sn := t.snap.Load()
 	if from < 0 {
 		from = 0
 	}
-	if from >= int64(len(t.log)) {
+	if from >= int64(len(sn.log)) {
 		return nil
 	}
-	out := make([]DispatchEvent, int64(len(t.log))-from)
-	copy(out, t.log[from:])
-	return out
+	return sn.log[from:]
 }
 
 // eventAt returns the dispatch event with sequence number seq, if the log
 // holds it. Recovery uses it to verify regenerated decisions against the
 // journaled dispatch records.
 func (t *Tenant) eventAt(seq int64) (DispatchEvent, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if seq < 0 || seq >= int64(len(t.log)) {
+	sn := t.snap.Load()
+	if seq < 0 || seq >= int64(len(sn.log)) {
 		return DispatchEvent{}, false
 	}
-	return t.log[seq], true
+	return sn.log[seq], true
 }
 
 // Subscribe registers a stream follower; its ping channel receives a
 // (coalesced) wakeup after new dispatches land in the log.
 func (t *Tenant) Subscribe() *subscriber {
 	sub := &subscriber{ping: make(chan struct{}, 1)}
-	t.mu.Lock()
+	t.subMu.Lock()
 	t.subs[sub] = struct{}{}
-	t.mu.Unlock()
+	t.subMu.Unlock()
 	return sub
 }
 
 // Unsubscribe removes a follower registered with Subscribe.
 func (t *Tenant) Unsubscribe(sub *subscriber) {
-	t.mu.Lock()
+	t.subMu.Lock()
 	delete(t.subs, sub)
-	t.mu.Unlock()
+	t.subMu.Unlock()
 }
-
-// Close marks the tenant deleted: pending streams end after flushing and
-// subsequent mutating calls fail. Idempotent.
-func (t *Tenant) Close() {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if !t.gone {
-		t.gone = true
-		close(t.closed)
-	}
-}
-
-// Closed returns a channel closed when the tenant is deleted.
-func (t *Tenant) Closed() <-chan struct{} { return t.closed }
 
 var errTenantGone = fmt.Errorf("server: tenant deleted")
 
@@ -685,8 +767,8 @@ const (
 	// it).
 	MaxEarliness = int64(1) << 20
 	// MaxBatchJobs caps jobs per batch submit: it bounds how long one
-	// request may hold the tenant lock and how large a WAL frame group the
-	// journal writes in one go.
+	// request may occupy the tenant loop and how large a WAL frame group
+	// the journal writes in one go.
 	MaxBatchJobs = 1024
 	// maxTimeDen / maxTimeValue bound virtual-time instants a client may
 	// name. rat.Cmp cross-multiplies numerator × opposing denominator, so
