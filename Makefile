@@ -3,7 +3,7 @@ GO ?= go
 BENCHTIME ?= 1x
 BENCHCOUNT ?= 1
 
-.PHONY: all build test vet fmt lint bench bench-json bench-diff race race-server fuzz fuzz-smoke obs recovery profile-mutex figures experiments soak pfaird pfairload report clean
+.PHONY: all build test vet fmt lint bench bench-json bench-diff race race-server cluster-smoke fuzz fuzz-smoke obs recovery profile-mutex figures experiments soak pfaird pfairload report clean
 
 all: build lint test
 
@@ -31,6 +31,16 @@ race:
 # race gate that stays fast even when the full -race run grows slow.
 race-server:
 	$(GO) test -race ./internal/server/... ./internal/client/... ./internal/online/... ./internal/obs/...
+
+# cluster-smoke is the replication gate: the in-process 3-node cluster
+# (1 leader + 2 followers behind pfair-router) under -race — kill the
+# leader mid-traffic, promotion must land in < 2s with zero acked-write
+# loss and tardiness ≤ 1 quantum — plus term fencing, the seeded
+# leader-kill invariant (acked ≤ recovered ≤ issued), and the log-serving
+# reader's durable-prefix guarantees.
+cluster-smoke:
+	$(GO) test -race -count=1 -v ./internal/cluster/ -run 'TestClusterSmoke|TestFollowerReplicatesAndPromotes|TestStaleLeaderFenced'
+	$(GO) test -race -count=1 ./internal/wal/ -run 'TestReaderTailsConcurrentGroupCommit|TestCrashMidBatch'
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -29,6 +29,12 @@
 // bounded submit ring (-submit-ring, default 256); a full ring answers
 // 429 so overload surfaces as client backpressure instead of queue
 // growth, while reads are served lock-free from published snapshots.
+//
+// With -follow <leader-url> the daemon runs as a read-only replica: it
+// bootstraps from the leader's snapshot, tails the leader's journal over
+// /v1/replication/log, and answers 503 to mutations until it is promoted
+// (POST /v1/cluster/promote — usually by pfair-router on leader failure).
+// See DESIGN.md §13 and TUTORIAL.md §6.
 package main
 
 import (
@@ -42,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"desyncpfair/internal/cluster"
 	"desyncpfair/internal/server"
 )
 
@@ -55,6 +62,7 @@ type config struct {
 	pprof         bool
 	traceBuffer   int
 	submitRing    int
+	follow        string
 }
 
 func main() {
@@ -68,6 +76,7 @@ func main() {
 	flag.BoolVar(&cfg.pprof, "pprof", true, "serve net/http/pprof profiles under /debug/pprof/")
 	flag.IntVar(&cfg.traceBuffer, "trace-buffer", 4096, "per-tenant trace-ring retention in events (GET /v1/tenants/{id}/trace)")
 	flag.IntVar(&cfg.submitRing, "submit-ring", 256, "per-tenant submit-ring capacity; a full ring answers 429 backpressure")
+	flag.StringVar(&cfg.follow, "follow", "", "run as a read-only replica of the leader at this base URL (requires -data-dir)")
 	flag.Parse()
 
 	if err := serve(context.Background(), cfg, nil); err != nil {
@@ -80,11 +89,21 @@ func main() {
 // up — tests use it with addr ":0".
 func serve(ctx context.Context, cfg config, ready func(addr string)) error {
 	var srv *server.Server
+	var follower *cluster.Follower
 	var err error
+	if cfg.follow != "" && cfg.dataDir == "" {
+		return errors.New("-follow requires -data-dir (a follower's journal is its promotion state)")
+	}
 	if cfg.dataDir != "" {
 		maxDelay := cfg.fsyncMaxDelay
 		if maxDelay == 0 {
 			maxDelay = -1 // flag 0 = disabled; Options 0 = default
+		}
+		if cfg.follow != "" {
+			log.Printf("pfaird: bootstrapping follower of %s", cfg.follow)
+			if err := cluster.Bootstrap(cfg.dataDir, cfg.follow, nil, nil); err != nil {
+				return err
+			}
 		}
 		srv, err = server.Open(server.Options{
 			DataDir:       cfg.dataDir,
@@ -93,9 +112,14 @@ func serve(ctx context.Context, cfg config, ready func(addr string)) error {
 			SnapshotEvery: cfg.snapshotEvery,
 			TraceBuffer:   cfg.traceBuffer,
 			SubmitRing:    cfg.submitRing,
+			Follower:      cfg.follow != "",
 		})
 		if err != nil {
 			return err
+		}
+		if cfg.follow != "" {
+			follower = cluster.StartFollower(srv, cfg.follow, nil)
+			log.Printf("pfaird: following %s from LSN %d", cfg.follow, srv.AppliedLSN()+1)
 		}
 		rec := srv.Recovery()
 		log.Printf("pfaird: recovered %d tenant(s) from %s (%d command(s) total, %d record(s) replayed, %d byte(s) truncated)",
@@ -136,6 +160,9 @@ func serve(ctx context.Context, cfg config, ready func(addr string)) error {
 	}
 
 	log.Printf("pfaird: shutting down, draining streams (up to %s)", cfg.grace)
+	if follower != nil {
+		follower.Seal() // stop replicating before the final snapshot
+	}
 	srv.Shutdown() // end dispatch streams first so Shutdown below can drain
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.grace)
 	defer cancel()

@@ -150,8 +150,23 @@ func run(cfg config, out io.Writer) (report, error) {
 		base = "http://" + ln.Addr().String()
 		fmt.Fprintf(out, "in-process pfaird on %s\n", base)
 	}
+	// 429 means a tenant's submit ring is full: explicit backpressure, not
+	// a failure. The retry policy resends those with capped backoff
+	// (honouring Retry-After) instead of hot-looping, OnRetry counts how
+	// often it happened — sustained backpressure at a given worker count
+	// is a capacity signal — and keyed submits additionally retry on
+	// transient failures because the server dedupes them.
+	var backpressure atomic.Int64
 	c := client.New(base, &http.Client{Timeout: 30 * time.Second, Transport: newTransport(cfg.workers)}).
-		WithRetry(client.RetryPolicy{MaxAttempts: 4}) // GETs only; mutations never retry
+		WithRetry(client.RetryPolicy{
+			MaxAttempts: 4,
+			OnRetry: func(err error) {
+				var ae *client.APIError
+				if errors.As(err, &ae) && ae.Status == http.StatusTooManyRequests {
+					backpressure.Add(1)
+				}
+			},
+		})
 	ctx := context.Background()
 
 	// Setup: tenants and tasks (counted in Requests but not in latency).
@@ -188,23 +203,6 @@ func run(cfg config, out io.Writer) (report, error) {
 
 	lats := make([][]time.Duration, cfg.workers)
 	errs := make([]error, cfg.workers)
-	// 429 means the tenant's submit ring is full: explicit backpressure,
-	// not a failure. Workers retry the same request and the run reports
-	// how often it happened, separately from errors — sustained
-	// backpressure at a given worker count is a capacity signal, while a
-	// single hard error still aborts the run.
-	var backpressure atomic.Int64
-	retry429 := func(do func() error) error {
-		for {
-			err := do()
-			var ae *client.APIError
-			if errors.As(err, &ae) && ae.Status == http.StatusTooManyRequests {
-				backpressure.Add(1)
-				continue
-			}
-			return err
-		}
-	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.workers; w++ {
@@ -219,10 +217,7 @@ func run(cfg config, out io.Writer) (report, error) {
 			submits := 0
 			advance := func(tenant string) bool {
 				t0 := time.Now()
-				err := retry429(func() error {
-					_, err := c.AdvanceBy(ctx, tenant, "1")
-					return err
-				})
+				_, err := c.AdvanceBy(ctx, tenant, "1")
 				lat = append(lat, time.Since(t0))
 				if err != nil {
 					errs[w] = fmt.Errorf("advance %s: %w", tenant, err)
@@ -237,20 +232,23 @@ func run(cfg config, out io.Writer) (report, error) {
 				}
 				for _, p := range mine {
 					t0 := time.Now()
-					err := retry429(func() error {
-						if n == 1 {
-							_, err := c.SubmitJob(ctx, p.tenant, p.task, "")
-							return err
-						}
+					var err error
+					if n == 1 {
+						// Unique per-worker keys make the submit idempotent,
+						// so the retry policy may resend it on transient
+						// failures without risking a double release.
+						_, err = c.SubmitJobKeyed(ctx, p.tenant, server.SubmitJobRequest{
+							Task: p.task, Key: fmt.Sprintf("w%d-%s-%s-%d", w, p.tenant, p.task, j),
+						})
+					} else {
 						// One request, one fsync, n jobs: the group-commit
 						// batch path.
 						jobs := make([]server.SubmitJobRequest, n)
 						for i := range jobs {
 							jobs[i] = server.SubmitJobRequest{Task: p.task}
 						}
-						_, err := c.SubmitJobs(ctx, p.tenant, jobs)
-						return err
-					})
+						_, err = c.SubmitJobs(ctx, p.tenant, jobs)
+					}
 					lat = append(lat, time.Since(t0))
 					if err != nil {
 						errs[w] = fmt.Errorf("submit %s/%s: %w", p.tenant, p.task, err)

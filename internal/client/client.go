@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 
 	"desyncpfair/internal/model"
 	"desyncpfair/internal/server"
@@ -41,10 +43,13 @@ func New(base string, hc *http.Client) *Client {
 }
 
 // APIError is a non-2xx reply, carrying the HTTP status and the server's
-// error (or admission-rejection) message.
+// error (or admission-rejection) message. RetryAfter is the reply's
+// Retry-After header (zero when absent); the retry loop sleeps at least
+// that long before resending.
 type APIError struct {
-	Status int
-	Msg    string
+	Status     int
+	Msg        string
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -59,7 +64,7 @@ func IsReject(err error) bool {
 }
 
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	return c.doRetry(ctx, method, path, in, out)
+	return c.doRetry(ctx, method, path, in, out, false)
 }
 
 // doOnce is a single request attempt; the request body is rebuilt from
@@ -107,7 +112,13 @@ func apiError(resp *http.Response) error {
 			e.Error = string(bytes.TrimSpace(raw))
 		}
 	}
-	return &APIError{Status: resp.StatusCode, Msg: e.Error}
+	ae := &APIError{Status: resp.StatusCode, Msg: e.Error}
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return ae
 }
 
 // Health checks /healthz.
@@ -190,6 +201,17 @@ func (c *Client) SubmitJobs(ctx context.Context, tenant string, jobs []server.Su
 	var resp server.SubmitJobsResponse
 	err := c.do(ctx, http.MethodPost, "/v1/tenants/"+tenant+"/jobs:batch",
 		server.SubmitJobsRequest{Jobs: jobs}, &resp)
+	return resp, err
+}
+
+// SubmitJobKeyed releases one job with a client-supplied idempotency key
+// (req.Key). Under a retry policy the POST retries on transport errors
+// and 5xx like a GET would: the server remembers the key, so a resend of
+// an already-applied submit returns the original response instead of
+// double-applying — which makes this the submit to use across failovers.
+func (c *Client) SubmitJobKeyed(ctx context.Context, tenant string, req server.SubmitJobRequest) (server.SubmitJobResponse, error) {
+	var resp server.SubmitJobResponse
+	err := c.doRetry(ctx, http.MethodPost, "/v1/tenants/"+tenant+"/jobs", req, &resp, req.Key != "")
 	return resp, err
 }
 

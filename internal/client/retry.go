@@ -9,10 +9,21 @@ import (
 	"time"
 )
 
-// RetryPolicy makes a Client retry idempotent requests. Only GETs are ever
-// retried: every mutating verb in the pfaird API journals a command on the
-// server, so resending one after an ambiguous failure could double-apply
-// it. A zero policy disables retries.
+// RetryPolicy makes a Client retry requests that are safe to resend. Two
+// classes are retried:
+//
+//   - Idempotent requests (every GET, plus POSTs carrying a
+//     client-supplied idempotency key — SubmitJobKeyed) on transport
+//     errors and 5xx replies: resending cannot double-apply, because the
+//     server dedupes keyed submits and GETs change nothing.
+//   - 429 backpressure on any retry-enabled request: the server refused
+//     the request *before* any state change (a full submit ring), so a
+//     resend is always safe. 429s honor the reply's Retry-After, never
+//     count against MaxAttempts (backpressure is load, not failure), and
+//     are bounded by the caller's context instead.
+//
+// Non-idempotent mutations are never retried on ambiguous failures —
+// resending one could double-apply it. A zero policy disables retries.
 type RetryPolicy struct {
 	// MaxAttempts is the total number of tries including the first.
 	// Values ≤ 1 disable retries.
@@ -22,6 +33,10 @@ type RetryPolicy struct {
 	BaseDelay time.Duration
 	// MaxDelay caps the exponential backoff. Defaults to 1s.
 	MaxDelay time.Duration
+	// OnRetry, if set, is called with the attempt's error before each
+	// retry sleep — load generators use it to count 429 backpressure
+	// without losing it to the retry loop.
+	OnRetry func(err error)
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -34,27 +49,31 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
-// WithRetry returns a copy of the client that retries idempotent GETs
-// under the given policy. The original client is unchanged, so one
-// underlying http.Client can serve both retrying and non-retrying views.
+// WithRetry returns a copy of the client that retries under the given
+// policy. The original client is unchanged, so one underlying
+// http.Client can serve both retrying and non-retrying views.
 func (c *Client) WithRetry(p RetryPolicy) *Client {
 	cp := *c
 	cp.retry = p.withDefaults()
 	return &cp
 }
 
-// retryable reports whether an attempt's failure may be transient: a
-// transport error that is not the caller's own cancellation, or a 5xx
-// reply. 4xx replies are the server answering clearly — never retried.
-func retryable(err error) bool {
+// retryClass sorts an attempt's failure: backpressure (429 — always
+// resendable, not counted as a failure), transient (transport errors and
+// 5xx — resendable when the request is idempotent), or neither. The
+// caller's own cancellation is never retried.
+func retryClass(err error) (retry, backpressure bool) {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		return false
+		return false, false
 	}
 	var ae *APIError
 	if errors.As(err, &ae) {
-		return ae.Status >= 500
+		if ae.Status == http.StatusTooManyRequests {
+			return true, true
+		}
+		return ae.Status >= 500, false
 	}
-	return true // transport-level failure
+	return true, false // transport-level failure
 }
 
 var (
@@ -64,9 +83,10 @@ var (
 
 // backoff sleeps before retry attempt i (0-based), honouring ctx: the
 // delay is min(MaxDelay, BaseDelay·2^i), half fixed and half jittered so
-// synchronized clients spread out. Returns ctx.Err() if the deadline
+// synchronized clients spread out — raised to the server's Retry-After
+// when the failed attempt carried one. Returns ctx.Err() if the deadline
 // lands mid-sleep.
-func backoff(ctx context.Context, p RetryPolicy, i int) error {
+func backoff(ctx context.Context, p RetryPolicy, i int, last error) error {
 	d := p.BaseDelay
 	for ; i > 0 && d < p.MaxDelay; i-- {
 		d *= 2
@@ -77,6 +97,10 @@ func backoff(ctx context.Context, p RetryPolicy, i int) error {
 	jitterMu.Lock()
 	d = d/2 + time.Duration(jitterRng.Int63n(int64(d/2)+1))
 	jitterMu.Unlock()
+	var ae *APIError
+	if errors.As(last, &ae) && ae.RetryAfter > d {
+		d = ae.RetryAfter
+	}
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -87,23 +111,38 @@ func backoff(ctx context.Context, p RetryPolicy, i int) error {
 	}
 }
 
-// doRetry runs one request through the retry loop. Non-GET methods pass
-// straight through regardless of policy.
-func (c *Client) doRetry(ctx context.Context, method, path string, in, out any) error {
-	attempts := 1
-	if method == http.MethodGet && c.retry.MaxAttempts > 1 {
-		attempts = c.retry.MaxAttempts
+// doRetry runs one request through the retry loop. GETs are always
+// idempotent; mutating requests pass idempotent=true only when a resend
+// provably cannot double-apply (keyed submits).
+func (c *Client) doRetry(ctx context.Context, method, path string, in, out any, idempotent bool) error {
+	if c.retry.MaxAttempts <= 1 {
+		return c.doOnce(ctx, method, path, in, out)
 	}
-	var err error
-	for i := 0; i < attempts; i++ {
-		if i > 0 {
-			if serr := backoff(ctx, c.retry, i-1); serr != nil {
-				return serr
+	idempotent = idempotent || method == http.MethodGet
+	failures := 0 // transient failures; backpressure never increments
+	for i := 0; ; i++ {
+		err := c.doOnce(ctx, method, path, in, out)
+		if err == nil {
+			return nil
+		}
+		retry, backpressure := retryClass(err)
+		switch {
+		case backpressure:
+			// 429 is retried even on plain mutations: the server refused
+			// before any state change.
+		case !retry || !idempotent:
+			return err
+		default:
+			failures++
+			if failures >= c.retry.MaxAttempts {
+				return err
 			}
 		}
-		if err = c.doOnce(ctx, method, path, in, out); err == nil || !retryable(err) {
-			return err
+		if c.retry.OnRetry != nil {
+			c.retry.OnRetry(err)
+		}
+		if serr := backoff(ctx, c.retry, i, err); serr != nil {
+			return serr
 		}
 	}
-	return err
 }

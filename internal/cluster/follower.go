@@ -1,0 +1,251 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"desyncpfair/internal/server"
+	"desyncpfair/internal/wal"
+)
+
+// Bootstrap prepares dataDir for follower duty: it fetches the leader's
+// latest journal snapshot and installs it, so the subsequent server.Open
+// recovers the leader's checkpointed state through the exact replay path
+// a crash recovery would use. A data dir whose journal already reaches
+// the snapshot's LSN is left alone — a re-joining follower resumes from
+// its own prefix (which term fencing guarantees is a prefix of the
+// leader's log) instead of rewinding.
+func Bootstrap(dataDir, leader string, hc *http.Client, fs wal.FS) error {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	snap, err := fetchSnapshot(context.Background(), leader, hc)
+	if err != nil {
+		return fmt.Errorf("cluster: bootstrap: %w", err)
+	}
+	l, _, err := wal.Open(dataDir, wal.Options{FS: fs})
+	if err != nil {
+		return fmt.Errorf("cluster: bootstrap: %w", err)
+	}
+	defer l.Close()
+	if l.WrittenLSN() >= snap.LSN {
+		return nil
+	}
+	if err := l.InstallSnapshot(snap.Payload, snap.LSN, snap.Term); err != nil {
+		return fmt.Errorf("cluster: bootstrap: %w", err)
+	}
+	return nil
+}
+
+func fetchSnapshot(ctx context.Context, leader string, hc *http.Client) (server.ReplSnapshotResponse, error) {
+	var snap server.ReplSnapshotResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, leader+"/v1/replication/snapshot", nil)
+	if err != nil {
+		return snap, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return snap, fmt.Errorf("leader snapshot: HTTP %d: %s", resp.StatusCode, body)
+	}
+	return snap, json.NewDecoder(resp.Body).Decode(&snap)
+}
+
+// Follower tails a leader's journal into a server opened with
+// Options{Follower: true}: one goroutine streams /v1/replication/log,
+// CRC-verifies every frame, and feeds records through ApplyReplicated;
+// a second polls /v1/replication/status to maintain the lag gauge and
+// flip the node out of bootstrap once it reaches the leader's durable
+// tip. Seal stops both permanently (the step promotion runs first);
+// Promote is Seal plus the server-side term bump.
+type Follower struct {
+	srv    *server.Server
+	leader string
+	hc     *http.Client
+
+	cancel   context.CancelFunc
+	tailDone chan struct{}
+	statDone chan struct{}
+	sealOnce sync.Once
+}
+
+// StartFollower begins replicating from leader into srv and registers
+// itself as srv's promote hook, so POST /v1/cluster/promote on the
+// follower seals the stream before flipping writable.
+func StartFollower(srv *server.Server, leader string, hc *http.Client) *Follower {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &Follower{
+		srv:      srv,
+		leader:   leader,
+		hc:       hc,
+		cancel:   cancel,
+		tailDone: make(chan struct{}),
+		statDone: make(chan struct{}),
+	}
+	srv.SetPromoteHook(f.Seal)
+	go f.tailLoop(ctx)
+	go f.statusLoop(ctx)
+	return f
+}
+
+// Seal permanently stops the tail and status loops and waits for them:
+// after Seal returns, no further ApplyReplicated can happen, which is
+// the precondition for a race-free term bump. Idempotent; always nil.
+func (f *Follower) Seal() error {
+	f.sealOnce.Do(func() {
+		f.cancel()
+		<-f.tailDone
+		<-f.statDone
+	})
+	return nil
+}
+
+// Promote seals the stream and flips the server writable under a fresh
+// term.
+func (f *Follower) Promote() error {
+	_ = f.Seal()
+	return f.srv.Promote()
+}
+
+// tailLoop streams the leader's journal, reconnecting with backoff on
+// transport errors. Two conditions end it besides Seal: a stale-term
+// rejection (this node was promoted or fenced — replicating further
+// would be wrong) and a 410 Gone (the leader compacted past our cursor;
+// live re-bootstrap would have to rebuild all tenant state, so the node
+// degrades and an operator restarts it to re-bootstrap from scratch).
+func (f *Follower) tailLoop(ctx context.Context) {
+	defer close(f.tailDone)
+	for ctx.Err() == nil {
+		err := f.tailOnce(ctx)
+		switch {
+		case ctx.Err() != nil:
+			return
+		case errors.Is(err, wal.ErrStaleTerm):
+			f.srv.SetReplicationError(fmt.Sprintf("fenced: %v", err))
+			return
+		case errors.Is(err, errSnapshotHorizon):
+			f.srv.SetReplicationError(err.Error())
+			return
+		case err != nil:
+			f.srv.SetReplicationError(err.Error())
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+var errSnapshotHorizon = errors.New("cluster: leader compacted past our cursor; restart the follower to re-bootstrap")
+
+// tailOnce opens one log stream from the next needed LSN and applies
+// records until the stream breaks.
+func (f *Follower) tailOnce(ctx context.Context) error {
+	from := f.srv.AppliedLSN() + 1
+	url := fmt.Sprintf("%s/v1/replication/log?from=%d&follow=true", f.leader, from)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return errSnapshotHorizon
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("cluster: log stream: HTTP %d: %s", resp.StatusCode, body)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	applied := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var frame server.ReplFrame
+		if err := json.Unmarshal(line, &frame); err != nil {
+			return fmt.Errorf("cluster: log stream: %v", err)
+		}
+		rec, err := frame.Verify()
+		if err != nil {
+			return err
+		}
+		if err := f.srv.ApplyReplicated(rec); err != nil {
+			return err
+		}
+		f.srv.SetReplicationError("") // healthy again after any past fault
+		if applied++; applied%256 == 0 {
+			f.srv.MaybeCompact()
+		}
+	}
+	return sc.Err()
+}
+
+// statusLoop polls the leader for its durable tip, maintaining the lag
+// gauge and ending bootstrap the first time this node has applied
+// everything the leader has made durable.
+func (f *Follower) statusLoop(ctx context.Context) {
+	defer close(f.statDone)
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		st, err := f.leaderStatus(ctx)
+		if err != nil {
+			continue // transport faults surface via the tail loop
+		}
+		lag := int64(st.DurableLSN) - int64(f.srv.AppliedLSN())
+		if lag < 0 {
+			lag = 0
+		}
+		f.srv.SetReplicationLag(lag)
+		if lag == 0 {
+			f.srv.SetCaughtUp()
+		}
+	}
+}
+
+func (f *Follower) leaderStatus(ctx context.Context) (server.ReplStatusResponse, error) {
+	var st server.ReplStatusResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.leader+"/v1/replication/status", nil)
+	if err != nil {
+		return st, err
+	}
+	resp, err := f.hc.Do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return st, fmt.Errorf("cluster: status: HTTP %d", resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}

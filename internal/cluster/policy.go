@@ -1,0 +1,126 @@
+// Package cluster turns single-node pfaird into a replicated, routed
+// service: a Follower tails a leader's journal over the replication
+// endpoints (internal/server) and can be promoted on failure, and a
+// Router fronts several leader groups, sharding tenants across them
+// under a pluggable placement policy. The paper's desynchronized model
+// is what makes this cheap — tenants share no time base, so a tenant is
+// a free unit of placement and an entire group's schedule replays
+// deterministically from its journal.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+)
+
+// Load is one group's placement-relevant state, assembled by the router
+// from health checks and /metrics scrapes.
+type Load struct {
+	// Healthy reports whether the group currently has a servable leader.
+	Healthy bool
+	// Tenants is the group leader's pfaird_tenants gauge.
+	Tenants int
+}
+
+// Placement decides which group owns a tenant. Pick places a new tenant;
+// Locate finds an existing one — deterministic policies answer directly
+// (ok=true), stateful ones defer to the router's learned map and probing
+// (ok=false).
+type Placement interface {
+	Name() string
+	Pick(id string, loads []Load) int
+	Locate(id string, n int) (int, bool)
+}
+
+// PolicyByName maps a CLI policy name to a Placement.
+func PolicyByName(name string) (Placement, error) {
+	switch name {
+	case "", "rendezvous", "hash":
+		return &Rendezvous{}, nil
+	case "round-robin", "rr":
+		return &RoundRobin{}, nil
+	case "least-loaded", "least":
+		return &LeastLoaded{}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown placement policy %q (want rendezvous, round-robin or least-loaded)", name)
+	}
+}
+
+// Rendezvous is highest-random-weight hashing: every router instance maps
+// a tenant to the same group with no shared state, and removing a group
+// only moves that group's tenants. The weight of (tenant, group) is a
+// hash of both, and the tenant lives in the argmax group.
+type Rendezvous struct{}
+
+func (*Rendezvous) Name() string { return "rendezvous" }
+
+func (*Rendezvous) Pick(id string, loads []Load) int {
+	best, bestW := 0, uint64(0)
+	for g := range loads {
+		if w := rendezvousWeight(id, g); w >= bestW {
+			// ties broken toward the higher index, deterministically
+			best, bestW = g, w
+		}
+	}
+	return best
+}
+
+func (p *Rendezvous) Locate(id string, n int) (int, bool) {
+	return p.Pick(id, make([]Load, n)), true
+}
+
+func rendezvousWeight(id string, group int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", id, group)
+	return h.Sum64()
+}
+
+// RoundRobin places tenants in creation order, cycling through groups.
+// Location is learned by the router (ok=false).
+type RoundRobin struct {
+	next atomic.Uint64
+}
+
+func (*RoundRobin) Name() string { return "round-robin" }
+
+func (p *RoundRobin) Pick(id string, loads []Load) int {
+	n := len(loads)
+	if n == 0 {
+		return 0
+	}
+	start := int(p.next.Add(1)-1) % n
+	// Skip unhealthy groups, falling back to the raw slot when all are
+	// down (the proxy will answer 503 with a precise error).
+	for i := 0; i < n; i++ {
+		g := (start + i) % n
+		if loads[g].Healthy {
+			return g
+		}
+	}
+	return start
+}
+
+func (*RoundRobin) Locate(string, int) (int, bool) { return 0, false }
+
+// LeastLoaded places a new tenant on the healthy group with the fewest
+// tenants (scraped from the leader's /metrics). Location is learned by
+// the router (ok=false).
+type LeastLoaded struct{}
+
+func (*LeastLoaded) Name() string { return "least-loaded" }
+
+func (*LeastLoaded) Pick(id string, loads []Load) int {
+	best, bestN, found := 0, 0, false
+	for g, l := range loads {
+		if !l.Healthy {
+			continue
+		}
+		if !found || l.Tenants < bestN {
+			best, bestN, found = g, l.Tenants, true
+		}
+	}
+	return best
+}
+
+func (*LeastLoaded) Locate(string, int) (int, bool) { return 0, false }

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPolicyByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"":             "rendezvous",
+		"hash":         "rendezvous",
+		"rendezvous":   "rendezvous",
+		"rr":           "round-robin",
+		"round-robin":  "round-robin",
+		"least":        "least-loaded",
+		"least-loaded": "least-loaded",
+	} {
+		p, err := PolicyByName(name)
+		if err != nil || p.Name() != want {
+			t.Fatalf("PolicyByName(%q) = %v, %v; want %s", name, p, err, want)
+		}
+	}
+	if _, err := PolicyByName("bogus"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestRendezvousDeterministicAndSpread(t *testing.T) {
+	p := &Rendezvous{}
+	loads := make([]Load, 3)
+	seen := map[int]int{}
+	for i := 0; i < 100; i++ {
+		id := fmt.Sprintf("tenant-%d", i)
+		g := p.Pick(id, loads)
+		if again := p.Pick(id, loads); again != g {
+			t.Fatalf("Pick(%q) unstable: %d then %d", id, g, again)
+		}
+		if lg, ok := p.Locate(id, 3); !ok || lg != g {
+			t.Fatalf("Locate(%q) = (%d, %v), want (%d, true)", id, lg, ok, g)
+		}
+		seen[g]++
+	}
+	for g := 0; g < 3; g++ {
+		if seen[g] == 0 {
+			t.Fatalf("group %d got no tenants out of 100: %v", g, seen)
+		}
+	}
+}
+
+func TestRoundRobinSkipsUnhealthy(t *testing.T) {
+	p := &RoundRobin{}
+	loads := []Load{{Healthy: true}, {Healthy: false}, {Healthy: true}}
+	for i := 0; i < 10; i++ {
+		if g := p.Pick(fmt.Sprint(i), loads); g == 1 {
+			t.Fatal("round-robin placed a tenant on an unhealthy group")
+		}
+	}
+	if _, ok := p.Locate("x", 3); ok {
+		t.Fatal("round-robin claims deterministic location")
+	}
+}
+
+func TestLeastLoadedPicksMinAmongHealthy(t *testing.T) {
+	p := &LeastLoaded{}
+	loads := []Load{
+		{Healthy: true, Tenants: 5},
+		{Healthy: false, Tenants: 0}, // least loaded but down
+		{Healthy: true, Tenants: 2},
+	}
+	if g := p.Pick("x", loads); g != 2 {
+		t.Fatalf("least-loaded picked group %d, want 2", g)
+	}
+	if _, ok := p.Locate("x", 3); ok {
+		t.Fatal("least-loaded claims deterministic location")
+	}
+}

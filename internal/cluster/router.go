@@ -1,0 +1,622 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"desyncpfair/internal/server"
+)
+
+// RouterOptions configures a Router.
+type RouterOptions struct {
+	// Groups is the backend topology: one replica group per entry, each a
+	// list of pfaird base URLs (leader candidates — the health loop
+	// discovers which one currently leads). A tenant lives in exactly one
+	// group.
+	Groups [][]string
+	// Policy places new tenants across groups. Nil means rendezvous.
+	Policy Placement
+	// HealthInterval is the probe period for /v1/replication/status.
+	// Default 100ms.
+	HealthInterval time.Duration
+	// FailoverAfter is how long a group may be leaderless before the
+	// router promotes the most caught-up follower. Zero disables
+	// auto-promotion.
+	FailoverAfter time.Duration
+	// RetryWindow bounds how long a proxied idempotent request waits for a
+	// leader to (re)appear before giving up with 503. Default 3s.
+	RetryWindow time.Duration
+	// HTTPClient is used for probes and proxied requests. Nil means
+	// http.DefaultClient.
+	HTTPClient *http.Client
+	// Logf, if set, receives router events (failovers, promotions).
+	Logf func(format string, args ...any)
+}
+
+// ParseGroups parses the -backends CLI syntax: groups separated by ';',
+// backends within a group separated by ','.
+//
+//	"http://a:8080,http://a2:8080;http://b:8080"
+func ParseGroups(s string) ([][]string, error) {
+	var groups [][]string
+	for _, g := range strings.Split(s, ";") {
+		var urls []string
+		for _, u := range strings.Split(g, ",") {
+			u = strings.TrimRight(strings.TrimSpace(u), "/")
+			if u != "" {
+				urls = append(urls, u)
+			}
+		}
+		if len(urls) > 0 {
+			groups = append(groups, urls)
+		}
+	}
+	if len(groups) == 0 {
+		return nil, errors.New("cluster: no backends")
+	}
+	return groups, nil
+}
+
+// backendView is one probe's result for one backend; a routeTable is an
+// immutable snapshot of the whole topology, rebuilt by the health loop
+// and read lock-free by request handlers.
+type backendView struct {
+	url           string
+	healthy       bool
+	role          string
+	term          uint64
+	appliedLSN    uint64
+	bootstrapping bool
+	tenants       int
+}
+
+type groupView struct {
+	backends []backendView
+	leader   int // index into backends, -1 while leaderless
+}
+
+type routeTable struct {
+	groups []groupView
+}
+
+func (t *routeTable) loads() []Load {
+	loads := make([]Load, len(t.groups))
+	for i, g := range t.groups {
+		loads[i].Healthy = g.leader >= 0
+		if g.leader >= 0 {
+			loads[i].Tenants = g.backends[g.leader].tenants
+		}
+	}
+	return loads
+}
+
+// Router is a stateless front for a set of pfaird replica groups: it
+// shards tenants across groups under a Placement policy, proxies writes
+// to each group's current leader, fails reads over to the most caught-up
+// follower, and — when a group stays leaderless past FailoverAfter —
+// promotes the follower with the highest applied LSN. "Stateless" means
+// no durable state: the tenant→group map is either recomputed (hashing
+// policies) or relearned by probing, so routers can be restarted or run
+// in parallel freely.
+type Router struct {
+	opts   RouterOptions
+	hc     *http.Client
+	table  atomic.Pointer[routeTable]
+	placed sync.Map // tenant id → group index (learned locations)
+
+	lastLeader []time.Time // per group: last instant a leader was visible
+	promoting  []bool      // per group: promotion request in flight
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// NewRouter validates opts and builds a router; Start begins health
+// probing.
+func NewRouter(opts RouterOptions) (*Router, error) {
+	if len(opts.Groups) == 0 {
+		return nil, errors.New("cluster: router needs at least one backend group")
+	}
+	if opts.Policy == nil {
+		opts.Policy = &Rendezvous{}
+	}
+	if opts.HealthInterval <= 0 {
+		opts.HealthInterval = 100 * time.Millisecond
+	}
+	if opts.RetryWindow <= 0 {
+		opts.RetryWindow = 3 * time.Second
+	}
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	r := &Router{
+		opts:       opts,
+		hc:         hc,
+		lastLeader: make([]time.Time, len(opts.Groups)),
+		promoting:  make([]bool, len(opts.Groups)),
+		done:       make(chan struct{}),
+	}
+	// Start from an all-unknown table so requests arriving before the
+	// first probe round wait in the retry loop instead of crashing.
+	t := &routeTable{groups: make([]groupView, len(opts.Groups))}
+	now := time.Now()
+	for i, urls := range opts.Groups {
+		t.groups[i].leader = -1
+		for _, u := range urls {
+			t.groups[i].backends = append(t.groups[i].backends, backendView{url: u})
+		}
+		r.lastLeader[i] = now
+	}
+	r.table.Store(t)
+	return r, nil
+}
+
+// Start launches the health loop. Close stops it.
+func (r *Router) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	r.cancel = cancel
+	go r.healthLoop(ctx)
+}
+
+// Close stops the health loop and waits for it.
+func (r *Router) Close() {
+	if r.cancel != nil {
+		r.cancel()
+		<-r.done
+	}
+}
+
+func (r *Router) logf(format string, args ...any) {
+	if r.opts.Logf != nil {
+		r.opts.Logf(format, args...)
+	}
+}
+
+func (r *Router) healthLoop(ctx context.Context) {
+	defer close(r.done)
+	r.scan(ctx) // probe immediately so the first requests can route
+	tick := time.NewTicker(r.opts.HealthInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			r.scan(ctx)
+		}
+	}
+}
+
+// scan probes every backend once, publishes a fresh route table, and
+// kicks auto-promotion for groups that have been leaderless too long.
+func (r *Router) scan(ctx context.Context) {
+	scrapeTenants := r.opts.Policy.Name() == "least-loaded"
+	t := &routeTable{groups: make([]groupView, len(r.opts.Groups))}
+	var wg sync.WaitGroup
+	for gi, urls := range r.opts.Groups {
+		g := &t.groups[gi]
+		g.backends = make([]backendView, len(urls))
+		for bi, u := range urls {
+			wg.Add(1)
+			go func(v *backendView, u string) {
+				defer wg.Done()
+				*v = r.probe(ctx, u, scrapeTenants)
+			}(&g.backends[bi], u)
+		}
+	}
+	wg.Wait()
+
+	now := time.Now()
+	for gi := range t.groups {
+		g := &t.groups[gi]
+		g.leader = -1
+		for bi, b := range g.backends {
+			if !b.healthy || b.role != "leader" || b.bootstrapping {
+				continue
+			}
+			// Split brain between probe rounds: the higher term is the
+			// real timeline, the lower one is fenced.
+			if g.leader < 0 || b.term > g.backends[g.leader].term {
+				g.leader = bi
+			}
+		}
+		if g.leader >= 0 {
+			r.lastLeader[gi] = now
+			r.promoting[gi] = false
+		} else if r.opts.FailoverAfter > 0 && !r.promoting[gi] &&
+			now.Sub(r.lastLeader[gi]) > r.opts.FailoverAfter {
+			if bi := bestFollower(g.backends); bi >= 0 {
+				r.promoting[gi] = true
+				go r.promote(ctx, gi, g.backends[bi].url)
+			}
+		}
+	}
+	r.table.Store(t)
+}
+
+// bestFollower picks the healthy, caught-up follower with the highest
+// applied LSN — the candidate that loses the fewest acked writes (none,
+// when it has applied the leader's full durable prefix).
+func bestFollower(backends []backendView) int {
+	best := -1
+	for bi, b := range backends {
+		if !b.healthy || b.role != "follower" || b.bootstrapping {
+			continue
+		}
+		if best < 0 || b.appliedLSN > backends[best].appliedLSN {
+			best = bi
+		}
+	}
+	return best
+}
+
+func (r *Router) probe(ctx context.Context, url string, scrapeTenants bool) backendView {
+	v := backendView{url: url}
+	ctx, cancel := context.WithTimeout(ctx, r.opts.HealthInterval*5)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/replication/status", nil)
+	if err != nil {
+		return v
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return v
+	}
+	defer resp.Body.Close()
+	var st server.ReplStatusResponse
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&st) != nil {
+		return v
+	}
+	v.healthy = true
+	v.role = st.Role
+	v.term = st.Term
+	v.appliedLSN = st.AppliedLSN
+	v.bootstrapping = st.Bootstrapping
+	if scrapeTenants && st.Role == "leader" {
+		v.tenants = r.scrapeTenantGauge(ctx, url)
+	}
+	return v
+}
+
+// scrapeTenantGauge reads pfaird_tenants from a backend's /metrics.
+func (r *Router) scrapeTenantGauge(ctx context.Context, url string) int {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/metrics", nil)
+	if err != nil {
+		return 0
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pfaird_tenants "); ok {
+			n, _ := strconv.Atoi(strings.TrimSpace(rest))
+			return n
+		}
+	}
+	return 0
+}
+
+func (r *Router) promote(ctx context.Context, gi int, url string) {
+	r.logf("group %d leaderless past %v: promoting %s", gi, r.opts.FailoverAfter, url)
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/cluster/promote", nil)
+	if err != nil {
+		return
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		r.logf("promote %s: %v", url, err)
+		return
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	if resp.StatusCode != http.StatusOK {
+		r.logf("promote %s: HTTP %d: %s", url, resp.StatusCode, body)
+		return
+	}
+	r.logf("promoted %s: %s", url, bytes.TrimSpace(body))
+}
+
+// Handler returns the router's HTTP front.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", r.handleHealthz)
+	mux.HandleFunc("/v1/tenants", r.handleTenantsRoot)
+	mux.HandleFunc("/v1/tenants/", r.handleTenant)
+	return mux
+}
+
+// RouterHealth is the router's /healthz body.
+type RouterHealth struct {
+	Status string              `json:"status"`
+	Policy string              `json:"policy"`
+	Groups []RouterGroupHealth `json:"groups"`
+}
+
+type RouterGroupHealth struct {
+	Leader  string `json:"leader,omitempty"`
+	Healthy int    `json:"healthy"`
+	Total   int    `json:"total"`
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	t := r.table.Load()
+	resp := RouterHealth{Status: "ok", Policy: r.opts.Policy.Name()}
+	for _, g := range t.groups {
+		gh := RouterGroupHealth{Total: len(g.backends)}
+		for _, b := range g.backends {
+			if b.healthy {
+				gh.Healthy++
+			}
+		}
+		if g.leader >= 0 {
+			gh.Leader = g.backends[g.leader].url
+		} else {
+			resp.Status = "degraded"
+		}
+		resp.Groups = append(resp.Groups, gh)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if resp.Status != "ok" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleTenantsRoot serves the unsharded root: POST creates a tenant on
+// the group the policy picks; GET merges every group's tenant list.
+func (r *Router) handleTenantsRoot(w http.ResponseWriter, req *http.Request) {
+	switch req.Method {
+	case http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(req.Body, maxProxyBody))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		var cr server.CreateTenantRequest
+		if err := json.Unmarshal(body, &cr); err != nil || cr.ID == "" {
+			httpError(w, http.StatusBadRequest, "cluster: malformed create-tenant body")
+			return
+		}
+		gi := r.opts.Policy.Pick(cr.ID, r.table.Load().loads())
+		r.placed.Store(cr.ID, gi)
+		r.proxyToGroup(w, req, gi, body, true)
+	case http.MethodGet:
+		r.handleTenantsMerged(w, req)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "cluster: method not allowed")
+	}
+}
+
+func (r *Router) handleTenantsMerged(w http.ResponseWriter, req *http.Request) {
+	t := r.table.Load()
+	merged := []server.TenantInfo{}
+	for gi, g := range t.groups {
+		bi := g.leader
+		if bi < 0 {
+			bi = bestFollower(g.backends)
+		}
+		if bi < 0 {
+			httpError(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("cluster: group %d has no servable backend", gi))
+			return
+		}
+		var infos []server.TenantInfo
+		if err := r.getJSON(req.Context(), g.backends[bi].url+"/v1/tenants", &infos); err != nil {
+			httpError(w, http.StatusBadGateway, fmt.Sprintf("cluster: group %d: %v", gi, err))
+			return
+		}
+		merged = append(merged, infos...)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(merged)
+}
+
+func (r *Router) getJSON(ctx context.Context, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// maxProxyBody bounds buffered request bodies; buffering is what lets the
+// router resend an idempotent request to a freshly promoted leader.
+const maxProxyBody = 1 << 20
+
+// handleTenant proxies /v1/tenants/{id}/... to the tenant's group.
+func (r *Router) handleTenant(w http.ResponseWriter, req *http.Request) {
+	id := strings.TrimPrefix(req.URL.Path, "/v1/tenants/")
+	if i := strings.IndexByte(id, '/'); i >= 0 {
+		id = id[:i]
+	}
+	if id == "" {
+		httpError(w, http.StatusNotFound, "cluster: missing tenant id")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(req.Body, maxProxyBody))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	gi, ok := r.locate(req.Context(), id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("cluster: unknown tenant %q", id))
+		return
+	}
+	if req.Method == http.MethodDelete && strings.Count(req.URL.Path, "/") == 2 {
+		defer r.placed.Delete(id) // tenant delete: drop the learned location
+	}
+	r.proxyToGroup(w, req, gi, body, r.idempotent(req, body))
+}
+
+// idempotent reports whether a request may be resent after an ambiguous
+// failure. GETs always are; a job submit is when it carries a
+// client-supplied idempotency key (the backend dedupes the resend).
+func (r *Router) idempotent(req *http.Request, body []byte) bool {
+	if req.Method == http.MethodGet {
+		return true
+	}
+	if req.Method == http.MethodPost && strings.HasSuffix(req.URL.Path, "/jobs") {
+		var sr server.SubmitJobRequest
+		if json.Unmarshal(body, &sr) == nil && sr.Key != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// locate resolves a tenant to its group: deterministic policies answer
+// directly, otherwise the learned map, otherwise probe every group.
+func (r *Router) locate(ctx context.Context, id string) (int, bool) {
+	if gi, ok := r.opts.Policy.Locate(id, len(r.opts.Groups)); ok {
+		return gi, true
+	}
+	if v, ok := r.placed.Load(id); ok {
+		return v.(int), true
+	}
+	t := r.table.Load()
+	for gi, g := range t.groups {
+		bi := g.leader
+		if bi < 0 {
+			bi = bestFollower(g.backends)
+		}
+		if bi < 0 {
+			continue
+		}
+		var info server.TenantInfo
+		if r.getJSON(ctx, g.backends[bi].url+"/v1/tenants/"+id, &info) == nil {
+			r.placed.Store(id, gi)
+			return gi, true
+		}
+	}
+	return 0, false
+}
+
+// proxyToGroup forwards one buffered request to its group, re-resolving
+// the target each attempt so a promotion mid-request is picked up. Reads
+// fail over to the most caught-up follower; writes wait (inside
+// RetryWindow, idempotent requests only) for a leader.
+func (r *Router) proxyToGroup(w http.ResponseWriter, req *http.Request, gi int, body []byte, idempotent bool) {
+	isRead := req.Method == http.MethodGet
+	deadline := time.Now().Add(r.opts.RetryWindow)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		t := r.table.Load()
+		g := t.groups[gi]
+		bi := g.leader
+		if isRead && bi < 0 {
+			bi = bestFollower(g.backends)
+		}
+		if bi >= 0 {
+			err := r.proxyOnce(w, req, g.backends[bi].url, body)
+			if err == nil {
+				return
+			}
+			lastErr = err
+		} else {
+			lastErr = fmt.Errorf("group %d has no leader", gi)
+		}
+		if !idempotent || time.Now().After(deadline) || req.Context().Err() != nil {
+			break
+		}
+		select {
+		case <-req.Context().Done():
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusServiceUnavailable, fmt.Sprintf("cluster: %v", lastErr))
+}
+
+// proxyOnce sends the buffered request to one backend and streams the
+// reply. A returned error means nothing was written to w, so the caller
+// is free to retry another backend. Backend 5xx/503 replies on retryable
+// requests are reported as errors (not streamed) so a request racing a
+// promotion retries instead of surfacing the follower's refusal.
+func (r *Router) proxyOnce(w http.ResponseWriter, req *http.Request, backend string, body []byte) error {
+	out, err := http.NewRequestWithContext(req.Context(), req.Method,
+		backend+req.URL.Path+queryString(req), bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	if ct := req.Header.Get("Content-Type"); ct != "" {
+		out.Header.Set("Content-Type", ct)
+	}
+	resp, err := r.hc.Do(out)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("%s: HTTP %d: %s", backend, resp.StatusCode, bytes.TrimSpace(b))
+	}
+	for _, k := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	flushCopy(w, resp.Body)
+	return nil
+}
+
+func queryString(req *http.Request) string {
+	if req.URL.RawQuery == "" {
+		return ""
+	}
+	return "?" + req.URL.RawQuery
+}
+
+// flushCopy streams src to w, flushing after every chunk so NDJSON
+// dispatch feeds stay live through the proxy hop.
+func flushCopy(w http.ResponseWriter, src io.Reader) {
+	fl, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(server.ErrorResponse{Error: msg})
+}

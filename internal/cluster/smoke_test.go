@@ -1,0 +1,210 @@
+package cluster_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"desyncpfair/internal/client"
+	"desyncpfair/internal/cluster"
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/server"
+)
+
+// TestClusterSmoke is the cluster-smoke CI job: one leader, two
+// followers, and a router in front; traffic flows, the leader is killed,
+// and the router must promote a caught-up follower in under two seconds
+// with zero acked-write loss and the schedule's one-quantum tardiness
+// bound intact across the failover.
+func TestClusterSmoke(t *testing.T) {
+	lsrv, lhs := openLeader(t, t.TempDir(), nil)
+	defer lhs.Close()
+	defer lsrv.Close()
+	f1srv, f1hs, _ := openFollower(t, t.TempDir(), lhs.URL)
+	defer f1hs.Close()
+	defer f1srv.Close()
+	f2srv, f2hs, _ := openFollower(t, t.TempDir(), lhs.URL)
+	defer f2hs.Close()
+	defer f2srv.Close()
+
+	router, err := cluster.NewRouter(cluster.RouterOptions{
+		Groups:         [][]string{{lhs.URL, f1hs.URL, f2hs.URL}},
+		HealthInterval: 25 * time.Millisecond,
+		FailoverAfter:  300 * time.Millisecond,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	router.Start()
+	defer router.Close()
+	rhs := httptest.NewServer(router.Handler())
+	defer rhs.Close()
+
+	ctx := context.Background()
+	rc := client.New(rhs.URL, nil).WithRetry(client.RetryPolicy{
+		MaxAttempts: 10,
+		BaseDelay:   5 * time.Millisecond,
+		MaxDelay:    100 * time.Millisecond,
+	})
+	if _, err := rc.CreateTenant(ctx, "t", 1, ""); err != nil {
+		t.Fatalf("CreateTenant through router: %v", err)
+	}
+	if _, err := rc.RegisterTask(ctx, "t", "x", model.Weight{E: 1, P: 2}); err != nil {
+		t.Fatalf("RegisterTask through router: %v", err)
+	}
+
+	// Phase 1: traffic through the router into the original leader.
+	issued, acked := 0, 0
+	for i := 0; i < 30; i++ {
+		issued++
+		if _, err := rc.SubmitJobKeyed(ctx, "t", server.SubmitJobRequest{Task: "x", Key: fmt.Sprintf("pre%d", i)}); err != nil {
+			t.Fatalf("submit %d through router: %v", i, err)
+		}
+		acked++
+		if i%4 == 3 {
+			if _, err := rc.AdvanceBy(ctx, "t", "1"); err != nil {
+				t.Fatalf("advance through router: %v", err)
+			}
+		}
+	}
+
+	// Quiesce and let both followers drain the leader's durable prefix —
+	// the precondition for a lossless failover.
+	waitCaughtUp(t, f1srv, f1hs.URL, lhs.URL)
+	waitCaughtUp(t, f2srv, f2hs.URL, lhs.URL)
+
+	// Kill the leader.
+	lsrv.Shutdown()
+	lhs.Close()
+	killed := time.Now()
+
+	// Reads fail over to a follower while the group is leaderless.
+	if _, err := rc.Tenant(ctx, "t"); err != nil {
+		t.Fatalf("read during the outage: %v", err)
+	}
+
+	// The first write after the kill measures failover: router detects
+	// the dead leader, promotes the most caught-up follower, and the
+	// retried keyed submit lands on the new timeline.
+	subCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	if _, err := rc.SubmitJobKeyed(subCtx, "t", server.SubmitJobRequest{Task: "x", Key: "post0"}); err != nil {
+		cancel()
+		t.Fatalf("first write after leader kill never succeeded: %v", err)
+	}
+	cancel()
+	issued++
+	acked++
+	if d := time.Since(killed); d >= 2*time.Second {
+		t.Fatalf("promotion took %v, want < 2s", d)
+	} else {
+		t.Logf("first post-kill write acked after %v", d)
+	}
+
+	// Exactly one follower was promoted.
+	promoted := 0
+	for _, u := range []string{f1hs.URL, f2hs.URL} {
+		if h, _ := health(t, u); h.Role == "leader" {
+			promoted++
+		}
+	}
+	if promoted != 1 {
+		t.Fatalf("%d nodes claim leadership after failover, want exactly 1", promoted)
+	}
+
+	// Phase 2: traffic continues through the router into the new leader.
+	for i := 1; i < 30; i++ {
+		issued++
+		if _, err := rc.SubmitJobKeyed(ctx, "t", server.SubmitJobRequest{Task: "x", Key: fmt.Sprintf("post%d", i)}); err != nil {
+			t.Fatalf("submit %d after failover: %v", i, err)
+		}
+		acked++
+		if i%4 == 3 {
+			if _, err := rc.AdvanceBy(ctx, "t", "1"); err != nil {
+				t.Fatalf("advance after failover: %v", err)
+			}
+		}
+	}
+
+	if _, err := rc.Drain(ctx, "t"); err != nil {
+		t.Fatalf("Drain through router: %v", err)
+	}
+	info, err := rc.Tenant(ctx, "t")
+	if err != nil {
+		t.Fatalf("Tenant through router: %v", err)
+	}
+	recovered := int(info.Dispatches) // one E=1 subtask per job
+	if recovered < acked || recovered > issued {
+		t.Fatalf("acked ≤ recovered ≤ issued violated across failover: acked %d, recovered %d, issued %d",
+			acked, recovered, issued)
+	}
+	assertTardinessBound(t, info)
+}
+
+// TestRouterShardsTenants pins the sharding front: tenants land on the
+// group rendezvous hashing predicts, follow-up requests route there, and
+// the router merges every group's tenant list.
+func TestRouterShardsTenants(t *testing.T) {
+	backends := make([]*httptest.Server, 2)
+	for i := range backends {
+		srv := server.New()
+		defer srv.Shutdown()
+		backends[i] = httptest.NewServer(srv.Handler())
+		defer backends[i].Close()
+	}
+
+	router, err := cluster.NewRouter(cluster.RouterOptions{
+		Groups:         [][]string{{backends[0].URL}, {backends[1].URL}},
+		HealthInterval: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	router.Start()
+	defer router.Close()
+	rhs := httptest.NewServer(router.Handler())
+	defer rhs.Close()
+
+	ctx := context.Background()
+	rc := client.New(rhs.URL, nil)
+	var placement cluster.Rendezvous
+	const n = 8
+	seen := map[int]int{}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("t%d", i)
+		if _, err := rc.CreateTenant(ctx, id, 1, ""); err != nil {
+			t.Fatalf("CreateTenant %s: %v", id, err)
+		}
+		want, _ := placement.Locate(id, 2)
+		seen[want]++
+		// The tenant must exist on the predicted backend and only there.
+		bc := client.New(backends[want].URL, nil)
+		if _, err := bc.Tenant(ctx, id); err != nil {
+			t.Fatalf("tenant %s missing from predicted group %d: %v", id, want, err)
+		}
+		oc := client.New(backends[1-want].URL, nil)
+		if _, err := oc.Tenant(ctx, id); err == nil {
+			t.Fatalf("tenant %s present on both groups", id)
+		}
+		// A follow-up write through the router reaches the right group.
+		if _, err := rc.RegisterTask(ctx, id, "x", model.Weight{E: 1, P: 2}); err != nil {
+			t.Fatalf("RegisterTask %s through router: %v", id, err)
+		}
+		if info, err := bc.Tenant(ctx, id); err != nil || info.Tasks != 1 {
+			t.Fatalf("tenant %s on group %d has %d tasks (err %v), want 1", id, want, info.Tasks, err)
+		}
+	}
+	if seen[0] == 0 || seen[1] == 0 {
+		t.Fatalf("rendezvous put all %d tenants on one group: %v", n, seen)
+	}
+
+	infos, err := rc.Tenants(ctx)
+	if err != nil {
+		t.Fatalf("merged tenant list: %v", err)
+	}
+	if len(infos) != n {
+		t.Fatalf("router merged %d tenants, want %d", len(infos), n)
+	}
+}

@@ -47,10 +47,18 @@ type RegisterTaskResponse struct {
 // empty At means "at the tenant's current virtual time", which is the
 // race-free choice for concurrent clients. Earliness enables early
 // releasing by up to that many slots (eq. 6).
+//
+// Key is an optional client-supplied idempotency key: resubmitting a job
+// with a key the tenant has already applied returns the original response
+// without applying again, which makes the POST safe to retry after an
+// ambiguous failure or a promotion. Keys are remembered per tenant in a
+// bounded FIFO (the most recent 4096), journaled with the command, and
+// survive crash recovery and replication.
 type SubmitJobRequest struct {
 	Task      string `json:"task"`
 	At        string `json:"at,omitempty"`
 	Earliness int64  `json:"earliness,omitempty"`
+	Key       string `json:"key,omitempty"`
 }
 
 // SubmitJobResponse echoes the effective arrival time.
@@ -107,13 +115,23 @@ type DispatchEvent struct {
 }
 
 // HealthResponse is the body of GET /healthz. Status is "ok", "degraded"
-// (recovery saw replay errors or dispatch mismatches — state is being
-// served but warrants attention), or "wal-failed" (the journal wedged;
-// mutations return 503 until restart). Recovery is present on durable
-// servers and describes what the last boot rebuilt from disk.
+// (recovery saw replay errors or dispatch mismatches, or replication is
+// erroring — state is being served but warrants attention),
+// "bootstrapping" (a follower still loading its snapshot/backlog; served
+// with HTTP 503 so routers never send traffic to a cold node), or
+// "wal-failed" (the journal wedged; mutations return 503 until restart).
+// Role is "leader", "follower", or "candidate"; AppliedLSN the highest
+// journal position reflected in served state. ReplicationLagLSN is
+// present on followers: how far the leader's durable LSN is ahead (-1
+// until first measured). Recovery is present on durable servers and
+// describes what the last boot rebuilt from disk.
 type HealthResponse struct {
-	Status   string        `json:"status"`
-	Recovery *RecoveryInfo `json:"recovery,omitempty"`
+	Status            string        `json:"status"`
+	Role              string        `json:"role"`
+	Term              uint64        `json:"term,omitempty"`
+	AppliedLSN        uint64        `json:"appliedLSN,omitempty"`
+	ReplicationLagLSN *int64        `json:"replicationLagLSN,omitempty"`
+	Recovery          *RecoveryInfo `json:"recovery,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

@@ -45,6 +45,12 @@ type Options struct {
 	// SubmitRing is the per-tenant command-ring capacity. Defaults to 256.
 	// A full ring surfaces as HTTP 429 backpressure.
 	SubmitRing int
+	// Follower opens the server as a read-only replica: mutating handlers
+	// answer 503, the tenant journal hooks are disarmed (state changes
+	// arrive pre-journaled from the leader via ApplyReplicated), and
+	// /healthz reports 503 "bootstrapping" until the replication tailer
+	// marks the node caught up. Promote() flips it writable.
+	Follower bool
 }
 
 // RecoveryInfo reports what Open rebuilt from disk; /healthz serves it.
@@ -85,6 +91,17 @@ type tenantCheckpoint struct {
 	MaxTar string            `json:"maxTardiness"`
 	Log    []DispatchEvent   `json:"log,omitempty"`
 	Exec   online.Checkpoint `json:"exec"`
+	// Idem preserves the idempotency-key memory across snapshots, in FIFO
+	// order, so a keyed retry still dedupes after a restart that replays
+	// nothing.
+	Idem []idemEntry `json:"idem,omitempty"`
+}
+
+// idemEntry is one remembered keyed submit in a tenant checkpoint.
+type idemEntry struct {
+	Key     string `json:"key"`
+	At      string `json:"at"`
+	Pending int    `json:"pending"`
 }
 
 // checkpoint snapshots the tenant by running on its loop goroutine via a
@@ -102,6 +119,10 @@ func (t *Tenant) checkpoint() tenantCheckpoint {
 			MaxTar: t.maxTar.String(),
 			Log:    append([]DispatchEvent(nil), t.log...),
 			Exec:   t.ex.Checkpoint(),
+		}
+		for _, k := range t.idemQ {
+			r := t.idem[k]
+			cp.Idem = append(cp.Idem, idemEntry{Key: k, At: r.At, Pending: r.Pending})
 		}
 	}})
 	if res.err != nil {
@@ -136,6 +157,9 @@ func restoreTenant(cp tenantCheckpoint, ringSize int) (*Tenant, error) {
 	t.log = cp.Log
 	t.maxTar = maxTar
 	t.reject = cp.Reject
+	for _, e := range cp.Idem {
+		t.idemRemember(e.Key, SubmitJobResponse{At: e.At, Pending: e.Pending})
+	}
 	for _, task := range ex.System().Tasks {
 		if !ex.Active(task) {
 			continue
@@ -223,6 +247,18 @@ func Open(opts Options) (*Server, error) {
 	for _, t := range s.allTenants() {
 		t.SetJournal(s.journalRecord, s.journalBatch, s.failJournal)
 	}
+	s.appliedLSN.Store(l.WrittenLSN())
+	if opts.Follower {
+		// A follower applies records the leader already journaled: its
+		// journal hooks stay disarmed (s.journaling false) and the node
+		// reports bootstrapping until the replication tailer catches it up
+		// to the leader's durable tip.
+		s.role.Store(int32(RoleFollower))
+		s.bootstrapping.Store(true)
+		s.replLagLSN.Store(-1)
+	} else {
+		s.journaling.Store(true)
+	}
 	// Fold the replayed tail into a fresh snapshot so boot always starts
 	// the journal from a compact directory.
 	if err := s.compact(); err != nil {
@@ -282,7 +318,7 @@ func (s *Server) applyRecord(r wal.Record, info *RecoveryInfo) {
 			fail()
 			return
 		}
-		if _, _, err := t.SubmitJob(r.Name, r.At, r.Earliness); err != nil {
+		if _, _, err := t.SubmitJobReq(SubmitJobRequest{Task: r.Name, At: r.At, Earliness: r.Earliness, Key: r.Key}); err != nil {
 			fail()
 			return
 		}
@@ -314,6 +350,9 @@ func (s *Server) applyRecord(r wal.Record, info *RecoveryInfo) {
 			info.DispatchMismatches++
 		}
 		return // not a command; no cmdSeq bump
+	case wal.OpTerm:
+		// Leadership-change marker: no state to apply, no cmdSeq bump.
+		return
 	default:
 		fail()
 		return
@@ -329,7 +368,10 @@ func (s *Server) applyRecord(r wal.Record, info *RecoveryInfo) {
 // consistent with applied state because enqueue and apply both happen
 // under the tenant lock inside opMu's read side.
 func (s *Server) journalRecord(r wal.Record) (wal.Commit, error) {
-	if s.wal == nil {
+	if s.wal == nil || !s.journaling.Load() {
+		// In-memory server, replay, or a follower applying replicated
+		// records: the record is either not durable by design or already
+		// journaled upstream — never append it again here.
 		return wal.Commit{}, nil
 	}
 	c, err := s.wal.AppendAsync(r)
@@ -345,7 +387,7 @@ func (s *Server) journalRecord(r wal.Record) (wal.Commit, error) {
 // journalBatch enqueues a frame group in one buffered write; the returned
 // commit covers the whole batch, so N records ack after one fsync.
 func (s *Server) journalBatch(rs []wal.Record) (wal.Commit, error) {
-	if s.wal == nil {
+	if s.wal == nil || !s.journaling.Load() {
 		return wal.Commit{}, nil
 	}
 	c, err := s.wal.AppendBatch(rs)

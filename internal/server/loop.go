@@ -259,7 +259,25 @@ func (t *Tenant) processSubmitRun(run []*command) {
 	}
 	valid := make([]val, 0, len(run))
 	recs := make([]wal.Record, 0, len(run))
+	// Keyed retries never reach the group journal: a key already applied
+	// answers from the idempotency memory, and a key repeated *within*
+	// this drained run defers to the singleton path after the run applies
+	// (which then dedupes against the first instance, or re-validates if
+	// the first instance failed).
+	var deferred []*command
+	runKeys := map[string]struct{}{}
 	for _, c := range run {
+		if resp, seen := t.idemSeen(c.submit.Key); seen {
+			c.done <- cmdResult{submit: resp}
+			continue
+		}
+		if c.submit.Key != "" {
+			if _, dup := runKeys[c.submit.Key]; dup {
+				deferred = append(deferred, c)
+				continue
+			}
+			runKeys[c.submit.Key] = struct{}{}
+		}
 		task, when, err := t.validateSubmit(c.submit)
 		if err != nil {
 			c.done <- cmdResult{err: err}
@@ -269,9 +287,15 @@ func (t *Tenant) processSubmitRun(run []*command) {
 		recs = append(recs, wal.Record{
 			Op: wal.OpJobSubmit, Tenant: t.id,
 			Name: c.submit.Task, At: when.String(), Earliness: c.submit.Earliness,
+			Key: c.submit.Key,
 		})
 	}
 	if len(valid) == 0 {
+		for _, c := range deferred {
+			var res cmdResult
+			res.submit, res.commit, res.err = t.applySubmit(c.submit)
+			t.finish(c, res)
+		}
 		return
 	}
 	var commit wal.Commit
@@ -283,6 +307,9 @@ func (t *Tenant) processSubmitRun(run []*command) {
 			t.traceFail(obs.StageWALAppend, jerr)
 			for _, v := range valid {
 				v.c.done <- cmdResult{err: jerr}
+			}
+			for _, c := range deferred {
+				c.done <- cmdResult{err: jerr}
 			}
 			return
 		}
@@ -305,10 +332,14 @@ func (t *Tenant) processSubmitRun(run []*command) {
 			continue
 		}
 		t.traceStage(obs.StageApply)
-		v.c.done <- cmdResult{
-			submit: SubmitJobResponse{At: v.when.String(), Pending: t.ex.Pending()},
-			commit: commit,
-		}
+		resp := SubmitJobResponse{At: v.when.String(), Pending: t.ex.Pending()}
+		t.idemRemember(v.c.submit.Key, resp)
+		v.c.done <- cmdResult{submit: resp, commit: commit}
+	}
+	for _, c := range deferred {
+		var res cmdResult
+		res.submit, res.commit, res.err = t.applySubmit(c.submit)
+		c.done <- res
 	}
 	t.flushAfterApply()
 	if t.publish() {

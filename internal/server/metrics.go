@@ -208,7 +208,28 @@ func (s *Server) writeWALMetrics(b *strings.Builder) {
 		b.WriteString("# TYPE pfaird_recovery_dispatch_mismatches gauge\n")
 		fmt.Fprintf(b, "pfaird_recovery_dispatch_mismatches %d\n", rec.DispatchMismatches)
 	}
+	b.WriteString("# HELP pfaird_replication_is_leader Whether this node accepts writes (1) or replicates from a leader (0).\n")
+	b.WriteString("# TYPE pfaird_replication_is_leader gauge\n")
+	fmt.Fprintf(b, "pfaird_replication_is_leader %d\n", boolGauge(s.Role() == RoleLeader))
+	b.WriteString("# HELP pfaird_replication_term Leadership term of the journal.\n")
+	b.WriteString("# TYPE pfaird_replication_term gauge\n")
+	fmt.Fprintf(b, "pfaird_replication_term %d\n", s.wal.Term())
+	b.WriteString("# HELP pfaird_replication_applied_lsn Highest journal LSN reflected in served state.\n")
+	b.WriteString("# TYPE pfaird_replication_applied_lsn gauge\n")
+	fmt.Fprintf(b, "pfaird_replication_applied_lsn %d\n", s.AppliedLSN())
+	b.WriteString("# HELP pfaird_replication_lag_lsn LSNs this follower trails its leader's durable tip (0 on a leader, -1 before first measurement).\n")
+	b.WriteString("# TYPE pfaird_replication_lag_lsn gauge\n")
+	fmt.Fprintf(b, "pfaird_replication_lag_lsn %d\n", s.replicationLag())
 	s.obs.writeWALTimingMetrics(b)
+}
+
+// replicationLag is the exported lag gauge: a leader is definitionally
+// current; a follower reports what its tailer last measured.
+func (s *Server) replicationLag() int64 {
+	if s.Role() == RoleLeader {
+		return 0
+	}
+	return s.replLagLSN.Load()
 }
 
 func boolGauge(v bool) int {

@@ -79,6 +79,27 @@ type Server struct {
 	cmdSeq   atomic.Uint64
 	recovery *RecoveryInfo
 
+	// Replication / cluster role (replication.go). role defaults to
+	// leader so New() keeps PR-1..6 single-node semantics. journaling
+	// gates the tenant journal hooks: false on a follower, whose state
+	// changes arrive pre-journaled from its leader (ApplyReplicated
+	// appends them verbatim instead). appliedLSN is the highest journal
+	// LSN reflected in served state; bootstrapping marks a follower that
+	// has not yet caught up to its leader's durable tip (healthz answers
+	// 503 so routers skip it). replLagLSN / replErr are maintained by the
+	// cluster tailer via SetReplicationLag / SetReplicationError.
+	role          atomic.Int32
+	journaling    atomic.Bool
+	appliedLSN    atomic.Uint64
+	bootstrapping atomic.Bool
+	replLagLSN    atomic.Int64
+	replErr       atomic.Pointer[string]
+	promoteMu     sync.Mutex
+	promoteHook   atomic.Pointer[func() error]
+	// replInfo accumulates apply-side counters for replicated records; it
+	// is owned by the single tailer goroutine (ApplyReplicated's caller).
+	replInfo RecoveryInfo
+
 	// submitRing is the per-tenant command-ring capacity for tenants this
 	// server creates (0 = defaultSubmitRing). Set before serving traffic.
 	submitRing int
@@ -112,6 +133,10 @@ func New() *Server {
 	s.route("POST /v1/tenants/{id}/drain", s.handleDrain)
 	s.route("GET /v1/tenants/{id}/dispatches", s.handleDispatches)
 	s.route("GET /v1/tenants/{id}/trace", s.handleTrace)
+	s.route("GET /v1/replication/status", s.handleReplStatus)
+	s.route("GET /v1/replication/log", s.handleReplLog)
+	s.route("GET /v1/replication/snapshot", s.handleReplSnapshot)
+	s.route("POST /v1/cluster/promote", s.handlePromote)
 	return s
 }
 
@@ -278,13 +303,33 @@ func (s *Server) allTenants() []*Tenant {
 // --- handlers ---
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	resp := HealthResponse{Status: "ok", Recovery: s.recovery}
+	resp := HealthResponse{
+		Status:     "ok",
+		Role:       s.Role().String(),
+		AppliedLSN: s.AppliedLSN(),
+		Recovery:   s.recovery,
+	}
+	if s.wal != nil {
+		resp.Term = s.wal.Term()
+	}
+	if s.Role() != RoleLeader {
+		lag := s.replLagLSN.Load()
+		resp.ReplicationLagLSN = &lag
+	}
 	status := http.StatusOK
 	switch {
 	case s.wal != nil && s.wal.Wedged():
 		// The journal failed: reads still work but mutations 503.
 		resp.Status = "wal-failed"
 		status = http.StatusServiceUnavailable
+	case s.bootstrapping.Load():
+		// A follower that has not yet caught up to its leader's durable
+		// tip: reads would serve stale state, so routers must not send
+		// traffic here yet. 503 until the tailer reaches the tip.
+		resp.Status = "bootstrapping"
+		status = http.StatusServiceUnavailable
+	case s.replErr.Load() != nil:
+		resp.Status = "degraded"
 	case s.recovery != nil && (s.recovery.ReplayErrors > 0 || s.recovery.DispatchMismatches > 0):
 		resp.Status = "degraded"
 	}
@@ -308,6 +353,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
+	if !s.gateMutation(w) {
+		return
+	}
 	var req CreateTenantRequest
 	if !decode(w, r, &req) {
 		return
@@ -351,6 +399,9 @@ func (s *Server) handleGetTenant(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteTenant(w http.ResponseWriter, r *http.Request) {
+	if !s.gateMutation(w) {
+		return
+	}
 	s.opMu.RLock()
 	found, commit, err := s.removeTenant(r.PathValue("id"))
 	s.opMu.RUnlock()
@@ -371,6 +422,9 @@ func (s *Server) handleDeleteTenant(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRegisterTask(w http.ResponseWriter, r *http.Request) {
+	if !s.gateMutation(w) {
+		return
+	}
 	t := s.tenant(r.PathValue("id"))
 	if t == nil {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("server: no tenant %q", r.PathValue("id")))
@@ -402,6 +456,9 @@ func (s *Server) handleRegisterTask(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleUnregisterTask(w http.ResponseWriter, r *http.Request) {
+	if !s.gateMutation(w) {
+		return
+	}
 	t := s.tenant(r.PathValue("id"))
 	if t == nil {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("server: no tenant %q", r.PathValue("id")))
@@ -423,6 +480,9 @@ func (s *Server) handleUnregisterTask(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	if !s.gateMutation(w) {
+		return
+	}
 	start := s.obs.clock.Now()
 	t := s.tenant(r.PathValue("id"))
 	if t == nil {
@@ -434,7 +494,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.opMu.RLock()
-	resp, commit, err := t.SubmitJob(req.Task, req.At, req.Earliness)
+	resp, commit, err := t.SubmitJobReq(req)
 	s.opMu.RUnlock()
 	if err != nil {
 		writeErr(w, statusOf(err, http.StatusBadRequest), err)
@@ -458,6 +518,9 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 // one frame group, and apply under a single tenant-lock acquisition, then
 // the whole batch acks after one durability wait.
 func (s *Server) handleSubmitJobs(w http.ResponseWriter, r *http.Request) {
+	if !s.gateMutation(w) {
+		return
+	}
 	start := s.obs.clock.Now()
 	t := s.tenant(r.PathValue("id"))
 	if t == nil {
@@ -498,6 +561,9 @@ func (s *Server) handleSubmitJobs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	if !s.gateMutation(w) {
+		return
+	}
 	t := s.tenant(r.PathValue("id"))
 	if t == nil {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("server: no tenant %q", r.PathValue("id")))
@@ -523,6 +589,9 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if !s.gateMutation(w) {
+		return
+	}
 	t := s.tenant(r.PathValue("id"))
 	if t == nil {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("server: no tenant %q", r.PathValue("id")))
@@ -626,5 +695,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
+	switch status {
+	case http.StatusTooManyRequests:
+		// Ring-full backpressure: the loop drains in microseconds, so an
+		// immediate retry with the client's own backoff is right.
+		w.Header().Set("Retry-After", "0")
+	case http.StatusServiceUnavailable:
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, status, ErrorResponse{Error: err.Error()})
 }

@@ -63,6 +63,13 @@ type Tenant struct {
 	curCmd   int64
 	curStart time.Time
 	curOp    string
+	// idem/idemQ remember responses of keyed job submits (bounded FIFO,
+	// MaxIdemKeys): a resubmit with a seen key returns the original
+	// response without applying or journaling again. Rebuilt identically
+	// on replay — records carry the key — so retry-after-crash and
+	// retry-after-promotion both dedupe.
+	idem  map[string]SubmitJobResponse
+	idemQ []string
 
 	subMu sync.Mutex
 	subs  map[*subscriber]struct{}
@@ -160,6 +167,7 @@ func newTenantCore(id, policy string, m int, ex *online.Executive, ctrl *admissi
 		ex:     ex,
 		ctrl:   ctrl,
 		tasks:  map[string]*model.Task{},
+		idem:   map[string]SubmitJobResponse{},
 		maxTar: rat.Zero,
 		subs:   map[*subscriber]struct{}{},
 	}
@@ -359,7 +367,13 @@ func (t *Tenant) UnregisterTask(name string) (wal.Commit, error) {
 // the tenant's current virtual time (the race-free choice for concurrent
 // clients); otherwise `at` is parsed as a rat and must not precede it.
 func (t *Tenant) SubmitJob(taskName, at string, earliness int64) (SubmitJobResponse, wal.Commit, error) {
-	res := t.exec(&command{kind: cmdSubmit, submit: SubmitJobRequest{Task: taskName, At: at, Earliness: earliness}})
+	return t.SubmitJobReq(SubmitJobRequest{Task: taskName, At: at, Earliness: earliness})
+}
+
+// SubmitJobReq is SubmitJob taking the full wire request, including the
+// optional idempotency key that makes the submit safe to retry.
+func (t *Tenant) SubmitJobReq(req SubmitJobRequest) (SubmitJobResponse, wal.Commit, error) {
+	res := t.exec(&command{kind: cmdSubmit, submit: req})
 	return res.submit, res.commit, res.err
 }
 
@@ -472,6 +486,12 @@ func (t *Tenant) applyUnregister(name string) (wal.Commit, error) {
 }
 
 func (t *Tenant) applySubmit(req SubmitJobRequest) (SubmitJobResponse, wal.Commit, error) {
+	if resp, seen := t.idemSeen(req.Key); seen {
+		// A retry of an already-applied submit: replay the original
+		// response. Nothing is journaled, so the zero commit is already
+		// durable by definition.
+		return resp, wal.Commit{}, nil
+	}
 	task, when, err := t.validateSubmit(req)
 	if err != nil {
 		return SubmitJobResponse{}, wal.Commit{}, err
@@ -480,7 +500,7 @@ func (t *Tenant) applySubmit(req SubmitJobRequest) (SubmitJobResponse, wal.Commi
 	h := t.hooks.Load()
 	t.traceBegin(wal.OpJobSubmit, req.Task, when.String())
 	if h != nil {
-		c, jerr := h.append(wal.Record{Op: wal.OpJobSubmit, Tenant: t.id, Name: req.Task, At: when.String(), Earliness: req.Earliness})
+		c, jerr := h.append(wal.Record{Op: wal.OpJobSubmit, Tenant: t.id, Name: req.Task, At: when.String(), Earliness: req.Earliness, Key: req.Key})
 		if jerr != nil {
 			t.traceFail(obs.StageWALAppend, jerr)
 			return SubmitJobResponse{}, wal.Commit{}, jerr
@@ -493,7 +513,38 @@ func (t *Tenant) applySubmit(req SubmitJobRequest) (SubmitJobResponse, wal.Commi
 		return SubmitJobResponse{}, wal.Commit{}, err
 	}
 	t.traceStage(obs.StageApply)
-	return SubmitJobResponse{At: when.String(), Pending: t.ex.Pending()}, commit, nil
+	resp := SubmitJobResponse{At: when.String(), Pending: t.ex.Pending()}
+	t.idemRemember(req.Key, resp)
+	return resp, commit, nil
+}
+
+// idemSeen reports whether a keyed submit was already applied and returns
+// its original response. Loop goroutine only.
+func (t *Tenant) idemSeen(key string) (SubmitJobResponse, bool) {
+	if key == "" {
+		return SubmitJobResponse{}, false
+	}
+	resp, ok := t.idem[key]
+	return resp, ok
+}
+
+// idemRemember records a keyed submit's response, evicting the oldest key
+// once MaxIdemKeys are held. Eviction order is insertion order, which is
+// deterministic under replay because replay re-applies the same records
+// in the same order. Loop goroutine only.
+func (t *Tenant) idemRemember(key string, resp SubmitJobResponse) {
+	if key == "" {
+		return
+	}
+	if _, ok := t.idem[key]; ok {
+		return
+	}
+	if len(t.idemQ) >= MaxIdemKeys {
+		delete(t.idem, t.idemQ[0])
+		t.idemQ = t.idemQ[1:]
+	}
+	t.idem[key] = resp
+	t.idemQ = append(t.idemQ, key)
 }
 
 // validateSubmit runs every check the executive would enforce on a job
@@ -529,6 +580,9 @@ func (t *Tenant) validateSubmit(req SubmitJobRequest) (*model.Task, rat.Rat, err
 	if req.Earliness > MaxEarliness {
 		return nil, rat.Zero, fmt.Errorf("server: earliness %d exceeds %d", req.Earliness, MaxEarliness)
 	}
+	if len(req.Key) > MaxKeyLen {
+		return nil, rat.Zero, fmt.Errorf("server: idempotency key length %d exceeds %d", len(req.Key), MaxKeyLen)
+	}
 	return task, when, nil
 }
 
@@ -541,6 +595,16 @@ func (t *Tenant) applySubmitJob(task *model.Task, when rat.Rat, earliness int64)
 }
 
 func (t *Tenant) applySubmitBatch(reqs []SubmitJobRequest) (SubmitJobsResponse, wal.Commit, error) {
+	// Idempotency across a batch is all-or-nothing, mirroring the batch's
+	// own atomicity: a retry where every keyed job was already applied
+	// replays the cached responses; a partial overlap means the caller is
+	// replaying against a batch that never fully applied (impossible for a
+	// faithful retry) and is rejected outright.
+	if resp, done, err := t.batchIdemCheck(reqs); err != nil {
+		return SubmitJobsResponse{}, wal.Commit{}, err
+	} else if done {
+		return resp, wal.Commit{}, nil
+	}
 	tasks := make([]*model.Task, len(reqs))
 	whens := make([]rat.Rat, len(reqs))
 	recs := make([]wal.Record, len(reqs))
@@ -550,7 +614,7 @@ func (t *Tenant) applySubmitBatch(reqs []SubmitJobRequest) (SubmitJobsResponse, 
 			return SubmitJobsResponse{}, wal.Commit{}, fmt.Errorf("job %d: %w", i, err)
 		}
 		tasks[i], whens[i] = task, when
-		recs[i] = wal.Record{Op: wal.OpJobSubmit, Tenant: t.id, Name: req.Task, At: when.String(), Earliness: req.Earliness}
+		recs[i] = wal.Record{Op: wal.OpJobSubmit, Tenant: t.id, Name: req.Task, At: when.String(), Earliness: req.Earliness, Key: req.Key}
 	}
 	// Jobs within a batch are validated independently against the state at
 	// entry; submits only add pending work and never move virtual time, so
@@ -585,9 +649,43 @@ func (t *Tenant) applySubmitBatch(reqs []SubmitJobRequest) (SubmitJobsResponse, 
 		}
 		t.traceStage(obs.StageApply)
 		resp.Results[i] = SubmitJobResponse{At: whens[i].String(), Pending: t.ex.Pending()}
+		t.idemRemember(reqs[i].Key, resp.Results[i])
 	}
 	resp.Accepted = len(reqs)
 	return resp, commit, nil
+}
+
+// batchIdemCheck resolves a batch against the idempotency memory. done
+// means every job was a seen keyed submit and resp replays the original
+// results; an error means the batch mixes seen and unseen jobs (or
+// repeats a key within itself) and cannot be applied atomically.
+func (t *Tenant) batchIdemCheck(reqs []SubmitJobRequest) (SubmitJobsResponse, bool, error) {
+	seen, keyed := 0, 0
+	inBatch := map[string]struct{}{}
+	for i, req := range reqs {
+		if req.Key == "" {
+			continue
+		}
+		keyed++
+		if _, dup := inBatch[req.Key]; dup {
+			return SubmitJobsResponse{}, false, fmt.Errorf("job %d: duplicate idempotency key %q within the batch", i, req.Key)
+		}
+		inBatch[req.Key] = struct{}{}
+		if _, ok := t.idem[req.Key]; ok {
+			seen++
+		}
+	}
+	if seen == 0 {
+		return SubmitJobsResponse{}, false, nil
+	}
+	if seen < len(reqs) || keyed < len(reqs) {
+		return SubmitJobsResponse{}, false, fmt.Errorf("server: batch replays %d of %d idempotency keys; a batch retry must repeat the original batch exactly", seen, len(reqs))
+	}
+	resp := SubmitJobsResponse{Accepted: len(reqs), Results: make([]SubmitJobResponse, len(reqs))}
+	for i, req := range reqs {
+		resp.Results[i] = t.idem[req.Key]
+	}
+	return resp, true, nil
 }
 
 func (t *Tenant) applyAdvance(until, by string) (AdvanceResponse, wal.Commit, error) {
@@ -770,6 +868,11 @@ const (
 	// request may occupy the tenant loop and how large a WAL frame group
 	// the journal writes in one go.
 	MaxBatchJobs = 1024
+	// MaxIdemKeys caps remembered idempotency keys per tenant (FIFO
+	// eviction); MaxKeyLen caps one key's length so keys cannot bloat
+	// journal records or snapshots.
+	MaxIdemKeys = 4096
+	MaxKeyLen   = 128
 	// maxTimeDen / maxTimeValue bound virtual-time instants a client may
 	// name. rat.Cmp cross-multiplies numerator × opposing denominator, so
 	// a comparable time needs value·den_a·den_b ≤ 2^62; 2^28 quanta with

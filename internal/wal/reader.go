@@ -1,0 +1,229 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Reader is a sequential, tailing view of the log's durable prefix, the
+// substrate replication streams are served from. It decodes frames
+// straight off the segment files but never emits a record beyond the
+// durable LSN, so a follower can only ever observe state the leader could
+// itself recover after a crash — an unsynced suffix, a torn frame, or a
+// half-written group-commit batch is invisible by construction.
+//
+// A Reader is owned by one goroutine; the log itself may be appended to
+// and compacted concurrently. When compaction folds the cursor's position
+// into a snapshot, Next returns ErrCompacted and the consumer must
+// re-bootstrap from the snapshot.
+type Reader struct {
+	l        *Log
+	next     uint64 // LSN of the next record to emit
+	f        File
+	segFirst uint64 // first LSN of the open segment (from its name)
+	buf      []byte // undecoded carry-over bytes from the open segment
+	off      int    // consumed prefix of buf
+	scratch  []byte
+}
+
+// NewReader returns a reader positioned at LSN from (0 is treated as 1,
+// the first LSN a log ever assigns).
+func (l *Log) NewReader(from uint64) *Reader {
+	if from == 0 {
+		from = 1
+	}
+	return &Reader{l: l, next: from, scratch: make([]byte, 32<<10)}
+}
+
+// horizon snapshots the durability and compaction bounds.
+func (l *Log) horizon() (durable, snap uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durableLSN, l.snapLSN
+}
+
+// Next returns up to max records starting at the cursor, advancing it.
+// An empty, nil-error result means nothing new is durable yet — poll
+// again. ErrCompacted means the cursor's records were folded into a
+// snapshot; other errors are environmental (reads through a failed
+// filesystem) and the reader stays usable for a retry.
+func (r *Reader) Next(max int) ([]Record, error) {
+	if max <= 0 {
+		max = 1
+	}
+	durable, snap := r.l.horizon()
+	if r.next <= snap {
+		return nil, ErrCompacted
+	}
+	var out []Record
+	for len(out) < max && r.next <= durable {
+		rec, ok, err := r.decodeOne()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			n, err := r.fill()
+			if err != nil {
+				return out, err
+			}
+			if n == 0 {
+				hopped, err := r.hop()
+				if err != nil {
+					return out, err
+				}
+				if !hopped {
+					// The durable bytes are not visible from here yet
+					// (e.g. a concurrent compaction just rolled the
+					// segment); the next call re-resolves.
+					return out, nil
+				}
+			}
+			continue
+		}
+		if rec.LSN < r.next {
+			continue // pre-cursor record in a shared segment
+		}
+		if rec.LSN != r.next {
+			return out, fmt.Errorf("wal: reader expected LSN %d, segment holds %d", r.next, rec.LSN)
+		}
+		out = append(out, rec)
+		r.next++
+	}
+	return out, nil
+}
+
+// decodeOne tries to decode one frame from the carry buffer. ok=false
+// means the buffer holds no complete, checksummed frame yet. A CRC
+// mismatch is treated the same way: a frame below the durable horizon is
+// never torn, but the buffered bytes may straddle an in-flight write of a
+// later frame, which the next fill completes.
+func (r *Reader) decodeOne() (Record, bool, error) {
+	b := r.buf[r.off:]
+	if len(b) < frameHeader {
+		return Record{}, false, nil
+	}
+	n := binary.LittleEndian.Uint32(b)
+	crc := binary.LittleEndian.Uint32(b[4:])
+	if n == 0 || n > maxPayload {
+		return Record{}, false, fmt.Errorf("wal: reader hit a corrupt frame header (len %d)", n)
+	}
+	if len(b)-frameHeader < int(n) {
+		return Record{}, false, nil
+	}
+	payload := b[frameHeader : frameHeader+int(n)]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return Record{}, false, nil
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return Record{}, false, fmt.Errorf("wal: reader hit an undecodable frame: %v", err)
+	}
+	r.off += frameHeader + int(n)
+	return rec, true, nil
+}
+
+// fill reads more bytes from the open segment into the carry buffer,
+// opening the right segment for the cursor first if none is open.
+// Returns the number of bytes gained.
+func (r *Reader) fill() (int, error) {
+	if r.f == nil {
+		if err := r.openSegmentFor(r.next); err != nil {
+			return 0, err
+		}
+		if r.f == nil {
+			return 0, nil
+		}
+	}
+	if r.off > 0 {
+		r.buf = r.buf[:copy(r.buf, r.buf[r.off:])]
+		r.off = 0
+	}
+	n, err := r.f.Read(r.scratch)
+	if n > 0 {
+		r.buf = append(r.buf, r.scratch[:n]...)
+	}
+	if err != nil && err != io.EOF {
+		return n, err
+	}
+	return n, nil
+}
+
+// hop switches to a newer segment that covers the cursor, if one exists
+// (compaction rolls the active segment; the exhausted old one never grows
+// again). Reports whether it moved.
+func (r *Reader) hop() (bool, error) {
+	first, name, err := r.bestSegment(r.next)
+	if err != nil {
+		return false, err
+	}
+	if name == "" || (r.f != nil && first == r.segFirst) {
+		return false, nil
+	}
+	if err := r.openSegment(first, name); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// bestSegment picks the segment whose first LSN is the largest one ≤ lsn
+// — the segment that contains lsn if any does.
+func (r *Reader) bestSegment(lsn uint64) (first uint64, name string, err error) {
+	names, err := r.l.fs.ReadDir(r.l.dir)
+	if err != nil {
+		return 0, "", err
+	}
+	for _, n := range names {
+		if !strings.HasPrefix(n, segPrefix) || !strings.HasSuffix(n, segSuffix) {
+			continue
+		}
+		f, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(n, segPrefix), segSuffix), 16, 64)
+		if perr != nil {
+			continue
+		}
+		if f <= lsn && (name == "" || f > first) {
+			first, name = f, n
+		}
+	}
+	return first, name, nil
+}
+
+func (r *Reader) openSegmentFor(lsn uint64) error {
+	first, name, err := r.bestSegment(lsn)
+	if err != nil {
+		return err
+	}
+	if name == "" {
+		return nil // nothing on disk yet for this cursor
+	}
+	return r.openSegment(first, name)
+}
+
+func (r *Reader) openSegment(first uint64, name string) error {
+	f, err := r.l.fs.Open(filepath.Join(r.l.dir, name))
+	if err != nil {
+		return err
+	}
+	if r.f != nil {
+		r.f.Close()
+	}
+	r.f = f
+	r.segFirst = first
+	r.buf = r.buf[:0]
+	r.off = 0
+	return nil
+}
+
+// Close releases the open segment handle. The reader must not be used
+// afterwards.
+func (r *Reader) Close() {
+	if r.f != nil {
+		r.f.Close()
+		r.f = nil
+	}
+}

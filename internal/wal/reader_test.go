@@ -1,0 +1,158 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collect drains r until `want` records arrived or the deadline passes,
+// asserting the stream is LSN-contiguous and never runs past the durable
+// horizon.
+func collect(t *testing.T, l *Log, r *Reader, want int, deadline time.Duration) []Record {
+	t.Helper()
+	var got []Record
+	next := uint64(1)
+	stop := time.Now().Add(deadline)
+	for len(got) < want && time.Now().Before(stop) {
+		recs, err := r.Next(16)
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		durable, _ := l.horizon()
+		for _, rec := range recs {
+			if rec.LSN != next {
+				t.Fatalf("stream not contiguous: got LSN %d, want %d", rec.LSN, next)
+			}
+			// durable was sampled *after* Next returned and only ever
+			// grows, so any record beyond it was served from an unsynced
+			// suffix — the one thing a replication reader must never do.
+			if rec.LSN > durable {
+				t.Fatalf("reader served LSN %d beyond durable horizon %d", rec.LSN, durable)
+			}
+			next++
+		}
+		got = append(got, recs...)
+		if len(recs) == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	return got
+}
+
+// TestReaderTailsConcurrentGroupCommit pins the log-serving substrate of
+// replication: while concurrent writers drive group-committed appends, a
+// tailing reader must see every record exactly once, in LSN order, and
+// never observe a torn frame group or an unsynced suffix.
+func TestReaderTailsConcurrentGroupCommit(t *testing.T) {
+	const writers, perWriter = 4, 50
+	l, _ := mustOpen(t, t.TempDir(), Options{FsyncEvery: 8, FsyncMaxDelay: 5 * time.Millisecond})
+	defer l.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := l.Append(Record{Op: OpAdvance, Tenant: fmt.Sprintf("t%d", w), At: fmt.Sprint(i)}); err != nil {
+					t.Errorf("Append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	r := l.NewReader(1)
+	defer r.Close()
+	got := collect(t, l, r, writers*perWriter, 10*time.Second)
+	wg.Wait()
+	if len(got) != writers*perWriter {
+		t.Fatalf("reader delivered %d records, want %d", len(got), writers*perWriter)
+	}
+}
+
+// TestReaderStopsAtDurableHorizon pins the cap deterministically: written
+// but unsynced records are invisible, and become visible the instant
+// their group commits.
+func TestReaderStopsAtDurableHorizon(t *testing.T) {
+	tf := &timerFactory{} // timers never fire: no idle flush
+	l, _ := mustOpen(t, t.TempDir(), Options{FsyncEvery: 8, FsyncMaxDelay: 50 * time.Millisecond, AfterFunc: tf.afterFunc})
+	defer l.Close()
+
+	for i := 0; i < 3; i++ {
+		if _, err := l.AppendAsync(Record{Op: OpAdvance, Tenant: "a", At: fmt.Sprint(i)}); err != nil {
+			t.Fatalf("AppendAsync: %v", err)
+		}
+	}
+
+	r := l.NewReader(1)
+	defer r.Close()
+	if recs, err := r.Next(16); err != nil || len(recs) != 0 {
+		t.Fatalf("reader saw %d unsynced records (err %v), want 0", len(recs), err)
+	}
+	for _, ft := range tf.all() { // idle-flush fires: the partial group commits
+		ft.fire()
+	}
+	recs, err := r.Next(16)
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("reader saw %d records after commit (err %v), want 3", len(recs), err)
+	}
+}
+
+// TestTermPersistsAcrossReopen pins term recovery: a promotion's term
+// bump plus durable OpTerm marker must survive a restart, or a rebooted
+// ex-follower could accept a deposed leader's appends.
+func TestTermPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	appendN(t, l, 2)
+	if err := l.SetTerm(3); err != nil {
+		t.Fatalf("SetTerm: %v", err)
+	}
+	if err := l.SetTerm(2); err == nil {
+		t.Fatal("SetTerm lowered the term")
+	}
+	if _, err := l.Append(Record{Op: OpTerm}); err != nil {
+		t.Fatalf("Append(OpTerm): %v", err)
+	}
+	l.Close()
+
+	l2, rec := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	if l2.Term() != 3 || rec.Term != 3 {
+		t.Fatalf("recovered term = %d (Recovery.Term %d), want 3", l2.Term(), rec.Term)
+	}
+}
+
+// TestAppendReplicatedFencing pins the follower-side append contract:
+// records must exactly continue the local log, stale-term records are
+// fenced, and newer terms advance the local term.
+func TestAppendReplicatedFencing(t *testing.T) {
+	l, _ := mustOpen(t, t.TempDir(), Options{})
+	defer l.Close()
+
+	if _, err := l.AppendReplicated(Record{LSN: 1, Term: 1, Op: OpTenantCreate, Tenant: "a", M: 1}); err != nil {
+		t.Fatalf("contiguous AppendReplicated: %v", err)
+	}
+	if l.Term() != 1 {
+		t.Fatalf("term = %d after replicating term-1 record, want 1", l.Term())
+	}
+	if _, err := l.AppendReplicated(Record{LSN: 5, Term: 1, Op: OpAdvance, Tenant: "a"}); err == nil {
+		t.Fatal("LSN gap accepted")
+	}
+	if err := l.SetTerm(4); err != nil {
+		t.Fatalf("SetTerm: %v", err)
+	}
+	if _, err := l.AppendReplicated(Record{LSN: 2, Term: 1, Op: OpAdvance, Tenant: "a"}); !errors.Is(err, ErrStaleTerm) {
+		t.Fatalf("stale-term append = %v, want ErrStaleTerm", err)
+	}
+	if _, err := l.AppendReplicated(Record{LSN: 2, Term: 7, Op: OpAdvance, Tenant: "a"}); err != nil {
+		t.Fatalf("newer-term append: %v", err)
+	}
+	if l.Term() != 7 {
+		t.Fatalf("term = %d after replicating term-7 record, want 7", l.Term())
+	}
+}

@@ -49,6 +49,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	iofs "io/fs"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -70,6 +71,12 @@ const (
 	OpAdvance        = "advance"
 	OpDrain          = "drain"
 	OpDispatch       = "dispatch"
+	// OpTerm marks a leadership change: a promoted replica journals one
+	// with its new term before accepting writes, making the promotion
+	// durable and fencing the log against records from older leaders
+	// (terms are non-decreasing in LSN order; AppendReplicated enforces
+	// it). Not a command — it mutates no tenant state on replay.
+	OpTerm = "term"
 )
 
 // Record is one journal entry. Fields beyond LSN/Op/Tenant are op-specific;
@@ -92,16 +99,35 @@ type Record struct {
 	DSeq   int64  `json:"dseq,omitempty"`   // dispatch: decision index within the tenant log
 	Index  int64  `json:"index,omitempty"`  // dispatch: subtask index
 	Finish string `json:"finish,omitempty"` // dispatch: completion time
+
+	// Term is the leadership term the record was written under. Terms are
+	// non-decreasing in LSN order; a replica refuses records whose term is
+	// below the highest it has seen (stale-leader fencing).
+	Term uint64 `json:"term,omitempty"`
+	// Key is the client-supplied idempotency key of a job-submit. Replay
+	// and replication carry it so a recovered or promoted node rebuilds
+	// the same dedupe state the leader acked against.
+	Key string `json:"key,omitempty"`
 }
 
 // IsCommand reports whether the record mutates state on replay (everything
-// except dispatch verification records).
-func (r Record) IsCommand() bool { return r.Op != OpDispatch }
+// except dispatch verification records and term markers).
+func (r Record) IsCommand() bool { return r.Op != OpDispatch && r.Op != OpTerm }
 
 // ErrWedged is wrapped by every append after the log's first write or sync
 // failure: the log refuses further mutations so recovered state can never
 // diverge from what was applied in memory.
 var ErrWedged = errors.New("wal: log failed; further appends refused")
+
+// ErrStaleTerm is wrapped by AppendReplicated when a record carries a term
+// below the log's current one: the sender is a deposed leader and must not
+// extend this log.
+var ErrStaleTerm = errors.New("wal: record term below the log's term; stale leader fenced")
+
+// ErrCompacted is returned by a Reader whose cursor fell below the
+// snapshot horizon: those records were folded into the snapshot and no
+// longer exist as log frames. The caller re-bootstraps from the snapshot.
+var ErrCompacted = errors.New("wal: requested LSN is below the snapshot horizon")
 
 const (
 	snapshotName = "snapshot.json"
@@ -194,6 +220,9 @@ type Recovery struct {
 	Snapshot    []byte
 	SnapshotLSN uint64
 	Records     []Record
+	// Term is the highest leadership term found on disk (snapshot or
+	// records); the reopened log continues under it.
+	Term uint64
 	// TruncatedBytes counts bytes discarded at torn or corrupt segment
 	// tails — expected after a crash, reported for observability.
 	TruncatedBytes int64
@@ -230,6 +259,8 @@ type Log struct {
 	nextLSN    uint64
 	writtenLSN uint64 // highest LSN whose frame write succeeded
 	durableLSN uint64 // highest LSN covered by a completed fsync
+	snapLSN    uint64 // highest LSN covered by the on-disk snapshot
+	term       uint64 // current leadership term, stamped into appends
 	syncing    bool   // a leader is inside the fsync syscall, mutex dropped
 	sinceSnap  int
 	timerArmed bool
@@ -316,12 +347,13 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 	sort.Strings(segs) // zero-padded hex first-LSN names sort in LSN order
 
 	if have[snapshotName] {
-		payload, lsn, err := readSnapshot(fs, filepath.Join(dir, snapshotName))
+		payload, lsn, term, err := readSnapshot(fs, filepath.Join(dir, snapshotName))
 		if err != nil {
 			return nil, nil, err
 		}
 		rec.Snapshot = payload
 		rec.SnapshotLSN = lsn
+		rec.Term = term
 	}
 
 	lastLSN := rec.SnapshotLSN
@@ -338,6 +370,9 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 			}
 			rec.Records = append(rec.Records, r)
 			lastLSN = r.LSN
+			if r.Term > rec.Term {
+				rec.Term = r.Term
+			}
 		}
 	}
 
@@ -353,6 +388,8 @@ func Open(dir string, opts Options) (*Log, *Recovery, error) {
 		nextLSN:    lastLSN + 1,
 		writtenLSN: lastLSN,
 		durableLSN: lastLSN,
+		snapLSN:    rec.SnapshotLSN,
+		term:       rec.Term,
 		sinceSnap:  len(rec.Records),
 	}
 	l.commit = sync.NewCond(&l.mu)
@@ -444,12 +481,45 @@ func (l *Log) AppendAsync(r Record) (Commit, error) {
 		return Commit{}, err
 	}
 	r.LSN = l.nextLSN
+	r.Term = l.term
 	if err := encodeFrame(fb, &r); err != nil {
 		return Commit{}, err
 	}
 	if err := l.writeLocked(fb, 1); err != nil {
 		return Commit{}, err
 	}
+	return Commit{LSN: r.LSN}, nil
+}
+
+// AppendReplicated journals a record shipped from a leader, preserving its
+// LSN and term instead of assigning new ones. The record must exactly
+// continue the local log (LSN == next), and its term must not regress —
+// ErrStaleTerm fences appends from a deposed leader after a promotion has
+// raised the local term. On success the log's term advances to the
+// record's.
+func (l *Log) AppendReplicated(r Record) (Commit, error) {
+	fb := getFrameBuf()
+	defer putFrameBuf(fb)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.appendableLocked(); err != nil {
+		return Commit{}, err
+	}
+	if r.LSN != l.nextLSN {
+		l.st.AppendErrors++
+		return Commit{}, fmt.Errorf("wal: replicated record LSN %d does not continue the log (next %d)", r.LSN, l.nextLSN)
+	}
+	if r.Term < l.term {
+		l.st.AppendErrors++
+		return Commit{}, fmt.Errorf("%w: record term %d < log term %d", ErrStaleTerm, r.Term, l.term)
+	}
+	if err := encodeFrame(fb, &r); err != nil {
+		return Commit{}, err
+	}
+	if err := l.writeLocked(fb, 1); err != nil {
+		return Commit{}, err
+	}
+	l.term = r.Term
 	return Commit{LSN: r.LSN}, nil
 }
 
@@ -477,6 +547,7 @@ func (l *Log) AppendBatch(rs []Record) (Commit, error) {
 	}
 	for i := range rs {
 		rs[i].LSN = l.nextLSN + uint64(i)
+		rs[i].Term = l.term
 		if err := encodeFrame(fb, &rs[i]); err != nil {
 			return Commit{}, err
 		}
@@ -669,7 +740,26 @@ func (l *Log) Compact(payload []byte) error {
 		}
 		l.commit.Wait()
 	}
-	sf := snapshotFile{LSN: l.nextLSN - 1, CRC: crc32.ChecksumIEEE(payload), Payload: payload}
+	sf := snapshotFile{LSN: l.nextLSN - 1, Term: l.term, CRC: crc32.ChecksumIEEE(payload), Payload: payload}
+	if err := l.writeSnapshotLocked(sf); err != nil {
+		return err
+	}
+	// The snapshot is durable; roll the segment. Failures from here leave
+	// stale segments behind, which recovery skips by LSN — never unsafe.
+	if err := l.openSegment(); err != nil {
+		return err
+	}
+	l.removeStaleSegmentsLocked()
+	l.snapLSN = sf.LSN
+	l.sinceSnap = 0
+	l.st.Snapshots++
+	return nil
+}
+
+// writeSnapshotLocked durably installs sf as the directory's snapshot via
+// the write-tmp / fsync / rename / fsync-dir sequence. Called with l.mu
+// held.
+func (l *Log) writeSnapshotLocked(sf snapshotFile) error {
 	buf, err := json.Marshal(sf)
 	if err != nil {
 		return err
@@ -697,14 +787,12 @@ func (l *Log) Compact(payload []byte) error {
 		l.fs.Remove(tmp)
 		return err
 	}
-	if err := l.fs.SyncDir(l.dir); err != nil {
-		return err
-	}
-	// The snapshot is durable; roll the segment. Failures from here leave
-	// stale segments behind, which recovery skips by LSN — never unsafe.
-	if err := l.openSegment(); err != nil {
-		return err
-	}
+	return l.fs.SyncDir(l.dir)
+}
+
+// removeStaleSegmentsLocked deletes every segment other than the active
+// one; best-effort, since recovery skips stale records by LSN anyway.
+func (l *Log) removeStaleSegmentsLocked() {
 	if names, err := l.fs.ReadDir(l.dir); err == nil {
 		for _, n := range names {
 			if strings.HasPrefix(n, segPrefix) && strings.HasSuffix(n, segSuffix) && n != l.seg {
@@ -712,9 +800,99 @@ func (l *Log) Compact(payload []byte) error {
 			}
 		}
 	}
+}
+
+// InstallSnapshot primes the log with a snapshot shipped from a leader:
+// the payload becomes the on-disk snapshot at lsn/term and the log
+// restarts at lsn+1, discarding any local segments (all of which must be
+// at or below lsn — installing a snapshot never rewinds a log). A
+// follower bootstraps by opening an empty directory, installing the
+// leader's snapshot, and reopening through the normal recovery path.
+func (l *Log) InstallSnapshot(payload []byte, lsn, term uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wedged != nil {
+		return l.wedged
+	}
+	if l.closed {
+		return fmt.Errorf("wal: log closed")
+	}
+	if l.writtenLSN > lsn {
+		return fmt.Errorf("wal: refusing snapshot at LSN %d behind the local log at %d", lsn, l.writtenLSN)
+	}
+	if term < l.term {
+		return fmt.Errorf("%w: snapshot term %d < log term %d", ErrStaleTerm, term, l.term)
+	}
+	sf := snapshotFile{LSN: lsn, Term: term, CRC: crc32.ChecksumIEEE(payload), Payload: payload}
+	if err := l.writeSnapshotLocked(sf); err != nil {
+		return err
+	}
+	l.nextLSN = lsn + 1
+	l.writtenLSN = lsn
+	l.durableLSN = lsn
+	l.snapLSN = lsn
+	l.term = term
 	l.sinceSnap = 0
-	l.st.Snapshots++
+	if err := l.openSegment(); err != nil {
+		return err
+	}
+	l.removeStaleSegmentsLocked()
 	return nil
+}
+
+// Snapshot reads the current on-disk snapshot for serving to a
+// bootstrapping follower. A directory without one returns a nil payload
+// at LSN 0.
+func (l *Log) Snapshot() (payload []byte, lsn, term uint64, err error) {
+	l.mu.Lock()
+	fs, path := l.fs, filepath.Join(l.dir, snapshotName)
+	l.mu.Unlock()
+	payload, lsn, term, err = readSnapshot(fs, path)
+	if err != nil && errors.Is(err, iofs.ErrNotExist) {
+		return nil, 0, 0, nil
+	}
+	return payload, lsn, term, err
+}
+
+// SetTerm raises the log's leadership term; later appends are stamped
+// with it. Lowering the term is refused — terms only move forward.
+func (l *Log) SetTerm(term uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if term < l.term {
+		return fmt.Errorf("wal: cannot lower term %d to %d", l.term, term)
+	}
+	l.term = term
+	return nil
+}
+
+// Term returns the log's current leadership term.
+func (l *Log) Term() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.term
+}
+
+// DurableLSN is the highest LSN covered by a completed fsync — the
+// replication horizon: a log reader never serves beyond it.
+func (l *Log) DurableLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durableLSN
+}
+
+// WrittenLSN is the highest LSN whose frame write succeeded.
+func (l *Log) WrittenLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.writtenLSN
+}
+
+// SnapshotLSN is the highest LSN folded into the on-disk snapshot.
+func (l *Log) SnapshotLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapLSN
 }
 
 // Close flushes the group-commit batch and closes the active segment.
@@ -779,28 +957,29 @@ func (l *Log) Stats() Stats {
 
 type snapshotFile struct {
 	LSN     uint64          `json:"lsn"`
+	Term    uint64          `json:"term,omitempty"`
 	CRC     uint32          `json:"crc"`
 	Payload json.RawMessage `json:"payload"`
 }
 
-func readSnapshot(fs FS, path string) ([]byte, uint64, error) {
+func readSnapshot(fs FS, path string) ([]byte, uint64, uint64, error) {
 	f, err := fs.Open(path)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	defer f.Close()
 	data, err := io.ReadAll(f)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	var sf snapshotFile
 	if err := json.Unmarshal(data, &sf); err != nil {
-		return nil, 0, fmt.Errorf("wal: snapshot corrupt: %v", err)
+		return nil, 0, 0, fmt.Errorf("wal: snapshot corrupt: %v", err)
 	}
 	if crc32.ChecksumIEEE(sf.Payload) != sf.CRC {
-		return nil, 0, fmt.Errorf("wal: snapshot CRC mismatch")
+		return nil, 0, 0, fmt.Errorf("wal: snapshot CRC mismatch")
 	}
-	return sf.Payload, sf.LSN, nil
+	return sf.Payload, sf.LSN, sf.Term, nil
 }
 
 // readSegment decodes frames until the end of the file or the first torn
