@@ -3,7 +3,7 @@ GO ?= go
 BENCHTIME ?= 1x
 BENCHCOUNT ?= 1
 
-.PHONY: all build test vet fmt lint bench bench-json bench-diff race race-server cluster-smoke fuzz fuzz-smoke obs recovery profile-mutex figures experiments soak pfaird pfairload report clean
+.PHONY: all build test vet fmt lint bench bench-json bench-diff race race-server cluster-smoke fuzz fuzz-smoke obs recovery scenario-smoke profile-mutex figures experiments soak pfaird pfairload pfairscen report clean
 
 all: build lint test
 
@@ -76,6 +76,7 @@ fuzz-smoke:
 	$(GO) test ./internal/server/ -run '^$$' -fuzz=FuzzTaskParams -fuzztime=30s
 	$(GO) test ./internal/client/ -run '^$$' -fuzz=FuzzTraceDecoder -fuzztime=30s
 	$(GO) test ./internal/rat/ -run '^$$' -fuzz=FuzzLatticeEquivalence -fuzztime=30s
+	$(GO) test ./internal/scenario/ -run '^$$' -fuzz=FuzzScenarioSpec -fuzztime=30s
 
 # obs runs the deterministic observability harness: the golden /metrics
 # exposition (regenerate with `go test ./internal/server -run Golden
@@ -93,6 +94,17 @@ recovery:
 	$(GO) test -race -count=1 ./internal/wal/ ./internal/faultfs/ ./cmd/pfaird/ \
 		./internal/online/ -run 'Checkpoint|Restore|Crash|Recovery|Shutdown|SIGTERM|WAL'
 	$(GO) test -race -count=1 ./internal/server/ -run 'CrashRecovery|Shutdown|SnapshotStorm|CrashNeverAcks'
+
+# scenario-smoke is the scenario engine's CI gate: the golden-trace
+# byte-compare (same seed + same spec ⇒ byte-identical trace; regenerate
+# with `go test ./internal/scenario -run GoldenTrace -update` after an
+# intentional format change), exact replay, the ≥100-seed counterfactual
+# sweep against the exhaustive oracle, and the pfairscen/pfairload CLI
+# paths — all deterministic, all seeded.
+scenario-smoke:
+	$(GO) test -race -count=1 -v ./internal/scenario/ -run 'TestScenarioGoldenTrace|TestReplayReproducesDispatches|TestExecAndHTTPTargetsAgree|TestCounterfactualMatchesOracle'
+	$(GO) test -race -count=1 ./cmd/pfairscen/
+	$(GO) test -race -count=1 ./cmd/pfairload/ -run 'TestScenarioMode|TestSeedInSummary'
 
 # profile-mutex captures contention profiles for the submit hot path: run
 # the parallel benchmarks with mutex/block profiling on, then inspect with
@@ -118,6 +130,9 @@ pfaird:
 
 pfairload:
 	$(GO) run ./cmd/pfairload
+
+pfairscen:
+	$(GO) run ./cmd/pfairscen
 
 report:
 	$(GO) run ./cmd/report -o report.html

@@ -1,0 +1,188 @@
+// Command pfairscen runs declarative scenarios: a JSON spec describing
+// client cohorts (arrival processes, on/off bursts, diurnal phases, SLO
+// classes) is expanded by a seeded deterministic generator, executed
+// against the in-process executive (or a live pfaird with -addr), and
+// summarized as per-class tardiness plus a Jain fairness index. Every run
+// can be recorded as a CRC-framed NDJSON trace; a recorded trace can be
+// replayed bit-identically (-replay verifies the dispatch sequence
+// matches) and re-dispatched under alternate priority policies
+// (-counterfactual) with a quantum-by-quantum decision diff.
+//
+// Usage:
+//
+//	pfairscen -spec scenario.json -record run.trace
+//	pfairscen -replay run.trace -counterfactual EPDF,PF
+//	pfairscen -spec scenario.json -addr http://localhost:8080
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"desyncpfair/internal/client"
+	"desyncpfair/internal/scenario"
+)
+
+type config struct {
+	spec           string // scenario spec path (JSON)
+	replay         string // recorded trace path to replay instead of -spec
+	record         string // write the run's trace here
+	counterfactual string // comma-separated policies to re-dispatch under
+	addr           string // live pfaird base URL; empty = in-process executive
+	seed           int64  // overrides the spec's seed when set
+	seedSet        bool
+	metricsOut     string // write Prometheus exposition here ("-" = stdout)
+}
+
+func main() {
+	cfg := config{}
+	flag.StringVar(&cfg.spec, "spec", "", "scenario spec (JSON) to generate and run")
+	flag.StringVar(&cfg.replay, "replay", "", "recorded trace to replay (verifies the dispatch sequence) instead of -spec")
+	flag.StringVar(&cfg.record, "record", "", "record the run as a CRC-framed NDJSON trace at this path")
+	flag.StringVar(&cfg.counterfactual, "counterfactual", "", "comma-separated policies (EPDF, PF, PD, PD2) to re-dispatch the workload under and diff")
+	flag.StringVar(&cfg.addr, "addr", "", "pfaird base URL (empty: run against the in-process executive)")
+	flag.Int64Var(&cfg.seed, "seed", 0, "override the spec's seed")
+	flag.StringVar(&cfg.metricsOut, "metrics-out", "", "write the report as a Prometheus exposition to this path (\"-\" = stdout)")
+	flag.Parse()
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			cfg.seedSet = true
+		}
+	})
+
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "pfairscen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg config, out io.Writer) error {
+	res, err := produce(cfg, out)
+	if err != nil {
+		return err
+	}
+	res.Report.WriteText(out)
+	if cfg.record != "" {
+		data, err := scenario.EncodeTrace(res.Records)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.record, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace       %s (%d records, %d bytes)\n", cfg.record, len(res.Records), len(data))
+	}
+	if cfg.metricsOut != "" {
+		if err := writeMetrics(cfg.metricsOut, res.Report, out); err != nil {
+			return err
+		}
+	}
+	if cfg.counterfactual != "" {
+		if err := runCounterfactuals(cfg.counterfactual, res.Records, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// produce yields the run's result: a replayed trace, or a fresh run of a
+// spec against the chosen target.
+func produce(cfg config, out io.Writer) (*scenario.Result, error) {
+	switch {
+	case cfg.replay != "" && cfg.spec != "":
+		return nil, fmt.Errorf("-spec and -replay are mutually exclusive")
+	case cfg.replay != "":
+		f, err := os.Open(cfg.replay)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		recs, err := scenario.ReadTrace(f)
+		if err != nil {
+			return nil, err
+		}
+		res, err := scenario.Replay(recs)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(out, "replay      %s verified: dispatch sequence identical\n", cfg.replay)
+		return res, nil
+	case cfg.spec != "":
+		data, err := os.ReadFile(cfg.spec)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := scenario.ParseSpec(data)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.seedSet {
+			spec.Seed = cfg.seed
+		}
+		w, err := scenario.Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		return scenario.Run(w, target(cfg))
+	default:
+		return nil, fmt.Errorf("one of -spec or -replay is required")
+	}
+}
+
+func target(cfg config) scenario.Target {
+	if cfg.addr == "" {
+		return scenario.NewExecTarget()
+	}
+	return &scenario.HTTPTarget{
+		Ctx: context.Background(),
+		C:   client.New(cfg.addr, &http.Client{Timeout: 30 * time.Second}),
+	}
+}
+
+func writeMetrics(path string, rep *scenario.Report, out io.Writer) error {
+	if path == "-" {
+		rep.WriteMetrics(out)
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	rep.WriteMetrics(f)
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "metrics     %s\n", path)
+	return nil
+}
+
+// runCounterfactuals re-dispatches the recorded workload under each named
+// policy and prints where (which quanta) the decisions diverged.
+func runCounterfactuals(policies string, recs []scenario.Record, out io.Writer) error {
+	for _, p := range strings.Split(policies, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		cf, err := scenario.Rerun(recs, p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "counterfactual %-5s max tard %s quanta, jain %.6f, %d quanta differ\n",
+			cf.Policy, cf.Result.Report.MaxTardiness, cf.Result.Report.Jain, len(cf.Diffs))
+		for i, d := range cf.Diffs {
+			if i == 8 {
+				fmt.Fprintf(out, "  … %d more differing quanta\n", len(cf.Diffs)-i)
+				break
+			}
+			fmt.Fprintf(out, "  quantum %-5d recorded-only %v, %s-only %v\n", d.Slot, d.OnlyRecorded, cf.Policy, d.OnlyRerun)
+		}
+	}
+	return nil
+}

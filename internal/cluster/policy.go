@@ -19,8 +19,13 @@ import (
 type Load struct {
 	// Healthy reports whether the group currently has a servable leader.
 	Healthy bool
-	// Tenants is the group leader's pfaird_tenants gauge.
+	// Tenants is the group leader's pfaird_tenants gauge. Meaningful only
+	// when TenantsKnown is true.
 	Tenants int
+	// TenantsKnown reports whether the gauge scrape actually succeeded. A
+	// failed scrape is NOT zero tenants — load-sensitive policies must not
+	// prefer a group just because its metrics endpoint was unreachable.
+	TenantsKnown bool
 }
 
 // Placement decides which group owns a tenant. Pick places a new tenant;
@@ -56,11 +61,19 @@ type Rendezvous struct{}
 func (*Rendezvous) Name() string { return "rendezvous" }
 
 func (*Rendezvous) Pick(id string, loads []Load) int {
-	best, bestW := 0, uint64(0)
+	return rendezvousPick(id, loads, false)
+}
+
+// rendezvousPick is argmax-weight placement, optionally restricted to
+// healthy groups; ties break toward the higher index, deterministically.
+func rendezvousPick(id string, loads []Load, healthyOnly bool) int {
+	best, bestW, started := 0, uint64(0), false
 	for g := range loads {
-		if w := rendezvousWeight(id, g); w >= bestW {
-			// ties broken toward the higher index, deterministically
-			best, bestW = g, w
+		if healthyOnly && !loads[g].Healthy {
+			continue
+		}
+		if w := rendezvousWeight(id, g); !started || w >= bestW {
+			best, bestW, started = g, w, true
 		}
 	}
 	return best
@@ -104,23 +117,35 @@ func (p *RoundRobin) Pick(id string, loads []Load) int {
 func (*RoundRobin) Locate(string, int) (int, bool) { return 0, false }
 
 // LeastLoaded places a new tenant on the healthy group with the fewest
-// tenants (scraped from the leader's /metrics). Location is learned by
-// the router (ok=false).
+// tenants (scraped from the leader's /metrics). Groups whose gauge scrape
+// failed are not candidates — an unreachable /metrics must not read as
+// "empty" — and when no healthy group has a live gauge the policy falls
+// back to rendezvous over the healthy groups, which is deterministic and
+// spreads load instead of dog-piling group 0. Location is learned by the
+// router (ok=false).
 type LeastLoaded struct{}
 
 func (*LeastLoaded) Name() string { return "least-loaded" }
 
 func (*LeastLoaded) Pick(id string, loads []Load) int {
 	best, bestN, found := 0, 0, false
+	anyHealthy := false
 	for g, l := range loads {
 		if !l.Healthy {
+			continue
+		}
+		anyHealthy = true
+		if !l.TenantsKnown {
 			continue
 		}
 		if !found || l.Tenants < bestN {
 			best, bestN, found = g, l.Tenants, true
 		}
 	}
-	return best
+	if found {
+		return best
+	}
+	return rendezvousPick(id, loads, anyHealthy)
 }
 
 func (*LeastLoaded) Locate(string, int) (int, bool) { return 0, false }

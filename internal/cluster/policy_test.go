@@ -63,14 +63,61 @@ func TestRoundRobinSkipsUnhealthy(t *testing.T) {
 func TestLeastLoadedPicksMinAmongHealthy(t *testing.T) {
 	p := &LeastLoaded{}
 	loads := []Load{
-		{Healthy: true, Tenants: 5},
-		{Healthy: false, Tenants: 0}, // least loaded but down
-		{Healthy: true, Tenants: 2},
+		{Healthy: true, Tenants: 5, TenantsKnown: true},
+		{Healthy: false, Tenants: 0, TenantsKnown: true}, // least loaded but down
+		{Healthy: true, Tenants: 2, TenantsKnown: true},
 	}
 	if g := p.Pick("x", loads); g != 2 {
 		t.Fatalf("least-loaded picked group %d, want 2", g)
 	}
 	if _, ok := p.Locate("x", 3); ok {
 		t.Fatal("least-loaded claims deterministic location")
+	}
+}
+
+// TestLeastLoadedIgnoresStaleGauges: a healthy group whose /metrics
+// scrape failed reports Tenants=0 with TenantsKnown=false. It must not
+// win placement on that phantom zero — the group with a live gauge does,
+// even though its count is higher.
+func TestLeastLoadedIgnoresStaleGauges(t *testing.T) {
+	p := &LeastLoaded{}
+	loads := []Load{
+		{Healthy: true, Tenants: 0, TenantsKnown: false}, // scrape failed
+		{Healthy: true, Tenants: 7, TenantsKnown: true},
+	}
+	if g := p.Pick("x", loads); g != 1 {
+		t.Fatalf("least-loaded picked group %d (stale gauge read as empty), want 1", g)
+	}
+}
+
+// TestLeastLoadedFallsBackToRendezvous: when no healthy group has a live
+// tenant gauge, placement must degrade to rendezvous over the healthy
+// groups — deterministic and spread out, never a dog-pile on group 0.
+func TestLeastLoadedFallsBackToRendezvous(t *testing.T) {
+	p := &LeastLoaded{}
+	loads := []Load{
+		{Healthy: true},
+		{Healthy: false},
+		{Healthy: true},
+	}
+	seen := map[int]int{}
+	for i := 0; i < 100; i++ {
+		id := fmt.Sprintf("tenant-%d", i)
+		g := p.Pick(id, loads)
+		if g == 1 {
+			t.Fatalf("Pick(%q) chose the unhealthy group", id)
+		}
+		if again := p.Pick(id, loads); again != g {
+			t.Fatalf("fallback Pick(%q) unstable: %d then %d", id, g, again)
+		}
+		seen[g]++
+	}
+	if seen[0] == 0 || seen[2] == 0 {
+		t.Fatalf("fallback placement dog-piled one group: %v", seen)
+	}
+	// All groups down (startup): still deterministic, over all groups.
+	down := []Load{{}, {}, {}}
+	if a, b := p.Pick("x", down), p.Pick("x", down); a != b {
+		t.Fatalf("all-down Pick unstable: %d then %d", a, b)
 	}
 }

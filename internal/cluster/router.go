@@ -79,6 +79,7 @@ type backendView struct {
 	appliedLSN    uint64
 	bootstrapping bool
 	tenants       int
+	tenantsKnown  bool // the tenant-gauge scrape succeeded this probe
 }
 
 type groupView struct {
@@ -96,6 +97,7 @@ func (t *routeTable) loads() []Load {
 		loads[i].Healthy = g.leader >= 0
 		if g.leader >= 0 {
 			loads[i].Tenants = g.backends[g.leader].tenants
+			loads[i].TenantsKnown = g.backends[g.leader].tenantsKnown
 		}
 	}
 	return loads
@@ -285,31 +287,40 @@ func (r *Router) probe(ctx context.Context, url string, scrapeTenants bool) back
 	v.appliedLSN = st.AppliedLSN
 	v.bootstrapping = st.Bootstrapping
 	if scrapeTenants && st.Role == "leader" {
-		v.tenants = r.scrapeTenantGauge(ctx, url)
+		v.tenants, v.tenantsKnown = r.scrapeTenantGauge(ctx, url)
 	}
 	return v
 }
 
-// scrapeTenantGauge reads pfaird_tenants from a backend's /metrics.
-func (r *Router) scrapeTenantGauge(ctx context.Context, url string) int {
+// scrapeTenantGauge reads pfaird_tenants from a backend's /metrics. The
+// second return distinguishes "gauge reads 0" from "scrape failed or the
+// gauge is missing" — the placement policy treats only the former as an
+// empty group.
+func (r *Router) scrapeTenantGauge(ctx context.Context, url string) (int, bool) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/metrics", nil)
 	if err != nil {
-		return 0
+		return 0, false
 	}
 	resp, err := r.hc.Do(req)
 	if err != nil {
-		return 0
+		return 0, false
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, false
+	}
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
 		line := sc.Text()
 		if rest, ok := strings.CutPrefix(line, "pfaird_tenants "); ok {
-			n, _ := strconv.Atoi(strings.TrimSpace(rest))
-			return n
+			n, err := strconv.Atoi(strings.TrimSpace(rest))
+			if err != nil {
+				return 0, false
+			}
+			return n, true
 		}
 	}
-	return 0
+	return 0, false
 }
 
 func (r *Router) promote(ctx context.Context, gi int, url string) {

@@ -1,0 +1,181 @@
+package scenario
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"desyncpfair/internal/rat"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two generations of the same spec differ")
+	}
+	if len(a.Arrivals) == 0 {
+		t.Fatal("spec generated no arrivals at all")
+	}
+}
+
+func TestGenerateSeedChangesArrivals(t *testing.T) {
+	a, err := Generate(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := validSpec()
+	other.Seed = 8
+	b, err := Generate(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Arrivals, b.Arrivals) {
+		t.Fatal("changing the seed left every arrival identical")
+	}
+}
+
+func TestGenerateSortedWithinHorizon(t *testing.T) {
+	w, err := Generate(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := rat.FromInt(w.Spec.Horizon)
+	for i, a := range w.Arrivals {
+		if a.Seq != i {
+			t.Fatalf("arrival %d has Seq %d", i, a.Seq)
+		}
+		if a.At.Sign() < 0 || !a.At.Less(horizon) {
+			t.Fatalf("arrival %d at %s outside [0, %d)", i, a.At, w.Spec.Horizon)
+		}
+		if AtDen%a.At.Den() != 0 {
+			t.Fatalf("arrival %d at %s is off the 1/%d grid", i, a.At, AtDen)
+		}
+		if i > 0 && w.Arrivals[i-1].At.Cmp(a.At) > 0 {
+			t.Fatalf("arrivals unsorted at %d: %s after %s", i, a.At, w.Arrivals[i-1].At)
+		}
+	}
+}
+
+// TestPeriodicExact: a periodic process with no bursts or phases is the
+// fully deterministic base case — arrivals at exact multiples of the mean.
+func TestPeriodicExact(t *testing.T) {
+	spec := &Spec{
+		Name: "p", Seed: 1, M: 1, Horizon: 16,
+		Cohorts: []CohortSpec{{
+			Name: "c", Clients: 1,
+			Tasks:   []TaskSpec{{Name: "a", E: 1, P: 4}},
+			Arrival: ArrivalSpec{Process: ProcPeriodic, Mean: "4"},
+		}},
+	}
+	w, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, a := range w.Arrivals {
+		got = append(got, a.At.String())
+	}
+	want := []string{"4", "8", "12"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("periodic arrivals = %v, want %v", got, want)
+	}
+}
+
+// TestPhasesSilenceZeroRate: no arrival may land strictly inside a
+// zero-rate diurnal phase — the generator steps over silent intervals.
+func TestPhasesSilenceZeroRate(t *testing.T) {
+	spec := validSpec()
+	spec.Cohorts = spec.Cohorts[:1]
+	spec.Cohorts[0].Burst = nil
+	spec.Cohorts[0].Arrival = ArrivalSpec{Process: ProcPoisson, Mean: "1"}
+	// Cycle of 16: on during [0, 8), silent during [8, 16).
+	w, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Arrivals) == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	cycleTicks := int64(16 * AtDen)
+	onTicks := int64(8 * AtDen)
+	for _, a := range w.Arrivals {
+		ticks := a.At.Num() * (AtDen / a.At.Den())
+		pos := ticks % cycleTicks
+		if pos > onTicks { // the boundary instant itself may be hit exactly
+			t.Fatalf("arrival at %s lands inside the silent phase (pos %d ticks)", a.At, pos)
+		}
+	}
+}
+
+// TestBurstClumpsArrivals: the burst gate is shared by all of a client's
+// tasks, so when long off dwells dominate, independently sampled instants
+// from different tasks slide onto the same window-end resume points —
+// the burst. That shows up as distinct tasks arriving at the identical
+// quantized instant, which never happens for these processes without the
+// gate.
+func TestBurstClumpsArrivals(t *testing.T) {
+	spec := &Spec{
+		Name: "b", Seed: 5, M: 1, Horizon: 256,
+		Cohorts: []CohortSpec{{
+			Name: "c", Clients: 1,
+			Tasks:   []TaskSpec{{Name: "a", E: 1, P: 8}, {Name: "b", E: 1, P: 8}},
+			Arrival: ArrivalSpec{Process: ProcPoisson, Mean: "2"},
+			Burst:   &BurstSpec{On: "1", Off: "30"},
+		}},
+	}
+	w, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clumped := false
+	for i := 1; i < len(w.Arrivals); i++ {
+		if w.Arrivals[i].At.Equal(w.Arrivals[i-1].At) && w.Arrivals[i].Task != w.Arrivals[i-1].Task {
+			clumped = true
+			break
+		}
+	}
+	if !clumped {
+		t.Fatalf("dominant off dwells produced no clumped arrivals (%d arrivals)", len(w.Arrivals))
+	}
+}
+
+// TestSampleGapMeans: each inverse-transform sampler's empirical mean must
+// land near the requested mean — the property the spec's "mean" field
+// promises regardless of process shape.
+func TestSampleGapMeans(t *testing.T) {
+	const n = 20000
+	for _, tc := range []struct {
+		process string
+		shape   float64
+	}{
+		{ProcPeriodic, 1},
+		{ProcPoisson, 1},
+		{ProcGamma, 0.5},
+		{ProcGamma, 3},
+		{ProcWeibull, 0.7},
+		{ProcWeibull, 2},
+	} {
+		str := newStream(1, 2, 3)
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			g, err := sampleGap(tc.process, str, 5, tc.shape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g < 0 || math.IsNaN(g) || math.IsInf(g, 0) {
+				t.Fatalf("%s(shape %v): bad gap %v", tc.process, tc.shape, g)
+			}
+			sum += g
+		}
+		if mean := sum / n; math.Abs(mean-5) > 0.35 {
+			t.Errorf("%s(shape %v): empirical mean %.3f, want ≈ 5", tc.process, tc.shape, mean)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package scenario
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"desyncpfair/internal/obs"
+	"desyncpfair/internal/server"
+)
+
+func TestJainIndex(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 1},                      // no clients served
+		{[]float64{0, 0, 0}, 1},       // all-zero margins: equally (un)served
+		{[]float64{2, 2, 2, 2}, 1},    // perfect equality
+		{[]float64{1, 0, 0, 0}, 0.25}, // one client hoards: 1/n
+		{[]float64{1, 3}, 0.8},        // (1+3)²/(2·(1+9))
+	}
+	for _, tc := range cases {
+		if got := jain(tc.xs); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("jain(%v) = %v, want %v", tc.xs, got, tc.want)
+		}
+	}
+}
+
+// reportFixture builds a two-class workload with hand-written dispatch
+// logs, so every aggregation rule is checkable by eye.
+func reportFixture() (*Workload, map[string][]server.DispatchEvent) {
+	spec := validSpec() // classes: gold (slo 0) and default (slo 1)
+	w := &Workload{
+		Spec: spec,
+		Clients: []ClientSetup{
+			{ID: "web-0", Class: "gold"},
+			{ID: "web-1", Class: "gold"},
+			{ID: "batch-0", Class: DefaultClass},
+		},
+		Arrivals: make([]Arrival, 5),
+	}
+	disp := map[string][]server.DispatchEvent{
+		// On time: tardiness 0, margin (deadline+1)−finish = 1.
+		"web-0": {{Task: "a", Index: 1, Start: "0", Finish: "1", Deadline: 1, Tardiness: "0"}},
+		// Half a quantum late: a gold violation (slo 0).
+		"web-1": {{Task: "a", Index: 1, Start: "1", Finish: "3/2", Deadline: 1, Tardiness: "1/2"}},
+		// One quantum late: within the default slo of 1, not a violation.
+		"batch-0": {{Task: "b", Index: 1, Start: "2", Finish: "3", Deadline: 2, Tardiness: "1"}},
+	}
+	return w, disp
+}
+
+func TestBuildReportAggregation(t *testing.T) {
+	w, disp := reportFixture()
+	rep := BuildReport(w, disp)
+
+	if rep.Arrivals != 5 || rep.Dispatches != 3 {
+		t.Fatalf("arrivals/dispatches = %d/%d, want 5/3", rep.Arrivals, rep.Dispatches)
+	}
+	if rep.MaxTardiness.String() != "1" {
+		t.Fatalf("max tardiness = %s, want 1", rep.MaxTardiness)
+	}
+	if len(rep.Classes) != 2 || rep.Classes[0].Class != DefaultClass || rep.Classes[1].Class != "gold" {
+		t.Fatalf("classes = %+v, want sorted [default gold]", rep.Classes)
+	}
+	def, gold := rep.Classes[0], rep.Classes[1]
+	if def.Dispatches != 1 || def.Violations != 0 || def.MaxTardiness.String() != "1" {
+		t.Fatalf("default class = %+v", def)
+	}
+	if gold.Dispatches != 2 || gold.Violations != 1 || gold.MaxTardiness.String() != "1/2" {
+		t.Fatalf("gold class = %+v", gold)
+	}
+	// Margins: web-0 → 1, web-1 → 1/2, batch-0 → 0; Jain of {1, 1/2, 0}.
+	want := (1.5 * 1.5) / (3 * 1.25)
+	if math.Abs(rep.Jain-want) > 1e-12 {
+		t.Fatalf("jain = %v, want %v", rep.Jain, want)
+	}
+
+	// Histogram: gold has one on-time dispatch (bucket le=0) and both its
+	// dispatches within one quantum.
+	snap := gold.Hist.Snapshot()
+	if snap.Count != 2 || snap.Buckets[0] != 1 {
+		t.Fatalf("gold histogram = %+v", snap)
+	}
+}
+
+// TestWriteMetricsParses: the exposition must satisfy the same parser and
+// structural checks the daemon's /metrics endpoint is held to, and carry
+// the per-class tardiness histograms plus the Jain gauge.
+func TestWriteMetricsParses(t *testing.T) {
+	w, disp := reportFixture()
+	rep := BuildReport(w, disp)
+	var buf bytes.Buffer
+	rep.WriteMetrics(&buf)
+
+	ex, err := obs.ParseExposition(buf.String())
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, buf.String())
+	}
+	if err := ex.Check(); err != nil {
+		t.Fatalf("structural check: %v\n%s", err, buf.String())
+	}
+	for _, class := range []string{"default", "gold"} {
+		snap, err := ex.Histogram("scenario_tardiness_quanta", []obs.Label{{Name: "class", Value: class}})
+		if err != nil {
+			t.Fatalf("class %s histogram: %v", class, err)
+		}
+		if snap.Count == 0 {
+			t.Fatalf("class %s histogram is empty", class)
+		}
+	}
+	if !strings.Contains(buf.String(), "scenario_jain_index ") {
+		t.Fatalf("no jain gauge in exposition:\n%s", buf.String())
+	}
+}
+
+func TestReportWriteText(t *testing.T) {
+	w, disp := reportFixture()
+	var buf bytes.Buffer
+	BuildReport(w, disp).WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{"jain index", "class default", "class gold", "violations=1", "max tard"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package scenario
+
+import "math"
+
+// stream is a splitmix64-based random stream. The generator derives one
+// stream per (seed, cohort, client, task) by hashing the indices into the
+// initial state, so streams are independent and insertion of a new cohort
+// does not shift the draws of existing ones. splitmix64 plus the inverse
+// transforms below use only IEEE-754 double arithmetic and math functions
+// whose values are identical across the platforms we run on, keeping
+// golden traces portable — unlike math/rand's global stream, which would
+// also couple every consumer to consumption order.
+type stream struct {
+	state     uint64
+	spare     float64 // cached second Box–Muller normal
+	haveSpare bool
+}
+
+// newStream mixes the parts into a well-separated initial state.
+func newStream(parts ...uint64) *stream {
+	s := uint64(0x6a09e667f3bcc909) // √2 offset basis, arbitrary non-zero
+	for _, p := range parts {
+		s = splitmix64(s ^ splitmix64(p))
+	}
+	return &stream{state: s}
+}
+
+// splitmix64 is the standard 64-bit finalizer (same constants as
+// internal/gen uses for per-subtask yield hashing).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (s *stream) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	x := s.state
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1) with 53 bits of precision.
+func (s *stream) float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// exp returns a standard exponential draw (mean 1) by inversion. 1−u is
+// in (0, 1], so the log argument is never zero.
+func (s *stream) exp() float64 {
+	return -math.Log(1 - s.float64())
+}
+
+// normal returns a standard normal draw via Box–Muller; the second value
+// of each pair is cached.
+func (s *stream) normal() float64 {
+	if s.haveSpare {
+		s.haveSpare = false
+		return s.spare
+	}
+	// u in (0, 1] keeps the log finite.
+	u := 1 - s.float64()
+	v := s.float64()
+	r := math.Sqrt(-2 * math.Log(u))
+	s.spare = r * math.Sin(2*math.Pi*v)
+	s.haveSpare = true
+	return r * math.Cos(2*math.Pi*v)
+}
+
+// gamma returns a Gamma(k, 1) draw using Marsaglia–Tsang squeeze for
+// k ≥ 1 and the boost Gamma(k) = Gamma(k+1)·U^(1/k) below 1.
+func (s *stream) gamma(k float64) float64 {
+	if k < 1 {
+		u := 1 - s.float64() // (0, 1]: pow of 0 would stick at 0 forever
+		return s.gamma(k+1) * math.Pow(u, 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := s.normal()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := 1 - s.float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// weibull returns a Weibull(k, 1) draw by inversion.
+func (s *stream) weibull(k float64) float64 {
+	return math.Pow(-math.Log(1-s.float64()), 1/k)
+}

@@ -1,0 +1,105 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleRecords(t *testing.T) []Record {
+	t.Helper()
+	w, err := Generate(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(w, NewExecTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Records
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	recs := sampleRecords(t)
+	data, err := EncodeTrace(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, got) {
+		t.Fatal("trace round trip changed the records")
+	}
+	// Every line is a frame; blank lines are tolerated between frames.
+	withBlank := bytes.ReplaceAll(data, []byte("\n"), []byte("\n\n"))
+	if _, err := ReadTrace(bytes.NewReader(withBlank)); err != nil {
+		t.Fatalf("blank separator lines rejected: %v", err)
+	}
+}
+
+func TestTraceDetectsCorruption(t *testing.T) {
+	data, err := EncodeTrace(sampleRecords(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the second line: the CRC must catch it and
+	// name the line.
+	lines := bytes.Split(data, []byte("\n"))
+	i := bytes.LastIndexByte(lines[1], '}') - 2
+	corrupted := append([]byte{}, data...)
+	off := len(lines[0]) + 1 + i
+	if corrupted[off] == 'x' {
+		corrupted[off] = 'y'
+	} else {
+		corrupted[off] = 'x'
+	}
+	_, err = ReadTrace(bytes.NewReader(corrupted))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("corrupted line 2 not caught: %v", err)
+	}
+
+	// Non-JSON garbage on a line.
+	garbage := append(append([]byte{}, data...), []byte("not a frame\n")...)
+	if _, err := ReadTrace(bytes.NewReader(garbage)); err == nil {
+		t.Fatal("garbage trailing line accepted")
+	}
+}
+
+func TestTraceShapeChecks(t *testing.T) {
+	recs := sampleRecords(t)
+
+	if _, err := ReadTrace(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+
+	headerless, err := EncodeTrace(recs[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrace(bytes.NewReader(headerless)); err == nil || !strings.Contains(err.Error(), "header") {
+		t.Fatalf("headerless trace accepted: %v", err)
+	}
+
+	future := append([]Record{}, recs...)
+	future[0].Version = TraceVersion + 1
+	data, err := EncodeTrace(future)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrace(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future-version trace accepted: %v", err)
+	}
+
+	unknown := append([]Record{}, recs...)
+	unknown[1].Kind = "telemetry"
+	data, err = EncodeTrace(unknown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrace(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "unknown kind") {
+		t.Fatalf("unknown-kind record accepted: %v", err)
+	}
+}
