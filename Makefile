@@ -3,7 +3,7 @@ GO ?= go
 BENCHTIME ?= 1x
 BENCHCOUNT ?= 1
 
-.PHONY: all build test vet fmt lint bench bench-json bench-diff race race-server cluster-smoke fuzz fuzz-smoke obs recovery scenario-smoke profile-mutex figures experiments soak pfaird pfairload pfairscen report clean
+.PHONY: all build test vet fmt lint bench bench-json bench-diff race race-server cluster-smoke elastic-smoke fuzz fuzz-smoke obs recovery scenario-smoke profile-mutex figures experiments soak pfaird pfairload pfairscen report clean
 
 all: build lint test
 
@@ -42,6 +42,20 @@ cluster-smoke:
 	$(GO) test -race -count=1 -v ./internal/cluster/ -run 'TestClusterSmoke|TestFollowerReplicatesAndPromotes|TestStaleLeaderFenced'
 	$(GO) test -race -count=1 ./internal/wal/ -run 'TestReaderTailsConcurrentGroupCommit|TestCrashMidBatch'
 
+# elastic-smoke is the elastic-capacity gate, all under -race: the
+# 50-seed resize-storm property harness (grow/shrink/reject/drain mixed
+# with crash-at-byte fault injection; recovery must replay the capacity
+# history exactly, acked ≤ recovered ≤ issued, tardiness ≤ 1 quantum),
+# the failover test that kills a resizing leader and asserts the promoted
+# follower lands on the acked capacity state, the boundary tests at m′
+# and m′ + 1/q, and the lag-driven autoscaler suite including its
+# live-server loop.
+elastic-smoke:
+	$(GO) test -race -count=1 -v ./internal/server/ -run 'TestResizeStormCrashRecovery'
+	$(GO) test -race -count=1 -v ./internal/cluster/ -run 'TestElasticFailoverReplaysCapacityHistory'
+	$(GO) test -race -count=1 ./internal/online/ -run 'Resize'
+	$(GO) test -race -count=1 ./internal/admission/ ./internal/autoscale/
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
@@ -54,13 +68,13 @@ bench:
 bench-json:
 	{ $(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) . && \
 	  $(GO) test -run '^$$' -bench=BenchmarkServerSubmit -benchmem -benchtime=1000x -count=$(BENCHCOUNT) ./internal/server/; } \
-	  | $(GO) run ./cmd/benchjson > BENCH_6.json
-	@echo wrote BENCH_6.json
+	  | $(GO) run ./cmd/benchjson > BENCH_9.json
+	@echo wrote BENCH_9.json
 
 # bench-diff gates the archived results: the benchmarks shared by the two
 # documents must not regress in ns/op by more than 20%.
 bench-diff:
-	$(GO) run ./cmd/benchjson -diff BENCH_5.json BENCH_6.json
+	$(GO) run ./cmd/benchjson -diff BENCH_6.json BENCH_9.json
 
 fuzz:
 	$(GO) test ./internal/core/ -fuzz=FuzzTheorem3 -fuzztime=30s
@@ -74,6 +88,7 @@ fuzz:
 fuzz-smoke:
 	$(GO) test ./internal/wal/ -run '^$$' -fuzz=FuzzWALReplay -fuzztime=30s
 	$(GO) test ./internal/server/ -run '^$$' -fuzz=FuzzTaskParams -fuzztime=30s
+	$(GO) test ./internal/online/ -run '^$$' -fuzz=FuzzResize -fuzztime=30s
 	$(GO) test ./internal/client/ -run '^$$' -fuzz=FuzzTraceDecoder -fuzztime=30s
 	$(GO) test ./internal/rat/ -run '^$$' -fuzz=FuzzLatticeEquivalence -fuzztime=30s
 	$(GO) test ./internal/scenario/ -run '^$$' -fuzz=FuzzScenarioSpec -fuzztime=30s

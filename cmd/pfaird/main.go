@@ -30,6 +30,14 @@
 // 429 so overload surfaces as client backpressure instead of queue
 // growth, while reads are served lock-free from published snapshots.
 //
+// With -autoscale the daemon runs an elastic-capacity control loop
+// against itself: it scrapes its own per-tenant dispatch-lag histograms
+// and grows or drain-shrinks each tenant's processor count within
+// [-autoscale-min, -autoscale-max], with hysteresis, a per-tenant
+// cooldown, and token-bucket admission on its own actions (DESIGN.md
+// §15). Autoscaled resizes go through POST /v1/tenants/{id}/resize like
+// manual ones, so they are journaled and replicated identically.
+//
 // With -follow <leader-url> the daemon runs as a read-only replica: it
 // bootstraps from the leader's snapshot, tails the leader's journal over
 // /v1/replication/log, and answers 503 to mutations until it is promoted
@@ -48,9 +56,24 @@ import (
 	"syscall"
 	"time"
 
+	"desyncpfair/internal/autoscale"
+	"desyncpfair/internal/client"
 	"desyncpfair/internal/cluster"
 	"desyncpfair/internal/server"
 )
+
+// selfURL turns the bound listen address into a base URL the in-process
+// autoscaler can dial; wildcard hosts dial back via loopback.
+func selfURL(addr net.Addr) string {
+	host, port, err := net.SplitHostPort(addr.String())
+	if err != nil {
+		return "http://" + addr.String()
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
 
 type config struct {
 	addr          string
@@ -63,6 +86,12 @@ type config struct {
 	traceBuffer   int
 	submitRing    int
 	follow        string
+
+	autoscale         bool
+	autoscaleInterval time.Duration
+	autoscaleMin      int
+	autoscaleMax      int
+	autoscaleCooldown time.Duration
 }
 
 func main() {
@@ -77,6 +106,11 @@ func main() {
 	flag.IntVar(&cfg.traceBuffer, "trace-buffer", 4096, "per-tenant trace-ring retention in events (GET /v1/tenants/{id}/trace)")
 	flag.IntVar(&cfg.submitRing, "submit-ring", 256, "per-tenant submit-ring capacity; a full ring answers 429 backpressure")
 	flag.StringVar(&cfg.follow, "follow", "", "run as a read-only replica of the leader at this base URL (requires -data-dir)")
+	flag.BoolVar(&cfg.autoscale, "autoscale", false, "watch per-tenant dispatch-lag histograms and resize tenant capacity automatically")
+	flag.DurationVar(&cfg.autoscaleInterval, "autoscale-interval", 5*time.Second, "scrape/decide period of the autoscaler")
+	flag.IntVar(&cfg.autoscaleMin, "autoscale-min", 1, "lower bound on autoscaled per-tenant M")
+	flag.IntVar(&cfg.autoscaleMax, "autoscale-max", 64, "upper bound on autoscaled per-tenant M")
+	flag.DurationVar(&cfg.autoscaleCooldown, "autoscale-cooldown", 30*time.Second, "per-tenant quiet period after an autoscaler action (doubled after 429 backpressure)")
 	flag.Parse()
 
 	if err := serve(context.Background(), cfg, nil); err != nil {
@@ -151,6 +185,23 @@ func serve(ctx context.Context, cfg config, ready func(addr string)) error {
 	log.Printf("pfaird listening on %s", ln.Addr())
 	if ready != nil {
 		ready(ln.Addr().String())
+	}
+
+	// The autoscaler is a loopback client of this daemon's own API: it
+	// scrapes /metrics and posts resizes like any operator would, so the
+	// capacity changes it makes are journaled, replicated, and visible
+	// exactly like manual ones. On a follower every resize answers 503,
+	// which the scaler treats as backpressure — it backs off until this
+	// node is promoted, then takes over without a restart.
+	if cfg.autoscale {
+		scaler := autoscale.New(autoscale.Config{
+			MinM:     cfg.autoscaleMin,
+			MaxM:     cfg.autoscaleMax,
+			Cooldown: cfg.autoscaleCooldown,
+		}, client.New(selfURL(ln.Addr()), nil))
+		log.Printf("pfaird: autoscaler on (every %s, M ∈ [%d, %d])",
+			cfg.autoscaleInterval, cfg.autoscaleMin, cfg.autoscaleMax)
+		go scaler.Run(ctx, cfg.autoscaleInterval, log.Printf)
 	}
 
 	select {

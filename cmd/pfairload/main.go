@@ -14,6 +14,11 @@
 // admission always passes on m ≥ 1; the point here is request throughput,
 // not schedulability stress. The run fails (exit 1) if any tenant ends
 // with max tardiness above one quantum — Theorem 3 must survive load.
+//
+// The summary also reports measured capacity: the active M per tenant
+// scraped from the server's pfaird_tenant_m gauges (which an autoscaler
+// may have moved mid-run), and submits rejected 409 by a racing resize —
+// counted on their own line, separate from 429 ring backpressure.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -87,6 +93,16 @@ type report struct {
 	Dispatched   int64  // scheduling decisions across all tenants
 	MaxTardiness string // worst tardiness across tenants (rat string)
 	Backpressure int64  // 429 replies (submit ring full); retried, not errors
+	// ResizeRejected counts submits answered 409: a capacity rejection
+	// from a resize racing the load (an autoscaler shrink, an operator
+	// resize draining tasks out from under the run). Unlike 429
+	// backpressure these are not retried — the job is skipped and
+	// counted, because capacity said no rather than "not yet".
+	ResizeRejected int64
+	// TenantM is the active processor count per tenant at the end of the
+	// run, scraped from the pfaird_tenant_m gauges — under an autoscaler
+	// this is measured capacity, not the -m the run asked for.
+	TenantM map[string]int
 }
 
 func main() {
@@ -168,7 +184,7 @@ func run(cfg config, out io.Writer) (report, error) {
 	// often it happened — sustained backpressure at a given worker count
 	// is a capacity signal — and keyed submits additionally retry on
 	// transient failures because the server dedupes them.
-	var backpressure atomic.Int64
+	var backpressure, resizeRejected atomic.Int64
 	c := client.New(base, &http.Client{Timeout: 30 * time.Second, Transport: newTransport(cfg.workers)}).
 		WithRetry(client.RetryPolicy{
 			MaxAttempts: 4,
@@ -272,6 +288,15 @@ func run(cfg config, out io.Writer) (report, error) {
 					}
 					lat = append(lat, time.Since(t0))
 					if err != nil {
+						// 409 is capacity saying no — a resize racing the
+						// load shrank the tenant or drained its task. That
+						// is an expected outcome of elastic capacity, not a
+						// broken run: count it apart from 429 backpressure
+						// (which the retry policy resends) and move on.
+						if client.IsReject(err) {
+							resizeRejected.Add(int64(n))
+							continue
+						}
 						errs[w] = fmt.Errorf("submit %s/%s: %w", p.tenant, p.task, err)
 						lats[w] = lat
 						return
@@ -324,19 +349,20 @@ func run(cfg config, out io.Writer) (report, error) {
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	rep := report{
-		Requests:     setup + len(all) + drains,
-		Wall:         wall,
-		Throughput:   float64(len(all)) / wall.Seconds(),
-		P50:          percentile(all, 0.50),
-		P90:          percentile(all, 0.90),
-		P99:          percentile(all, 0.99),
-		Max:          percentile(all, 1.00),
-		Dispatched:   dispatched,
-		MaxTardiness: maxTar.String(),
-		Backpressure: backpressure.Load(),
+		Requests:       setup + len(all) + drains,
+		Wall:           wall,
+		Throughput:     float64(len(all)) / wall.Seconds(),
+		P50:            percentile(all, 0.50),
+		P90:            percentile(all, 0.90),
+		P99:            percentile(all, 0.99),
+		Max:            percentile(all, 1.00),
+		Dispatched:     dispatched,
+		MaxTardiness:   maxTar.String(),
+		Backpressure:   backpressure.Load(),
+		ResizeRejected: resizeRejected.Load(),
 	}
-	if err := addServerPercentiles(ctx, c, &rep); err != nil {
-		return report{}, fmt.Errorf("server-side histogram: %w", err)
+	if err := addServerStats(ctx, c, &rep); err != nil {
+		return report{}, fmt.Errorf("server-side metrics: %w", err)
 	}
 	fmt.Fprintf(out, "tenants            : %d × %d tasks, %d jobs/task, %d workers\n",
 		cfg.tenants, cfg.tasks, cfg.jobs, cfg.workers)
@@ -347,8 +373,28 @@ func run(cfg config, out io.Writer) (report, error) {
 	fmt.Fprintf(out, "server ack p50/p90/p99: %v / %v / %v (%d acks, ±bucket width)\n",
 		rep.SrvP50, rep.SrvP90, rep.SrvP99, rep.SrvCount)
 	fmt.Fprintf(out, "backpressure       : %d × 429 (submit ring full; retried)\n", rep.Backpressure)
+	fmt.Fprintf(out, "resize-rejected    : %d × 409 (capacity withdrawn mid-run; skipped)\n", rep.ResizeRejected)
+	fmt.Fprintf(out, "tenant m           : %s\n", formatTenantM(rep.TenantM))
 	fmt.Fprintf(out, "dispatches         : %d, max tardiness %s (bound: 1)\n", rep.Dispatched, rep.MaxTardiness)
 	return rep, nil
+}
+
+// formatTenantM renders the per-tenant M gauges as "id=m id=m …",
+// sorted by tenant id so runs diff cleanly.
+func formatTenantM(m map[string]int) string {
+	if len(m) == 0 {
+		return "(none)"
+	}
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("%s=%d", id, m[id])
+	}
+	return strings.Join(parts, " ")
 }
 
 // runScenario drives a declarative scenario spec through the server: the
@@ -383,12 +429,13 @@ func runScenario(ctx context.Context, cfg config, c *client.Client, out io.Write
 	}, nil
 }
 
-// addServerPercentiles scrapes /metrics and fills the SrvP* fields from
-// the server's aggregate submit→ack histogram. Client percentiles time
-// round trips from outside; these time the handler from inside — the gap
-// between the two is the network plus scheduling overhead the server
-// cannot see.
-func addServerPercentiles(ctx context.Context, c *client.Client, rep *report) error {
+// addServerStats scrapes /metrics once and fills the server-side report
+// fields: the SrvP* percentiles from the aggregate submit→ack histogram
+// (the handler timing itself from inside — the gap to the client
+// percentiles is network plus scheduling overhead the server cannot see)
+// and TenantM from the pfaird_tenant_m gauges, the measured per-tenant
+// capacity after any resizes landed during the run.
+func addServerStats(ctx context.Context, c *client.Client, rep *report) error {
 	text, err := c.Metrics(ctx)
 	if err != nil {
 		return err
@@ -396,6 +443,12 @@ func addServerPercentiles(ctx context.Context, c *client.Client, rep *report) er
 	ex, err := obs.ParseExposition(text)
 	if err != nil {
 		return err
+	}
+	if f := ex.Family("pfaird_tenant_m"); f != nil {
+		rep.TenantM = make(map[string]int, len(f.Samples))
+		for _, s := range f.Samples {
+			rep.TenantM[s.Label("tenant")] = int(s.Value)
+		}
 	}
 	snap, err := ex.Histogram("pfaird_submit_ack_seconds", nil)
 	if err != nil {

@@ -12,6 +12,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"desyncpfair/internal/server"
 )
 
 // The acceptance run: ≥ 10k submit+advance requests against an in-process
@@ -66,10 +68,23 @@ func TestLoadTenThousandRequests(t *testing.T) {
 	if rep.SrvP50 > rep.P50+66*time.Millisecond {
 		t.Errorf("server p50 %v far above client p50 %v", rep.SrvP50, rep.P50)
 	}
-	for _, want := range []string{"latency p50/p90/p99", "server ack p50/p90/p99", "req/s", "max tardiness"} {
+	for _, want := range []string{"latency p50/p90/p99", "server ack p50/p90/p99", "req/s", "max tardiness", "tenant m", "resize-rejected"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("report output missing %q:\n%s", want, out.String())
 		}
+	}
+	// The summary reports measured capacity: one pfaird_tenant_m gauge per
+	// tenant, each still at the -m the run created it with (no resizes).
+	if len(rep.TenantM) != 4 {
+		t.Errorf("TenantM has %d entries, want 4: %v", len(rep.TenantM), rep.TenantM)
+	}
+	for id, m := range rep.TenantM {
+		if m != 2 {
+			t.Errorf("tenant %s reports m=%d, want 2", id, m)
+		}
+	}
+	if rep.ResizeRejected != 0 {
+		t.Errorf("%d resize rejections in a run with no resizes", rep.ResizeRejected)
 	}
 }
 
@@ -158,6 +173,53 @@ func TestTransportReusesConnections(t *testing.T) {
 	// means the pool dropped a reusable connection.
 	if got := dials.Load(); got > workers {
 		t.Errorf("%d new connections across 3×%d requests; the transport is not reusing connections", got, workers)
+	}
+}
+
+// TestResizeRejectedCountedSeparately: submits answered 409 (capacity
+// withdrawn by a resize racing the load) must be counted on their own
+// line, not lumped into 429 backpressure, and must not abort the run.
+// A middleware in front of a real server rejects the first five submits
+// the way a shrinking tenant would.
+func TestResizeRejectedCountedSeparately(t *testing.T) {
+	srv := server.New()
+	defer srv.Shutdown()
+	h := srv.Handler()
+	var submits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/jobs") {
+			if submits.Add(1) <= 5 {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusConflict)
+				w.Write([]byte(`{"error":"capacity shrink in progress"}`))
+				return
+			}
+		}
+		h.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	var out strings.Builder
+	rep, err := run(config{
+		addr: ts.URL, tenants: 1, tasks: 2, jobs: 6, workers: 1, m: 1,
+		advanceEvery: 3, batch: 1, policy: "PD2", seed: 1,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run aborted on resize rejection: %v\n%s", err, out.String())
+	}
+	if rep.ResizeRejected != 5 {
+		t.Errorf("ResizeRejected = %d, want 5", rep.ResizeRejected)
+	}
+	if rep.Backpressure != 0 {
+		t.Errorf("409s leaked into the backpressure counter: %d", rep.Backpressure)
+	}
+	// 12 attempted submits, 5 rejected: the 7 accepted jobs (E=1 each)
+	// all dispatch on drain.
+	if rep.Dispatched != 7 {
+		t.Errorf("dispatched %d subtasks, want 7", rep.Dispatched)
+	}
+	if !strings.Contains(out.String(), "resize-rejected    : 5 × 409") {
+		t.Errorf("summary does not report the rejections:\n%s", out.String())
 	}
 }
 

@@ -10,8 +10,15 @@
 //
 // Usage:
 //
+// A capacity sweep (-sweep-m lo:hi) re-dispatches the same workload at
+// every processor count in the range and reports, per policy, the minimal
+// M that admits it and the minimal M that also keeps tardiness within the
+// one-quantum bound — for PD² the two coincide (Theorem 3); for the
+// heuristics the gap is the capacity price of the simpler policy.
+//
 //	pfairscen -spec scenario.json -record run.trace
 //	pfairscen -replay run.trace -counterfactual EPDF,PF
+//	pfairscen -replay run.trace -counterfactual EPDF,PD2 -sweep-m 1:8
 //	pfairscen -spec scenario.json -addr http://localhost:8080
 package main
 
@@ -22,6 +29,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -38,6 +46,7 @@ type config struct {
 	seed           int64  // overrides the spec's seed when set
 	seedSet        bool
 	metricsOut     string // write Prometheus exposition here ("-" = stdout)
+	sweepM         string // "lo:hi" capacity sweep range
 }
 
 func main() {
@@ -49,6 +58,7 @@ func main() {
 	flag.StringVar(&cfg.addr, "addr", "", "pfaird base URL (empty: run against the in-process executive)")
 	flag.Int64Var(&cfg.seed, "seed", 0, "override the spec's seed")
 	flag.StringVar(&cfg.metricsOut, "metrics-out", "", "write the report as a Prometheus exposition to this path (\"-\" = stdout)")
+	flag.StringVar(&cfg.sweepM, "sweep-m", "", "re-dispatch the workload at every M in lo:hi and report the minimal M per policy (policies from -counterfactual, else the run's own)")
 	flag.Parse()
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "seed" {
@@ -83,12 +93,80 @@ func run(cfg config, out io.Writer) error {
 			return err
 		}
 	}
-	if cfg.counterfactual != "" {
+	if cfg.counterfactual != "" && cfg.sweepM == "" {
 		if err := runCounterfactuals(cfg.counterfactual, res.Records, out); err != nil {
 			return err
 		}
 	}
+	if cfg.sweepM != "" {
+		if err := runSweeps(cfg, res, out); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// runSweeps evaluates each requested policy at every M in the -sweep-m
+// range, printing the minimal feasible M and the minimal M that also
+// meets the one-quantum tardiness bound. With -counterfactual the sweep
+// covers those policies; otherwise the run's own policy.
+func runSweeps(cfg config, res *scenario.Result, out io.Writer) error {
+	lo, hi, err := parseSweepRange(cfg.sweepM)
+	if err != nil {
+		return err
+	}
+	policies := []string{res.Report.Policy}
+	if cfg.counterfactual != "" {
+		policies = policies[:0]
+		for _, p := range strings.Split(cfg.counterfactual, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				policies = append(policies, p)
+			}
+		}
+	}
+	for _, p := range policies {
+		sw, err := scenario.SweepM(res.Records, p, lo, hi)
+		if err != nil {
+			return err
+		}
+		feas, bound := "none in range", "none in range"
+		if sw.MinFeasibleM > 0 {
+			feas = fmt.Sprintf("M=%d", sw.MinFeasibleM)
+		}
+		if sw.MinBoundM > 0 {
+			bound = fmt.Sprintf("M=%d", sw.MinBoundM)
+		}
+		fmt.Fprintf(out, "sweep-m %-5s %d:%d  minimal feasible %s, minimal 1-quantum %s\n",
+			sw.Policy, lo, hi, feas, bound)
+		for _, pt := range sw.Points {
+			if !pt.Feasible {
+				fmt.Fprintf(out, "  M=%-3d infeasible\n", pt.M)
+				continue
+			}
+			mark := " "
+			if pt.MeetsBound {
+				mark = "*"
+			}
+			fmt.Fprintf(out, "  M=%-3d max tard %-8s violations %-6d %s\n",
+				pt.M, pt.MaxTardiness, pt.Violations, mark)
+		}
+	}
+	return nil
+}
+
+// parseSweepRange parses "lo:hi" (or a single "m").
+func parseSweepRange(s string) (lo, hi int, err error) {
+	los, his, found := strings.Cut(s, ":")
+	if !found {
+		his = los
+	}
+	if lo, err = strconv.Atoi(strings.TrimSpace(los)); err != nil {
+		return 0, 0, fmt.Errorf("bad -sweep-m %q: %v", s, err)
+	}
+	if hi, err = strconv.Atoi(strings.TrimSpace(his)); err != nil {
+		return 0, 0, fmt.Errorf("bad -sweep-m %q: %v", s, err)
+	}
+	return lo, hi, nil
 }
 
 // produce yields the run's result: a replayed trace, or a fresh run of a

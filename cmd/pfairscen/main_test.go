@@ -98,6 +98,49 @@ func TestRunRecordReplayCounterfactual(t *testing.T) {
 	}
 }
 
+func TestRunSweepM(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir)
+	trace := filepath.Join(dir, "run.trace")
+
+	var out bytes.Buffer
+	if err := run(config{spec: spec, record: trace}, &out); err != nil {
+		t.Fatalf("record run: %v\n%s", err, out.String())
+	}
+
+	// Sweep the recorded trace over 1:3 under two policies. The spec's
+	// heaviest client has Σwt = 1/4, so every swept M is feasible and
+	// both sweeps must report M=1 as the minimal feasible capacity.
+	var sout bytes.Buffer
+	if err := run(config{replay: trace, sweepM: "1:3", counterfactual: "EPDF,PD2"}, &sout); err != nil {
+		t.Fatalf("sweep run: %v\n%s", err, sout.String())
+	}
+	for _, want := range []string{
+		"sweep-m EPDF",
+		"sweep-m PD2",
+		"minimal feasible M=1",
+		"M=3",
+	} {
+		if !strings.Contains(sout.String(), want) {
+			t.Fatalf("sweep output missing %q:\n%s", want, sout.String())
+		}
+	}
+	// With -sweep-m the counterfactual list feeds the sweep, not the
+	// decision diff — the diff output must not appear.
+	if strings.Contains(sout.String(), "counterfactual EPDF") {
+		t.Fatalf("sweep run also printed counterfactual diffs:\n%s", sout.String())
+	}
+
+	// Bad ranges are errors, not silent no-ops.
+	var eout bytes.Buffer
+	if err := run(config{replay: trace, sweepM: "3:1"}, &eout); err == nil {
+		t.Fatal("inverted sweep range accepted")
+	}
+	if err := run(config{replay: trace, sweepM: "x"}, &eout); err == nil {
+		t.Fatal("non-numeric sweep range accepted")
+	}
+}
+
 func TestRunFlagValidation(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(config{}, &out); err == nil {

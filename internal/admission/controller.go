@@ -19,10 +19,18 @@ import (
 // Controller is not safe for concurrent use; callers (internal/server's
 // Tenant) serialize access.
 type Controller struct {
-	m     int
-	util  rat.Rat
-	tasks map[string]model.Weight
+	m       int
+	pending int // queued shrink target (drain mode); 0 when none
+	util    rat.Rat
+	tasks   map[string]model.Weight
 }
+
+// MaxM caps the processor count a resize (or construction, via the
+// service boundary that aliases this) may name. The scheduling core uses
+// exact int64 rational arithmetic that panics on overflow by design;
+// bounding M keeps every capacity comparison far inside the representable
+// range.
+const MaxM = 1 << 12
 
 // NewController creates a controller for m processors.
 func NewController(m int) *Controller {
@@ -32,8 +40,17 @@ func NewController(m int) *Controller {
 	return &Controller{m: m, util: rat.Zero, tasks: map[string]model.Weight{}}
 }
 
-// M returns the processor count the controller admits against.
+// M returns the processor count the controller currently admits against.
+// While a drain-mode shrink is pending, new registrations are gated by
+// PendingM instead, so the count here is the capacity still serving
+// already-admitted work.
 func (c *Controller) M() int { return c.m }
+
+// PendingM returns the queued drain-mode shrink target, or 0 when no
+// shrink is pending. The invariant is pending ≠ 0 ⇒ pending < m and
+// Σwt > pending: the moment unregisters bring utilization within the
+// target, the shrink applies and pending clears.
+func (c *Controller) PendingM() int { return c.pending }
 
 // Utilization returns Σ wt over currently admitted tasks.
 func (c *Controller) Utilization() rat.Rat { return c.util }
@@ -69,12 +86,20 @@ func (c *Controller) Register(name string, w model.Weight) (Decision, error) {
 	if err := w.Validate(); err != nil {
 		return Decision{}, err
 	}
+	// Admission is always against the *current* target, not the
+	// construction-time M: after a resize the cap is the live m, and while
+	// a drain-mode shrink is pending the cap is the pending target — new
+	// work must not push utilization further above where we are draining to.
+	cap := c.m
+	if c.pending != 0 {
+		cap = c.pending
+	}
 	newTotal := c.util.Add(w.Rat())
-	if rat.FromInt(int64(c.m)).Less(newTotal) {
+	if rat.FromInt(int64(cap)).Less(newTotal) {
 		return Decision{
 			Scheduler: "PD2/DVQ",
 			Guarantee: NoGuarantee,
-			Reason:    fmt.Sprintf("registering %q (weight %s) would raise Σwt to %s > M = %d", name, w, newTotal, c.m),
+			Reason:    fmt.Sprintf("registering %q (weight %s) would raise Σwt to %s > M = %d", name, w, newTotal, cap),
 		}, nil
 	}
 	c.tasks[name] = w
@@ -83,12 +108,15 @@ func (c *Controller) Register(name string, w model.Weight) (Decision, error) {
 		Scheduler: "PD2/DVQ",
 		Admitted:  true,
 		Guarantee: SoftRealTime,
-		Reason:    fmt.Sprintf("Σwt = %s ≤ M = %d; DVQ tardiness ≤ 1 quantum (Theorem 3)", newTotal, c.m),
+		Reason:    fmt.Sprintf("Σwt = %s ≤ M = %d; DVQ tardiness ≤ 1 quantum (Theorem 3)", newTotal, cap),
 	}, nil
 }
 
 // Unregister releases the named task's capacity so later Register calls
-// can reuse it.
+// can reuse it. If a drain-mode shrink is pending and the release brings
+// utilization within its target, the shrink applies now: M drops to the
+// target and the pending state clears. Callers that mirror M elsewhere
+// (the server's tenant loop) should re-read M after every Unregister.
 func (c *Controller) Unregister(name string) error {
 	w, ok := c.tasks[name]
 	if !ok {
@@ -96,5 +124,115 @@ func (c *Controller) Unregister(name string) error {
 	}
 	delete(c.tasks, name)
 	c.util = c.util.Sub(w.Rat())
+	if c.pending != 0 && !rat.FromInt(int64(c.pending)).Less(c.util) {
+		c.m = c.pending
+		c.pending = 0
+	}
+	return nil
+}
+
+// ResizeOutcome classifies what a Resize request did.
+type ResizeOutcome int
+
+const (
+	// ResizeApplied: the new M is in effect.
+	ResizeApplied ResizeOutcome = iota
+	// ResizeQueued: a drain-mode shrink was accepted but Σwt is still above
+	// the target; M is unchanged, new registrations are gated by the target,
+	// and the shrink applies at the Unregister that brings Σwt within it.
+	ResizeQueued
+	// ResizeRejected: a non-drain shrink below Σwt; nothing changed.
+	ResizeRejected
+)
+
+// String implements fmt.Stringer for reports and wire responses.
+func (o ResizeOutcome) String() string {
+	switch o {
+	case ResizeApplied:
+		return "applied"
+	case ResizeQueued:
+		return "queued"
+	case ResizeRejected:
+		return "rejected"
+	}
+	return fmt.Sprintf("ResizeOutcome(%d)", int(o))
+}
+
+// ResizeDecision reports the result of a Resize or PlanResize call.
+type ResizeDecision struct {
+	Outcome  ResizeOutcome
+	M        int    // effective processor count after the call
+	PendingM int    // queued shrink target, 0 if none
+	Reason   string // human-readable rationale, always set
+}
+
+// PlanResize answers what Resize(m, drain) would do without changing any
+// state. The server journals resizes before applying them, and the WAL
+// contract requires validation to be complete pre-journal — this is that
+// validation.
+func (c *Controller) PlanResize(m int, drain bool) (ResizeDecision, error) {
+	if m < 1 || m > MaxM {
+		return ResizeDecision{}, fmt.Errorf("admission: resize target %d out of range [1, %d]", m, MaxM)
+	}
+	if m >= c.m {
+		return ResizeDecision{
+			Outcome: ResizeApplied, M: m,
+			Reason: fmt.Sprintf("M %d → %d; Σwt = %s still ≤ M", c.m, m, c.util),
+		}, nil
+	}
+	if rat.FromInt(int64(m)).Less(c.util) {
+		if drain {
+			return ResizeDecision{
+				Outcome: ResizeQueued, M: c.m, PendingM: m,
+				Reason: fmt.Sprintf("Σwt = %s > %d; draining — shrink applies when unregisters bring Σwt ≤ %d", c.util, m, m),
+			}, nil
+		}
+		return ResizeDecision{
+			Outcome: ResizeRejected, M: c.m, PendingM: c.pending,
+			Reason: fmt.Sprintf("shrink to M = %d infeasible: Σwt = %s > %d would void the tardiness bound", m, c.util, m),
+		}, nil
+	}
+	return ResizeDecision{
+		Outcome: ResizeApplied, M: m,
+		Reason: fmt.Sprintf("M %d → %d; Σwt = %s ≤ %d keeps Theorem 3's bound", c.m, m, c.util, m),
+	}, nil
+}
+
+// Resize re-evaluates the feasibility condition against a new processor
+// count and applies it when Σwt ≤ m. A grow always applies (and cancels
+// any pending shrink — the newest target wins). A shrink below current
+// utilization is rejected, or with drain=true queued as a pending target
+// that Unregister applies once utilization allows.
+func (c *Controller) Resize(m int, drain bool) (ResizeDecision, error) {
+	d, err := c.PlanResize(m, drain)
+	if err != nil {
+		return d, err
+	}
+	switch d.Outcome {
+	case ResizeApplied:
+		c.m = m
+		c.pending = 0
+	case ResizeQueued:
+		c.pending = m
+	}
+	return d, nil
+}
+
+// RestorePendingResize reinstates a queued shrink target from a
+// checkpoint. It enforces the pending invariant (target below both m and
+// current utilization — otherwise it would have applied already), so a
+// corrupt checkpoint cannot smuggle in an inconsistent drain state.
+func (c *Controller) RestorePendingResize(m int) error {
+	if m == 0 {
+		c.pending = 0
+		return nil
+	}
+	if m < 1 || m >= c.m {
+		return fmt.Errorf("admission: pending resize target %d not below m = %d", m, c.m)
+	}
+	if !rat.FromInt(int64(m)).Less(c.util) {
+		return fmt.Errorf("admission: pending resize target %d not below Σwt = %s; it should have applied", m, c.util)
+	}
+	c.pending = m
 	return nil
 }

@@ -248,6 +248,17 @@ func (c *Client) Drain(ctx context.Context, tenant string) (server.AdvanceRespon
 	return resp, err
 }
 
+// Resize changes the tenant's processor count. A shrink below current
+// utilization fails with a 409 APIError (IsReject) unless drain is set,
+// in which case it is queued and the response reports Outcome "queued"
+// with the pending target.
+func (c *Client) Resize(ctx context.Context, tenant string, m int, drain bool) (server.ResizeResponse, error) {
+	var resp server.ResizeResponse
+	err := c.do(ctx, http.MethodPost, "/v1/tenants/"+tenant+"/resize",
+		server.ResizeRequest{M: m, Drain: drain}, &resp)
+	return resp, err
+}
+
 // Stream is an open dispatch feed. Next blocks for the next decision;
 // it returns io.EOF when the stream ends (tenant deleted, ?follow=false
 // backlog exhausted, or server shutdown). Close aborts early.

@@ -1,0 +1,183 @@
+package cluster_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"desyncpfair/internal/client"
+	"desyncpfair/internal/faultfs"
+	"desyncpfair/internal/model"
+	"desyncpfair/internal/server"
+)
+
+// capState is the capacity pair the harness tracks through the storm:
+// the applied processor count and any queued drain target.
+type capState struct{ m, pending int }
+
+// apply folds one resize outcome into the mirror, matching the admission
+// controller: grow or feasible shrink applies and cancels any pending
+// target; an infeasible drain shrink queues.
+func (c capState) apply(target int, outcome string) capState {
+	switch outcome {
+	case "applied":
+		return capState{m: target}
+	case "queued":
+		return capState{m: c.m, pending: target}
+	}
+	return c
+}
+
+// TestElasticFailoverReplaysCapacityHistory is the failover leg of the
+// resize-safety harness: a follower tails a leader through a storm of
+// grows, feasible shrinks, and drain-queued shrinks interleaved with
+// submits until an injected fsync failure wedges the leader mid-storm.
+// After promotion the follower's capacity state (M and the pending drain
+// target) must equal the acked prefix of the resize history — or the
+// acked prefix plus the single in-flight resize the crash cut off, the
+// capacity analog of acked ≤ recovered ≤ issued. The promoted leader
+// must then keep enforcing feasibility (an infeasible shrink is still
+// rejected, never silently applied), keep scheduling within the
+// one-quantum tardiness bound, and export the new M on /metrics.
+func TestElasticFailoverReplaysCapacityHistory(t *testing.T) {
+	ffs := faultfs.New(faultfs.Options{Seed: 9, FailSyncAt: 70})
+	lsrv, lhs := openLeader(t, t.TempDir(), ffs)
+	defer lhs.Close()
+	defer lsrv.Close()
+
+	ctx := context.Background()
+	lc := client.New(lhs.URL, nil)
+	if _, err := lc.CreateTenant(ctx, "t", 2, ""); err != nil {
+		t.Fatalf("CreateTenant: %v", err)
+	}
+	// Σwt = 4/3, so shrinking to 1 is infeasible: rejected without drain,
+	// queued with it.
+	for _, name := range []string{"x", "y"} {
+		if _, err := lc.RegisterTask(ctx, "t", name, model.Weight{E: 2, P: 3}); err != nil {
+			t.Fatalf("RegisterTask %s: %v", name, err)
+		}
+	}
+
+	fsrv, fhs, _ := openFollower(t, t.TempDir(), lhs.URL)
+	defer fhs.Close()
+	defer fsrv.Close()
+
+	// Storm the leader until the injected fsync failure wedges it. acked
+	// is the last acked capacity state; alt additionally applies the one
+	// resize (if any) that was in flight when the leader died.
+	acked := capState{m: 2}
+	alt := acked
+	resizes := []struct {
+		target int
+		drain  bool
+	}{{3, false}, {4, false}, {2, false}, {1, true}, {3, false}}
+	issuedJobs, ackedJobs, wedged := 0, 0, false
+	for i := 0; i < 300 && !wedged; i++ {
+		issuedJobs++
+		if _, err := lc.SubmitJobKeyed(ctx, "t", server.SubmitJobRequest{Task: "x", Key: fmt.Sprintf("k%d", i)}); err != nil {
+			wedged = true
+			break
+		}
+		ackedJobs++
+		if i%3 == 2 {
+			if _, err := lc.AdvanceBy(ctx, "t", "1"); err != nil {
+				wedged = true
+				break
+			}
+		}
+		if i%4 == 3 {
+			r := resizes[(i/4)%len(resizes)]
+			resp, err := lc.Resize(ctx, "t", r.target, r.drain)
+			if err != nil {
+				alt = acked.apply(r.target, map[bool]string{true: "queued", false: "applied"}[r.drain])
+				wedged = true
+				break
+			}
+			acked = acked.apply(r.target, resp.Outcome)
+			alt = acked
+			// The infeasible non-drain shrink never appears acked: with
+			// Σwt = 4/3 every non-drain target here is ≥ 2.
+			if resp.Outcome == "rejected" {
+				t.Fatalf("resize %d (drain=%v) rejected with Σwt=4/3: %+v", r.target, r.drain, resp)
+			}
+		}
+	}
+	if !wedged {
+		t.Fatalf("leader never wedged: %d/%d submits acked", ackedJobs, issuedJobs)
+	}
+	t.Logf("leader wedged: issued %d, acked %d, capacity acked=%+v alt=%+v", issuedJobs, ackedJobs, acked, alt)
+
+	// The follower drains the wedged leader's durable prefix, then takes
+	// over.
+	waitCaughtUp(t, fsrv, fhs.URL, lhs.URL)
+	resp, err := http.Post(fhs.URL+"/v1/cluster/promote", "application/json", nil)
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote: HTTP %d", resp.StatusCode)
+	}
+
+	// The replayed capacity history must be exactly the acked prefix,
+	// possibly extended by the one cut-off resize.
+	fc := client.New(fhs.URL, nil)
+	info, err := fc.Tenant(ctx, "t")
+	if err != nil {
+		t.Fatalf("Tenant on new leader: %v", err)
+	}
+	got := capState{m: info.M, pending: info.PendingM}
+	if got != acked && got != alt {
+		t.Fatalf("promoted capacity state %+v, want %+v (acked) or %+v (acked + in-flight)", got, acked, alt)
+	}
+
+	// Feasibility survives the failover: shrinking below Σwt = 4/3 is
+	// still rejected, and the tenant's M is untouched by the attempt.
+	if _, err := fc.Resize(ctx, "t", 1, false); !client.IsReject(err) {
+		t.Fatalf("infeasible shrink on promoted leader: err=%v, want 409 reject", err)
+	}
+	after, err := fc.Tenant(ctx, "t")
+	if err != nil {
+		t.Fatalf("Tenant: %v", err)
+	}
+	if after.M != got.m || after.PendingM != got.pending {
+		t.Fatalf("rejected shrink changed capacity: %+v → M=%d PendingM=%d", got, after.M, after.PendingM)
+	}
+
+	// The new leader remains elastic: grow (cancelling any queued drain),
+	// admit a task that only fits post-grow, keep scheduling, and hold the
+	// one-quantum tardiness bound across the boundary.
+	if _, err := fc.Resize(ctx, "t", 6, false); err != nil {
+		t.Fatalf("grow on promoted leader: %v", err)
+	}
+	if _, err := fc.RegisterTask(ctx, "t", "z", model.Weight{E: 1, P: 3}); err != nil {
+		t.Fatalf("register on promoted leader: %v", err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := fc.SubmitJobKeyed(ctx, "t", server.SubmitJobRequest{Task: "z", Key: fmt.Sprintf("post%d", i)}); err != nil {
+			t.Fatalf("submit on promoted leader: %v", err)
+		}
+	}
+	if _, err := fc.Drain(ctx, "t"); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	final, err := fc.Tenant(ctx, "t")
+	if err != nil {
+		t.Fatalf("Tenant: %v", err)
+	}
+	if final.M != 6 || final.PendingM != 0 {
+		t.Fatalf("grow after failover: M=%d PendingM=%d, want 6/0", final.M, final.PendingM)
+	}
+	assertTardinessBound(t, final)
+
+	// The router's capacity gauges follow the promoted leader.
+	metrics, err := fc.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	if !strings.Contains(metrics, `pfaird_tenant_m{tenant="t"} 6`) {
+		t.Fatalf("promoted leader /metrics missing pfaird_tenant_m gauge for the resized tenant")
+	}
+}

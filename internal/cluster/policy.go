@@ -26,6 +26,13 @@ type Load struct {
 	// failed scrape is NOT zero tenants — load-sensitive policies must not
 	// prefer a group just because its metrics endpoint was unreachable.
 	TenantsKnown bool
+	// CapacityM is the sum of the leader's pfaird_tenant_m gauges: the
+	// total processors the group has committed across its tenants. With
+	// elastic capacity (resize + autoscaler) tenant counts alone misstate
+	// load — one tenant on 32 processors outweighs ten on 1 — so
+	// least-loaded uses CapacityM to break tenant-count ties. Meaningful
+	// only when TenantsKnown is true (same scrape).
+	CapacityM int
 }
 
 // Placement decides which group owns a tenant. Pick places a new tenant;
@@ -128,7 +135,7 @@ type LeastLoaded struct{}
 func (*LeastLoaded) Name() string { return "least-loaded" }
 
 func (*LeastLoaded) Pick(id string, loads []Load) int {
-	best, bestN, found := 0, 0, false
+	best, bestN, bestM, found := 0, 0, 0, false
 	anyHealthy := false
 	for g, l := range loads {
 		if !l.Healthy {
@@ -138,8 +145,11 @@ func (*LeastLoaded) Pick(id string, loads []Load) int {
 		if !l.TenantsKnown {
 			continue
 		}
-		if !found || l.Tenants < bestN {
-			best, bestN, found = g, l.Tenants, true
+		// Fewest tenants first; equal counts break toward the group with
+		// less committed capacity (ΣM over its tenants), so elastic
+		// resizes steer placement away from groups that grew.
+		if !found || l.Tenants < bestN || (l.Tenants == bestN && l.CapacityM < bestM) {
+			best, bestN, bestM, found = g, l.Tenants, l.CapacityM, true
 		}
 	}
 	if found {

@@ -75,6 +75,21 @@ func TestLeastLoadedPicksMinAmongHealthy(t *testing.T) {
 	}
 }
 
+// TestLeastLoadedBreaksTiesByCapacity: with equal tenant counts the
+// placement goes to the group with less committed capacity (ΣM across
+// tenants), so an autoscaler-grown group stops attracting new tenants.
+func TestLeastLoadedBreaksTiesByCapacity(t *testing.T) {
+	p := &LeastLoaded{}
+	loads := []Load{
+		{Healthy: true, Tenants: 3, TenantsKnown: true, CapacityM: 24},
+		{Healthy: true, Tenants: 3, TenantsKnown: true, CapacityM: 6},
+		{Healthy: true, Tenants: 4, TenantsKnown: true, CapacityM: 4},
+	}
+	if g := p.Pick("x", loads); g != 1 {
+		t.Fatalf("least-loaded picked group %d, want 1 (fewest tenants, least ΣM)", g)
+	}
+}
+
 // TestLeastLoadedIgnoresStaleGauges: a healthy group whose /metrics
 // scrape failed reports Tenants=0 with TenantsKnown=false. It must not
 // win placement on that phantom zero — the group with a live gauge does,

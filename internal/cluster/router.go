@@ -79,6 +79,7 @@ type backendView struct {
 	appliedLSN    uint64
 	bootstrapping bool
 	tenants       int
+	capacityM     int  // ΣM across the backend's tenants (pfaird_tenant_m)
 	tenantsKnown  bool // the tenant-gauge scrape succeeded this probe
 }
 
@@ -98,6 +99,7 @@ func (t *routeTable) loads() []Load {
 		if g.leader >= 0 {
 			loads[i].Tenants = g.backends[g.leader].tenants
 			loads[i].TenantsKnown = g.backends[g.leader].tenantsKnown
+			loads[i].CapacityM = g.backends[g.leader].capacityM
 		}
 	}
 	return loads
@@ -287,40 +289,53 @@ func (r *Router) probe(ctx context.Context, url string, scrapeTenants bool) back
 	v.appliedLSN = st.AppliedLSN
 	v.bootstrapping = st.Bootstrapping
 	if scrapeTenants && st.Role == "leader" {
-		v.tenants, v.tenantsKnown = r.scrapeTenantGauge(ctx, url)
+		v.tenants, v.capacityM, v.tenantsKnown = r.scrapeTenantGauges(ctx, url)
 	}
 	return v
 }
 
-// scrapeTenantGauge reads pfaird_tenants from a backend's /metrics. The
-// second return distinguishes "gauge reads 0" from "scrape failed or the
-// gauge is missing" — the placement policy treats only the former as an
-// empty group.
-func (r *Router) scrapeTenantGauge(ctx context.Context, url string) (int, bool) {
+// scrapeTenantGauges reads the placement gauges from a backend's
+// /metrics: the pfaird_tenants count and the sum of the per-tenant
+// pfaird_tenant_m capacity gauges (which move under resize and the
+// autoscaler). The final return distinguishes "gauges read 0" from
+// "scrape failed or the count gauge is missing" — the placement policy
+// treats only the former as an empty group.
+func (r *Router) scrapeTenantGauges(ctx context.Context, url string) (tenants, capacityM int, ok bool) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/metrics", nil)
 	if err != nil {
-		return 0, false
+		return 0, 0, false
 	}
 	resp, err := r.hc.Do(req)
 	if err != nil {
-		return 0, false
+		return 0, 0, false
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return 0, false
+		return 0, 0, false
 	}
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
 		line := sc.Text()
-		if rest, ok := strings.CutPrefix(line, "pfaird_tenants "); ok {
+		if rest, found := strings.CutPrefix(line, "pfaird_tenants "); found {
 			n, err := strconv.Atoi(strings.TrimSpace(rest))
 			if err != nil {
-				return 0, false
+				return 0, 0, false
 			}
-			return n, true
+			tenants, ok = n, true
+			continue
+		}
+		if strings.HasPrefix(line, "pfaird_tenant_m{") {
+			if sp := strings.LastIndexByte(line, ' '); sp >= 0 {
+				if n, err := strconv.Atoi(strings.TrimSpace(line[sp+1:])); err == nil {
+					capacityM += n
+				}
+			}
 		}
 	}
-	return 0, false
+	if !ok {
+		return 0, 0, false
+	}
+	return tenants, capacityM, true
 }
 
 func (r *Router) promote(ctx context.Context, gi int, url string) {

@@ -11,14 +11,16 @@ import (
 
 // driveScript applies a deterministic mixed workload to an executive,
 // returning every dispatch it produced. Steps are keyed off a seeded rng
-// so different seeds give different interleavings of submit/run/drain.
+// so different seeds give different interleavings of submit/run/drain and
+// of grow/shrink resizes (targets 2..4 stay feasible for the Σwt = 17/12
+// task set every caller registers).
 func driveScript(t *testing.T, e *Executive, tasks []*model.Task, rng *rand.Rand, steps int, from int) []Dispatch {
 	t.Helper()
 	var out []Dispatch
 	e.SetOnDispatch(func(d Dispatch) { out = append(out, d) })
 	defer e.SetOnDispatch(nil)
 	for i := from; i < steps; i++ {
-		switch i % 4 {
+		switch i % 5 {
 		case 0, 1:
 			task := tasks[rng.Intn(len(tasks))]
 			if err := e.SubmitJob(task, e.Now()); err != nil {
@@ -32,6 +34,10 @@ func driveScript(t *testing.T, e *Executive, tasks []*model.Task, rng *rand.Rand
 		case 3:
 			if _, err := e.Drain(nil); err != nil {
 				t.Fatalf("step %d drain: %v", i, err)
+			}
+		case 4:
+			if err := e.Resize(2 + rng.Intn(3)); err != nil {
+				t.Fatalf("step %d resize: %v", i, err)
 			}
 		}
 	}
@@ -52,7 +58,9 @@ func key(d Dispatch) [6]string {
 // TestCheckpointRestoreContinuesIdentically pins the determinism contract
 // recovery is built on: checkpoint an executive mid-run, restore it, feed
 // both the same remaining script — the dispatch sequences must match
-// decision for decision.
+// decision for decision. The script includes mid-run Resize calls, so the
+// contract covers capacity changes: a checkpoint taken after (or between)
+// resizes restores to the resized M and continues identically.
 func TestCheckpointRestoreContinuesIdentically(t *testing.T) {
 	for seed := int64(0); seed < 20; seed++ {
 		// Reference: one uninterrupted run of the full script.
@@ -101,6 +109,9 @@ func TestCheckpointRestoreContinuesIdentically(t *testing.T) {
 		}
 		if !restored.ActiveUtilization().Equal(twin.ActiveUtilization()) {
 			t.Fatalf("seed %d: restored utilization %s != %s", seed, restored.ActiveUtilization(), twin.ActiveUtilization())
+		}
+		if restored.M() != twin.M() {
+			t.Fatalf("seed %d: restored m %d != %d", seed, restored.M(), twin.M())
 		}
 		// Tasks in a restored executive are new objects; look them up by
 		// position (registration order is preserved).

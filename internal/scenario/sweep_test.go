@@ -1,0 +1,102 @@
+package scenario
+
+import (
+	"testing"
+
+	"desyncpfair/internal/rat"
+)
+
+// sweepTrace records one run of a workload whose per-client Σwt = 3/2,
+// so M=1 is infeasible and M=2 is the exact feasibility edge.
+func sweepTrace(t *testing.T) []Record {
+	t.Helper()
+	spec := &Spec{
+		Name: "sweep", Seed: 7, M: 3, Horizon: 16,
+		Cohorts: []CohortSpec{{
+			Name: "c", Clients: 2,
+			Tasks: []TaskSpec{
+				{Name: "a", E: 3, P: 4},
+				{Name: "b", E: 3, P: 4},
+			},
+			Arrival: ArrivalSpec{Process: ProcPeriodic},
+		}},
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(w, NewExecTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Records
+}
+
+func TestSweepMFindsFeasibilityEdge(t *testing.T) {
+	recs := sweepTrace(t)
+	sw, err := SweepM(recs, "PD2", 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Points) != 4 {
+		t.Fatalf("swept %d points, want 4", len(sw.Points))
+	}
+	if sw.Points[0].Feasible {
+		t.Fatal("M=1 admitted a client with Σwt = 3/2")
+	}
+	if !sw.Points[1].Feasible {
+		t.Fatal("M=2 rejected a client with Σwt = 3/2")
+	}
+	if sw.MinFeasibleM != 2 {
+		t.Fatalf("MinFeasibleM = %d, want 2", sw.MinFeasibleM)
+	}
+	// Theorem 3: PD² meets the one-quantum bound at the feasibility edge.
+	if sw.MinBoundM != 2 {
+		t.Fatalf("PD² MinBoundM = %d, want 2 (Theorem 3 at the edge)", sw.MinBoundM)
+	}
+	one := rat.FromInt(1)
+	for _, pt := range sw.Points[1:] {
+		if pt.MaxTardiness.Cmp(one) > 0 {
+			t.Fatalf("PD² at M=%d exceeded one quantum: %s", pt.M, pt.MaxTardiness)
+		}
+	}
+}
+
+// TestSweepMHeuristicNeverBeatsFeasibility: whatever a heuristic policy
+// does, its minimal bound-meeting M cannot be below the feasibility edge,
+// and every swept policy agrees on that edge (it is a property of the
+// workload, not the policy).
+func TestSweepMHeuristicNeverBeatsFeasibility(t *testing.T) {
+	recs := sweepTrace(t)
+	for _, policy := range []string{"EPDF", "PF", "PD"} {
+		sw, err := SweepM(recs, policy, 1, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if sw.MinFeasibleM != 2 {
+			t.Fatalf("%s: MinFeasibleM = %d, want 2", policy, sw.MinFeasibleM)
+		}
+		if sw.MinBoundM != 0 && sw.MinBoundM < sw.MinFeasibleM {
+			t.Fatalf("%s: bound met at M=%d below the feasibility edge %d", policy, sw.MinBoundM, sw.MinFeasibleM)
+		}
+	}
+}
+
+func TestSweepMValidation(t *testing.T) {
+	recs := sweepTrace(t)
+	if _, err := SweepM(recs, "PD2", 0, 2); err == nil {
+		t.Fatal("lo=0 accepted")
+	}
+	if _, err := SweepM(recs, "PD2", 3, 2); err == nil {
+		t.Fatal("hi<lo accepted")
+	}
+	if _, err := SweepM(recs, "PD2", 1, 2+MaxSweepSpan); err == nil {
+		t.Fatal("oversized span accepted")
+	}
+	if _, err := SweepM(recs, "NOPE", 1, 2); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

@@ -14,10 +14,13 @@ type CreateTenantRequest struct {
 	Policy string `json:"policy,omitempty"`
 }
 
-// TenantInfo is a point-in-time snapshot of one tenant.
+// TenantInfo is a point-in-time snapshot of one tenant. PendingM is the
+// target of a drain-mode shrink still waiting for utilization to fall (0
+// when none is queued).
 type TenantInfo struct {
 	ID           string `json:"id"`
 	M            int    `json:"m"`
+	PendingM     int    `json:"pendingM,omitempty"`
 	Policy       string `json:"policy"`
 	Now          string `json:"now"`          // current virtual time
 	Utilization  string `json:"utilization"`  // Σ wt of admitted tasks
@@ -81,6 +84,28 @@ type SubmitJobsRequest struct {
 type SubmitJobsResponse struct {
 	Accepted int                 `json:"accepted"`
 	Results  []SubmitJobResponse `json:"results"`
+}
+
+// ResizeRequest changes a tenant's processor count
+// (POST /v1/tenants/{id}/resize). A grow takes effect at the tenant's
+// next quantum boundary. A shrink is feasibility-checked: while Σwt
+// exceeds the target it is rejected (HTTP 409), or with Drain set queued
+// (HTTP 202) — new registrations are then gated by the target and the
+// shrink applies at the unregister that brings Σwt within it.
+type ResizeRequest struct {
+	M     int  `json:"m"`
+	Drain bool `json:"drain,omitempty"`
+}
+
+// ResizeResponse reports what the resize did: Outcome is "applied",
+// "queued", or "rejected"; M is the effective processor count after the
+// call and PendingM the queued shrink target, if any.
+type ResizeResponse struct {
+	Outcome     string `json:"outcome"`
+	M           int    `json:"m"`
+	PendingM    int    `json:"pendingM,omitempty"`
+	Utilization string `json:"utilization"`
+	Reason      string `json:"reason"`
 }
 
 // AdvanceRequest advances a tenant's virtual time, dispatching work on the

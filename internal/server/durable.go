@@ -86,11 +86,14 @@ type snapshotPayload struct {
 // tenantCheckpoint images one tenant: its executive micro-state plus the
 // dispatch log (which ?from= stream replay serves) and counters.
 type tenantCheckpoint struct {
-	ID     string            `json:"id"`
-	Reject int64             `json:"rejections"`
-	MaxTar string            `json:"maxTardiness"`
-	Log    []DispatchEvent   `json:"log,omitempty"`
-	Exec   online.Checkpoint `json:"exec"`
+	ID     string `json:"id"`
+	Reject int64  `json:"rejections"`
+	MaxTar string `json:"maxTardiness"`
+	// PendingM is a queued drain-mode shrink target still waiting for
+	// utilization to fall (0 when none). The current M travels in Exec.
+	PendingM int               `json:"pendingM,omitempty"`
+	Log      []DispatchEvent   `json:"log,omitempty"`
+	Exec     online.Checkpoint `json:"exec"`
 	// Idem preserves the idempotency-key memory across snapshots, in FIFO
 	// order, so a keyed retry still dedupes after a restart that replays
 	// nothing.
@@ -114,11 +117,12 @@ func (t *Tenant) checkpoint() tenantCheckpoint {
 	var cp tenantCheckpoint
 	res := t.ctlExec(&command{kind: cmdCtl, fn: func() {
 		cp = tenantCheckpoint{
-			ID:     t.id,
-			Reject: t.reject,
-			MaxTar: t.maxTar.String(),
-			Log:    append([]DispatchEvent(nil), t.log...),
-			Exec:   t.ex.Checkpoint(),
+			ID:       t.id,
+			Reject:   t.reject,
+			MaxTar:   t.maxTar.String(),
+			PendingM: t.ctrl.PendingM(),
+			Log:      append([]DispatchEvent(nil), t.log...),
+			Exec:     t.ex.Checkpoint(),
 		}
 		for _, k := range t.idemQ {
 			r := t.idem[k]
@@ -172,6 +176,9 @@ func restoreTenant(cp tenantCheckpoint, ringSize int) (*Tenant, error) {
 			return nil, fmt.Errorf("server: tenant %q re-admitting %q: rejected (%s)", cp.ID, task.Name, d.Reason)
 		}
 		t.tasks[task.Name] = task
+	}
+	if err := t.ctrl.RestorePendingResize(cp.PendingM); err != nil {
+		return nil, fmt.Errorf("server: tenant %q: %v", cp.ID, err)
 	}
 	t.start()
 	return t, nil
@@ -337,6 +344,19 @@ func (s *Server) applyRecord(r wal.Record, info *RecoveryInfo) {
 			return
 		}
 		if _, _, err := t.Drain(); err != nil {
+			fail()
+			return
+		}
+	case wal.OpResize:
+		if t == nil {
+			fail()
+			return
+		}
+		// A journaled resize was applied or queued on the pre-crash server;
+		// replaying it against the same state must reproduce that outcome —
+		// a rejection here means journal and state diverged.
+		resp, _, err := t.Resize(r.M, r.Mode == "drain")
+		if err != nil || resp.Outcome == admission.ResizeRejected.String() {
 			fail()
 			return
 		}

@@ -32,6 +32,7 @@ const (
 	cmdUnregister
 	cmdAdvance
 	cmdDrain
+	cmdResize
 	// cmdCtl runs an arbitrary closure on the loop goroutine with the
 	// loop-owned state quiesced (checkpointing, the pre-delete flush).
 	// Control commands arrive on their own unbuffered channel, never the
@@ -53,6 +54,8 @@ type command struct {
 	name      string             // cmdRegister / cmdUnregister
 	w         model.Weight       // cmdRegister
 	until, by string             // cmdAdvance
+	resizeM   int                // cmdResize: target processor count
+	drain     bool               // cmdResize: queue an infeasible shrink
 	fn        func()             // cmdCtl
 
 	done chan cmdResult
@@ -64,6 +67,7 @@ type cmdResult struct {
 	subs   SubmitJobsResponse
 	adv    AdvanceResponse
 	dec    admission.Decision
+	resize ResizeResponse
 	commit wal.Commit
 	err    error
 }
@@ -186,6 +190,10 @@ func (t *Tenant) process(c *command) (stop bool) {
 	case cmdDrain:
 		var res cmdResult
 		res.adv, res.commit, res.err = t.applyDrain()
+		t.finish(c, res)
+	case cmdResize:
+		var res cmdResult
+		res.resize, res.commit, res.err = t.applyResize(c.resizeM, c.drain)
 		t.finish(c, res)
 	case cmdCtl:
 		c.fn()

@@ -163,6 +163,16 @@ func (m *metrics) write(b *strings.Builder, infos []TenantInfo) {
 	for _, ti := range infos {
 		fmt.Fprintf(b, "pfaird_tenant_pending_subtasks{tenant=%q} %d\n", ti.ID, ti.Pending)
 	}
+	b.WriteString("# HELP pfaird_tenant_m Current processor count, per tenant (changes on resize).\n")
+	b.WriteString("# TYPE pfaird_tenant_m gauge\n")
+	for _, ti := range infos {
+		fmt.Fprintf(b, "pfaird_tenant_m{tenant=%q} %d\n", ti.ID, ti.M)
+	}
+	b.WriteString("# HELP pfaird_tenant_pending_m Queued drain-mode shrink target, per tenant (0 = none).\n")
+	b.WriteString("# TYPE pfaird_tenant_pending_m gauge\n")
+	for _, ti := range infos {
+		fmt.Fprintf(b, "pfaird_tenant_pending_m{tenant=%q} %d\n", ti.ID, ti.PendingM)
+	}
 }
 
 // writeWALMetrics appends the journal counters to the exposition. A

@@ -1,0 +1,174 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"desyncpfair/internal/server"
+)
+
+// doJSON drives one request through the handler and decodes the response
+// body into out (when non-nil), returning the status code.
+func doJSON(t *testing.T, h http.Handler, method, path string, body, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+	if out != nil {
+		if err := json.Unmarshal(rw.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: decode %q: %v", method, path, rw.Body.String(), err)
+		}
+	}
+	return rw.Code
+}
+
+// TestResizeEndpoint walks the full elastic-capacity lifecycle over HTTP:
+// grow applies (200), an infeasible shrink is rejected (409) leaving
+// state untouched, a drain-mode shrink queues (202) and gates new
+// registrations by the pending target, and the unregister that brings
+// Σwt within the target applies the shrink.
+func TestResizeEndpoint(t *testing.T) {
+	s := server.New()
+	h := s.Handler()
+
+	if code := doJSON(t, h, "POST", "/v1/tenants", server.CreateTenantRequest{ID: "A", M: 2}, nil); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	for _, r := range []server.RegisterTaskRequest{{Name: "a", E: 1, P: 1}, {Name: "b", E: 1, P: 2}} {
+		if code := doJSON(t, h, "POST", "/v1/tenants/A/tasks", r, nil); code != http.StatusCreated {
+			t.Fatalf("register %s: %d", r.Name, code)
+		}
+	}
+
+	// Grow 2 → 4: applied.
+	var resp server.ResizeResponse
+	if code := doJSON(t, h, "POST", "/v1/tenants/A/resize", server.ResizeRequest{M: 4}, &resp); code != http.StatusOK {
+		t.Fatalf("grow: %d %+v", code, resp)
+	}
+	if resp.Outcome != "applied" || resp.M != 4 {
+		t.Fatalf("grow: %+v", resp)
+	}
+
+	// Shrink to 1 with Σwt = 3/2: rejected, nothing changes.
+	if code := doJSON(t, h, "POST", "/v1/tenants/A/resize", server.ResizeRequest{M: 1}, &resp); code != http.StatusConflict {
+		t.Fatalf("infeasible shrink: %d %+v", code, resp)
+	}
+	if resp.Outcome != "rejected" || resp.M != 4 {
+		t.Fatalf("infeasible shrink: %+v", resp)
+	}
+	var info server.TenantInfo
+	if code := doJSON(t, h, "GET", "/v1/tenants/A", nil, &info); code != http.StatusOK || info.M != 4 || info.PendingM != 0 {
+		t.Fatalf("after rejection: %d %+v", code, info)
+	}
+	if info.Rejections != 1 {
+		t.Fatalf("rejected resize not counted: %+v", info)
+	}
+
+	// Same shrink with drain: queued, M unchanged, pending target visible.
+	if code := doJSON(t, h, "POST", "/v1/tenants/A/resize", server.ResizeRequest{M: 1, Drain: true}, &resp); code != http.StatusAccepted {
+		t.Fatalf("drain shrink: %d %+v", code, resp)
+	}
+	if resp.Outcome != "queued" || resp.M != 4 || resp.PendingM != 1 {
+		t.Fatalf("drain shrink: %+v", resp)
+	}
+
+	// New registrations are gated by the pending target of 1, not M = 4.
+	var reg server.RegisterTaskResponse
+	if code := doJSON(t, h, "POST", "/v1/tenants/A/tasks", server.RegisterTaskRequest{Name: "c", E: 1, P: 4}, &reg); code != http.StatusConflict {
+		t.Fatalf("register during drain: %d %+v", code, reg)
+	}
+
+	// Unregistering the weight-1 task brings Σwt to 1/2 ≤ 1: the shrink
+	// applies at that unregister.
+	if code := doJSON(t, h, "DELETE", "/v1/tenants/A/tasks/a", nil, nil); code != http.StatusNoContent {
+		t.Fatalf("unregister: %d", code)
+	}
+	info = server.TenantInfo{} // pendingM is omitempty; don't keep the stale value
+	if code := doJSON(t, h, "GET", "/v1/tenants/A", nil, &info); code != http.StatusOK {
+		t.Fatalf("info: %d", code)
+	}
+	if info.M != 1 || info.PendingM != 0 {
+		t.Fatalf("drain did not apply: %+v", info)
+	}
+
+	// Out-of-range targets are 400s, not silent clamps.
+	for _, m := range []int{0, -2, server.MaxM + 1} {
+		if code := doJSON(t, h, "POST", "/v1/tenants/A/resize", server.ResizeRequest{M: m}, nil); code != http.StatusBadRequest {
+			t.Fatalf("resize to %d: %d", m, code)
+		}
+	}
+}
+
+// TestResizeDurablePendingSurvivesRestart checks the snapshot path of the
+// capacity history: current M and a queued drain target both survive a
+// clean shutdown and reopen.
+func TestResizeDurablePendingSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, err := server.Open(server.Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	if code := doJSON(t, h, "POST", "/v1/tenants", server.CreateTenantRequest{ID: "A", M: 1}, nil); code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	if code := doJSON(t, h, "POST", "/v1/tenants/A/tasks", server.RegisterTaskRequest{Name: "a", E: 1, P: 1}, nil); code != http.StatusCreated {
+		t.Fatalf("register: %d", code)
+	}
+	if code := doJSON(t, h, "POST", "/v1/tenants/A/tasks", server.RegisterTaskRequest{Name: "b", E: 1, P: 2}, nil); code != http.StatusConflict {
+		t.Fatalf("register over m=1: %d", code)
+	}
+	var resp server.ResizeResponse
+	if code := doJSON(t, h, "POST", "/v1/tenants/A/resize", server.ResizeRequest{M: 3}, &resp); code != http.StatusOK {
+		t.Fatalf("grow: %d", code)
+	}
+	if code := doJSON(t, h, "POST", "/v1/tenants/A/tasks", server.RegisterTaskRequest{Name: "b", E: 1, P: 2}, nil); code != http.StatusCreated {
+		t.Fatalf("register after grow: %d", code)
+	}
+	if code := doJSON(t, h, "POST", "/v1/tenants/A/resize", server.ResizeRequest{M: 1, Drain: true}, &resp); code != http.StatusAccepted {
+		t.Fatalf("queue drain: %d", code)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := server.Open(server.Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var info server.TenantInfo
+	if code := doJSON(t, r.Handler(), "GET", "/v1/tenants/A", nil, &info); code != http.StatusOK {
+		t.Fatalf("info after restart: %d", code)
+	}
+	if info.M != 3 || info.PendingM != 1 {
+		t.Fatalf("capacity state lost across restart: %+v", info)
+	}
+	// The restored pending target still gates admission...
+	if code := doJSON(t, r.Handler(), "POST", "/v1/tenants/A/tasks", server.RegisterTaskRequest{Name: "c", E: 1, P: 2}, nil); code != http.StatusConflict {
+		t.Fatalf("register during restored drain: %d", code)
+	}
+	// ...and still applies at the releasing unregister.
+	if code := doJSON(t, r.Handler(), "POST", "/v1/tenants/A/drain", nil, nil); code != http.StatusOK {
+		t.Fatalf("drain: %d", code)
+	}
+	if code := doJSON(t, r.Handler(), "DELETE", "/v1/tenants/A/tasks/a", nil, nil); code != http.StatusNoContent {
+		t.Fatalf("unregister: %d", code)
+	}
+	info = server.TenantInfo{} // pendingM is omitempty; don't keep the stale value
+	if code := doJSON(t, r.Handler(), "GET", "/v1/tenants/A", nil, &info); code != http.StatusOK || info.M != 1 || info.PendingM != 0 {
+		t.Fatalf("restored drain did not apply: %+v", info)
+	}
+}

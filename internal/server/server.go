@@ -23,6 +23,7 @@
 //	POST   /v1/tenants/{id}/jobs:batch          SubmitJobsRequest → SubmitJobsResponse
 //	POST   /v1/tenants/{id}/advance             AdvanceRequest → AdvanceResponse
 //	POST   /v1/tenants/{id}/drain               → AdvanceResponse
+//	POST   /v1/tenants/{id}/resize              ResizeRequest → ResizeResponse
 //	GET    /v1/tenants/{id}/dispatches          → DispatchEvent per line (chunked)
 //	GET    /v1/tenants/{id}/trace               → obs.Event per line (chunked)
 //
@@ -131,6 +132,7 @@ func New() *Server {
 	s.route("POST /v1/tenants/{id}/jobs:batch", s.handleSubmitJobs)
 	s.route("POST /v1/tenants/{id}/advance", s.handleAdvance)
 	s.route("POST /v1/tenants/{id}/drain", s.handleDrain)
+	s.route("POST /v1/tenants/{id}/resize", s.handleResize)
 	s.route("GET /v1/tenants/{id}/dispatches", s.handleDispatches)
 	s.route("GET /v1/tenants/{id}/trace", s.handleTrace)
 	s.route("GET /v1/replication/status", s.handleReplStatus)
@@ -610,6 +612,43 @@ func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
 	}
 	s.maybeCompact()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleResize changes a tenant's processor count: 200 applied, 202
+// queued behind a drain, 409 rejected (shrink below Σwt without drain).
+func (s *Server) handleResize(w http.ResponseWriter, r *http.Request) {
+	if !s.gateMutation(w) {
+		return
+	}
+	t := s.tenant(r.PathValue("id"))
+	if t == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("server: no tenant %q", r.PathValue("id")))
+		return
+	}
+	var req ResizeRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	s.opMu.RLock()
+	resp, commit, err := t.Resize(req.M, req.Drain)
+	s.opMu.RUnlock()
+	if err != nil {
+		writeErr(w, statusOf(err, http.StatusBadRequest), err)
+		return
+	}
+	if err := s.waitDurable(commit); err != nil {
+		writeErr(w, statusOf(err, http.StatusServiceUnavailable), err)
+		return
+	}
+	s.maybeCompact()
+	switch resp.Outcome {
+	case "rejected":
+		writeJSON(w, http.StatusConflict, resp)
+	case "queued":
+		writeJSON(w, http.StatusAccepted, resp)
+	default:
+		writeJSON(w, http.StatusOK, resp)
+	}
 }
 
 // handleDispatches streams the tenant's dispatch log as one JSON object

@@ -27,8 +27,10 @@ import (
 //
 // Field ownership:
 //   - loop-owned (no lock; only the loop goroutine may touch them after
-//     start): ex, ctrl, tasks, log, maxTar, reject, pendDisp, cur*.
-//   - immutable after construction: id, policy, m, ring, ctl, closed.
+//     start): ex, ctrl, tasks, log, maxTar, reject, pendDisp, cur*, m
+//     (mirrors the controller's processor count across resizes; readers
+//     use the snapshot).
+//   - immutable after construction: id, policy, ring, ctl, closed.
 //   - atomics: snap (published state), hooks (journal callbacks), obsP
 //     (tracer + histograms), closing (delete gate).
 //   - locks: ringMu is the enqueue/close barrier (see loop.go); subMu
@@ -80,13 +82,15 @@ type Tenant struct {
 // length — the loop only ever appends past it, so the visible prefix
 // never mutates and readers serve it with zero copying.
 type tenantSnap struct {
-	now     rat.Rat
-	util    rat.Rat
-	tasks   int
-	pending int
-	log     []DispatchEvent
-	maxTar  rat.Rat
-	reject  int64
+	now      rat.Rat
+	util     rat.Rat
+	m        int // current processor count (resizable)
+	pendingM int // queued drain-mode shrink target, 0 when none
+	tasks    int
+	pending  int
+	log      []DispatchEvent
+	maxTar   rat.Rat
+	reject   int64
 }
 
 // tenantObs bundles the tenant's observability sinks behind one atomic
@@ -189,13 +193,15 @@ func (t *Tenant) start() {
 func (t *Tenant) publish() bool {
 	prev := t.snap.Load()
 	t.snap.Store(&tenantSnap{
-		now:     t.ex.Now(),
-		util:    t.ctrl.Utilization(),
-		tasks:   t.ctrl.Len(),
-		pending: t.ex.Pending(),
-		log:     t.log,
-		maxTar:  t.maxTar,
-		reject:  t.reject,
+		now:      t.ex.Now(),
+		util:     t.ctrl.Utilization(),
+		m:        t.ctrl.M(),
+		pendingM: t.ctrl.PendingM(),
+		tasks:    t.ctrl.Len(),
+		pending:  t.ex.Pending(),
+		log:      t.log,
+		maxTar:   t.maxTar,
+		reject:   t.reject,
 	})
 	return prev == nil || len(t.log) > len(prev.log)
 }
@@ -402,6 +408,15 @@ func (t *Tenant) Drain() (AdvanceResponse, wal.Commit, error) {
 	return res.adv, res.commit, res.err
 }
 
+// Resize changes the tenant's processor count. A grow takes effect at
+// the next quantum boundary; a shrink below current utilization is
+// rejected (Outcome "rejected", nothing journaled), or with drain queued
+// as a pending target that applies once unregisters bring Σwt within it.
+func (t *Tenant) Resize(m int, drain bool) (ResizeResponse, wal.Commit, error) {
+	res := t.exec(&command{kind: cmdResize, resizeM: m, drain: drain})
+	return res.resize, res.commit, res.err
+}
+
 // --- loop-side appliers (loop goroutine only) ---
 
 func (t *Tenant) applyRegister(name string, w model.Weight) (admission.Decision, wal.Commit, error) {
@@ -481,8 +496,98 @@ func (t *Tenant) applyUnregister(name string) (wal.Commit, error) {
 		return wal.Commit{}, err
 	}
 	delete(t.tasks, name)
+	// The release may have applied a queued drain-mode shrink in the
+	// controller; mirror it into the executive. The controller only applies
+	// once Σwt fits the target, so the executive's own feasibility check
+	// cannot fail here — if it ever does, the journaled history no longer
+	// matches applied state, so wedge.
+	if t.ctrl.M() != t.ex.M() {
+		if err := t.ex.Resize(t.ctrl.M()); err != nil {
+			if h != nil && h.fail != nil {
+				h.fail(err)
+			}
+			t.traceFail(obs.StageApply, err)
+			return wal.Commit{}, err
+		}
+		t.m = t.ctrl.M()
+	}
 	t.traceStage(obs.StageApply)
 	return commit, nil
+}
+
+// applyResize changes the tenant's processor count through the admission
+// controller and the executive. Pre-validation is PlanResize: rejections
+// (a non-drain shrink below Σwt) leave no state behind and are not
+// journaled, exactly like rejected registrations; applied and queued
+// resizes journal an OpResize record first so recovery replays the
+// capacity history.
+func (t *Tenant) applyResize(m int, drain bool) (ResizeResponse, wal.Commit, error) {
+	if m < 1 {
+		return ResizeResponse{}, wal.Commit{}, fmt.Errorf("server: tenant %q resize needs m ≥ 1, got %d", t.id, m)
+	}
+	if m > MaxM {
+		return ResizeResponse{}, wal.Commit{}, fmt.Errorf("server: tenant %q resize wants m = %d > %d processors", t.id, m, MaxM)
+	}
+	plan, err := t.ctrl.PlanResize(m, drain)
+	if err != nil {
+		return ResizeResponse{}, wal.Commit{}, err
+	}
+	if plan.Outcome == admission.ResizeRejected {
+		t.reject++
+		return t.resizeResponse(plan), wal.Commit{}, nil
+	}
+	var commit wal.Commit
+	h := t.hooks.Load()
+	t.traceBegin(wal.OpResize, "", fmt.Sprintf("%d", m))
+	if h != nil {
+		mode := ""
+		if plan.Outcome == admission.ResizeQueued {
+			mode = "drain"
+		}
+		c, jerr := h.append(wal.Record{Op: wal.OpResize, Tenant: t.id, M: m, Mode: mode})
+		if jerr != nil {
+			t.traceFail(obs.StageWALAppend, jerr)
+			return ResizeResponse{}, wal.Commit{}, jerr
+		}
+		commit = c
+		t.traceStage(obs.StageWALAppend)
+	}
+	d, err := t.ctrl.Resize(m, drain)
+	if err != nil {
+		// Unreachable after PlanResize; the record is journaled but not
+		// applied, so wedge — same contract as the batch submit path.
+		if h != nil && h.fail != nil {
+			h.fail(err)
+		}
+		t.traceFail(obs.StageApply, err)
+		return ResizeResponse{}, wal.Commit{}, err
+	}
+	if d.Outcome == admission.ResizeApplied {
+		if err := t.ex.Resize(m); err != nil {
+			// Unreachable: the controller certified Σwt ≤ m, which is the
+			// executive's own check. Wedge if it ever diverges.
+			if h != nil && h.fail != nil {
+				h.fail(err)
+			}
+			t.traceFail(obs.StageApply, err)
+			return ResizeResponse{}, wal.Commit{}, err
+		}
+		t.m = m
+	}
+	t.traceStage(obs.StageApply)
+	return t.resizeResponse(d), commit, nil
+}
+
+// resizeResponse shapes an admission resize decision for the wire. Loop
+// goroutine only (reads controller state).
+func (t *Tenant) resizeResponse(d admission.ResizeDecision) ResizeResponse {
+	return ResizeResponse{
+		Outcome:     d.Outcome.String(),
+		M:           d.M,
+		PendingM:    d.PendingM,
+		Utilization: t.ctrl.Utilization().String(),
+		Reason:      d.Reason,
+	}
 }
 
 func (t *Tenant) applySubmit(req SubmitJobRequest) (SubmitJobResponse, wal.Commit, error) {
@@ -791,7 +896,8 @@ func (t *Tenant) Info() TenantInfo {
 	sn := t.snap.Load()
 	return TenantInfo{
 		ID:           t.id,
-		M:            t.m,
+		M:            sn.m,
+		PendingM:     sn.pendingM,
 		Policy:       t.policy,
 		Now:          sn.now.String(),
 		Utilization:  sn.util.String(),
@@ -855,8 +961,9 @@ var errTenantGone = fmt.Errorf("server: tenant deleted")
 // journaled, which would poison replay.
 const (
 	// MaxM caps processors per tenant; it also bounds the per-tenant
-	// freeAt allocation a single create request can force.
-	MaxM = 1 << 12
+	// freeAt allocation a single create or resize request can force. It
+	// aliases the admission-layer cap so both reject the same range.
+	MaxM = admission.MaxM
 	// MaxPeriod caps a task period. Subtask deadlines scale with
 	// index·P/E, so bounding P keeps per-job arithmetic in range for any
 	// realistic job count.

@@ -70,7 +70,14 @@ const (
 	OpJobSubmit      = "job-submit"
 	OpAdvance        = "advance"
 	OpDrain          = "drain"
-	OpDispatch       = "dispatch"
+	// OpResize records a capacity change: the tenant's processor count
+	// moves to M (Mode "drain" marks a queued shrink that applies once
+	// unregisters bring Σwt within the target). Journaled only for applied
+	// or queued resizes — rejections leave no state and no record — so
+	// replaying the command sequence reproduces the capacity history
+	// exactly.
+	OpResize   = "resize"
+	OpDispatch = "dispatch"
 	// OpTerm marks a leadership change: a promoted replica journals one
 	// with its new term before accepting writes, making the promotion
 	// durable and fencing the log against records from older leaders
@@ -87,8 +94,9 @@ type Record struct {
 	Op     string `json:"op"`
 	Tenant string `json:"tenant,omitempty"`
 
-	M      int    `json:"m,omitempty"`      // tenant-create: processor count
+	M      int    `json:"m,omitempty"`      // tenant-create / resize: processor count
 	Policy string `json:"policy,omitempty"` // tenant-create: policy name
+	Mode   string `json:"mode,omitempty"`   // resize: "drain" for a queued shrink
 
 	Name      string `json:"name,omitempty"`      // task name
 	E         int64  `json:"e,omitempty"`         // task-register: weight numerator
