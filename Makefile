@@ -3,7 +3,7 @@ GO ?= go
 BENCHTIME ?= 1x
 BENCHCOUNT ?= 1
 
-.PHONY: all build test vet fmt lint bench bench-json bench-diff race race-server cluster-smoke elastic-smoke fuzz fuzz-smoke obs recovery scenario-smoke profile-mutex figures experiments soak pfaird pfairload pfairscen report clean
+.PHONY: all build test vet fmt lint bench bench-json bench-diff race race-server cluster-smoke elastic-smoke fanout-smoke fuzz fuzz-smoke obs recovery scenario-smoke profile-mutex figures experiments soak pfaird pfairload pfairscen report clean
 
 all: build lint test
 
@@ -61,20 +61,34 @@ bench:
 
 # bench-json archives machine-readable results (root benchmarks incl. the
 # PR 1 DVQ/SFQLarge set, plus the service-layer BenchmarkServerSubmit*
-# family — sequential, WAL, and the parallel group-commit grid). The
-# checked-in document is generated with BENCHTIME=20x BENCHCOUNT=3;
+# family and the egress-plane set — DispatchFanout/{1,8,64}subs against
+# its per-subscriber-encode baseline, and the pooled /metrics render).
+# The checked-in document is generated with BENCHTIME=20x BENCHCOUNT=3;
 # benchjson keeps the fastest of the repeated runs, so shared-host noise
 # cancels out of the bench-diff gate.
 bench-json:
 	{ $(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) . && \
-	  $(GO) test -run '^$$' -bench=BenchmarkServerSubmit -benchmem -benchtime=1000x -count=$(BENCHCOUNT) ./internal/server/; } \
-	  | $(GO) run ./cmd/benchjson > BENCH_9.json
-	@echo wrote BENCH_9.json
+	  $(GO) test -run '^$$' -bench='BenchmarkServerSubmit|BenchmarkDispatchFanout|BenchmarkMetricsExposition' -benchmem -benchtime=1000x -count=$(BENCHCOUNT) ./internal/server/; } \
+	  | $(GO) run ./cmd/benchjson > BENCH_10.json
+	@echo wrote BENCH_10.json
 
 # bench-diff gates the archived results: the benchmarks shared by the two
 # documents must not regress in ns/op by more than 20%.
 bench-diff:
-	$(GO) run ./cmd/benchjson -diff BENCH_6.json BENCH_9.json
+	$(GO) run ./cmd/benchjson -diff BENCH_9.json BENCH_10.json
+
+# fanout-smoke is the egress plane's CI gate, all under -race: the
+# 20-seed byte-identity sweep (every NDJSON stream must equal an
+# independent re-encode of its records), the 32-subscriber fan-out
+# stress with subscribe/unsubscribe churn, both slow-consumer paths
+# (lag-bound 410 eviction and the write-stall severing of a wedged
+# reader), the raw-frame WAL reader contract, the client's control-line
+# decoding, and the pfairload -streams mode consuming full fan-out.
+fanout-smoke:
+	$(GO) test -race -count=1 -v ./internal/server/ -run 'TestStreamByteIdentity20Seeds|TestFanoutStress|TestStreamEvictsLaggingSubscriber|TestStreamStallSeversWedgedReader'
+	$(GO) test -race -count=1 ./internal/wal/ -run 'TestNextRaw'
+	$(GO) test -race -count=1 ./internal/client/ -run 'TestStreamNextGone|TestStreamGoneRoundTrip'
+	$(GO) test -race -count=1 ./cmd/pfairload/ -run 'TestStreamsFanout'
 
 fuzz:
 	$(GO) test ./internal/core/ -fuzz=FuzzTheorem3 -fuzztime=30s

@@ -85,6 +85,8 @@ type config struct {
 	pprof         bool
 	traceBuffer   int
 	submitRing    int
+	streamMaxLag  int64
+	streamStall   time.Duration
 	follow        string
 
 	autoscale         bool
@@ -105,6 +107,8 @@ func main() {
 	flag.BoolVar(&cfg.pprof, "pprof", true, "serve net/http/pprof profiles under /debug/pprof/")
 	flag.IntVar(&cfg.traceBuffer, "trace-buffer", 4096, "per-tenant trace-ring retention in events (GET /v1/tenants/{id}/trace)")
 	flag.IntVar(&cfg.submitRing, "submit-ring", 256, "per-tenant submit-ring capacity; a full ring answers 429 backpressure")
+	flag.Int64Var(&cfg.streamMaxLag, "stream-max-lag", server.DefaultStreamMaxLag, "evict a following dispatch stream whose subscriber trails the tenant head by more than this many records (410 + resume hint; negative disables)")
+	flag.DurationVar(&cfg.streamStall, "stream-stall", server.DefaultStreamStall, "sever a streamed connection whose single write blocks longer than this (negative disables)")
 	flag.StringVar(&cfg.follow, "follow", "", "run as a read-only replica of the leader at this base URL (requires -data-dir)")
 	flag.BoolVar(&cfg.autoscale, "autoscale", false, "watch per-tenant dispatch-lag histograms and resize tenant capacity automatically")
 	flag.DurationVar(&cfg.autoscaleInterval, "autoscale-interval", 5*time.Second, "scrape/decide period of the autoscaler")
@@ -140,13 +144,15 @@ func serve(ctx context.Context, cfg config, ready func(addr string)) error {
 			}
 		}
 		srv, err = server.Open(server.Options{
-			DataDir:       cfg.dataDir,
-			FsyncEvery:    cfg.fsyncEvery,
-			FsyncMaxDelay: maxDelay,
-			SnapshotEvery: cfg.snapshotEvery,
-			TraceBuffer:   cfg.traceBuffer,
-			SubmitRing:    cfg.submitRing,
-			Follower:      cfg.follow != "",
+			DataDir:            cfg.dataDir,
+			FsyncEvery:         cfg.fsyncEvery,
+			FsyncMaxDelay:      maxDelay,
+			SnapshotEvery:      cfg.snapshotEvery,
+			TraceBuffer:        cfg.traceBuffer,
+			SubmitRing:         cfg.submitRing,
+			StreamMaxLag:       cfg.streamMaxLag,
+			StreamStallTimeout: cfg.streamStall,
+			Follower:           cfg.follow != "",
 		})
 		if err != nil {
 			return err
@@ -166,6 +172,7 @@ func serve(ctx context.Context, cfg config, ready func(addr string)) error {
 		srv = server.New()
 		srv.SetTraceBuffer(cfg.traceBuffer)
 		srv.SetSubmitRing(cfg.submitRing)
+		srv.SetStreamPolicy(cfg.streamMaxLag, cfg.streamStall)
 	}
 	if cfg.pprof {
 		srv.EnablePprof()

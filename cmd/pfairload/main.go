@@ -59,6 +59,7 @@ type config struct {
 	seed         int64  // worker-shuffle seed; also overrides a scenario's seed when set
 	seedSet      bool   // -seed was given explicitly on the command line
 	scenario     string // path to a scenario spec; replaces the synthetic load loop
+	streams      int    // concurrent dispatch-stream followers per tenant; 0 disables
 }
 
 // newTransport builds the shared keep-alive transport for a load run. The
@@ -103,6 +104,149 @@ type report struct {
 	// run, scraped from the pfaird_tenant_m gauges — under an autoscaler
 	// this is measured capacity, not the -m the run asked for.
 	TenantM map[string]int
+	// Fan-out side (-streams > 0): frames consumed across all followers,
+	// their consumption rate, how many followers the server evicted for
+	// lagging (each reopened at the hinted position), and the subscriber
+	// lag distribution in records, sampled against the fastest follower of
+	// the same tenant while the load ran.
+	StreamFrames  int64
+	StreamRate    float64
+	StreamReopens int64
+	StreamLagP50  int64
+	StreamLagP90  int64
+	StreamLagP99  int64
+	StreamLagMax  int64
+}
+
+// fanout runs the -streams followers: cfg.streams dispatch-stream
+// subscribers per tenant, all following from 0, each counting the frames
+// it consumes. A sampler thread periodically records every follower's lag
+// behind the fastest follower of its tenant — a client-side stand-in for
+// the log tip that needs no extra server requests. A follower the server
+// evicts (in-band 410 control line) reconnects at the hinted ResumeFrom
+// and is counted, exercising the slow-consumer path under real load.
+type fanout struct {
+	cancel      context.CancelFunc
+	wg          sync.WaitGroup
+	frames      atomic.Int64
+	reopens     atomic.Int64
+	pos         [][]*atomic.Int64 // [tenant][subscriber] next seq wanted
+	samplerDone chan struct{}
+
+	mu         sync.Mutex
+	lagSamples []int64
+}
+
+func startStreams(parent context.Context, c *client.Client, tenants, streams int) *fanout {
+	ctx, cancel := context.WithCancel(parent)
+	f := &fanout{cancel: cancel, samplerDone: make(chan struct{})}
+	f.pos = make([][]*atomic.Int64, tenants)
+	for ti := range f.pos {
+		f.pos[ti] = make([]*atomic.Int64, streams)
+		for si := range f.pos[ti] {
+			p := new(atomic.Int64)
+			f.pos[ti][si] = p
+			f.wg.Add(1)
+			go f.follow(ctx, c, tenantID(ti), p)
+		}
+	}
+	go f.sample(ctx)
+	return f
+}
+
+func (f *fanout) follow(ctx context.Context, c *client.Client, tenant string, pos *atomic.Int64) {
+	defer f.wg.Done()
+	for ctx.Err() == nil {
+		st, err := c.StreamDispatches(ctx, tenant, pos.Load(), true)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			time.Sleep(5 * time.Millisecond) // server not ready yet; retry
+			continue
+		}
+		for {
+			_, err := st.Next()
+			if err == nil {
+				pos.Add(1)
+				f.frames.Add(1)
+				continue
+			}
+			var gone *client.StreamGoneError
+			if errors.As(err, &gone) {
+				// Evicted for lagging: resume where the server said to.
+				pos.Store(gone.ResumeFrom)
+				f.reopens.Add(1)
+			}
+			break
+		}
+		st.Close()
+	}
+}
+
+func (f *fanout) sample(ctx context.Context) {
+	defer close(f.samplerDone)
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			f.mu.Lock()
+			for _, subs := range f.pos {
+				var tip int64
+				for _, p := range subs {
+					if v := p.Load(); v > tip {
+						tip = v
+					}
+				}
+				for _, p := range subs {
+					f.lagSamples = append(f.lagSamples, tip-p.Load())
+				}
+			}
+			f.mu.Unlock()
+		}
+	}
+}
+
+// await blocks until every follower's position reaches its tenant's
+// target (the post-drain dispatch count) or the deadline passes — the
+// backlog is finite once the load stops, so normally this is just the
+// followers finishing their tail.
+func (f *fanout) await(targets []int64, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		caughtUp := true
+		for ti, subs := range f.pos {
+			for _, p := range subs {
+				if p.Load() < targets[ti] {
+					caughtUp = false
+				}
+			}
+		}
+		if caughtUp {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// stop cancels the followers and folds their counters into the report.
+func (f *fanout) stop(rep *report, wall time.Duration) {
+	f.cancel()
+	f.wg.Wait()
+	<-f.samplerDone
+	rep.StreamFrames = f.frames.Load()
+	rep.StreamReopens = f.reopens.Load()
+	if wall > 0 {
+		rep.StreamRate = float64(rep.StreamFrames) / wall.Seconds()
+	}
+	sort.Slice(f.lagSamples, func(i, j int) bool { return f.lagSamples[i] < f.lagSamples[j] })
+	rep.StreamLagP50 = percentileI64(f.lagSamples, 0.50)
+	rep.StreamLagP90 = percentileI64(f.lagSamples, 0.90)
+	rep.StreamLagP99 = percentileI64(f.lagSamples, 0.99)
+	rep.StreamLagMax = percentileI64(f.lagSamples, 1.00)
 }
 
 func main() {
@@ -119,6 +263,7 @@ func main() {
 	flag.StringVar(&cfg.dataDir, "data-dir", "", "make the in-process server durable: journal to this directory (measures WAL overhead under load)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "deterministic seed: shuffles each worker's pair order (and overrides a scenario spec's seed when given)")
 	flag.StringVar(&cfg.scenario, "scenario", "", "drive a declarative scenario spec (JSON) through the server instead of the synthetic load loop")
+	flag.IntVar(&cfg.streams, "streams", 0, "concurrent dispatch-stream followers per tenant (fan-out load; 0 disables)")
 	flag.Parse()
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "seed" {
@@ -215,6 +360,13 @@ func run(cfg config, out io.Writer) (report, error) {
 			}
 			setup++
 		}
+	}
+
+	// Fan-out load: the followers ride along for the whole run, consuming
+	// the same cached frames the server encodes once per decision.
+	var fo *fanout
+	if cfg.streams > 0 {
+		fo = startStreams(ctx, c, cfg.tenants, cfg.streams)
 	}
 
 	// Load phase: workers own disjoint (tenant, task) pairs, so two workers
@@ -325,6 +477,7 @@ func run(cfg config, out io.Writer) (report, error) {
 	var dispatched int64
 	maxTar := rat.Zero
 	drains := 0
+	targets := make([]int64, cfg.tenants)
 	for ti := 0; ti < cfg.tenants; ti++ {
 		id := tenantID(ti)
 		if _, err := c.Drain(ctx, id); err != nil {
@@ -335,6 +488,7 @@ func run(cfg config, out io.Writer) (report, error) {
 			return report{}, err
 		}
 		dispatched += info.Dispatches
+		targets[ti] = info.Dispatches
 		tar, err := rat.Parse(info.MaxTardiness)
 		if err != nil {
 			return report{}, fmt.Errorf("tenant %s reports unparseable tardiness %q", id, info.MaxTardiness)
@@ -342,6 +496,12 @@ func run(cfg config, out io.Writer) (report, error) {
 		maxTar = rat.Max(maxTar, tar)
 		drains += 2
 	}
+	if fo != nil {
+		// Let the followers drain the finite post-load backlog before the
+		// frame count is read, so the report reflects full fan-out.
+		fo.await(targets, 10*time.Second)
+	}
+	fanWall := time.Since(start)
 
 	var all []time.Duration
 	for _, l := range lats {
@@ -361,6 +521,9 @@ func run(cfg config, out io.Writer) (report, error) {
 		Backpressure:   backpressure.Load(),
 		ResizeRejected: resizeRejected.Load(),
 	}
+	if fo != nil {
+		fo.stop(&rep, fanWall)
+	}
 	if err := addServerStats(ctx, c, &rep); err != nil {
 		return report{}, fmt.Errorf("server-side metrics: %w", err)
 	}
@@ -375,8 +538,29 @@ func run(cfg config, out io.Writer) (report, error) {
 	fmt.Fprintf(out, "backpressure       : %d × 429 (submit ring full; retried)\n", rep.Backpressure)
 	fmt.Fprintf(out, "resize-rejected    : %d × 409 (capacity withdrawn mid-run; skipped)\n", rep.ResizeRejected)
 	fmt.Fprintf(out, "tenant m           : %s\n", formatTenantM(rep.TenantM))
+	if cfg.streams > 0 {
+		fmt.Fprintf(out, "streams            : %d/tenant, %d frames (%.0f frames/s), %d evicted+reopened\n",
+			cfg.streams, rep.StreamFrames, rep.StreamRate, rep.StreamReopens)
+		fmt.Fprintf(out, "stream lag p50/p90/p99: %d / %d / %d records (max %d)\n",
+			rep.StreamLagP50, rep.StreamLagP90, rep.StreamLagP99, rep.StreamLagMax)
+	}
 	fmt.Fprintf(out, "dispatches         : %d, max tardiness %s (bound: 1)\n", rep.Dispatched, rep.MaxTardiness)
 	return rep, nil
+}
+
+// percentileI64 returns the q-quantile of sorted int64 samples.
+func percentileI64(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }
 
 // formatTenantM renders the per-tenant M gauges as "id=m id=m …",

@@ -318,3 +318,42 @@ func TestScenarioMode(t *testing.T) {
 		t.Fatal("different seeds produced identical scenario reports")
 	}
 }
+
+// TestStreamsFanout runs the fan-out mode: every follower must consume
+// the tenant's full dispatch log (the server encodes each decision once
+// and every follower reads the same cached frames), so the total frame
+// count is exactly dispatches × streams-per-tenant.
+func TestStreamsFanout(t *testing.T) {
+	var out strings.Builder
+	rep, err := run(config{
+		tenants:      2,
+		tasks:        2,
+		jobs:         50,
+		workers:      4,
+		m:            2,
+		advanceEvery: 4,
+		policy:       "PD2",
+		streams:      3,
+	}, &out)
+	if err != nil {
+		t.Fatalf("fan-out run failed: %v\n%s", err, out.String())
+	}
+	if want := int64(2 * 2 * 50); rep.Dispatched != want {
+		t.Fatalf("dispatched %d, want %d", rep.Dispatched, want)
+	}
+	if want := rep.Dispatched * 3; rep.StreamFrames != want {
+		t.Errorf("followers consumed %d frames, want %d (full fan-out)", rep.StreamFrames, want)
+	}
+	if rep.StreamRate <= 0 {
+		t.Errorf("non-positive stream rate %f", rep.StreamRate)
+	}
+	if rep.StreamLagP50 > rep.StreamLagP99 || rep.StreamLagP99 > rep.StreamLagMax {
+		t.Errorf("implausible lag percentiles p50=%d p99=%d max=%d",
+			rep.StreamLagP50, rep.StreamLagP99, rep.StreamLagMax)
+	}
+	for _, want := range []string{"streams            : 3/tenant", "stream lag p50/p90/p99"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -290,13 +290,35 @@ func (c *Client) StreamDispatches(ctx context.Context, tenant string, from int64
 	return &Stream{body: resp.Body, sc: sc}, nil
 }
 
+// StreamGoneError is returned by Stream.Next when the server evicted the
+// stream for lagging past its backlog bound (an in-band 410 control
+// line). ResumeFrom is the decision index to reconnect with: call
+// StreamDispatches again with from=ResumeFrom to pick up where the
+// eviction cut in.
+type StreamGoneError struct {
+	Message    string
+	ResumeFrom int64
+}
+
+func (e *StreamGoneError) Error() string { return e.Message }
+
 // Next returns the next dispatch decision, or io.EOF at end of stream.
+// A *StreamGoneError means the server evicted this stream for lagging;
+// reconnect with from=ResumeFrom.
 func (s *Stream) Next() (server.DispatchEvent, error) {
 	var ev server.DispatchEvent
 	for s.sc.Scan() {
 		line := bytes.TrimSpace(s.sc.Bytes())
 		if len(line) == 0 {
 			continue
+		}
+		// Dispatch events never carry an "error" key, so a line that
+		// decodes with one set is an in-band control line, not an event.
+		if bytes.Contains(line, []byte(`"error"`)) {
+			var gone server.StreamGone
+			if json.Unmarshal(line, &gone) == nil && gone.Error != "" {
+				return ev, &StreamGoneError{Message: gone.Error, ResumeFrom: gone.ResumeFrom}
+			}
 		}
 		err := json.Unmarshal(line, &ev)
 		return ev, err

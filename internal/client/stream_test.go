@@ -1,0 +1,62 @@
+package client
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"desyncpfair/internal/server"
+)
+
+// newFakeStream builds a Stream over canned NDJSON, bypassing HTTP.
+func newFakeStream(body string) *Stream {
+	rc := io.NopCloser(strings.NewReader(body))
+	sc := bufio.NewScanner(rc)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &Stream{body: rc, sc: sc}
+}
+
+// TestStreamNextGoneControlLine: events decode normally, the in-band 410
+// control line surfaces as *StreamGoneError with the resume hint, and a
+// quoted "error" inside an event's data does not false-positive (the
+// probe requires a successful decode with a non-empty Error).
+func TestStreamNextGoneControlLine(t *testing.T) {
+	s := newFakeStream(
+		`{"seq":0,"at":"0","task":"web","e":1}` + "\n" +
+			`{"seq":1,"at":"1","task":"say \"error\" aloud","e":1}` + "\n" +
+			`{"error":"stream evicted: lagging past the server's bound; reconnect with ?from=2","status":410,"resumeFrom":2}` + "\n",
+	)
+	ev, err := s.Next()
+	if err != nil || ev.Seq != 0 {
+		t.Fatalf("first event: %+v, %v", ev, err)
+	}
+	ev, err = s.Next()
+	if err != nil || ev.Seq != 1 {
+		t.Fatalf("second event (escaped quotes): %+v, %v", ev, err)
+	}
+	_, err = s.Next()
+	var gone *StreamGoneError
+	if !errors.As(err, &gone) {
+		t.Fatalf("control line: err %v, want *StreamGoneError", err)
+	}
+	if gone.ResumeFrom != 2 {
+		t.Fatalf("ResumeFrom %d, want 2", gone.ResumeFrom)
+	}
+	if !strings.Contains(gone.Error(), "?from=2") {
+		t.Fatalf("eviction message lacks the restart hint: %q", gone.Error())
+	}
+}
+
+// TestStreamGoneRoundTrip: the exact line the server's egress plane emits
+// must decode to the error the client reports.
+func TestStreamGoneRoundTrip(t *testing.T) {
+	_ = server.StreamGone{} // the control-line schema is the server's wire type
+	s := newFakeStream(`{"error":"gone","status":410,"resumeFrom":7}` + "\n")
+	_, err := s.Next()
+	var gone *StreamGoneError
+	if !errors.As(err, &gone) || gone.ResumeFrom != 7 {
+		t.Fatalf("err %v", err)
+	}
+}

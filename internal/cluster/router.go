@@ -403,7 +403,9 @@ func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	if resp.Status != "ok" {
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
-	json.NewEncoder(w).Encode(resp)
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		r.logf("cluster: writing healthz body: %v", err)
+	}
 }
 
 // handleTenantsRoot serves the unsharded root: POST creates a tenant on
@@ -413,12 +415,12 @@ func (r *Router) handleTenantsRoot(w http.ResponseWriter, req *http.Request) {
 	case http.MethodPost:
 		body, err := io.ReadAll(io.LimitReader(req.Body, maxProxyBody))
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err.Error())
+			r.httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		var cr server.CreateTenantRequest
 		if err := json.Unmarshal(body, &cr); err != nil || cr.ID == "" {
-			httpError(w, http.StatusBadRequest, "cluster: malformed create-tenant body")
+			r.httpError(w, http.StatusBadRequest, "cluster: malformed create-tenant body")
 			return
 		}
 		gi := r.opts.Policy.Pick(cr.ID, r.table.Load().loads())
@@ -427,7 +429,7 @@ func (r *Router) handleTenantsRoot(w http.ResponseWriter, req *http.Request) {
 	case http.MethodGet:
 		r.handleTenantsMerged(w, req)
 	default:
-		httpError(w, http.StatusMethodNotAllowed, "cluster: method not allowed")
+		r.httpError(w, http.StatusMethodNotAllowed, "cluster: method not allowed")
 	}
 }
 
@@ -440,19 +442,21 @@ func (r *Router) handleTenantsMerged(w http.ResponseWriter, req *http.Request) {
 			bi = bestFollower(g.backends)
 		}
 		if bi < 0 {
-			httpError(w, http.StatusServiceUnavailable,
+			r.httpError(w, http.StatusServiceUnavailable,
 				fmt.Sprintf("cluster: group %d has no servable backend", gi))
 			return
 		}
 		var infos []server.TenantInfo
 		if err := r.getJSON(req.Context(), g.backends[bi].url+"/v1/tenants", &infos); err != nil {
-			httpError(w, http.StatusBadGateway, fmt.Sprintf("cluster: group %d: %v", gi, err))
+			r.httpError(w, http.StatusBadGateway, fmt.Sprintf("cluster: group %d: %v", gi, err))
 			return
 		}
 		merged = append(merged, infos...)
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(merged)
+	if err := json.NewEncoder(w).Encode(merged); err != nil {
+		r.logf("cluster: writing merged tenant list: %v", err)
+	}
 }
 
 func (r *Router) getJSON(ctx context.Context, url string, out any) error {
@@ -482,17 +486,17 @@ func (r *Router) handleTenant(w http.ResponseWriter, req *http.Request) {
 		id = id[:i]
 	}
 	if id == "" {
-		httpError(w, http.StatusNotFound, "cluster: missing tenant id")
+		r.httpError(w, http.StatusNotFound, "cluster: missing tenant id")
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(req.Body, maxProxyBody))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		r.httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	gi, ok := r.locate(req.Context(), id)
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Sprintf("cluster: unknown tenant %q", id))
+		r.httpError(w, http.StatusNotFound, fmt.Sprintf("cluster: unknown tenant %q", id))
 		return
 	}
 	if req.Method == http.MethodDelete && strings.Count(req.URL.Path, "/") == 2 {
@@ -577,7 +581,7 @@ func (r *Router) proxyToGroup(w http.ResponseWriter, req *http.Request, gi int, 
 		}
 	}
 	w.Header().Set("Retry-After", "1")
-	httpError(w, http.StatusServiceUnavailable, fmt.Sprintf("cluster: %v", lastErr))
+	r.httpError(w, http.StatusServiceUnavailable, fmt.Sprintf("cluster: %v", lastErr))
 }
 
 // proxyOnce sends the buffered request to one backend and streams the
@@ -641,8 +645,14 @@ func flushCopy(w http.ResponseWriter, src io.Reader) {
 	}
 }
 
-func httpError(w http.ResponseWriter, code int, msg string) {
+// httpError writes a JSON error body. An Encode failure here means the
+// client hung up mid-error (or the connection broke); the status line was
+// already committed, so all that remains is to record it in the request
+// log rather than drop it silently.
+func (r *Router) httpError(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(server.ErrorResponse{Error: msg})
+	if err := json.NewEncoder(w).Encode(server.ErrorResponse{Error: msg}); err != nil {
+		r.logf("cluster: writing %d error body: %v", code, err)
+	}
 }

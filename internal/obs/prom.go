@@ -20,49 +20,103 @@ type Label struct {
 	Name, Value string
 }
 
-// renderLabels formats a label set as {a="x",b="y"} ("" when empty).
-// Extra is appended last (used for the le label of bucket lines).
-func renderLabels(labels []Label, extra ...Label) string {
-	all := append(append([]Label(nil), labels...), extra...)
-	if len(all) == 0 {
-		return ""
+// appendLabels renders a label set as {a="x",b="y"} into b (nothing when
+// empty). Extra is appended last (used for the le label of bucket lines).
+// Byte-for-byte what renderLabels via fmt produced: %q of a string is
+// strconv.Quote.
+func appendLabels(b []byte, labels []Label, extra ...Label) []byte {
+	if len(labels)+len(extra) == 0 {
+		return b
 	}
-	var b strings.Builder
-	b.WriteByte('{')
-	for i, l := range all {
-		if i > 0 {
-			b.WriteByte(',')
+	b = append(b, '{')
+	n := 0
+	for _, set := range [2][]Label{labels, extra} {
+		for _, l := range set {
+			if n > 0 {
+				b = append(b, ',')
+			}
+			n++
+			b = append(b, l.Name...)
+			b = append(b, '=')
+			b = strconv.AppendQuote(b, l.Value)
 		}
-		b.WriteString(l.Name)
-		b.WriteByte('=')
-		b.WriteString(strconv.Quote(l.Value))
 	}
-	b.WriteByte('}')
-	return b.String()
+	return append(b, '}')
+}
+
+// AppendHeader appends a family's HELP and TYPE lines to b. The Append*
+// family is the allocation-free exposition writer: the server renders
+// /metrics into one pooled buffer with these, with no fmt machinery per
+// sample; the io.Writer Write* wrappers below remain for callers that
+// render once per run.
+func AppendHeader(b []byte, name, help, typ string) []byte {
+	b = append(b, "# HELP "...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = append(b, help...)
+	b = append(b, "\n# TYPE "...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = append(b, typ...)
+	return append(b, '\n')
+}
+
+// AppendSample appends one sample line to b.
+func AppendSample(b []byte, name string, labels []Label, value string) []byte {
+	b = append(b, name...)
+	b = appendLabels(b, labels)
+	b = append(b, ' ')
+	b = append(b, value...)
+	return append(b, '\n')
+}
+
+// AppendHistogram appends the _bucket/_sum/_count series of one histogram
+// snapshot under the given base labels. The caller appends the family
+// header once and may then emit several label sets (e.g. one per tenant).
+func AppendHistogram(b []byte, name string, labels []Label, s Snapshot) []byte {
+	for i, ub := range s.Bounds {
+		b = append(b, name...)
+		b = append(b, "_bucket"...)
+		b = appendLabels(b, labels, Label{"le", formatBound(ub)})
+		b = append(b, ' ')
+		b = strconv.AppendUint(b, s.Buckets[i], 10)
+		b = append(b, '\n')
+	}
+	b = append(b, name...)
+	b = append(b, "_bucket"...)
+	b = appendLabels(b, labels, Label{"le", "+Inf"})
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, s.Count, 10)
+	b = append(b, '\n')
+	b = append(b, name...)
+	b = append(b, "_sum"...)
+	b = appendLabels(b, labels)
+	b = append(b, ' ')
+	// %g with default precision is the shortest-unique 'g' form.
+	b = strconv.AppendFloat(b, s.Sum, 'g', -1, 64)
+	b = append(b, '\n')
+	b = append(b, name...)
+	b = append(b, "_count"...)
+	b = appendLabels(b, labels)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, s.Count, 10)
+	return append(b, '\n')
 }
 
 // WriteHeader writes a family's HELP and TYPE lines.
 func WriteHeader(w io.Writer, name, help, typ string) {
-	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
-	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	w.Write(AppendHeader(nil, name, help, typ))
 }
 
 // WriteSample writes one sample line.
 func WriteSample(w io.Writer, name string, labels []Label, value string) {
-	fmt.Fprintf(w, "%s%s %s\n", name, renderLabels(labels), value)
+	w.Write(AppendSample(nil, name, labels, value))
 }
 
 // WriteHistogram writes the _bucket/_sum/_count series of one histogram
-// snapshot under the given base labels. The caller writes the family
-// header once and may then emit several label sets (e.g. one per tenant).
+// snapshot under the given base labels.
 func WriteHistogram(w io.Writer, name string, labels []Label, s Snapshot) {
-	for i, ub := range s.Bounds {
-		fmt.Fprintf(w, "%s_bucket%s %d\n", name,
-			renderLabels(labels, Label{"le", formatBound(ub)}), s.Buckets[i])
-	}
-	fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(labels, Label{"le", "+Inf"}), s.Count)
-	fmt.Fprintf(w, "%s_sum%s %g\n", name, renderLabels(labels), s.Sum)
-	fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(labels), s.Count)
+	w.Write(AppendHistogram(nil, name, labels, s))
 }
 
 func formatBound(ub float64) string { return strconv.FormatFloat(ub, 'g', -1, 64) }

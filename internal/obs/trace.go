@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"sync"
 	"time"
 )
@@ -65,9 +66,10 @@ type Event struct {
 type Ring struct {
 	mu    sync.Mutex
 	buf   []Event
-	start int   // index of the oldest retained event
-	n     int   // retained count
-	next  int64 // next sequence number to assign
+	wire  [][]byte // memoized NDJSON wire bytes per slot; nil = not yet encoded
+	start int      // index of the oldest retained event
+	n     int      // retained count
+	next  int64    // next sequence number to assign
 	subs  map[chan struct{}]struct{}
 }
 
@@ -76,7 +78,7 @@ func NewRing(capacity int) *Ring {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Ring{buf: make([]Event, capacity), subs: map[chan struct{}]struct{}{}}
+	return &Ring{buf: make([]Event, capacity), wire: make([][]byte, capacity), subs: map[chan struct{}]struct{}{}}
 }
 
 // Append assigns the event's sequence number, stores it (evicting the
@@ -87,9 +89,12 @@ func (r *Ring) Append(ev Event) int64 {
 	r.next++
 	if r.n == len(r.buf) {
 		r.buf[r.start] = ev
+		r.wire[r.start] = nil
 		r.start = (r.start + 1) % len(r.buf)
 	} else {
-		r.buf[(r.start+r.n)%len(r.buf)] = ev
+		i := (r.start + r.n) % len(r.buf)
+		r.buf[i] = ev
+		r.wire[i] = nil
 		r.n++
 	}
 	for sub := range r.subs {
@@ -125,6 +130,42 @@ func (r *Ring) Since(from int64) (events []Event, dropped int64) {
 		events = append(events, r.buf[(r.start+i)%len(r.buf)])
 	}
 	return events, dropped
+}
+
+// FramesSince is Since in wire form: it returns each retained event with
+// Seq ≥ from as its NDJSON frame (json.Marshal + '\n', identical to what
+// a json.Encoder would emit). Frames are encoded lazily on first request
+// and memoized per slot, so a ring nobody follows never pays an encode
+// while N followers share one encode per event. Returned slices are
+// immutable — slot reuse replaces the pointer, never the bytes.
+func (r *Ring) FramesSince(from int64) (frames [][]byte, dropped int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	oldest := r.next - int64(r.n)
+	if from < oldest {
+		dropped = oldest - from
+		from = oldest
+	}
+	if from >= r.next {
+		return nil, dropped
+	}
+	frames = make([][]byte, 0, r.next-from)
+	for i := int(from - oldest); i < r.n; i++ {
+		slot := (r.start + i) % len(r.buf)
+		if r.wire[slot] == nil {
+			b, err := json.Marshal(r.buf[slot])
+			if err != nil {
+				// Event marshals from plain fields; this cannot happen.
+				b = []byte("{}")
+			}
+			r.wire[slot] = append(b, '\n')
+		}
+		frames = append(frames, r.wire[slot])
+	}
+	return frames, dropped
 }
 
 // Next returns the sequence number the next appended event will get.

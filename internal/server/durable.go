@@ -51,6 +51,16 @@ type Options struct {
 	// /healthz reports 503 "bootstrapping" until the replication tailer
 	// marks the node caught up. Promote() flips it writable.
 	Follower bool
+	// StreamMaxLag bounds how many records a following dispatch stream may
+	// fall behind before it is evicted with an in-band 410 control line
+	// (slow consumers must not pin the process). 0 selects the default
+	// (DefaultStreamMaxLag); negative disables eviction. Replication
+	// streams are never evicted — followers block instead.
+	StreamMaxLag int64
+	// StreamStallTimeout bounds how long one streamed write may block on a
+	// wedged client before the connection is severed. 0 selects the
+	// default (DefaultStreamStall); negative disables the deadline.
+	StreamStallTimeout time.Duration
 }
 
 // RecoveryInfo reports what Open rebuilt from disk; /healthz serves it.
@@ -158,7 +168,7 @@ func restoreTenant(cp tenantCheckpoint, ringSize int) (*Tenant, error) {
 		}
 	}
 	t := newTenantCore(cp.ID, cp.Exec.Policy, cp.Exec.M, ex, admission.NewController(cp.Exec.M), ringSize)
-	t.log = cp.Log
+	t.installLog(cp.Log)
 	t.maxTar = maxTar
 	t.reject = cp.Reject
 	for _, e := range cp.Idem {
@@ -209,6 +219,7 @@ func Open(opts Options) (*Server, error) {
 	s.SetClock(opts.Clock)
 	s.SetTraceBuffer(opts.TraceBuffer)
 	s.SetSubmitRing(opts.SubmitRing)
+	s.SetStreamPolicy(opts.StreamMaxLag, opts.StreamStallTimeout)
 	l, rec, err := wal.Open(opts.DataDir, wal.Options{
 		FS: opts.FS, FsyncEvery: opts.FsyncEvery, FsyncMaxDelay: maxDelay,
 		SnapshotEvery: snapEvery,

@@ -1,9 +1,9 @@
 package server
 
 import (
-	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -101,11 +101,42 @@ func (rs *routeStats) snapshot() routeSnap {
 	return s
 }
 
-// write renders the text exposition: request counters per route, then the
-// live per-tenant series pulled from `infos`. Routes that have never been
-// hit are filtered, so the page's route set matches what has actually
-// served traffic (as it did when routes were created on first hit).
-func (m *metrics) write(b *strings.Builder, infos []TenantInfo) {
+// latencyBucketLe are the pre-rendered le label values of latencyBuckets
+// (what %g produced before the exposition moved off fmt).
+var latencyBucketLe = func() []string {
+	out := make([]string, len(latencyBuckets))
+	for i, ub := range latencyBuckets {
+		out[i] = strconv.FormatFloat(ub, 'g', -1, 64)
+	}
+	return out
+}()
+
+// appendLabeled1 appends one `name{label="value"} v\n` sample line.
+func appendLabeled1(b []byte, name, label, value string, v int64) []byte {
+	b = append(b, name...)
+	b = append(b, '{')
+	b = append(b, label...)
+	b = append(b, '=')
+	b = strconv.AppendQuote(b, value)
+	b = append(b, "} "...)
+	b = strconv.AppendInt(b, v, 10)
+	return append(b, '\n')
+}
+
+// appendBare appends one unlabeled `name v\n` sample line.
+func appendBare(b []byte, name string, v int64) []byte {
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, v, 10)
+	return append(b, '\n')
+}
+
+// appendMetrics renders the text exposition: request counters per route,
+// then the live per-tenant series pulled from `infos`. Routes that have
+// never been hit are filtered, so the page's route set matches what has
+// actually served traffic. Everything appends into the caller's (pooled)
+// buffer through strconv — no fmt verbs, no per-sample allocation.
+func (m *metrics) appendMetrics(b []byte, infos []TenantInfo) []byte {
 	routes := make([]string, 0, len(m.routes))
 	snaps := make(map[string]routeSnap, len(m.routes))
 	for r, rs := range m.routes {
@@ -117,120 +148,146 @@ func (m *metrics) write(b *strings.Builder, infos []TenantInfo) {
 		snaps[r] = s
 	}
 	sort.Strings(routes)
-	b.WriteString("# HELP pfaird_requests_total HTTP requests served, by route.\n")
-	b.WriteString("# TYPE pfaird_requests_total counter\n")
+	b = append(b, "# HELP pfaird_requests_total HTTP requests served, by route.\n"...)
+	b = append(b, "# TYPE pfaird_requests_total counter\n"...)
 	for _, r := range routes {
-		fmt.Fprintf(b, "pfaird_requests_total{route=%q} %d\n", r, snaps[r].count)
+		b = appendLabeled1(b, "pfaird_requests_total", "route", r, snaps[r].count)
 	}
-	b.WriteString("# HELP pfaird_request_errors_total HTTP 4xx/5xx responses, by route.\n")
-	b.WriteString("# TYPE pfaird_request_errors_total counter\n")
+	b = append(b, "# HELP pfaird_request_errors_total HTTP 4xx/5xx responses, by route.\n"...)
+	b = append(b, "# TYPE pfaird_request_errors_total counter\n"...)
 	for _, r := range routes {
-		fmt.Fprintf(b, "pfaird_request_errors_total{route=%q} %d\n", r, snaps[r].errors)
+		b = appendLabeled1(b, "pfaird_request_errors_total", "route", r, snaps[r].errors)
 	}
-	b.WriteString("# HELP pfaird_request_duration_seconds Request latency histogram, by route.\n")
-	b.WriteString("# TYPE pfaird_request_duration_seconds histogram\n")
+	b = append(b, "# HELP pfaird_request_duration_seconds Request latency histogram, by route.\n"...)
+	b = append(b, "# TYPE pfaird_request_duration_seconds histogram\n"...)
 	for _, r := range routes {
 		rs := snaps[r]
-		for i, ub := range latencyBuckets {
-			fmt.Fprintf(b, "pfaird_request_duration_seconds_bucket{route=%q,le=%q} %d\n",
-				r, fmt.Sprintf("%g", ub), rs.buckets[i])
+		for i := range latencyBuckets {
+			b = append(b, "pfaird_request_duration_seconds_bucket{route="...)
+			b = strconv.AppendQuote(b, r)
+			b = append(b, ",le="...)
+			b = strconv.AppendQuote(b, latencyBucketLe[i])
+			b = append(b, "} "...)
+			b = strconv.AppendInt(b, rs.buckets[i], 10)
+			b = append(b, '\n')
 		}
-		fmt.Fprintf(b, "pfaird_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", r, rs.count)
-		fmt.Fprintf(b, "pfaird_request_duration_seconds_sum{route=%q} %g\n", r, rs.sum)
-		fmt.Fprintf(b, "pfaird_request_duration_seconds_count{route=%q} %d\n", r, rs.count)
+		b = append(b, "pfaird_request_duration_seconds_bucket{route="...)
+		b = strconv.AppendQuote(b, r)
+		b = append(b, ",le=\"+Inf\"} "...)
+		b = strconv.AppendInt(b, rs.count, 10)
+		b = append(b, '\n')
+		b = append(b, "pfaird_request_duration_seconds_sum{route="...)
+		b = strconv.AppendQuote(b, r)
+		b = append(b, "} "...)
+		b = strconv.AppendFloat(b, rs.sum, 'g', -1, 64)
+		b = append(b, '\n')
+		b = appendLabeled1(b, "pfaird_request_duration_seconds_count", "route", r, rs.count)
 	}
 
-	b.WriteString("# HELP pfaird_tenants Current tenant count.\n")
-	b.WriteString("# TYPE pfaird_tenants gauge\n")
-	fmt.Fprintf(b, "pfaird_tenants %d\n", len(infos))
-	b.WriteString("# HELP pfaird_tenant_dispatches_total Scheduling decisions made, per tenant.\n")
-	b.WriteString("# TYPE pfaird_tenant_dispatches_total counter\n")
+	b = append(b, "# HELP pfaird_tenants Current tenant count.\n"...)
+	b = append(b, "# TYPE pfaird_tenants gauge\n"...)
+	b = appendBare(b, "pfaird_tenants", int64(len(infos)))
+	b = append(b, "# HELP pfaird_tenant_dispatches_total Scheduling decisions made, per tenant.\n"...)
+	b = append(b, "# TYPE pfaird_tenant_dispatches_total counter\n"...)
 	for _, ti := range infos {
-		fmt.Fprintf(b, "pfaird_tenant_dispatches_total{tenant=%q} %d\n", ti.ID, ti.Dispatches)
+		b = appendLabeled1(b, "pfaird_tenant_dispatches_total", "tenant", ti.ID, ti.Dispatches)
 	}
-	b.WriteString("# HELP pfaird_tenant_max_tardiness Worst observed tardiness in quanta (Theorem 3 bounds it by 1).\n")
-	b.WriteString("# TYPE pfaird_tenant_max_tardiness gauge\n")
+	b = append(b, "# HELP pfaird_tenant_max_tardiness Worst observed tardiness in quanta (Theorem 3 bounds it by 1).\n"...)
+	b = append(b, "# TYPE pfaird_tenant_max_tardiness gauge\n"...)
 	for _, ti := range infos {
-		fmt.Fprintf(b, "pfaird_tenant_max_tardiness{tenant=%q} %s\n", ti.ID, ratToFloat(ti.MaxTardiness))
+		b = append(b, "pfaird_tenant_max_tardiness{tenant="...)
+		b = strconv.AppendQuote(b, ti.ID)
+		b = append(b, "} "...)
+		b = append(b, ratToFloat(ti.MaxTardiness)...)
+		b = append(b, '\n')
 	}
-	b.WriteString("# HELP pfaird_tenant_admission_rejections_total Register requests rejected by admission control, per tenant.\n")
-	b.WriteString("# TYPE pfaird_tenant_admission_rejections_total counter\n")
+	b = append(b, "# HELP pfaird_tenant_admission_rejections_total Register requests rejected by admission control, per tenant.\n"...)
+	b = append(b, "# TYPE pfaird_tenant_admission_rejections_total counter\n"...)
 	for _, ti := range infos {
-		fmt.Fprintf(b, "pfaird_tenant_admission_rejections_total{tenant=%q} %d\n", ti.ID, ti.Rejections)
+		b = appendLabeled1(b, "pfaird_tenant_admission_rejections_total", "tenant", ti.ID, ti.Rejections)
 	}
-	b.WriteString("# HELP pfaird_tenant_pending_subtasks Released but undispatched subtasks, per tenant.\n")
-	b.WriteString("# TYPE pfaird_tenant_pending_subtasks gauge\n")
+	b = append(b, "# HELP pfaird_tenant_pending_subtasks Released but undispatched subtasks, per tenant.\n"...)
+	b = append(b, "# TYPE pfaird_tenant_pending_subtasks gauge\n"...)
 	for _, ti := range infos {
-		fmt.Fprintf(b, "pfaird_tenant_pending_subtasks{tenant=%q} %d\n", ti.ID, ti.Pending)
+		b = appendLabeled1(b, "pfaird_tenant_pending_subtasks", "tenant", ti.ID, int64(ti.Pending))
 	}
-	b.WriteString("# HELP pfaird_tenant_m Current processor count, per tenant (changes on resize).\n")
-	b.WriteString("# TYPE pfaird_tenant_m gauge\n")
+	b = append(b, "# HELP pfaird_tenant_m Current processor count, per tenant (changes on resize).\n"...)
+	b = append(b, "# TYPE pfaird_tenant_m gauge\n"...)
 	for _, ti := range infos {
-		fmt.Fprintf(b, "pfaird_tenant_m{tenant=%q} %d\n", ti.ID, ti.M)
+		b = appendLabeled1(b, "pfaird_tenant_m", "tenant", ti.ID, int64(ti.M))
 	}
-	b.WriteString("# HELP pfaird_tenant_pending_m Queued drain-mode shrink target, per tenant (0 = none).\n")
-	b.WriteString("# TYPE pfaird_tenant_pending_m gauge\n")
+	b = append(b, "# HELP pfaird_tenant_pending_m Queued drain-mode shrink target, per tenant (0 = none).\n"...)
+	b = append(b, "# TYPE pfaird_tenant_pending_m gauge\n"...)
 	for _, ti := range infos {
-		fmt.Fprintf(b, "pfaird_tenant_pending_m{tenant=%q} %d\n", ti.ID, ti.PendingM)
+		b = appendLabeled1(b, "pfaird_tenant_pending_m", "tenant", ti.ID, int64(ti.PendingM))
 	}
+	return b
 }
 
-// writeWALMetrics appends the journal counters to the exposition. A
+// appendUBare appends one unlabeled `name v\n` line for unsigned values.
+func appendUBare(b []byte, name string, v uint64) []byte {
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, v, 10)
+	return append(b, '\n')
+}
+
+// appendWALMetrics appends the journal counters to the exposition. A
 // non-durable server emits nothing, so PR 2's scrape output is unchanged
 // for it.
-func (s *Server) writeWALMetrics(b *strings.Builder) {
+func (s *Server) appendWALMetrics(b []byte) []byte {
 	if s.wal == nil {
-		return
+		return b
 	}
 	st := s.wal.Stats()
-	b.WriteString("# HELP pfaird_wal_appends_total Journal records appended.\n")
-	b.WriteString("# TYPE pfaird_wal_appends_total counter\n")
-	fmt.Fprintf(b, "pfaird_wal_appends_total %d\n", st.Appends)
-	b.WriteString("# HELP pfaird_wal_fsyncs_total Group-commit fsyncs issued.\n")
-	b.WriteString("# TYPE pfaird_wal_fsyncs_total counter\n")
-	fmt.Fprintf(b, "pfaird_wal_fsyncs_total %d\n", st.Fsyncs)
-	b.WriteString("# HELP pfaird_wal_append_errors_total Journal appends refused or failed.\n")
-	b.WriteString("# TYPE pfaird_wal_append_errors_total counter\n")
-	fmt.Fprintf(b, "pfaird_wal_append_errors_total %d\n", st.AppendErrors)
-	b.WriteString("# HELP pfaird_wal_snapshots_total Snapshots written (compactions).\n")
-	b.WriteString("# TYPE pfaird_wal_snapshots_total counter\n")
-	fmt.Fprintf(b, "pfaird_wal_snapshots_total %d\n", st.Snapshots)
-	b.WriteString("# HELP pfaird_wal_unsynced_records Records written to the journal but not yet covered by an fsync.\n")
-	b.WriteString("# TYPE pfaird_wal_unsynced_records gauge\n")
-	fmt.Fprintf(b, "pfaird_wal_unsynced_records %d\n", st.Unsynced)
-	b.WriteString("# HELP pfaird_wal_wedged Whether the journal has failed and refuses writes.\n")
-	b.WriteString("# TYPE pfaird_wal_wedged gauge\n")
-	fmt.Fprintf(b, "pfaird_wal_wedged %d\n", boolGauge(st.Wedged))
-	b.WriteString("# HELP pfaird_commands_total Commands acknowledged (journaled and applied) since the data dir was created.\n")
-	b.WriteString("# TYPE pfaird_commands_total counter\n")
-	fmt.Fprintf(b, "pfaird_commands_total %d\n", s.cmdSeq.Load())
+	b = append(b, "# HELP pfaird_wal_appends_total Journal records appended.\n"...)
+	b = append(b, "# TYPE pfaird_wal_appends_total counter\n"...)
+	b = appendUBare(b, "pfaird_wal_appends_total", st.Appends)
+	b = append(b, "# HELP pfaird_wal_fsyncs_total Group-commit fsyncs issued.\n"...)
+	b = append(b, "# TYPE pfaird_wal_fsyncs_total counter\n"...)
+	b = appendUBare(b, "pfaird_wal_fsyncs_total", st.Fsyncs)
+	b = append(b, "# HELP pfaird_wal_append_errors_total Journal appends refused or failed.\n"...)
+	b = append(b, "# TYPE pfaird_wal_append_errors_total counter\n"...)
+	b = appendUBare(b, "pfaird_wal_append_errors_total", st.AppendErrors)
+	b = append(b, "# HELP pfaird_wal_snapshots_total Snapshots written (compactions).\n"...)
+	b = append(b, "# TYPE pfaird_wal_snapshots_total counter\n"...)
+	b = appendUBare(b, "pfaird_wal_snapshots_total", st.Snapshots)
+	b = append(b, "# HELP pfaird_wal_unsynced_records Records written to the journal but not yet covered by an fsync.\n"...)
+	b = append(b, "# TYPE pfaird_wal_unsynced_records gauge\n"...)
+	b = appendUBare(b, "pfaird_wal_unsynced_records", st.Unsynced)
+	b = append(b, "# HELP pfaird_wal_wedged Whether the journal has failed and refuses writes.\n"...)
+	b = append(b, "# TYPE pfaird_wal_wedged gauge\n"...)
+	b = appendBare(b, "pfaird_wal_wedged", int64(boolGauge(st.Wedged)))
+	b = append(b, "# HELP pfaird_commands_total Commands acknowledged (journaled and applied) since the data dir was created.\n"...)
+	b = append(b, "# TYPE pfaird_commands_total counter\n"...)
+	b = appendUBare(b, "pfaird_commands_total", s.cmdSeq.Load())
 	if rec := s.recovery; rec != nil {
-		b.WriteString("# HELP pfaird_recovery_records_replayed Journal records replayed at the last boot.\n")
-		b.WriteString("# TYPE pfaird_recovery_records_replayed gauge\n")
-		fmt.Fprintf(b, "pfaird_recovery_records_replayed %d\n", rec.RecordsReplayed)
-		b.WriteString("# HELP pfaird_recovery_truncated_bytes Bytes discarded at torn segment tails at the last boot.\n")
-		b.WriteString("# TYPE pfaird_recovery_truncated_bytes gauge\n")
-		fmt.Fprintf(b, "pfaird_recovery_truncated_bytes %d\n", rec.TruncatedBytes)
-		b.WriteString("# HELP pfaird_recovery_replay_errors Commands that failed to re-apply at the last boot (0 on a healthy recovery).\n")
-		b.WriteString("# TYPE pfaird_recovery_replay_errors gauge\n")
-		fmt.Fprintf(b, "pfaird_recovery_replay_errors %d\n", rec.ReplayErrors)
-		b.WriteString("# HELP pfaird_recovery_dispatch_mismatches Journaled dispatch records that contradicted replay at the last boot (0 on a healthy recovery).\n")
-		b.WriteString("# TYPE pfaird_recovery_dispatch_mismatches gauge\n")
-		fmt.Fprintf(b, "pfaird_recovery_dispatch_mismatches %d\n", rec.DispatchMismatches)
+		b = append(b, "# HELP pfaird_recovery_records_replayed Journal records replayed at the last boot.\n"...)
+		b = append(b, "# TYPE pfaird_recovery_records_replayed gauge\n"...)
+		b = appendBare(b, "pfaird_recovery_records_replayed", int64(rec.RecordsReplayed))
+		b = append(b, "# HELP pfaird_recovery_truncated_bytes Bytes discarded at torn segment tails at the last boot.\n"...)
+		b = append(b, "# TYPE pfaird_recovery_truncated_bytes gauge\n"...)
+		b = appendBare(b, "pfaird_recovery_truncated_bytes", rec.TruncatedBytes)
+		b = append(b, "# HELP pfaird_recovery_replay_errors Commands that failed to re-apply at the last boot (0 on a healthy recovery).\n"...)
+		b = append(b, "# TYPE pfaird_recovery_replay_errors gauge\n"...)
+		b = appendBare(b, "pfaird_recovery_replay_errors", int64(rec.ReplayErrors))
+		b = append(b, "# HELP pfaird_recovery_dispatch_mismatches Journaled dispatch records that contradicted replay at the last boot (0 on a healthy recovery).\n"...)
+		b = append(b, "# TYPE pfaird_recovery_dispatch_mismatches gauge\n"...)
+		b = appendBare(b, "pfaird_recovery_dispatch_mismatches", int64(rec.DispatchMismatches))
 	}
-	b.WriteString("# HELP pfaird_replication_is_leader Whether this node accepts writes (1) or replicates from a leader (0).\n")
-	b.WriteString("# TYPE pfaird_replication_is_leader gauge\n")
-	fmt.Fprintf(b, "pfaird_replication_is_leader %d\n", boolGauge(s.Role() == RoleLeader))
-	b.WriteString("# HELP pfaird_replication_term Leadership term of the journal.\n")
-	b.WriteString("# TYPE pfaird_replication_term gauge\n")
-	fmt.Fprintf(b, "pfaird_replication_term %d\n", s.wal.Term())
-	b.WriteString("# HELP pfaird_replication_applied_lsn Highest journal LSN reflected in served state.\n")
-	b.WriteString("# TYPE pfaird_replication_applied_lsn gauge\n")
-	fmt.Fprintf(b, "pfaird_replication_applied_lsn %d\n", s.AppliedLSN())
-	b.WriteString("# HELP pfaird_replication_lag_lsn LSNs this follower trails its leader's durable tip (0 on a leader, -1 before first measurement).\n")
-	b.WriteString("# TYPE pfaird_replication_lag_lsn gauge\n")
-	fmt.Fprintf(b, "pfaird_replication_lag_lsn %d\n", s.replicationLag())
-	s.obs.writeWALTimingMetrics(b)
+	b = append(b, "# HELP pfaird_replication_is_leader Whether this node accepts writes (1) or replicates from a leader (0).\n"...)
+	b = append(b, "# TYPE pfaird_replication_is_leader gauge\n"...)
+	b = appendBare(b, "pfaird_replication_is_leader", int64(boolGauge(s.Role() == RoleLeader)))
+	b = append(b, "# HELP pfaird_replication_term Leadership term of the journal.\n"...)
+	b = append(b, "# TYPE pfaird_replication_term gauge\n"...)
+	b = appendUBare(b, "pfaird_replication_term", s.wal.Term())
+	b = append(b, "# HELP pfaird_replication_applied_lsn Highest journal LSN reflected in served state.\n"...)
+	b = append(b, "# TYPE pfaird_replication_applied_lsn gauge\n"...)
+	b = appendUBare(b, "pfaird_replication_applied_lsn", s.AppliedLSN())
+	b = append(b, "# HELP pfaird_replication_lag_lsn LSNs this follower trails its leader's durable tip (0 on a leader, -1 before first measurement).\n"...)
+	b = append(b, "# TYPE pfaird_replication_lag_lsn gauge\n"...)
+	b = appendBare(b, "pfaird_replication_lag_lsn", s.replicationLag())
+	return s.obs.appendWALTimingMetrics(b)
 }
 
 // replicationLag is the exported lag gauge: a leader is definitionally
@@ -254,11 +311,10 @@ func boolGauge(v bool) int {
 // repo tolerates the loss; the JSON API never does this.
 func ratToFloat(s string) string {
 	if i := strings.IndexByte(s, '/'); i >= 0 {
-		var n, d float64
-		fmt.Sscanf(s[:i], "%g", &n)
-		fmt.Sscanf(s[i+1:], "%g", &d)
-		if d != 0 {
-			return fmt.Sprintf("%g", n/d)
+		n, errN := strconv.ParseFloat(s[:i], 64)
+		d, errD := strconv.ParseFloat(s[i+1:], 64)
+		if errN == nil && errD == nil && d != 0 {
+			return strconv.FormatFloat(n/d, 'g', -1, 64)
 		}
 	}
 	return s

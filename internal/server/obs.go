@@ -1,12 +1,10 @@
 package server
 
 import (
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
-	"strings"
 	"time"
 
 	"desyncpfair/internal/obs"
@@ -105,59 +103,60 @@ type tenantObsSnap struct {
 	traceLen  int64
 }
 
-// writeObsMetrics renders the observability families. The family order
+// appendObsMetrics renders the observability families. The family order
 // is fixed — the golden exposition test pins it — and every family is
 // written exactly once, aggregate before per-tenant.
-func (o *serverObs) writeObsMetrics(b *strings.Builder, snaps []tenantObsSnap) {
-	obs.WriteHeader(b, "pfaird_submit_ack_seconds",
+func (o *serverObs) appendObsMetrics(b []byte, snaps []tenantObsSnap) []byte {
+	b = obs.AppendHeader(b, "pfaird_submit_ack_seconds",
 		"Latency from job-submit request arrival to acknowledgment, all tenants.", "histogram")
-	obs.WriteHistogram(b, "pfaird_submit_ack_seconds", nil, o.submitAck.Snapshot())
-	obs.WriteHeader(b, "pfaird_dispatch_lag_quanta",
+	b = obs.AppendHistogram(b, "pfaird_submit_ack_seconds", nil, o.submitAck.Snapshot())
+	b = obs.AppendHeader(b, "pfaird_dispatch_lag_quanta",
 		"Dispatch tardiness in quanta, all tenants (Theorem 3 bounds it by 1).", "histogram")
-	obs.WriteHistogram(b, "pfaird_dispatch_lag_quanta", nil, o.dispatchLag.Snapshot())
-	obs.WriteHeader(b, "pfaird_tenant_submit_ack_seconds",
+	b = obs.AppendHistogram(b, "pfaird_dispatch_lag_quanta", nil, o.dispatchLag.Snapshot())
+	b = obs.AppendHeader(b, "pfaird_tenant_submit_ack_seconds",
 		"Latency from job-submit request arrival to acknowledgment, per tenant.", "histogram")
 	for _, sn := range snaps {
-		obs.WriteHistogram(b, "pfaird_tenant_submit_ack_seconds",
+		b = obs.AppendHistogram(b, "pfaird_tenant_submit_ack_seconds",
 			[]obs.Label{{Name: "tenant", Value: sn.id}}, sn.submitAck)
 	}
-	obs.WriteHeader(b, "pfaird_tenant_dispatch_lag_quanta",
+	b = obs.AppendHeader(b, "pfaird_tenant_dispatch_lag_quanta",
 		"Dispatch tardiness in quanta, per tenant.", "histogram")
 	for _, sn := range snaps {
-		obs.WriteHistogram(b, "pfaird_tenant_dispatch_lag_quanta",
+		b = obs.AppendHistogram(b, "pfaird_tenant_dispatch_lag_quanta",
 			[]obs.Label{{Name: "tenant", Value: sn.id}}, sn.lag)
 	}
-	obs.WriteHeader(b, "pfaird_trace_events_total",
+	b = obs.AppendHeader(b, "pfaird_trace_events_total",
 		"Trace events recorded, per tenant (ring retention is bounded; this counts all ever recorded).", "counter")
 	for _, sn := range snaps {
-		obs.WriteSample(b, "pfaird_trace_events_total",
+		b = obs.AppendSample(b, "pfaird_trace_events_total",
 			[]obs.Label{{Name: "tenant", Value: sn.id}}, strconv.FormatInt(sn.traceLen, 10))
 	}
+	return b
 }
 
-// writeBuildInfo renders the info-metric identifying the binary.
-func (o *serverObs) writeBuildInfo(b *strings.Builder) {
-	obs.WriteHeader(b, "pfaird_build_info",
+// appendBuildInfo renders the info-metric identifying the binary.
+func (o *serverObs) appendBuildInfo(b []byte) []byte {
+	b = obs.AppendHeader(b, "pfaird_build_info",
 		"Build identity of the serving binary; the value is always 1.", "gauge")
-	obs.WriteSample(b, "pfaird_build_info", []obs.Label{
+	return obs.AppendSample(b, "pfaird_build_info", []obs.Label{
 		{Name: "version", Value: o.build.Version},
 		{Name: "revision", Value: o.build.Revision},
 		{Name: "go", Value: o.build.GoVersion},
 	}, "1")
 }
 
-// writeWALTimingMetrics renders the journal latency histograms (durable
+// appendWALTimingMetrics renders the journal latency histograms (durable
 // servers only; the in-memory server's exposition is unchanged).
-func (o *serverObs) writeWALTimingMetrics(b *strings.Builder) {
-	obs.WriteHeader(b, "pfaird_wal_append_seconds",
+func (o *serverObs) appendWALTimingMetrics(b []byte) []byte {
+	b = obs.AppendHeader(b, "pfaird_wal_append_seconds",
 		"Journal frame-write duration.", "histogram")
-	obs.WriteHistogram(b, "pfaird_wal_append_seconds", nil, o.walAppend.Snapshot())
-	obs.WriteHeader(b, "pfaird_wal_fsync_seconds",
+	b = obs.AppendHistogram(b, "pfaird_wal_append_seconds", nil, o.walAppend.Snapshot())
+	b = obs.AppendHeader(b, "pfaird_wal_fsync_seconds",
 		"Journal fsync syscall duration.", "histogram")
-	obs.WriteHistogram(b, "pfaird_wal_fsync_seconds", nil, o.walFsync.Snapshot())
-	obs.WriteHeader(b, "pfaird_wal_log_to_fsync_seconds",
+	b = obs.AppendHistogram(b, "pfaird_wal_fsync_seconds", nil, o.walFsync.Snapshot())
+	b = obs.AppendHeader(b, "pfaird_wal_log_to_fsync_seconds",
 		"Per-record latency from journal append to the group-commit fsync that made it durable.", "histogram")
-	obs.WriteHistogram(b, "pfaird_wal_log_to_fsync_seconds", nil, o.walLogToFsync.Snapshot())
+	return obs.AppendHistogram(b, "pfaird_wal_log_to_fsync_seconds", nil, o.walLogToFsync.Snapshot())
 }
 
 // handleTrace streams the tenant's trace ring as NDJSON, one obs.Event
@@ -187,27 +186,31 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	ring := t.traceRing()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	if flusher != nil {
-		flusher.Flush()
-	}
-	enc := json.NewEncoder(w)
+	fw := newFrameWriter(w, s.streamStall)
+	fw.flush()
 
 	sub := ring.Subscribe()
 	defer ring.Unsubscribe(sub)
 
+	// Trace frames come from the ring's memoized wire cache: each retained
+	// event is encoded at most once no matter how many followers stream it.
+	// No lag eviction here — the ring already bounds retention, so a slow
+	// follower skips ahead past dropped history instead of pinning memory.
 	pos := from
 	for {
-		events, dropped := ring.Since(pos)
+		frames, dropped := ring.FramesSince(pos)
 		pos += dropped
-		for _, ev := range events {
-			if err := enc.Encode(ev); err != nil {
+		wrote := len(frames) > 0
+		pos += int64(len(frames))
+		for len(frames) > 0 {
+			n := min(len(frames), maxStreamBatch)
+			if err := fw.writeFrames(frames[:n]); err != nil {
 				return // client went away
 			}
+			frames = frames[n:]
 		}
-		pos += int64(len(events))
-		if flusher != nil && len(events) > 0 {
-			flusher.Flush()
+		if wrote {
+			fw.flush()
 		}
 		if !follow {
 			return

@@ -300,7 +300,7 @@ func (s *Server) handleReplLog(w http.ResponseWriter, r *http.Request) {
 
 	// Resolve the first batch before committing to a 200, so a compacted
 	// cursor can still answer 410.
-	recs, err := rd.Next(replLogBatch)
+	frames, err := rd.NextRaw(replLogBatch)
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, wal.ErrCompacted) {
@@ -313,27 +313,39 @@ func (s *Server) handleReplLog(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
 	if flusher != nil {
 		flusher.Flush()
 	}
 
+	// Encode-once shipping: each frame's payload is the exact bytes the
+	// journal holds on disk — json.Marshal of the final stamped record —
+	// and the header CRC is crc32(payload), so the ReplFrame wire line
+	// {"crc":N,"rec":<payload>} is assembled byte-for-byte from the raw
+	// frame without decoding or re-marshaling a single record. The batch
+	// buffer is reused across wakeups: one Write and one Flush per batch.
+	// Replication followers are never evicted for lag — the reader paces
+	// them against the durable horizon and the log is on disk anyway.
+	var line []byte
 	ticker := time.NewTicker(replLogPoll)
 	defer ticker.Stop()
 	for {
-		for _, rec := range recs {
-			raw, merr := json.Marshal(rec)
-			if merr != nil {
-				return
-			}
-			if werr := enc.Encode(ReplFrame{CRC: crc32.ChecksumIEEE(raw), Rec: raw}); werr != nil {
+		line = line[:0]
+		for _, f := range frames {
+			line = append(line, `{"crc":`...)
+			line = strconv.AppendUint(line, uint64(f.CRC), 10)
+			line = append(line, `,"rec":`...)
+			line = append(line, f.Payload...)
+			line = append(line, '}', '\n')
+		}
+		if len(line) > 0 {
+			if _, werr := w.Write(line); werr != nil {
 				return // client went away
 			}
+			if flusher != nil {
+				flusher.Flush()
+			}
 		}
-		if flusher != nil && len(recs) > 0 {
-			flusher.Flush()
-		}
-		if len(recs) == 0 {
+		if len(frames) == 0 {
 			if !follow {
 				return
 			}
@@ -345,7 +357,7 @@ func (s *Server) handleReplLog(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		recs, err = rd.Next(replLogBatch)
+		frames, err = rd.NextRaw(replLogBatch)
 		if err != nil {
 			// Mid-stream errors (including a compaction overtaking a slow
 			// cursor) just end the stream; the follower re-queries and

@@ -40,9 +40,9 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"desyncpfair/internal/model"
 	"desyncpfair/internal/wal"
@@ -105,6 +105,14 @@ type Server struct {
 	// server creates (0 = defaultSubmitRing). Set before serving traffic.
 	submitRing int
 
+	// Egress stream policy (egress.go): streamMaxLag is the record-count
+	// bound past which a following read stream is evicted (0 = never),
+	// streamStall the per-write deadline on stream writes (0 = none).
+	// Both are set before serving traffic; streamEvict counts evictions.
+	streamMaxLag int64
+	streamStall  time.Duration
+	streamEvict  atomic.Int64
+
 	shutdownOnce sync.Once
 	shutdown     chan struct{}
 }
@@ -112,10 +120,12 @@ type Server struct {
 // New creates a server with an empty tenant registry.
 func New() *Server {
 	s := &Server{
-		mux:      http.NewServeMux(),
-		metrics:  newMetrics(),
-		obs:      newServerObs(),
-		shutdown: make(chan struct{}),
+		mux:          http.NewServeMux(),
+		metrics:      newMetrics(),
+		obs:          newServerObs(),
+		streamMaxLag: DefaultStreamMaxLag,
+		streamStall:  DefaultStreamStall,
+		shutdown:     make(chan struct{}),
 	}
 	for i := range s.shards {
 		s.shards[i].tenants = map[string]*Tenant{}
@@ -190,6 +200,10 @@ func (w *statusWriter) Flush() {
 		f.Flush()
 	}
 }
+
+// Unwrap lets http.ResponseController reach the underlying writer, so
+// stream handlers can arm per-write deadlines through the middleware.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 func (s *Server) shardOf(id string) *shard {
 	h := fnv.New32a()
@@ -345,13 +359,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		infos = append(infos, t.Info())
 		snaps = append(snaps, t.obsSnapshot())
 	}
-	var b strings.Builder
-	s.obs.writeBuildInfo(&b)
-	s.metrics.write(&b, infos)
-	s.obs.writeObsMetrics(&b, snaps)
-	s.writeWALMetrics(&b)
+	bp := metricsBufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = s.obs.appendBuildInfo(b)
+	b = s.metrics.appendMetrics(b, infos)
+	b = s.obs.appendObsMetrics(b, snaps)
+	b = s.appendWALMetrics(b)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprint(w, b.String())
+	w.Write(b)
+	*bp = b
+	metricsBufPool.Put(bp)
+}
+
+// metricsBufPool recycles exposition buffers across scrapes: after the
+// first scrape warms it, rendering /metrics costs zero allocations per
+// sample (every value lands via strconv.Append* into the pooled slice).
+var metricsBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 16<<10); return &b },
 }
 
 func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
@@ -658,6 +682,12 @@ func (s *Server) handleResize(w http.ResponseWriter, r *http.Request) {
 // backlog, or the server shuts down — in the last two cases only after
 // everything currently in the log has been written (the "drain" part of
 // graceful shutdown).
+//
+// Every line is a cached frame the tenant loop encoded once at record
+// time (Tenant.FramesSince); the handler only moves bytes. A following
+// stream that lags more than streamMaxLag records behind the tip after a
+// drain is evicted with a StreamGone control line; one that stops reading
+// entirely dies on the frameWriter's stall deadline.
 func (s *Server) handleDispatches(w http.ResponseWriter, r *http.Request) {
 	t := s.tenant(r.PathValue("id"))
 	if t == nil {
@@ -677,28 +707,40 @@ func (s *Server) handleDispatches(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	if flusher != nil {
-		// Push the headers out now: a follower of an idle tenant must see
-		// the stream open immediately, not on the first dispatch.
-		flusher.Flush()
-	}
-	enc := json.NewEncoder(w)
+	fw := newFrameWriter(w, s.streamStall)
+	// Push the headers out now: a follower of an idle tenant must see the
+	// stream open immediately, not on the first dispatch.
+	fw.flush()
 
 	sub := t.Subscribe()
 	defer t.Unsubscribe(sub)
 
 	pos := from
 	for {
-		events := t.EventsSince(pos)
-		for _, ev := range events {
-			if err := enc.Encode(ev); err != nil {
-				return // client went away
+		frames := t.FramesSince(pos)
+		wrote := len(frames) > 0
+		for len(frames) > 0 {
+			n := len(frames)
+			if n > maxStreamBatch {
+				n = maxStreamBatch
 			}
+			if err := fw.writeFrames(frames[:n]); err != nil {
+				return // client went away or stalled past the deadline
+			}
+			pos += int64(n)
+			frames = frames[n:]
 		}
-		pos += int64(len(events))
-		if flusher != nil && len(events) > 0 {
-			flusher.Flush()
+		if wrote {
+			fw.flush()
+		}
+		if follow && s.streamMaxLag > 0 {
+			if t.LogLen()-pos > s.streamMaxLag {
+				// The log outgrew this follower by more than the bound
+				// while it drained: cut it loose rather than chase it.
+				s.streamEvict.Add(1)
+				fw.writeGone(pos)
+				return
+			}
 		}
 		if !follow {
 			return

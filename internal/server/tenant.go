@@ -51,10 +51,19 @@ type Tenant struct {
 	obsP  atomic.Pointer[tenantObs]
 
 	// Loop-owned state.
-	ex     *online.Executive
-	ctrl   *admission.Controller
-	tasks  map[string]*model.Task
-	log    []DispatchEvent
+	ex    *online.Executive
+	ctrl  *admission.Controller
+	tasks map[string]*model.Task
+	log   []DispatchEvent
+	// frames mirrors log entry-for-entry with each event's NDJSON wire
+	// bytes (json.Marshal + '\n'), encoded once here — by the loop that
+	// owns the record — and then served by reference to every dispatch
+	// stream and ?from replay. Entries recorded while no subscriber was
+	// attached are nil (the submit path pays nothing for egress nobody
+	// is reading); FramesSince fills those on demand without touching
+	// the shared array. Same aliasing discipline as log: the visible
+	// prefix of the backing array is immutable.
+	frames [][]byte
 	maxTar rat.Rat
 	reject int64
 	// pendDisp buffers the dispatch records one command's apply produced;
@@ -75,6 +84,11 @@ type Tenant struct {
 
 	subMu sync.Mutex
 	subs  map[*subscriber]struct{}
+	// subCount mirrors len(subs) for the loop's record path: with no
+	// follower attached the loop skips the eager frame encode entirely.
+	// The read is racy by design — a follower arriving mid-command at
+	// worst finds nil entries, which FramesSince encodes on demand.
+	subCount atomic.Int64
 }
 
 // tenantSnap is the immutable state image the loop publishes after every
@@ -89,6 +103,7 @@ type tenantSnap struct {
 	tasks    int
 	pending  int
 	log      []DispatchEvent
+	frames   [][]byte // wire bytes of log, index-aligned (see Tenant.frames)
 	maxTar   rat.Rat
 	reject   int64
 }
@@ -200,6 +215,7 @@ func (t *Tenant) publish() bool {
 		tasks:    t.ctrl.Len(),
 		pending:  t.ex.Pending(),
 		log:      t.log,
+		frames:   t.frames,
 		maxTar:   t.maxTar,
 		reject:   t.reject,
 	})
@@ -332,6 +348,11 @@ func (t *Tenant) record(d online.Dispatch) {
 		Tardiness: tard.String(),
 	})
 	ev := t.log[len(t.log)-1]
+	var frame []byte
+	if t.subCount.Load() > 0 {
+		frame = marshalDispatchFrame(ev)
+	}
+	t.frames = append(t.frames, frame)
 	o := t.obs()
 	lagf := tard.Float64()
 	o.lag.Observe(lagf)
@@ -923,6 +944,54 @@ func (t *Tenant) EventsSince(from int64) []DispatchEvent {
 	return sn.log[from:]
 }
 
+// FramesSince is EventsSince in wire form: the cached NDJSON frames from
+// seq `from` on, index-aligned with the log. Streaming handlers write
+// these bytes verbatim, so one encode (at record time) feeds every
+// follower. Entries recorded while nobody was subscribed are nil in the
+// cache; those are encoded here, on demand, into a private slice — the
+// shared snapshot array is never written. The same zero-copy aliasing
+// rules apply; callers must treat the frames as immutable.
+func (t *Tenant) FramesSince(from int64) [][]byte {
+	sn := t.snap.Load()
+	if from < 0 {
+		from = 0
+	}
+	if from >= int64(len(sn.frames)) {
+		return nil
+	}
+	frames := sn.frames[from:]
+	for i, f := range frames {
+		if f != nil {
+			continue
+		}
+		out := append([][]byte(nil), frames...)
+		for j := i; j < len(out); j++ {
+			if out[j] == nil {
+				out[j] = marshalDispatchFrame(sn.log[from+int64(j)])
+			}
+		}
+		return out
+	}
+	return frames
+}
+
+// LogLen returns the published dispatch-log length — the seq the next
+// decision will get. Stream handlers use it to measure follower lag.
+func (t *Tenant) LogLen() int64 {
+	return int64(len(t.snap.Load().log))
+}
+
+// installLog seats a checkpointed dispatch log before start(), while no
+// loop can be running, re-seating the egress frame cache so restored
+// tenants serve ?from replay from wire bytes like live ones.
+func (t *Tenant) installLog(log []DispatchEvent) {
+	t.log = log
+	// All-nil cache: restored history is encoded lazily on first replay,
+	// so restarting a server with large checkpoints pays no egress cost
+	// for logs nobody streams.
+	t.frames = make([][]byte, len(log))
+}
+
 // eventAt returns the dispatch event with sequence number seq, if the log
 // holds it. Recovery uses it to verify regenerated decisions against the
 // journaled dispatch records.
@@ -940,6 +1009,7 @@ func (t *Tenant) Subscribe() *subscriber {
 	sub := &subscriber{ping: make(chan struct{}, 1)}
 	t.subMu.Lock()
 	t.subs[sub] = struct{}{}
+	t.subCount.Store(int64(len(t.subs)))
 	t.subMu.Unlock()
 	return sub
 }
@@ -948,6 +1018,7 @@ func (t *Tenant) Subscribe() *subscriber {
 func (t *Tenant) Unsubscribe(sub *subscriber) {
 	t.subMu.Lock()
 	delete(t.subs, sub)
+	t.subCount.Store(int64(len(t.subs)))
 	t.subMu.Unlock()
 }
 

@@ -98,34 +98,136 @@ func (r *Reader) Next(max int) ([]Record, error) {
 	return out, nil
 }
 
+// RawFrame is one durable record in wire form: the exact JSON payload
+// bytes appended to the log plus the frame header's CRC32-IEEE over those
+// bytes. Payload is a copy the caller owns — the reader's carry buffer is
+// reused across fills. Because the appender stamps LSN and Term before
+// encoding, Payload is json.Marshal of the final Record, so consumers can
+// ship it verbatim (and re-verify CRC) without ever re-encoding.
+type RawFrame struct {
+	LSN     uint64
+	CRC     uint32
+	Payload []byte
+}
+
+// NextRaw is Next without the decode: it returns up to max frames in wire
+// form, advancing the cursor, with the same horizon, ErrCompacted, and
+// LSN-continuity semantics. The replication log server uses it to ship
+// the bytes already on disk instead of re-marshaling every record for
+// every follower.
+func (r *Reader) NextRaw(max int) ([]RawFrame, error) {
+	if max <= 0 {
+		max = 1
+	}
+	durable, snap := r.l.horizon()
+	if r.next <= snap {
+		return nil, ErrCompacted
+	}
+	var out []RawFrame
+	for len(out) < max && r.next <= durable {
+		payload, crc, size, ok, err := r.rawOne()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			n, err := r.fill()
+			if err != nil {
+				return out, err
+			}
+			if n == 0 {
+				hopped, err := r.hop()
+				if err != nil {
+					return out, err
+				}
+				if !hopped {
+					return out, nil
+				}
+			}
+			continue
+		}
+		lsn, err := payloadLSN(payload)
+		if err != nil {
+			return out, err
+		}
+		r.off += size
+		if lsn < r.next {
+			continue // pre-cursor record in a shared segment
+		}
+		if lsn != r.next {
+			return out, fmt.Errorf("wal: reader expected LSN %d, segment holds %d", r.next, lsn)
+		}
+		out = append(out, RawFrame{LSN: lsn, CRC: crc, Payload: append([]byte(nil), payload...)})
+		r.next++
+	}
+	return out, nil
+}
+
+// payloadLSN extracts the record's LSN without a full decode. Frames are
+// marshaled from Record, whose first field is `lsn`, so the payload always
+// starts `{"lsn":<digits>`; anything else falls back to a full unmarshal.
+func payloadLSN(payload []byte) (uint64, error) {
+	const pfx = `{"lsn":`
+	if len(payload) > len(pfx) && string(payload[:len(pfx)]) == pfx {
+		v := uint64(0)
+		i := len(pfx)
+		start := i
+		for i < len(payload) && payload[i] >= '0' && payload[i] <= '9' {
+			v = v*10 + uint64(payload[i]-'0')
+			i++
+		}
+		if i > start && i < len(payload) && (payload[i] == ',' || payload[i] == '}') {
+			return v, nil
+		}
+	}
+	var rec struct {
+		LSN uint64 `json:"lsn"`
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return 0, fmt.Errorf("wal: reader hit an undecodable frame: %v", err)
+	}
+	return rec.LSN, nil
+}
+
 // decodeOne tries to decode one frame from the carry buffer. ok=false
 // means the buffer holds no complete, checksummed frame yet. A CRC
 // mismatch is treated the same way: a frame below the durable horizon is
 // never torn, but the buffered bytes may straddle an in-flight write of a
 // later frame, which the next fill completes.
 func (r *Reader) decodeOne() (Record, bool, error) {
-	b := r.buf[r.off:]
-	if len(b) < frameHeader {
-		return Record{}, false, nil
-	}
-	n := binary.LittleEndian.Uint32(b)
-	crc := binary.LittleEndian.Uint32(b[4:])
-	if n == 0 || n > maxPayload {
-		return Record{}, false, fmt.Errorf("wal: reader hit a corrupt frame header (len %d)", n)
-	}
-	if len(b)-frameHeader < int(n) {
-		return Record{}, false, nil
-	}
-	payload := b[frameHeader : frameHeader+int(n)]
-	if crc32.ChecksumIEEE(payload) != crc {
-		return Record{}, false, nil
+	payload, _, size, ok, err := r.rawOne()
+	if !ok || err != nil {
+		return Record{}, false, err
 	}
 	var rec Record
 	if err := json.Unmarshal(payload, &rec); err != nil {
 		return Record{}, false, fmt.Errorf("wal: reader hit an undecodable frame: %v", err)
 	}
-	r.off += frameHeader + int(n)
+	r.off += size
 	return rec, true, nil
+}
+
+// rawOne locates the next complete, checksummed frame in the carry buffer
+// without consuming it: the caller advances r.off by size on acceptance.
+// The returned payload aliases r.buf and is only valid until the next
+// fill.
+func (r *Reader) rawOne() (payload []byte, crc uint32, size int, ok bool, err error) {
+	b := r.buf[r.off:]
+	if len(b) < frameHeader {
+		return nil, 0, 0, false, nil
+	}
+	n := binary.LittleEndian.Uint32(b)
+	crc = binary.LittleEndian.Uint32(b[4:])
+	if n == 0 || n > maxPayload {
+		return nil, 0, 0, false, fmt.Errorf("wal: reader hit a corrupt frame header (len %d)", n)
+	}
+	if len(b)-frameHeader < int(n) {
+		return nil, 0, 0, false, nil
+	}
+	payload = b[frameHeader : frameHeader+int(n)]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, 0, 0, false, nil
+	}
+	return payload, crc, frameHeader + int(n), true, nil
 }
 
 // fill reads more bytes from the open segment into the carry buffer,

@@ -1,8 +1,11 @@
 package wal
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sync"
 	"testing"
 	"time"
@@ -154,5 +157,85 @@ func TestAppendReplicatedFencing(t *testing.T) {
 	}
 	if l.Term() != 7 {
 		t.Fatalf("term = %d after replicating term-7 record, want 7", l.Term())
+	}
+}
+
+// TestNextRawMatchesNext pins the encode-once shipping contract: the raw
+// frames NextRaw serves must be, byte for byte, the json.Marshal of the
+// records Next decodes — same LSNs, and a CRC that is crc32(payload) —
+// because the replication handler forwards them to followers without
+// re-encoding and the follower re-verifies both.
+func TestNextRawMatchesNext(t *testing.T) {
+	l, _ := mustOpen(t, t.TempDir(), Options{FsyncEvery: 1})
+	defer l.Close()
+	appendN(t, l, 40)
+
+	rd := l.NewReader(1)
+	defer rd.Close()
+	recs := collect(t, l, rd, 40, 2*time.Second)
+	if len(recs) != 40 {
+		t.Fatalf("Next served %d records, want 40", len(recs))
+	}
+
+	rr := l.NewReader(1)
+	defer rr.Close()
+	var raws []RawFrame
+	stop := time.Now().Add(2 * time.Second)
+	for len(raws) < 40 && time.Now().Before(stop) {
+		fs, err := rr.NextRaw(16)
+		if err != nil {
+			t.Fatalf("NextRaw: %v", err)
+		}
+		raws = append(raws, fs...)
+		if len(fs) == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if len(raws) != len(recs) {
+		t.Fatalf("NextRaw served %d frames, Next served %d", len(raws), len(recs))
+	}
+	for i, rec := range recs {
+		want, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if raws[i].LSN != rec.LSN {
+			t.Fatalf("frame %d: LSN %d, want %d", i, raws[i].LSN, rec.LSN)
+		}
+		if !bytes.Equal(raws[i].Payload, want) {
+			t.Fatalf("frame %d payload:\n got %s\nwant %s", i, raws[i].Payload, want)
+		}
+		if got := crc32.ChecksumIEEE(raws[i].Payload); got != raws[i].CRC {
+			t.Fatalf("frame %d: CRC %08x, want crc32(payload) %08x", i, raws[i].CRC, got)
+		}
+	}
+}
+
+// TestNextRawCompacted: a raw cursor below the snapshot horizon must fail
+// with ErrCompacted exactly like the decoding reader, so the replication
+// handler's 410 path is policy-independent of which reader it uses.
+func TestNextRawCompacted(t *testing.T) {
+	l, _ := mustOpen(t, t.TempDir(), Options{FsyncEvery: 1})
+	defer l.Close()
+	appendN(t, l, 10)
+	if err := l.Compact([]byte(`{"snap":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 3)
+
+	rd := l.NewReader(1)
+	defer rd.Close()
+	if _, err := rd.NextRaw(16); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("NextRaw below horizon: err %v, want ErrCompacted", err)
+	}
+	// From the horizon forward the raw stream resumes normally.
+	rr := l.NewReader(l.SnapshotLSN() + 1)
+	defer rr.Close()
+	fs, err := rr.NextRaw(16)
+	if err != nil {
+		t.Fatalf("NextRaw at horizon: %v", err)
+	}
+	if len(fs) == 0 {
+		t.Fatal("no frames past the snapshot horizon")
 	}
 }
